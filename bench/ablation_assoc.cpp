@@ -1,0 +1,33 @@
+// Ablation: switch-directory associativity at fixed capacity (1024 entries).
+// The paper fixes 4-way set-associative SRAM (Section 4.2); this quantifies
+// how much conflict misses in the directory cost.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dresar;
+using namespace dresar::bench;
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+  std::printf("Ablation: switch-directory associativity (1024 entries)\n");
+  std::printf("  %-8s %6s %18s %18s\n", "app", "assoc", "homeCtoC reduction", "sd hits");
+  for (const std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+    SwitchDirConfig sd;
+    sd.associativity = assoc;
+
+    const RunMetrics sorBase = runScientific("sor", 0, o.scale, sd);
+    const RunMetrics sor = runScientific("sor", 1024, o.scale, sd);
+    std::printf("  %-8s %6u %17.1f%% %18llu\n", "SOR", assoc,
+                reductionPct(static_cast<double>(sorBase.homeCtoC),
+                             static_cast<double>(sor.homeCtoC)),
+                static_cast<unsigned long long>(sor.svcCtoCSwitch + sor.svcSwitchWB));
+
+    const TraceMetrics tbase = runCommercial(false, 0, o.traceRefs, sd);
+    const TraceMetrics t = runCommercial(false, 1024, o.traceRefs, sd);
+    std::printf("  %-8s %6u %17.1f%% %18llu\n", "TPC-C", assoc,
+                reductionPct(static_cast<double>(tbase.homeCtoC), static_cast<double>(t.homeCtoC)),
+                static_cast<unsigned long long>(t.svcSwitchDir));
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Extension study (paper conclusion): combining the switch directory with
+// the authors' switch cache framework. Four configurations per workload:
+// Base, directory-only, cache-only, and both.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dresar;
+using namespace dresar::bench;
+
+namespace {
+RunMetrics runCombo(const char* app, const WorkloadScale& scale, std::uint32_t dirEntries,
+                    std::uint32_t cacheEntries) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = dirEntries;
+  cfg.switchCache.entries = cacheEntries;
+  System sys(cfg);
+  auto w = makeWorkload(app, scale);
+  return runWorkload(sys, *w);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+  std::printf("Extension: switch directory + switch cache (paper conclusion)\n");
+  std::printf("  %-7s %-12s %12s %10s %12s %12s %10s\n", "app", "config", "exec",
+              "readLat", "c2c@switch", "clean@switch", "homeCtoC");
+  struct Combo {
+    const char* name;
+    std::uint32_t dir, cache;
+  };
+  const Combo combos[] = {
+      {"base", 0, 0}, {"dir-only", 1024, 0}, {"cache-only", 0, 1024}, {"both", 1024, 1024}};
+  for (const auto* app : {"fft", "tc", "sor", "gauss"}) {
+    for (const auto& c : combos) {
+      const RunMetrics m = runCombo(app, o.scale, c.dir, c.cache);
+      std::printf("  %-7s %-12s %12llu %10.2f %12llu %12llu %10llu\n", app, c.name,
+                  static_cast<unsigned long long>(m.execTime), m.avgReadLatency,
+                  static_cast<unsigned long long>(m.svcCtoCSwitch + m.svcSwitchWB),
+                  static_cast<unsigned long long>(m.svcSwitchCache),
+                  static_cast<unsigned long long>(m.homeCtoC));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every binary accepts:
+//   --paper       run the paper's Table 2 problem sizes / 16M-ref traces
+//   --quick       tiny sizes (CI smoke)
+//   --refs=N      trace length override
+//   --entries=a,b,c   switch-directory sizes to sweep
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/system.h"
+#include "trace/trace_sim.h"
+#include "workloads/workload.h"
+
+namespace dresar::bench {
+
+struct Options {
+  WorkloadScale scale;
+  std::uint64_t traceRefs = 1'000'000;
+  std::vector<std::uint32_t> entries = {256, 512, 1024, 2048};
+  bool paper = false;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--paper") {
+        o.paper = true;
+        o.scale = WorkloadScale::paper();
+        o.traceRefs = 16'000'000;
+      } else if (a == "--quick") {
+        o.scale = WorkloadScale::tiny();
+        o.traceRefs = 200'000;
+      } else if (a.rfind("--refs=", 0) == 0) {
+        o.traceRefs = std::stoull(a.substr(7));
+      } else if (a.rfind("--entries=", 0) == 0) {
+        o.entries.clear();
+        std::string list = a.substr(10);
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+          std::size_t comma = list.find(',', pos);
+          if (comma == std::string::npos) comma = list.size();
+          o.entries.push_back(static_cast<std::uint32_t>(std::stoul(list.substr(pos, comma - pos))));
+          pos = comma + 1;
+        }
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+};
+
+/// Execution-driven run of one scientific kernel.
+inline RunMetrics runScientific(const std::string& name, std::uint32_t sdEntries,
+                                const WorkloadScale& scale,
+                                SwitchDirConfig sdTemplate = {}) {
+  SystemConfig cfg;
+  cfg.switchDir = sdTemplate;
+  cfg.switchDir.entries = sdEntries;
+  System sys(cfg);
+  auto w = makeWorkload(name, scale);
+  return runWorkload(sys, *w);
+}
+
+/// Trace-driven run of one commercial workload.
+inline TraceMetrics runCommercial(bool tpcd, std::uint32_t sdEntries, std::uint64_t refs,
+                                  SwitchDirConfig sdTemplate = {}) {
+  TraceConfig cfg;
+  cfg.switchDir = sdTemplate;
+  cfg.switchDir.entries = sdEntries;
+  TraceSimulator sim(cfg);
+  TpcGenerator gen(tpcd ? TpcParams::tpcd(refs) : TpcParams::tpcc(refs));
+  sim.run(gen);
+  return sim.metrics();
+}
+
+/// The Figure 1..11 application order.
+inline const std::vector<std::string>& appOrder() {
+  static const std::vector<std::string> order = {"FFT", "TC", "SOR", "FWA", "GAUSS",
+                                                 "TPC-C", "TPC-D"};
+  return order;
+}
+
+inline bool isCommercial(const std::string& app) { return app.rfind("TPC", 0) == 0; }
+
+/// One row of a normalized-reduction figure: the quantity under each
+/// directory size, normalized to the base system.
+struct ReductionRow {
+  std::string app;
+  double base = 0.0;
+  std::vector<double> values;  // same order as Options::entries
+};
+
+inline void printReductionTable(const char* title, const char* metric,
+                                const std::vector<std::uint32_t>& entries,
+                                const std::vector<ReductionRow>& rows,
+                                const std::vector<double>& paperPct = {}) {
+  std::printf("%s\n", title);
+  std::printf("  normalized reduction in %s vs Base (%%); higher is better\n", metric);
+  std::printf("  %-8s", "app");
+  for (const auto e : entries) std::printf(" %8u", e);
+  if (!paperPct.empty()) std::printf("   paper(best)");
+  std::printf("\n");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::printf("  %-8s", rows[r].app.c_str());
+    for (const double v : rows[r].values) {
+      std::printf(" %7.1f%%", reductionPct(rows[r].base, v));
+    }
+    if (!paperPct.empty()) std::printf("   ~%.0f%%", paperPct[r]);
+    std::printf("\n");
+  }
+}
+
+/// Sweep every application over the configured switch-directory sizes and
+/// extract one scalar metric per run (Figures 8-11 all share this shape).
+struct MetricExtractors {
+  double (*sci)(const RunMetrics&);
+  double (*com)(const TraceMetrics&);
+};
+
+inline std::vector<ReductionRow> sweep(const Options& o, const MetricExtractors& ex,
+                                       SwitchDirConfig sdTemplate = {}) {
+  std::vector<ReductionRow> rows;
+  for (const auto& app : appOrder()) {
+    ReductionRow row;
+    row.app = app;
+    if (isCommercial(app)) {
+      const bool d = app == "TPC-D";
+      row.base = ex.com(runCommercial(d, 0, o.traceRefs, sdTemplate));
+      for (const auto e : o.entries) {
+        row.values.push_back(ex.com(runCommercial(d, e, o.traceRefs, sdTemplate)));
+      }
+    } else {
+      const std::string key = app == "FFT"   ? "fft"
+                              : app == "TC"  ? "tc"
+                              : app == "SOR" ? "sor"
+                              : app == "FWA" ? "fwa"
+                                             : "gauss";
+      row.base = ex.sci(runScientific(key, 0, o.scale, sdTemplate));
+      for (const auto e : o.entries) {
+        row.values.push_back(ex.sci(runScientific(key, e, o.scale, sdTemplate)));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace dresar::bench

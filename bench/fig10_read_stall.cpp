@@ -1,0 +1,15 @@
+// Figure 10: reduction in total read stall time vs. the Base system.
+#include "bench_util.h"
+
+using namespace dresar;
+using namespace dresar::bench;
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+  const MetricExtractors ex{[](const RunMetrics& m) { return m.totalReadStall; },
+                            [](const TraceMetrics& m) { return m.totalReadLatency; }};
+  const auto rows = sweep(o, ex);
+  printReductionTable("Figure 10: Reduction in the Read Stall Time", "total read stall cycles",
+                      o.entries, rows, {25, 15, 22, 8, 12, 10, 5});
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 11: reduction in execution time vs. the Base system.
+// Paper: up to ~9% (SOR), ~4% (FFT/TC), negligible (FWA/GAUSS), ~4% TPC-C,
+// ~2% TPC-D.
+#include "bench_util.h"
+
+using namespace dresar;
+using namespace dresar::bench;
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+  const MetricExtractors ex{
+      [](const RunMetrics& m) { return static_cast<double>(m.execTime); },
+      [](const TraceMetrics& m) { return static_cast<double>(m.execTime); }};
+  const auto rows = sweep(o, ex);
+  printReductionTable("Figure 11: Execution Time Reduction", "execution time", o.entries, rows,
+                      {4, 4, 9, 1, 1, 4, 2});
+  return 0;
+}

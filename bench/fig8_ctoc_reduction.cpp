@@ -1,0 +1,19 @@
+// Figure 8: reduction in home-node cache-to-cache transfers, normalized to
+// the Base system, as the switch-directory size sweeps 256..2048 entries.
+// Paper: FFT ~66%, TC ~68%, SOR/FWA/GAUSS 42-52%, TPC-C up to 51%, TPC-D
+// up to 17%.
+#include "bench_util.h"
+
+using namespace dresar;
+using namespace dresar::bench;
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+  const MetricExtractors ex{
+      [](const RunMetrics& m) { return static_cast<double>(m.homeCtoC); },
+      [](const TraceMetrics& m) { return static_cast<double>(m.homeCtoC); }};
+  const auto rows = sweep(o, ex);
+  printReductionTable("Figure 8: Reduction in Home Node CtoC Transfers", "home-node c2c forwards",
+                      o.entries, rows, {66, 68, 42, 45, 52, 51, 17});
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 9: reduction in the average read latency vs. the Base system.
+// Paper: 8-23% for the scientific kernels, up to 10% TPC-C, up to 5% TPC-D.
+#include "bench_util.h"
+
+using namespace dresar;
+using namespace dresar::bench;
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+  const MetricExtractors ex{[](const RunMetrics& m) { return m.avgReadLatency; },
+                            [](const TraceMetrics& m) { return m.avgReadLatency(); }};
+  const auto rows = sweep(o, ex);
+  printReductionTable("Figure 9: Reduction in the Average Read Latency", "average read latency",
+                      o.entries, rows, {23, 15, 20, 8, 12, 10, 5});
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Component microbenchmarks (google-benchmark): the hot structures of the
+// simulator itself — event queue, switch-directory SRAM model, routing,
+// trace generation and the sequential trace simulator.
+#include <benchmark/benchmark.h>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "interconnect/topology.h"
+#include "switchdir/dir_cache.h"
+#include "switchdir/port_schedule.h"
+#include "trace/trace_sim.h"
+
+namespace dresar {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue eq;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      eq.scheduleAt(static_cast<Cycle>(i % 97), [&sink] { ++sink; });
+    }
+    eq.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_SwitchDirLookup(benchmark::State& state) {
+  SwitchDirCache cache(static_cast<std::uint32_t>(state.range(0)), 4, 32);
+  Rng rng(7);
+  for (int i = 0; i < state.range(0); ++i) {
+    if (SDEntry* e = cache.allocate(static_cast<Addr>(rng.below(1u << 20)) * 32)) {
+      e->state = SDState::Modified;
+      e->owner = static_cast<NodeId>(rng.below(16));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.find(static_cast<Addr>(rng.below(1u << 20)) * 32));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchDirLookup)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_ButterflyRoute(benchmark::State& state) {
+  Butterfly topo(16, 8);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto p = static_cast<NodeId>(rng.below(16));
+    const auto m = static_cast<NodeId>(rng.below(16));
+    benchmark::DoNotOptimize(topo.route(procEp(p), memEp(m)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ButterflyRoute);
+
+void BM_PortSchedule(benchmark::State& state) {
+  PortSchedule ps(2);
+  Cycle now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps.reserve(now));
+    now += (now % 3 == 0) ? 1 : 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PortSchedule);
+
+void BM_TpcGenerator(benchmark::State& state) {
+  TpcGenerator gen(TpcParams::tpcc(1ull << 40));
+  TraceRecord r;
+  for (auto _ : state) {
+    gen.next(r);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TpcGenerator);
+
+void BM_TraceSimAccess(benchmark::State& state) {
+  TraceConfig cfg;
+  cfg.switchDir.entries = static_cast<std::uint32_t>(state.range(0));
+  TraceSimulator sim(cfg);
+  TpcGenerator gen(TpcParams::tpcc(1ull << 40));
+  TraceRecord r;
+  for (auto _ : state) {
+    gen.next(r);
+    sim.access(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSimAccess)->Arg(0)->Arg(1024);
+
+}  // namespace
+}  // namespace dresar
+
+BENCHMARK_MAIN();

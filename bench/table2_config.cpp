@@ -1,0 +1,29 @@
+// Table 2: the execution-driven simulation parameters, dumped from the
+// effective configuration (defaults mirror the paper exactly), plus the
+// application problem sizes.
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace dresar;
+using namespace dresar::bench;
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+  SystemConfig cfg;
+  std::cout << "Table 2: Execution-Driven Simulation Parameters\n";
+  cfg.dump(std::cout);
+  const WorkloadScale paper = WorkloadScale::paper();
+  std::cout << "Application workload (paper sizes / this run):\n"
+            << "  FFT   " << paper.fftPoints << " pts   / " << o.scale.fftPoints << " pts\n"
+            << "  SOR   " << paper.sorN << "x" << paper.sorN << "     / " << o.scale.sorN << "x"
+            << o.scale.sorN << "\n"
+            << "  TC    " << paper.tcN << "x" << paper.tcN << "     / " << o.scale.tcN << "x"
+            << o.scale.tcN << "\n"
+            << "  FWA   " << paper.fwaN << "x" << paper.fwaN << "     / " << o.scale.fwaN << "x"
+            << o.scale.fwaN << "\n"
+            << "  GE    " << paper.gaussN << "x" << paper.gaussN << "     / " << o.scale.gaussN
+            << "x" << o.scale.gaussN << "\n"
+            << "Switch directories: 256-2048 entries, 4-way (swept by fig8..fig11)\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Table 3: the trace-driven simulation parameters (defaults mirror the
+// paper), plus the synthetic trace profiles standing in for the IBM COMPASS
+// TPC-C/TPC-D traces.
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace dresar;
+using namespace dresar::bench;
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+  TraceConfig cfg;
+  std::cout << "Table 3: Trace-Driven Simulation Parameters\n";
+  cfg.dump(std::cout);
+  std::cout << "Trace content: " << o.traceRefs << " memory references per workload\n"
+            << "  (paper: 16M references from DB2/1GB COMPASS traces; here synthetic\n"
+            << "   generators calibrated to the paper's published sharing statistics,\n"
+            << "   see DESIGN.md substitution #2 and tests/trace_gen_test.cpp)\n";
+  for (const bool d : {false, true}) {
+    const TpcParams p = d ? TpcParams::tpcd(o.traceRefs) : TpcParams::tpcc(o.traceRefs);
+    std::cout << "  " << p.name << ": private " << p.privatePerProc << " blocks/proc, hot "
+              << p.hotBlocks << " (zipf " << p.zipfHot << "), warm " << p.warmBlocks
+              << ", pHot " << p.pHot << ", pWarm " << p.pWarm << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Scientific-workload study: runs every kernel on the Base system and on a
+// DRESAR system, and reports the paper's four headline metrics side by side
+// (home c2c transfers, average read latency, read stall time, execution
+// time). This is the workflow of Section 5.2 in one command.
+//
+//   ./scientific_study [entries]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/metrics.h"
+#include "sim/system.h"
+#include "workloads/workload.h"
+
+using namespace dresar;
+
+namespace {
+RunMetrics run(const std::string& name, std::uint32_t entries) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = entries;
+  System sys(cfg);
+  auto w = makeWorkload(name, WorkloadScale{});
+  return runWorkload(sys, *w);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto entries = static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 1024);
+  std::printf("DRESAR scientific study: Base vs %u-entry switch directories\n\n", entries);
+  std::printf("%-7s | %12s %12s | %9s %9s | %8s %8s | %11s %11s | %6s\n", "kernel", "homeCtoC",
+              "homeCtoC'", "readLat", "readLat'", "stall", "stall'", "exec", "exec'", "speedup");
+  for (const auto& name : workloadNames()) {
+    const RunMetrics base = run(name, 0);
+    const RunMetrics sd = run(name, entries);
+    std::printf("%-7s | %12llu %12llu | %9.2f %9.2f | %8.2e %8.2e | %11llu %11llu | %5.2f%%\n",
+                base.workload.c_str(), static_cast<unsigned long long>(base.homeCtoC),
+                static_cast<unsigned long long>(sd.homeCtoC), base.avgReadLatency,
+                sd.avgReadLatency, base.totalReadStall, sd.totalReadStall,
+                static_cast<unsigned long long>(base.execTime),
+                static_cast<unsigned long long>(sd.execTime),
+                reductionPct(static_cast<double>(base.execTime),
+                             static_cast<double>(sd.execTime)));
+  }
+  std::printf("\n(primed columns = with switch directories)\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "coherence/cache_array.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dresar {
+
+namespace {
+void checkGeometry(std::uint32_t bytes, std::uint32_t assoc, std::uint32_t lineBytes) {
+  if (lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0)
+    throw std::invalid_argument("cache: lineBytes must be a power of two");
+  if (assoc == 0 || bytes == 0 || bytes % (assoc * lineBytes) != 0)
+    throw std::invalid_argument("cache: size must be a positive multiple of assoc*line");
+}
+}  // namespace
+
+const char* toString(CacheState s) {
+  switch (s) {
+    case CacheState::I: return "I";
+    case CacheState::S: return "S";
+    case CacheState::M: return "M";
+  }
+  return "?";
+}
+
+CacheArray::CacheArray(std::uint32_t bytes, std::uint32_t associativity, std::uint32_t lineBytes)
+    : assoc_(associativity), lineShift_(static_cast<std::uint32_t>(std::countr_zero(lineBytes))) {
+  checkGeometry(bytes, associativity, lineBytes);
+  numSets_ = bytes / (associativity * lineBytes);
+  ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+std::size_t CacheArray::setBase(Addr block) const {
+  return static_cast<std::size_t>((block >> lineShift_) % numSets_) * assoc_;
+}
+
+CacheLine* CacheArray::find(Addr block) {
+  const std::size_t base = setBase(block);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    CacheLine& l = ways_[base + w];
+    if (l.valid() && l.tag == block) {
+      l.lastUse = ++tick_;
+      return &l;
+    }
+  }
+  return nullptr;
+}
+
+const CacheLine* CacheArray::peek(Addr block) const {
+  const std::size_t base = setBase(block);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    const CacheLine& l = ways_[base + w];
+    if (l.valid() && l.tag == block) return &l;
+  }
+  return nullptr;
+}
+
+CacheLine* CacheArray::allocate(Addr block, Victim& victim) {
+  victim = Victim{};
+  const std::size_t base = setBase(block);
+  CacheLine* invalid = nullptr;
+  CacheLine* lru = nullptr;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    CacheLine& l = ways_[base + w];
+    if (l.valid() && l.tag == block) {
+      l.lastUse = ++tick_;
+      return &l;
+    }
+    if (!l.valid()) {
+      if (invalid == nullptr) invalid = &l;
+    } else if (lru == nullptr || l.lastUse < lru->lastUse) {
+      lru = &l;
+    }
+  }
+  CacheLine* slot = invalid != nullptr ? invalid : lru;
+  if (slot->valid()) {
+    victim.evicted = true;
+    victim.dirty = slot->state == CacheState::M;
+    victim.block = slot->tag;
+  }
+  *slot = CacheLine{};
+  slot->tag = block;
+  slot->lastUse = ++tick_;
+  return slot;
+}
+
+std::uint64_t CacheArray::countState(CacheState s) const {
+  std::uint64_t n = 0;
+  for (const auto& l : ways_) {
+    if (l.valid() && l.state == s) ++n;
+  }
+  return n;
+}
+
+void CacheArray::forEachValid(const std::function<void(const CacheLine&)>& fn) const {
+  for (const auto& l : ways_) {
+    if (l.valid()) fn(l);
+  }
+}
+
+L1Filter::L1Filter(std::uint32_t bytes, std::uint32_t associativity, std::uint32_t lineBytes)
+    : assoc_(associativity), lineShift_(static_cast<std::uint32_t>(std::countr_zero(lineBytes))) {
+  checkGeometry(bytes, associativity, lineBytes);
+  numSets_ = bytes / (associativity * lineBytes);
+  ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+std::size_t L1Filter::setBase(Addr block) const {
+  return static_cast<std::size_t>((block >> lineShift_) % numSets_) * assoc_;
+}
+
+bool L1Filter::contains(Addr block) const {
+  const std::size_t base = setBase(block);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (ways_[base + w].tag == block) return true;
+  }
+  return false;
+}
+
+void L1Filter::insert(Addr block) {
+  const std::size_t base = setBase(block);
+  Slot* lru = nullptr;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Slot& s = ways_[base + w];
+    if (s.tag == block) {
+      s.lastUse = ++tick_;
+      return;
+    }
+    if (lru == nullptr || s.lastUse < lru->lastUse) lru = &s;
+  }
+  lru->tag = block;
+  lru->lastUse = ++tick_;
+}
+
+void L1Filter::remove(Addr block) {
+  const std::size_t base = setBase(block);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Slot& s = ways_[base + w];
+    if (s.tag == block) {
+      s = Slot{};
+      return;
+    }
+  }
+}
+
+}  // namespace dresar

@@ -1,0 +1,85 @@
+// Set-associative cache tag arrays. CacheArray is the coherent L2 (MSI
+// states); L1Filter is the small first-level tag array used for hit timing —
+// it tracks presence only and is kept a strict subset of the L2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dresar {
+
+enum class CacheState : std::uint8_t { I, S, M };
+
+const char* toString(CacheState s);
+
+struct CacheLine {
+  Addr tag = kInvalidAddr;
+  CacheState state = CacheState::I;
+  std::uint64_t lastUse = 0;
+
+  [[nodiscard]] bool valid() const { return state != CacheState::I; }
+};
+
+/// Result of making room for a fill.
+struct Victim {
+  bool dirty = false;       ///< evicted line was MODIFIED (needs WriteBack)
+  bool evicted = false;     ///< a valid line was displaced
+  Addr block = kInvalidAddr;
+};
+
+class CacheArray {
+ public:
+  CacheArray(std::uint32_t bytes, std::uint32_t associativity, std::uint32_t lineBytes);
+
+  /// Lookup; nullptr on miss. Updates LRU on hit.
+  CacheLine* find(Addr block);
+  [[nodiscard]] const CacheLine* peek(Addr block) const;
+
+  /// Find-or-allocate; always succeeds (LRU victim). `victim` reports any
+  /// displaced line so the controller can issue a WriteBack.
+  CacheLine* allocate(Addr block, Victim& victim);
+
+  void invalidate(CacheLine& line) { line = CacheLine{}; }
+
+  [[nodiscard]] std::uint32_t lines() const { return static_cast<std::uint32_t>(ways_.size()); }
+  [[nodiscard]] std::uint64_t countState(CacheState s) const;
+
+  void forEachValid(const std::function<void(const CacheLine&)>& fn) const;
+
+ private:
+  [[nodiscard]] std::size_t setBase(Addr block) const;
+
+  std::uint32_t assoc_;
+  std::uint32_t numSets_;
+  std::uint32_t lineShift_;
+  std::vector<CacheLine> ways_;
+  std::uint64_t tick_ = 0;
+};
+
+/// Presence-only L1 tag array (timing filter).
+class L1Filter {
+ public:
+  L1Filter(std::uint32_t bytes, std::uint32_t associativity, std::uint32_t lineBytes);
+
+  [[nodiscard]] bool contains(Addr block) const;
+  void insert(Addr block);
+  void remove(Addr block);
+
+ private:
+  [[nodiscard]] std::size_t setBase(Addr block) const;
+
+  std::uint32_t assoc_;
+  std::uint32_t numSets_;
+  std::uint32_t lineShift_;
+  struct Slot {
+    Addr tag = kInvalidAddr;
+    std::uint64_t lastUse = 0;
+  };
+  std::vector<Slot> ways_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace dresar

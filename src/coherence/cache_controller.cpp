@@ -1,0 +1,431 @@
+#include "coherence/cache_controller.h"
+
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace dresar {
+
+namespace {
+std::uint64_t bit(NodeId n) { return 1ull << n; }
+}  // namespace
+
+CacheController::CacheController(NodeId node, const SystemConfig& cfg, EventQueue& eq,
+                                 INetwork& net, StatRegistry& stats)
+    : node_(node),
+      cfg_(cfg),
+      eq_(eq),
+      net_(net),
+      stats_(stats),
+      pfx_("cache." + std::to_string(node) + "."),
+      l1_(cfg.l1Bytes, cfg.l1Assoc, cfg.lineBytes),
+      l2_(cfg.l2Bytes, cfg.l2Assoc, cfg.lineBytes) {}
+
+Cycle CacheController::acquireCtrl(Cycle busy) {
+  const Cycle start = std::max(eq_.now(), ctrlFree_);
+  ctrlFree_ = start + busy;
+  return start - eq_.now();
+}
+
+// ---------------------------------------------------------------------------
+// CPU-facing operations
+// ---------------------------------------------------------------------------
+
+void CacheController::cpuRead(Addr a, ReadCallback done) {
+  const Addr block = blockOf(a);
+  const Cycle start = eq_.now();
+  ++stats_.counter(pfx_ + "reads");
+  eq_.scheduleAfter(cfg_.l1AccessCycles, [this, block, start, done = std::move(done)]() mutable {
+    if (l1_.contains(block)) {
+      stats_.sampler("cpu.read_latency").add(static_cast<double>(eq_.now() - start));
+      stats_.sampler("cpu.read_latency.clean").add(static_cast<double>(eq_.now() - start));
+      ++stats_.counter(pfx_ + "l1_hits");
+      done(ReadResult{ReadService::L1Hit, eq_.now() - start, 0});
+      return;
+    }
+    eq_.scheduleAfter(cfg_.l2AccessCycles, [this, block, start, done = std::move(done)]() mutable {
+      CacheLine* line = l2_.find(block);
+      if (line != nullptr) {
+        l1_.insert(block);
+        stats_.sampler("cpu.read_latency").add(static_cast<double>(eq_.now() - start));
+        stats_.sampler("cpu.read_latency.clean").add(static_cast<double>(eq_.now() - start));
+        ++stats_.counter(pfx_ + "l2_hits");
+        done(ReadResult{ReadService::L2Hit, eq_.now() - start, 0});
+        return;
+      }
+      startReadMiss(block, std::move(done), start);
+    });
+  });
+}
+
+void CacheController::startReadMiss(Addr block, ReadCallback done, Cycle start) {
+  auto it = mshrs_.find(block);
+  if (it != mshrs_.end()) {
+    // Merge into the outstanding transaction (possibly a store's ownership
+    // fetch — the classic "load hits pending write buffer entry" case).
+    it->second.readers.push_back({std::move(done), start});
+    ++stats_.counter(pfx_ + "read_merged");
+    return;
+  }
+  if (mshrs_.size() >= cfg_.mshrEntries) {
+    ++stats_.counter(pfx_ + "mshr_full_stalls");
+    eq_.scheduleAfter(cfg_.l2AccessCycles,
+                      [this, block, start, done = std::move(done)]() mutable {
+                        startReadMiss(block, std::move(done), start);
+                      });
+    return;
+  }
+  Mshr& m = mshrs_[block];
+  m.firstIssue = eq_.now();
+  m.readers.push_back({std::move(done), start});
+  ++stats_.counter(pfx_ + "read_misses");
+  sendRequest(block, m);
+}
+
+void CacheController::cpuWrite(Addr a, DoneCallback accepted) {
+  const Addr block = blockOf(a);
+  ++stats_.counter(pfx_ + "writes");
+  eq_.scheduleAfter(cfg_.l1AccessCycles, [this, block, accepted = std::move(accepted)]() mutable {
+    if (wbOccupancy_ >= cfg_.writeBufferEntries) {
+      ++stats_.counter(pfx_ + "wb_full_stalls");
+      stalledStores_.emplace_back(block, std::move(accepted));
+      return;
+    }
+    ++wbOccupancy_;
+    accepted();  // Release consistency: the core proceeds immediately.
+    startWriteMiss(block, [this] {
+      --wbOccupancy_;
+      maybeReleaseStalledStores();
+      maybeFireDrainWaiters();
+    }, /*isRmw=*/false);
+  });
+}
+
+void CacheController::cpuRmw(Addr a, DoneCallback done) {
+  const Addr block = blockOf(a);
+  ++stats_.counter(pfx_ + "rmws");
+  eq_.scheduleAfter(cfg_.l1AccessCycles + cfg_.l2AccessCycles,
+                    [this, block, done = std::move(done)]() mutable {
+                      startWriteMiss(block, std::move(done), /*isRmw=*/true);
+                    });
+}
+
+void CacheController::startWriteMiss(Addr block, DoneCallback retire, bool isRmw) {
+  CacheLine* line = l2_.find(block);
+  if (line != nullptr && line->state == CacheState::M) {
+    l1_.insert(block);
+    if (!isRmw) ++stats_.counter(pfx_ + "write_hits");
+    retire();
+    return;
+  }
+  auto it = mshrs_.find(block);
+  if (it != mshrs_.end()) {
+    Mshr& m = it->second;
+    m.writers.push_back(std::move(retire));
+    if (!m.wantWrite) {
+      // A read transaction is in flight; the write piggybacks and an
+      // ownership request follows the read fill.
+      m.wantWrite = true;
+    }
+    return;
+  }
+  if (mshrs_.size() >= cfg_.mshrEntries) {
+    ++stats_.counter(pfx_ + "mshr_full_stalls");
+    eq_.scheduleAfter(cfg_.l2AccessCycles,
+                      [this, block, retire = std::move(retire), isRmw]() mutable {
+                        startWriteMiss(block, std::move(retire), isRmw);
+                      });
+    return;
+  }
+  Mshr& m = mshrs_[block];
+  m.firstIssue = eq_.now();
+  m.wantWrite = true;
+  m.writers.push_back(std::move(retire));
+  ++stats_.counter(pfx_ + (line != nullptr ? "write_upgrades" : "write_misses"));
+  sendRequest(block, m);
+}
+
+void CacheController::sendRequest(Addr block, Mshr& m) {
+  m.requestOutstanding = true;
+  m.curRequestIsWrite = m.wantWrite;
+  Message req;
+  req.type = m.wantWrite ? MsgType::WriteRequest : MsgType::ReadRequest;
+  req.src = procEp(node_);
+  req.dst = memEp(homeOf(block));
+  req.addr = block;
+  req.requester = node_;
+  net_.send(req);
+}
+
+void CacheController::drainWrites(DoneCallback done) {
+  if (wbOccupancy_ == 0 && stalledStores_.empty()) {
+    done();
+    return;
+  }
+  drainWaiters_.push_back(std::move(done));
+}
+
+void CacheController::maybeReleaseStalledStores() {
+  while (!stalledStores_.empty() && wbOccupancy_ < cfg_.writeBufferEntries) {
+    auto [block, accepted] = std::move(stalledStores_.front());
+    stalledStores_.pop_front();
+    ++wbOccupancy_;
+    accepted();
+    startWriteMiss(block, [this] {
+      --wbOccupancy_;
+      maybeReleaseStalledStores();
+      maybeFireDrainWaiters();
+    }, /*isRmw=*/false);
+  }
+}
+
+void CacheController::maybeFireDrainWaiters() {
+  if (wbOccupancy_ != 0 || !stalledStores_.empty()) return;
+  auto waiters = std::move(drainWaiters_);
+  drainWaiters_.clear();
+  for (auto& w : waiters) w();
+}
+
+// ---------------------------------------------------------------------------
+// Network-facing operations
+// ---------------------------------------------------------------------------
+
+void CacheController::onMessage(const Message& m) {
+  const Cycle delay = acquireCtrl(cfg_.cacheCtrlOccupancyCycles);
+  eq_.scheduleAfter(delay, [this, m] {
+    switch (m.type) {
+      case MsgType::ReadReply:
+      case MsgType::CtoCReply:
+      case MsgType::WriteReply:
+        handleFill(m);
+        break;
+      case MsgType::CtoCRequest:
+        handleCtoCRequest(m);
+        break;
+      case MsgType::Invalidation:
+        handleInvalidation(m);
+        break;
+      case MsgType::Retry:
+        handleRetry(m);
+        break;
+      default:
+        throw std::logic_error("CacheController: unexpected message " + m.describe());
+    }
+  });
+}
+
+ReadService CacheController::classifyFill(const Message& m) const {
+  switch (m.type) {
+    case MsgType::ReadReply:
+      if (m.marked) return ReadService::SwitchWriteBack;
+      return m.viaSwitchCache ? ReadService::SwitchCache : ReadService::CleanMemory;
+    case MsgType::CtoCReply:
+      return m.viaSwitchDir ? ReadService::CtoCSwitchDir : ReadService::CtoCHome;
+    case MsgType::WriteReply:
+    default:
+      return ReadService::CleanMemory;
+  }
+}
+
+void CacheController::installLine(Addr block, CacheState state) {
+  Victim victim;
+  CacheLine* line = l2_.allocate(block, victim);
+  if (victim.evicted) {
+    l1_.remove(victim.block);
+    ++stats_.counter(pfx_ + "evictions");
+    if (victim.dirty) {
+      Message wb;
+      wb.type = MsgType::WriteBack;
+      wb.src = procEp(node_);
+      wb.dst = memEp(homeOf(victim.block));
+      wb.addr = victim.block;
+      wb.requester = node_;
+      net_.send(wb);
+      ++stats_.counter(pfx_ + "writebacks");
+    }
+  }
+  line->state = state;
+  l1_.insert(block);
+}
+
+void CacheController::handleFill(const Message& m) {
+  auto it = mshrs_.find(m.addr);
+  if (it == mshrs_.end()) {
+    // A transaction can be answered twice when a copyback served the
+    // requester at a switch while the owner also replied; drop the extra.
+    ++stats_.counter(pfx_ + "spurious_fills");
+    return;
+  }
+  Mshr& mshr = it->second;
+  const ReadService service = classifyFill(m);
+
+  if (m.type == MsgType::WriteReply) {
+    installLine(m.addr, CacheState::M);
+    Mshr done = std::move(mshr);
+    mshrs_.erase(it);
+    for (auto& r : done.readers) {
+      stats_.sampler("cpu.read_latency").add(static_cast<double>(eq_.now() - r.start));
+      stats_.sampler("cpu.read_latency.clean").add(static_cast<double>(eq_.now() - r.start));
+      ++stats_.counter(std::string("svc.") + toString(ReadService::CleanMemory));
+      r.cb(ReadResult{ReadService::CleanMemory, eq_.now() - r.start, done.retries});
+    }
+    for (auto& w : done.writers) w();
+    return;
+  }
+
+  // Read-type fill (ReadReply or CtoCReply): line arrives in S state.
+  installLine(m.addr, mshr.fillThenInvalidate ? CacheState::I : CacheState::S);
+  if (mshr.fillThenInvalidate) {
+    // The data is still delivered to the waiting loads (it is the value as
+    // of the invalidating write's serialization point), but the line is dead.
+    l1_.remove(m.addr);
+    ++stats_.counter(pfx_ + "fill_then_invalidate");
+  }
+  auto readers = std::move(mshr.readers);
+  mshr.readers.clear();
+  mshr.fillThenInvalidate = false;
+  const std::uint32_t retries = mshr.retries;
+  const bool isCtoC = service == ReadService::CtoCHome || service == ReadService::CtoCSwitchDir ||
+                      service == ReadService::SwitchWriteBack;
+  for (auto& r : readers) {
+    const auto lat = static_cast<double>(eq_.now() - r.start);
+    stats_.sampler("cpu.read_latency").add(lat);
+    stats_.sampler(isCtoC ? "cpu.read_latency.ctoc" : "cpu.read_latency.clean").add(lat);
+    if (!isCtoC) stats_.sampler("cpu.read_latency.clean_miss").add(lat);
+    ++stats_.counter(std::string("svc.") + toString(service));
+    r.cb(ReadResult{service, eq_.now() - r.start, retries});
+  }
+  if (mshr.wantWrite) {
+    // A store merged behind this read: chase ownership now.
+    mshr.requestOutstanding = false;
+    sendRequest(m.addr, mshr);
+  } else {
+    mshrs_.erase(it);
+  }
+}
+
+void CacheController::handleCtoCRequest(const Message& m) {
+  eq_.scheduleAfter(cfg_.l2AccessCycles, [this, m] {
+    CacheLine* line = l2_.find(m.addr);
+    if (line == nullptr) {
+      if (m.marked) {
+        // Stale switch-directory entry (we lost the line since): tell the
+        // initiating switch so it bounces the requester (paper "Retries").
+        Message retry;
+        retry.type = MsgType::Retry;
+        retry.src = procEp(node_);
+        retry.dst = memEp(homeOf(m.addr));
+        retry.addr = m.addr;
+        retry.requester = m.requester;
+        retry.marked = true;
+        net_.send(retry);
+        ++stats_.counter(pfx_ + "ctoc_cannot_supply");
+      } else {
+        // Our WriteBack is in flight; it resolves the transaction at home.
+        ++stats_.counter(pfx_ + "ctoc_dropped_wb_race");
+      }
+      return;
+    }
+    // M or S: supply the data directly to the requester and copy back to the
+    // home so memory and the full-map directory stay exact.
+    ++stats_.counter(pfx_ + "ctoc_supplied");
+    Message reply;
+    reply.type = MsgType::CtoCReply;
+    reply.src = procEp(node_);
+    reply.dst = procEp(m.requester);
+    reply.addr = m.addr;
+    reply.requester = m.requester;
+    reply.viaSwitchDir = m.marked;
+    net_.send(reply);
+
+    Message cb;
+    cb.type = MsgType::CopyBack;
+    cb.src = procEp(node_);
+    cb.dst = memEp(homeOf(m.addr));
+    cb.addr = m.addr;
+    cb.requester = m.requester;
+    cb.carriedSharers = bit(m.requester);
+    cb.marked = m.marked;
+    net_.send(cb);
+
+    line->state = CacheState::S;
+  });
+}
+
+void CacheController::handleInvalidation(const Message& m) {
+  eq_.scheduleAfter(cfg_.l2AccessCycles, [this, m] {
+    CacheLine* line = l2_.find(m.addr);
+    if (m.marked) {
+      // Ack-free cleanup invalidation (switch-cache stale-serve path).
+      if (line != nullptr) {
+        l2_.invalidate(*line);
+        l1_.remove(m.addr);
+      } else if (auto it = mshrs_.find(m.addr);
+                 it != mshrs_.end() && !it->second.wantWrite) {
+        it->second.fillThenInvalidate = true;
+      }
+      ++stats_.counter(pfx_ + "cleanup_invalidations");
+      return;
+    }
+    // A recall can only find the line in M/S/I: the home's outgoing messages
+    // to one node are FIFO (DirController::sendOrdered), so a recall can
+    // never overtake the WriteReply that granted ownership. A recall that
+    // finds the line gone refers to an ownership epoch we already ended (our
+    // WriteBack is in flight) and is acked like a plain invalidation — even
+    // if we are re-requesting the block right now.
+    if (line != nullptr && line->state == CacheState::M) {
+      // Recall: surrender the dirty line to the home.
+      Message cb;
+      cb.type = MsgType::CopyBack;
+      cb.src = procEp(node_);
+      cb.dst = memEp(homeOf(m.addr));
+      cb.addr = m.addr;
+      cb.recall = true;
+      net_.send(cb);
+      l2_.invalidate(*line);
+      l1_.remove(m.addr);
+      ++stats_.counter(pfx_ + "recalls");
+      return;
+    }
+    if (line != nullptr) {
+      l2_.invalidate(*line);
+      l1_.remove(m.addr);
+    } else {
+      auto it = mshrs_.find(m.addr);
+      if (it != mshrs_.end() && !it->second.wantWrite) {
+        // Read fill in flight: deliver it, then kill the line.
+        it->second.fillThenInvalidate = true;
+      }
+    }
+    Message ack;
+    ack.type = MsgType::InvalAck;
+    ack.src = procEp(node_);
+    ack.dst = memEp(homeOf(m.addr));
+    ack.addr = m.addr;
+    net_.send(ack);
+    ++stats_.counter(pfx_ + "invalidations");
+  });
+}
+
+void CacheController::handleRetry(const Message& m) {
+  auto it = mshrs_.find(m.addr);
+  if (it == mshrs_.end() || !it->second.requestOutstanding) {
+    ++stats_.counter(pfx_ + "spurious_retries");
+    return;
+  }
+  Mshr& mshr = it->second;
+  mshr.requestOutstanding = false;
+  ++mshr.retries;
+  ++stats_.counter(pfx_ + "retries");
+  if (mshr.retries > cfg_.maxRetries) {
+    throw std::runtime_error("CacheController: retry livelock on " + m.describe());
+  }
+  const Addr block = m.addr;
+  eq_.scheduleAfter(cfg_.retryBackoffCycles, [this, block] {
+    auto it2 = mshrs_.find(block);
+    if (it2 == mshrs_.end() || it2->second.requestOutstanding) return;
+    sendRequest(block, it2->second);
+  });
+}
+
+}  // namespace dresar

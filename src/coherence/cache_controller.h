@@ -1,0 +1,122 @@
+// Processor-side coherence engine: L1/L2 lookup timing, MSHRs with
+// read/write merging, a release-consistency write buffer (stores retire
+// without stalling the core; loads block), and the cache half of the MSI /
+// full-map directory protocol, including every message the switch
+// directories can generate (marked CtoCRequests, switch-served ReadReplies,
+// Retry NAKs).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "coherence/cache_array.h"
+#include "interconnect/network.h"
+
+namespace dresar {
+
+/// Completion record handed back to the CPU model for a load.
+struct ReadResult {
+  ReadService service = ReadService::L1Hit;
+  Cycle latency = 0;       ///< issue -> data return, in cycles
+  std::uint32_t retries = 0;
+};
+
+class CacheController {
+ public:
+  using ReadCallback = std::function<void(const ReadResult&)>;
+  using DoneCallback = std::function<void()>;
+
+  CacheController(NodeId node, const SystemConfig& cfg, EventQueue& eq, INetwork& net,
+                  StatRegistry& stats);
+
+  CacheController(const CacheController&) = delete;
+  CacheController& operator=(const CacheController&) = delete;
+
+  // ---- CPU-facing API ------------------------------------------------
+  /// Blocking load. `done` fires when data is available.
+  void cpuRead(Addr a, ReadCallback done);
+  /// Store under release consistency: `accepted` fires when the store has
+  /// retired into the write buffer (the core may proceed); the buffer
+  /// acquires ownership in the background.
+  void cpuWrite(Addr a, DoneCallback accepted);
+  /// Atomic read-modify-write (lock primitives): `done` fires with the line
+  /// held in M state; the caller performs its value update inside `done`.
+  void cpuRmw(Addr a, DoneCallback done);
+  /// Release-consistency fence: fires when the write buffer has drained and
+  /// no store misses are outstanding.
+  void drainWrites(DoneCallback done);
+
+  // ---- Network-facing API ---------------------------------------------
+  void onMessage(const Message& m);
+
+  // ---- Introspection ----------------------------------------------------
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const CacheArray& l2() const { return l2_; }
+  /// True when no MSHR is live and the write buffer is empty.
+  [[nodiscard]] bool quiescent() const {
+    return mshrs_.empty() && wbOccupancy_ == 0 && stalledStores_.empty();
+  }
+
+ private:
+  struct Mshr {
+    bool wantWrite = false;          ///< must end with ownership
+    bool requestOutstanding = false; ///< a request is in flight (awaiting reply/retry)
+    bool curRequestIsWrite = false;
+    bool fillThenInvalidate = false; ///< an invalidation raced the read fill
+    std::uint32_t retries = 0;
+    Cycle firstIssue = 0;
+    struct Reader {
+      ReadCallback cb;
+      Cycle start;
+    };
+    std::vector<Reader> readers;
+    std::vector<DoneCallback> writers;  ///< write-buffer entries (and RMWs)
+  };
+
+  [[nodiscard]] Addr blockOf(Addr a) const { return cfg_.blockOf(a); }
+  [[nodiscard]] NodeId homeOf(Addr a) const { return cfg_.homeOf(a); }
+
+  /// Controller occupancy for incoming protocol messages.
+  Cycle acquireCtrl(Cycle busy);
+
+  void sendRequest(Addr block, Mshr& m);
+  void startReadMiss(Addr block, ReadCallback done, Cycle start);
+  void startWriteMiss(Addr block, DoneCallback retire, bool isRmw);
+
+  /// Install a fill and complete the MSHR according to the reply type.
+  void handleFill(const Message& m);
+  void handleCtoCRequest(const Message& m);
+  void handleInvalidation(const Message& m);
+  void handleRetry(const Message& m);
+
+  void installLine(Addr block, CacheState state);
+  void maybeReleaseStalledStores();
+  void maybeFireDrainWaiters();
+
+  [[nodiscard]] ReadService classifyFill(const Message& m) const;
+
+  NodeId node_;
+  const SystemConfig& cfg_;
+  EventQueue& eq_;
+  INetwork& net_;
+  StatRegistry& stats_;
+  std::string pfx_;
+
+  L1Filter l1_;
+  CacheArray l2_;
+  std::unordered_map<Addr, Mshr> mshrs_;
+  Cycle ctrlFree_ = 0;
+
+  std::uint32_t wbOccupancy_ = 0;  ///< write-buffer entries in flight
+  std::deque<std::pair<Addr, DoneCallback>> stalledStores_;
+  std::vector<DoneCallback> drainWaiters_;
+};
+
+}  // namespace dresar

@@ -1,0 +1,377 @@
+#include "coherence/dir_controller.h"
+
+#include "common/log.h"
+
+namespace dresar {
+
+namespace {
+std::uint64_t bit(NodeId n) { return 1ull << n; }
+}  // namespace
+
+const char* toString(DirState s) {
+  switch (s) {
+    case DirState::Uncached: return "Uncached";
+    case DirState::Shared: return "Shared";
+    case DirState::Modified: return "Modified";
+    case DirState::BusyRead: return "BusyRead";
+    case DirState::BusyWrite: return "BusyWrite";
+  }
+  return "?";
+}
+
+DirController::DirController(NodeId node, const SystemConfig& cfg, EventQueue& eq, INetwork& net,
+                             StatRegistry& stats)
+    : node_(node),
+      cfg_(cfg),
+      eq_(eq),
+      net_(net),
+      stats_(stats),
+      pfx_("dir." + std::to_string(node) + ".") {
+  lastInjectTo_.resize(cfg_.numNodes, 0);
+}
+
+void DirController::sendOrdered(Message m, Cycle delay) {
+  Cycle& horizon = lastInjectTo_.at(m.dst.node);
+  const Cycle when = std::max(eq_.now() + delay, horizon);
+  horizon = when;
+  eq_.scheduleAt(when, [this, m = std::move(m)] { net_.send(m); });
+}
+
+Cycle DirController::acquireCtrl() {
+  const Cycle start = std::max(eq_.now(), ctrlFree_);
+  ctrlFree_ = start + cfg_.dirOccupancyCycles;
+  return start - eq_.now();
+}
+
+const DirController::Entry* DirController::peek(Addr block) const {
+  auto it = dir_.find(block);
+  return it == dir_.end() ? nullptr : &it->second;
+}
+
+bool DirController::quiescent() const {
+  for (const auto& [addr, e] : dir_) {
+    if (e.state == DirState::BusyRead || e.state == DirState::BusyWrite) return false;
+    if (!e.queue.empty()) return false;
+  }
+  return true;
+}
+
+void DirController::onMessage(const Message& m) {
+  // Controller occupancy, then the slow DRAM directory lookup.
+  const Cycle delay = acquireCtrl() + cfg_.dirLookupCycles;
+  eq_.scheduleAfter(delay, [this, m] { process(m); });
+}
+
+void DirController::process(const Message& m) {
+  Entry& e = entry(m.addr);
+  handle(m, e);
+  // Serve queued requests the moment the entry leaves its BUSY state —
+  // atomically within this event, so no fresh arrival can slip in between
+  // and push an already-queued request back (which would break the FIFO
+  // service order and allow starvation of, e.g., a lock holder's release).
+  while (e.state != DirState::BusyRead && e.state != DirState::BusyWrite && !e.queue.empty()) {
+    Message next = std::move(e.queue.front());
+    e.queue.pop_front();
+    ++stats_.counter(pfx_ + "pending_served");
+    handle(next, e);
+  }
+}
+
+void DirController::handle(const Message& m, Entry& e) {
+  ++stats_.counter(pfx_ + "requests");
+  switch (m.type) {
+    case MsgType::ReadRequest: onReadRequest(m, e); break;
+    case MsgType::WriteRequest: onWriteRequest(m, e); break;
+    case MsgType::CopyBack: onCopyBack(m, e); break;
+    case MsgType::WriteBack: onWriteBack(m, e); break;
+    case MsgType::InvalAck: onInvalAck(m, e); break;
+    case MsgType::Retry:
+      // A marked owner-retry whose initiating TRANSIENT entry was already
+      // cleared; nothing left to do (paper: home ignores it).
+      ++stats_.counter(pfx_ + "retry_dropped");
+      break;
+    case MsgType::SharerNotify: {
+      // Switch-cache extension: a read was served with clean data inside the
+      // network; keep the full-map directory exact.
+      const NodeId r = m.requester;
+      if (e.state == DirState::Shared || e.state == DirState::Uncached) {
+        e.state = DirState::Shared;
+        e.sharers |= 1ull << r;
+        ++stats_.counter(pfx_ + "switch_cache_sharers");
+      } else {
+        // The block turned dirty (or is mid-transaction): the served copy is
+        // from the old epoch — clean it up with an ack-free invalidation.
+        Message inv;
+        inv.type = MsgType::Invalidation;
+        inv.src = memEp(node_);
+        inv.dst = procEp(r);
+        inv.addr = m.addr;
+        inv.marked = true;  // marked invalidation = no ack expected
+        sendOrdered(std::move(inv), 0);
+        ++stats_.counter(pfx_ + "switch_cache_stale_serve");
+      }
+      break;
+    }
+    default:
+      throw std::logic_error("DirController: unexpected message " + m.describe());
+  }
+}
+
+void DirController::sendReadReply(NodeId to, Addr block, bool viaSwitchDir) {
+  Message r;
+  r.type = MsgType::ReadReply;
+  r.src = memEp(node_);
+  r.dst = procEp(to);
+  r.addr = block;
+  r.requester = to;
+  r.viaSwitchDir = viaSwitchDir;
+  sendOrdered(std::move(r), cfg_.memAccessCycles);
+}
+
+void DirController::sendWriteReply(NodeId to, Addr block) {
+  Message r;
+  r.type = MsgType::WriteReply;
+  r.src = memEp(node_);
+  r.dst = procEp(to);
+  r.addr = block;
+  r.requester = to;
+  sendOrdered(std::move(r), cfg_.memAccessCycles);
+}
+
+void DirController::sendInvalidation(NodeId to, Addr block, bool recall) {
+  Message inv;
+  inv.type = MsgType::Invalidation;
+  inv.src = memEp(node_);
+  inv.dst = procEp(to);
+  inv.addr = block;
+  inv.recall = recall;
+  sendOrdered(std::move(inv), 0);
+}
+
+void DirController::onReadRequest(const Message& m, Entry& e) {
+  const NodeId r = m.requester;
+  switch (e.state) {
+    case DirState::Uncached:
+    case DirState::Shared:
+      e.state = DirState::Shared;
+      e.sharers |= bit(r);
+      ++stats_.counter(pfx_ + "reads_clean");
+      sendReadReply(r, m.addr);
+      break;
+    case DirState::Modified:
+      if (e.owner == r) {
+        // Unreachable with per-path FIFO ordering; tolerate and serve.
+        ++stats_.counter(pfx_ + "anomaly.read_from_owner");
+        sendReadReply(r, m.addr);
+        break;
+      }
+      e.state = DirState::BusyRead;
+      e.pendingRequester = r;
+      ++homeCtoC_;
+      ++stats_.counter(pfx_ + "home_ctoc");
+      {
+        Message fwd;
+        fwd.type = MsgType::CtoCRequest;
+        fwd.src = memEp(node_);
+        fwd.dst = procEp(e.owner);
+        fwd.addr = m.addr;
+        fwd.requester = r;
+        sendOrdered(std::move(fwd), 0);
+      }
+      break;
+    case DirState::BusyRead:
+    case DirState::BusyWrite:
+      e.queue.push_back(m);
+      ++stats_.counter(pfx_ + "queued");
+      break;
+  }
+}
+
+void DirController::onWriteRequest(const Message& m, Entry& e) {
+  const NodeId w = m.requester;
+  switch (e.state) {
+    case DirState::Uncached:
+      e.state = DirState::Modified;
+      e.owner = w;
+      e.sharers = 0;
+      sendWriteReply(w, m.addr);
+      break;
+    case DirState::Shared: {
+      const std::uint64_t others = e.sharers & ~bit(w);
+      if (others == 0) {
+        e.state = DirState::Modified;
+        e.owner = w;
+        e.sharers = 0;
+        ++stats_.counter(pfx_ + "upgrades");
+        sendWriteReply(w, m.addr);
+        break;
+      }
+      e.state = DirState::BusyWrite;
+      e.pendingRequester = w;
+      e.pendingAcks = others;
+      for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        if (others & bit(n)) sendInvalidation(n, m.addr);
+      }
+      ++stats_.counter(pfx_ + "write_invalidates");
+      break;
+    }
+    case DirState::Modified:
+      if (e.owner == w) {
+        ++stats_.counter(pfx_ + "anomaly.write_from_owner");
+        sendWriteReply(w, m.addr);
+        break;
+      }
+      // Recall the dirty line, then grant ownership from memory.
+      e.state = DirState::BusyWrite;
+      e.pendingRequester = w;
+      e.pendingAcks = bit(e.owner);
+      sendInvalidation(e.owner, m.addr, /*recall=*/true);
+      ++stats_.counter(pfx_ + "write_recalls");
+      break;
+    case DirState::BusyRead:
+    case DirState::BusyWrite:
+      e.queue.push_back(m);
+      ++stats_.counter(pfx_ + "queued");
+      break;
+  }
+}
+
+void DirController::absorbCarriedSharers(const Message& m, Addr block, Entry& e) {
+  // Requesters served inside the network hold S copies the in-progress write
+  // must invalidate before ownership is granted.
+  for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+    if ((m.carriedSharers & bit(n)) == 0) continue;
+    if (n == e.pendingRequester) continue;
+    if (e.pendingAcks & bit(n)) continue;
+    e.pendingAcks |= bit(n);
+    sendInvalidation(n, block);
+    ++stats_.counter(pfx_ + "carried_sharer_invalidated");
+  }
+}
+
+void DirController::onCopyBack(const Message& m, Entry& e) {
+  const NodeId from = m.src.node;
+  if (m.recall) {
+    // The owner surrendered the line in response to a recall Invalidation.
+    if (e.state == DirState::BusyWrite && (e.pendingAcks & bit(from)) != 0) {
+      // A TRANSIENT switch may have served readers from this copyback's data
+      // on the way here (annotating it); they hold S copies that must fall
+      // under this write's invalidation set before ownership is granted.
+      absorbCarriedSharers(m, m.addr, e);
+      e.pendingAcks &= ~bit(from);
+      e.owner = kInvalidNode;
+      if (e.pendingAcks == 0) completeBusyWrite(m.addr, e);
+    } else {
+      ++stats_.counter(pfx_ + "anomaly.recall_copyback");
+    }
+    return;
+  }
+  switch (e.state) {
+    case DirState::BusyRead: {
+      const NodeId r = e.pendingRequester;
+      if ((m.carriedSharers & bit(r)) == 0) {
+        // The copyback completed a different transfer (a switch-initiated
+        // one); serve our requester from the now-clean memory copy.
+        sendReadReply(r, m.addr);
+        ++stats_.counter(pfx_ + "busyread_served_from_memory");
+      }
+      e.sharers = bit(from) | m.carriedSharers | bit(r);
+      e.owner = kInvalidNode;
+      e.pendingRequester = kInvalidNode;
+      e.state = DirState::Shared;
+      ++stats_.counter(pfx_ + "copybacks");
+      break;
+    }
+    case DirState::BusyWrite:
+      absorbCarriedSharers(m, m.addr, e);
+      ++stats_.counter(pfx_ + "copyback_during_write");
+      break;
+    case DirState::Modified:
+      // Switch-initiated transfer completing with no home involvement: the
+      // "marked copyback" path of paper 3.2.
+      e.sharers = bit(from) | m.carriedSharers;
+      e.owner = kInvalidNode;
+      e.state = DirState::Shared;
+      ++stats_.counter(pfx_ + (m.marked ? "marked_copybacks" : "copybacks"));
+      break;
+    case DirState::Shared:
+      e.sharers |= bit(from) | m.carriedSharers;
+      ++stats_.counter(pfx_ + "copyback_in_shared");
+      break;
+    case DirState::Uncached:
+      ++stats_.counter(pfx_ + "anomaly.copyback_uncached");
+      break;
+  }
+}
+
+void DirController::onWriteBack(const Message& m, Entry& e) {
+  const NodeId from = m.src.node;
+  switch (e.state) {
+    case DirState::Modified:
+      if (e.owner != from) {
+        ++stats_.counter(pfx_ + "anomaly.writeback_not_owner");
+        break;
+      }
+      e.owner = kInvalidNode;
+      if (m.carriedSharers != 0) {
+        // Marked write-back: switch directories served requesters from the
+        // victim's data on its way here.
+        e.sharers = m.carriedSharers;
+        e.state = DirState::Shared;
+        ++stats_.counter(pfx_ + "marked_writebacks");
+      } else {
+        e.sharers = 0;
+        e.state = DirState::Uncached;
+        ++stats_.counter(pfx_ + "writebacks");
+      }
+      break;
+    case DirState::BusyRead: {
+      // The owner evicted the line before our forwarded request reached it;
+      // its data just arrived, serve the waiting read from memory.
+      const NodeId r = e.pendingRequester;
+      if ((m.carriedSharers & bit(r)) == 0) {
+        sendReadReply(r, m.addr);
+      }
+      e.sharers = m.carriedSharers | bit(r);
+      e.owner = kInvalidNode;
+      e.pendingRequester = kInvalidNode;
+      e.state = DirState::Shared;
+      ++stats_.counter(pfx_ + "writeback_resolves_busyread");
+      break;
+    }
+    case DirState::BusyWrite:
+      // Owner evicted instead of answering the recall; its InvalAck arrives
+      // separately (the invalidation finds the line gone).
+      absorbCarriedSharers(m, m.addr, e);
+      ++stats_.counter(pfx_ + "writeback_during_write");
+      break;
+    case DirState::Shared:
+    case DirState::Uncached:
+      ++stats_.counter(pfx_ + "anomaly.stale_writeback");
+      break;
+  }
+}
+
+void DirController::onInvalAck(const Message& m, Entry& e) {
+  const NodeId from = m.src.node;
+  if (e.state != DirState::BusyWrite || (e.pendingAcks & bit(from)) == 0) {
+    ++stats_.counter(pfx_ + "anomaly.spurious_inval_ack");
+    return;
+  }
+  e.pendingAcks &= ~bit(from);
+  e.sharers &= ~bit(from);
+  if (e.pendingAcks == 0) completeBusyWrite(m.addr, e);
+}
+
+void DirController::completeBusyWrite(Addr block, Entry& e) {
+  const NodeId w = e.pendingRequester;
+  e.state = DirState::Modified;
+  e.owner = w;
+  e.sharers = 0;
+  e.pendingRequester = kInvalidNode;
+  e.pendingAcks = 0;
+  ++stats_.counter(pfx_ + "writes_granted");
+  sendWriteReply(w, block);
+}
+
+}  // namespace dresar

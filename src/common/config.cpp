@@ -1,0 +1,98 @@
+#include "common/config.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dresar {
+
+namespace {
+bool isPow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+std::uint32_t SystemConfig::lineOffsetBits() const {
+  return static_cast<std::uint32_t>(std::countr_zero(lineBytes));
+}
+
+void SystemConfig::validate() const {
+  if (!isPow2(numNodes)) throw std::invalid_argument("numNodes must be a power of two");
+  if (!isPow2(lineBytes)) throw std::invalid_argument("lineBytes must be a power of two");
+  if (!isPow2(pageBytes) || pageBytes < lineBytes)
+    throw std::invalid_argument("pageBytes must be a power of two >= lineBytes");
+  if (l1Bytes % (lineBytes * l1Assoc) != 0)
+    throw std::invalid_argument("L1 size not divisible by assoc*line");
+  if (l2Bytes % (lineBytes * l2Assoc) != 0)
+    throw std::invalid_argument("L2 size not divisible by assoc*line");
+  if (issueWidth == 0) throw std::invalid_argument("issueWidth must be >= 1");
+  if (net.switchRadix < 2 || net.switchRadix % 2 != 0)
+    throw std::invalid_argument("switchRadix must be an even number >= 2");
+  const std::uint32_t half = net.switchRadix / 2;
+  if (numNodes % half != 0)
+    throw std::invalid_argument("numNodes must be a multiple of switchRadix/2");
+  if (switchDir.enabled()) {
+    if (switchDir.associativity == 0 || switchDir.entries % switchDir.associativity != 0)
+      throw std::invalid_argument("switch directory entries must divide by associativity");
+  }
+  if (switchCache.enabled()) {
+    if (switchCache.associativity == 0 ||
+        switchCache.entries % switchCache.associativity != 0)
+      throw std::invalid_argument("switch cache entries must divide by associativity");
+  }
+  if (writeBufferEntries == 0) throw std::invalid_argument("writeBufferEntries must be >= 1");
+  if (mshrEntries < 2) throw std::invalid_argument("mshrEntries must be >= 2");
+}
+
+void SystemConfig::dump(std::ostream& os) const {
+  os << "Multiprocessor System - " << numNodes << " processors\n"
+     << "  Processor   speed 200MHz, issue " << issueWidth << "-way\n"
+     << "  L1 Cache    " << l1Bytes / 1024 << "KB, line " << lineBytes << "B, set size " << l1Assoc
+     << ", access " << l1AccessCycles << "\n"
+     << "  L2 Cache    " << l2Bytes / 1024 << "KB, line " << lineBytes << "B, set size " << l2Assoc
+     << ", access " << l2AccessCycles << "\n"
+     << "  Memory      access " << memAccessCycles << ", interleaving " << memInterleave
+     << ", dir lookup " << dirLookupCycles << ", dir occupancy " << dirOccupancyCycles << "\n"
+     << "  Network     switch " << net.switchRadix << "x" << net.switchRadix << ", core delay "
+     << net.coreDelay << ", link 16 bits @200MHz, flit " << net.flitBytes << "B ("
+     << net.linkCyclesPerFlit << " link cycles), VCs " << net.virtualChannels << ", buf "
+     << net.bufferFlits << " flits\n"
+     << "  SwitchDir   ";
+  if (switchDir.enabled()) {
+    os << switchDir.entries << " entries, " << switchDir.associativity << "-way, "
+       << switchDir.snoopPortsPerCycle << " snoop ports, pending buffer "
+       << (switchDir.usePendingBuffer ? std::to_string(switchDir.pendingBufferEntries) : "off")
+       << "\n";
+  } else {
+    os << "disabled (Base system)\n";
+  }
+}
+
+void TraceConfig::validate() const {
+  if (!isPow2(numNodes)) throw std::invalid_argument("numNodes must be a power of two");
+  if (!isPow2(lineBytes)) throw std::invalid_argument("lineBytes must be a power of two");
+  if (cacheBytes % (lineBytes * cacheAssoc) != 0)
+    throw std::invalid_argument("cache size not divisible by assoc*line");
+  if (!isPow2(pageBytes) || pageBytes < lineBytes)
+    throw std::invalid_argument("pageBytes must be a power of two >= lineBytes");
+  if (switchDir.enabled()) {
+    if (switchDir.associativity == 0 || switchDir.entries % switchDir.associativity != 0)
+      throw std::invalid_argument("switch directory entries must divide by associativity");
+  }
+}
+
+void TraceConfig::dump(std::ostream& os) const {
+  os << "Trace-driven simulation - " << numNodes << " processors\n"
+     << "  Cache            " << cacheBytes / (1024 * 1024) << "MB, " << cacheAssoc << "-way, line "
+     << lineBytes << "B, access " << cacheAccess << " cycles\n"
+     << "  Local memory     " << localMemory << " cycles\n"
+     << "  CtoC local home  " << ctocLocalHome << " cycles\n"
+     << "  Remote memory    " << remoteMemory << " cycles\n"
+     << "  CtoC remote home " << ctocRemoteHome << " cycles\n"
+     << "  SwitchDir hit    " << switchDirHit << " cycles\n"
+     << "  SwitchDir        ";
+  if (switchDir.enabled()) {
+    os << switchDir.entries << " entries, " << switchDir.associativity << "-way\n";
+  } else {
+    os << "disabled (Base system)\n";
+  }
+}
+
+}  // namespace dresar

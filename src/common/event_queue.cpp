@@ -1,0 +1,44 @@
+#include "common/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dresar {
+
+void EventQueue::scheduleAt(Cycle when, Handler fn) {
+  if (when < now_) throw std::logic_error("EventQueue: scheduling into the past");
+  heap_.push(Entry{when, seq_++, std::move(fn)});
+}
+
+bool EventQueue::run(Cycle limit) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (top.when > limit) return false;
+    now_ = top.when;
+    Handler fn = std::move(const_cast<Entry&>(top).fn);
+    heap_.pop();
+    ++executed_;
+    fn();
+  }
+  return true;
+}
+
+bool EventQueue::runWhile(const std::function<bool()>& keepGoing, Cycle limit) {
+  while (!heap_.empty()) {
+    if (!keepGoing()) return true;
+    const Entry& top = heap_.top();
+    if (top.when > limit) return false;
+    now_ = top.when;
+    Handler fn = std::move(const_cast<Entry&>(top).fn);
+    heap_.pop();
+    ++executed_;
+    fn();
+  }
+  return !keepGoing();
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace dresar

@@ -1,0 +1,63 @@
+// Discrete-event simulation kernel with cycle-granularity timestamps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dresar {
+
+/// A deterministic discrete-event queue. Events scheduled for the same cycle
+/// fire in scheduling order (FIFO tie-break via a sequence number), which
+/// keeps simulations reproducible across runs and platforms.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulated cycle. Valid during and after event execution.
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute cycle `when` (>= now()).
+  void scheduleAt(Cycle when, Handler fn);
+
+  /// Schedule `fn` to run `delay` cycles from now.
+  void scheduleAfter(Cycle delay, Handler fn) { scheduleAt(now_ + delay, std::move(fn)); }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Run until the queue drains or `limit` cycles have elapsed.
+  /// Returns true if the queue drained (normal completion).
+  bool run(Cycle limit = kNoCycle);
+
+  /// Run while `keepGoing` returns true (checked between events) and events
+  /// remain. Returns true if stopped because `keepGoing` became false.
+  bool runWhile(const std::function<bool()>& keepGoing, Cycle limit = kNoCycle);
+
+  /// Drop all pending events (used by tests between scenarios).
+  void clear();
+
+ private:
+  struct Entry {
+    Cycle when;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dresar

@@ -1,0 +1,42 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/types.h"
+
+namespace dresar {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Error)};
+}
+
+LogLevel logLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+void setLogLevel(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+namespace detail {
+void logLine(LogLevel lvl, const std::string& msg) {
+  const char* tag = lvl == LogLevel::Error ? "E" : (lvl == LogLevel::Info ? "I" : "T");
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+}  // namespace detail
+
+std::string toString(Endpoint ep) {
+  return (ep.kind == EndpointKind::Proc ? "P" : "M") + std::to_string(ep.node);
+}
+
+const char* toString(ReadService s) {
+  switch (s) {
+    case ReadService::L1Hit: return "L1Hit";
+    case ReadService::L2Hit: return "L2Hit";
+    case ReadService::WriteBufferHit: return "WriteBufferHit";
+    case ReadService::CleanMemory: return "CleanMemory";
+    case ReadService::CtoCHome: return "CtoCHome";
+    case ReadService::CtoCSwitchDir: return "CtoCSwitchDir";
+    case ReadService::SwitchWriteBack: return "SwitchWriteBack";
+    case ReadService::SwitchCache: return "SwitchCache";
+  }
+  return "?";
+}
+
+}  // namespace dresar

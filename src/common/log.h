@@ -1,0 +1,38 @@
+// Minimal leveled logging. Protocol traces are invaluable when debugging
+// coherence races, but must compile away to nothing in benchmark builds.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dresar {
+
+enum class LogLevel : int { None = 0, Error = 1, Info = 2, Trace = 3 };
+
+/// Per-process log level; defaults to Error. Tests raise it locally.
+LogLevel logLevel();
+void setLogLevel(LogLevel lvl);
+
+namespace detail {
+void logLine(LogLevel lvl, const std::string& msg);
+}
+
+}  // namespace dresar
+
+#define DRESAR_LOG_TRACE(...)                                             \
+  do {                                                                    \
+    if (::dresar::logLevel() >= ::dresar::LogLevel::Trace) {              \
+      char buf_[512];                                                     \
+      std::snprintf(buf_, sizeof buf_, __VA_ARGS__);                      \
+      ::dresar::detail::logLine(::dresar::LogLevel::Trace, buf_);         \
+    }                                                                     \
+  } while (0)
+
+#define DRESAR_LOG_INFO(...)                                              \
+  do {                                                                    \
+    if (::dresar::logLevel() >= ::dresar::LogLevel::Info) {               \
+      char buf_[512];                                                     \
+      std::snprintf(buf_, sizeof buf_, __VA_ARGS__);                      \
+      ::dresar::detail::logLine(::dresar::LogLevel::Info, buf_);          \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random generators used by workload/trace generators.
+// We avoid std::uniform_int_distribution in hot paths because its output is
+// not specified to be identical across standard library implementations;
+// reproducibility of traces matters for the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dresar {
+
+/// SplitMix64 — tiny, fast, well-distributed; used to seed and to draw.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Zipf(s) sampler over ranks [0, n) with precomputed CDF; rank 0 is the
+/// hottest. Used by the synthetic TPC trace generators (Figure 2 shape).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+  /// Draw a rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  /// Probability mass of rank r.
+  [[nodiscard]] double pmf(std::size_t r) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dresar

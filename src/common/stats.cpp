@@ -1,0 +1,62 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+namespace dresar {
+
+void Histogram::add(double v) {
+  std::size_t idx = width_ > 0 ? static_cast<std::size_t>(v / width_) : 0;
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::percentile(double fraction) const {
+  if (total_ == 0) return 0.0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(std::ceil(fraction * static_cast<double>(total_)));
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    if (running >= target) return width_ * static_cast<double>(i + 1);
+  }
+  return width_ * static_cast<double>(counts_.size());
+}
+
+std::uint64_t StatRegistry::counterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Sampler* StatRegistry::findSampler(const std::string& name) const {
+  auto it = samplers_.find(name);
+  return it == samplers_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t StatRegistry::sumByPrefix(const std::string& prefix) const {
+  std::uint64_t sum = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    sum += it->second;
+  }
+  return sum;
+}
+
+void StatRegistry::dump(std::ostream& os) const {
+  for (const auto& [name, value] : counters_) {
+    os << std::left << std::setw(48) << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, s] : samplers_) {
+    os << std::left << std::setw(48) << name << " count=" << s.count() << " mean=" << std::fixed
+       << std::setprecision(2) << s.mean() << " min=" << s.min() << " max=" << s.max() << '\n';
+  }
+}
+
+void StatRegistry::reset() {
+  counters_.clear();
+  samplers_.clear();
+}
+
+}  // namespace dresar

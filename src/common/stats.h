@@ -1,0 +1,93 @@
+// Lightweight statistics: named counters, scalar samples and histograms with
+// a registry for formatted dumps. No global state; each simulation owns one
+// StatRegistry so parallel sweeps in one process never interfere.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dresar {
+
+/// Accumulates count/sum/min/max of a stream of samples (e.g. read latency).
+class Sampler {
+ public:
+  void add(double v) {
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    sum_ += v;
+    ++count_;
+  }
+  void merge(const Sampler& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+    if (count_ == 0 || o.max_ > max_) max_ = o.max_;
+    sum_ += o.sum_;
+    count_ += o.count_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  void reset() { *this = Sampler{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram (linear buckets plus overflow).
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(double bucketWidth, std::size_t buckets)
+      : width_(bucketWidth), counts_(buckets + 1, 0) {}
+
+  void add(double v);
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bucketWidth() const { return width_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  /// Value below which `fraction` (in [0,1]) of samples fall (bucket upper
+  /// bound approximation).
+  [[nodiscard]] double percentile(double fraction) const;
+
+ private:
+  double width_ = 1.0;
+  std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(11, 0);
+  std::uint64_t total_ = 0;
+};
+
+/// A hierarchical name -> value registry. Components register counters under
+/// dotted paths ("switch.2.dresar.hits"); dumps are sorted and stable.
+class StatRegistry {
+ public:
+  /// Returns a reference to a named 64-bit counter, creating it at zero.
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  /// Returns a named sampler, creating it empty.
+  Sampler& sampler(const std::string& name) { return samplers_[name]; }
+
+  [[nodiscard]] std::uint64_t counterValue(const std::string& name) const;
+  [[nodiscard]] const Sampler* findSampler(const std::string& name) const;
+
+  /// Sum of all counters whose name starts with `prefix`.
+  [[nodiscard]] std::uint64_t sumByPrefix(const std::string& prefix) const;
+
+  void dump(std::ostream& os) const;
+  void reset();
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, Sampler>& samplers() const { return samplers_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Sampler> samplers_;
+};
+
+}  // namespace dresar

@@ -1,0 +1,56 @@
+// Fundamental types shared by every dresar module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dresar {
+
+/// Simulated clock cycle (200 MHz core/link clock in the reference config).
+using Cycle = std::uint64_t;
+
+/// Simulated byte address in the shared physical address space.
+using Addr = std::uint64_t;
+
+/// Node index in [0, num_nodes). Each node hosts one processor/cache pair and
+/// one memory/directory module (CC-NUMA node).
+using NodeId = std::uint32_t;
+
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/// Endpoints attached to the interconnect. In the dance-hall BMIN (paper
+/// Fig. 3) processors attach below stage 0 and memory modules above the last
+/// stage, so a node's processor interface and memory interface are distinct
+/// network endpoints.
+enum class EndpointKind : std::uint8_t { Proc = 0, Mem = 1 };
+
+struct Endpoint {
+  EndpointKind kind = EndpointKind::Proc;
+  NodeId node = kInvalidNode;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+inline Endpoint procEp(NodeId n) { return {EndpointKind::Proc, n}; }
+inline Endpoint memEp(NodeId n) { return {EndpointKind::Mem, n}; }
+
+std::string toString(Endpoint ep);
+
+/// How a read miss was ultimately serviced. Drives the Figure 1/8/9 metrics.
+enum class ReadService : std::uint8_t {
+  L1Hit,
+  L2Hit,
+  WriteBufferHit,
+  CleanMemory,     ///< ReadReply from the home memory (block clean).
+  CtoCHome,        ///< cache-to-cache transfer forwarded by the home node.
+  CtoCSwitchDir,   ///< cache-to-cache transfer initiated by a switch directory.
+  SwitchWriteBack, ///< served from write-back data captured at a switch.
+  SwitchCache,     ///< clean data served by a switch cache (extension).
+};
+
+const char* toString(ReadService s);
+
+}  // namespace dresar

@@ -1,0 +1,83 @@
+// Minimal coroutine task for execution-driven simulation. Workload kernels
+// are C++20 coroutines that co_await simulated memory operations; the event
+// queue resumes them when the operation completes at simulated time, so the
+// instruction interleaving is timing-driven exactly as in an execution-driven
+// simulator like RSIM.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace dresar {
+
+class SimTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr error;
+
+    SimTask get_return_object() {
+      return SimTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  SimTask() = default;
+  explicit SimTask(std::coroutine_handle<promise_type> h) : h_(h) {}
+  SimTask(SimTask&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  SimTask& operator=(SimTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { destroy(); }
+
+  /// Begin executing a top-level task (runs until its first suspension).
+  void start() { h_.resume(); }
+
+  [[nodiscard]] bool done() const { return !h_ || h_.done(); }
+  [[nodiscard]] bool valid() const { return static_cast<bool>(h_); }
+
+  /// Rethrows any exception that escaped the coroutine body.
+  void rethrowIfFailed() const {
+    if (h_ && h_.done() && h_.promise().error) std::rethrow_exception(h_.promise().error);
+  }
+
+  // Awaitable: `co_await subtask()` runs the child to completion, then
+  // resumes the parent (symmetric transfer, no event-queue round trip).
+  bool await_ready() const noexcept { return done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() const { rethrowIfFailed(); }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace dresar

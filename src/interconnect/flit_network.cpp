@@ -1,0 +1,278 @@
+#include "interconnect/flit_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace dresar {
+
+namespace {
+/// Pseudo-upstream id for a switch's own injection port (the paper's extra
+/// input block that grows the crossbar to 10x4).
+constexpr std::uint32_t kInjectUpstream = 0xFFFFFFu;
+}  // namespace
+
+FlitNetwork::FlitNetwork(const NetworkConfig& cfg, std::uint32_t numNodes,
+                         std::uint32_t lineBytes, EventQueue& eq, StatRegistry& stats)
+    : cfg_(cfg),
+      numNodes_(numNodes),
+      lineBytes_(lineBytes),
+      eq_(eq),
+      stats_(stats),
+      topo_(numNodes, cfg.switchRadix) {
+  switches_.resize(topo_.totalSwitches());
+  endpoints_.resize(2ull * numNodes_);
+}
+
+void FlitNetwork::setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) {
+  endpoints_.at(vertexOf(ep)).deliver = std::move(handler);
+}
+
+FlitNetwork::Link& FlitNetwork::link(std::uint32_t from, std::uint32_t to) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  Link& l = links_[key];
+  if (l.credits.empty()) {
+    const std::uint32_t vcs = std::max(1u, cfg_.virtualChannels);
+    // Credits only matter toward switch input buffers; endpoints sink freely.
+    l.credits.assign(vcs, isSwitchVertex(to) ? cfg_.bufferFlits : 0xFFFFFFu);
+  }
+  return l;
+}
+
+void FlitNetwork::send(Message m) {
+  if (m.id == 0) m.id = nextMsgId_++;
+  m.birth = eq_.now();
+  auto ms = std::make_shared<MsgState>();
+  ms->route = topo_.route(m.src, m.dst);
+  ms->totalFlits = flitsOf(m);
+  ms->birth = eq_.now();
+  const std::uint32_t srcVertex = vertexOf(m.src);
+  ms->msg = std::move(m);
+  ++sent_;
+  ++live_;
+  ++stats_.counter(std::string("net.msgs.") + toString(ms->msg.type));
+  endpoints_.at(srcVertex).sendQueue.push_back(std::move(ms));
+  ensureTicking();
+}
+
+void FlitNetwork::ensureTicking() {
+  if (ticking_) return;
+  ticking_ = true;
+  eq_.scheduleAfter(1, [this] { tick(); });
+}
+
+void FlitNetwork::tick() {
+  // Deterministic order: source NIs first, then switches by flat id.
+  for (std::uint32_t v = 0; v < endpoints_.size(); ++v) tickSourceNi(v);
+  for (std::uint32_t s = 0; s < switches_.size(); ++s) tickSwitch(2 * numNodes_ + s);
+  if (live_ > 0) {
+    eq_.scheduleAfter(1, [this] { tick(); });
+  } else {
+    ticking_ = false;
+  }
+}
+
+void FlitNetwork::tickSourceNi(std::uint32_t ev) {
+  EndpointNi& ni = endpoints_[ev];
+  if (ni.sendQueue.empty()) return;
+  MsgPtr& ms = ni.sendQueue.front();
+  const std::uint32_t to = [&] {
+    const Hop& h = ms->route.front();
+    return h.kind == Hop::Kind::Switch ? vertexOf(h.sw) : vertexOf(h.ep);
+  }();
+  Link& l = link(ev, to);
+  const std::uint32_t vc = vcOf(ms->msg);
+  if (l.nextFree > eq_.now() || l.credits[vc] == 0) return;
+  Flit f{ms, ni.flitsSent};
+  transmit(ev, to, f, /*extraDelay=*/0);
+  ++ni.flitsSent;
+  if (ni.flitsSent == ms->totalFlits) {
+    ni.sendQueue.pop_front();
+    ni.flitsSent = 0;
+  }
+}
+
+void FlitNetwork::transmit(std::uint32_t from, std::uint32_t to, const Flit& f,
+                           Cycle extraDelay) {
+  Link& l = link(from, to);
+  l.nextFree = eq_.now() + cfg_.linkCyclesPerFlit;
+  const std::uint32_t vc = vcOf(f.ms->msg);
+  if (isSwitchVertex(to)) {
+    if (l.credits[vc] == 0) throw std::logic_error("FlitNetwork: transmit without credit");
+    --l.credits[vc];
+  }
+  ++stats_.counter("flit.transmitted");
+  eq_.scheduleAfter(cfg_.linkCyclesPerFlit + extraDelay,
+                    [this, to, from, f] { arrive(to, from, f); });
+}
+
+void FlitNetwork::arrive(std::uint32_t atVertex, std::uint32_t fromVertex, Flit f) {
+  if (!isSwitchVertex(atVertex)) {
+    deliver(atVertex, f);
+    return;
+  }
+  SwitchState& s = switches_[atVertex - 2 * numNodes_];
+  const std::uint32_t vc = vcOf(f.ms->msg);
+  s.inputs[inKey(fromVertex, vc)].fifo.push_back(std::move(f));
+}
+
+void FlitNetwork::deliver(std::uint32_t epVertex, const Flit& f) {
+  if (!f.tail()) return;  // wormhole per-VC ordering: tail implies complete
+  stats_.sampler("net.latency").add(static_cast<double>(eq_.now() - f.ms->msg.birth));
+  --live_;
+  auto& h = endpoints_.at(epVertex).deliver;
+  if (!h) throw std::logic_error("FlitNetwork: no delivery handler");
+  h(f.ms->msg);
+}
+
+bool FlitNetwork::maybeSnoop(std::uint32_t sv, InputVc& in) {
+  Flit& f = in.fifo.front();
+  if (!f.head() || snoop_ == nullptr) return !f.ms->sunk;
+  const std::uint32_t flat = sv - 2 * numNodes_;
+  if (f.ms->snoopedMask & (1ull << flat)) return !f.ms->sunk;
+  f.ms->snoopedMask |= 1ull << flat;
+  std::vector<Message> spawn;
+  const SnoopOutcome out = snoop_->onMessage(switchOf(sv), eq_.now(), f.ms->msg, spawn);
+  for (auto& m : spawn) {
+    if (m.id == 0) m.id = nextMsgId_++;
+    m.birth = eq_.now();
+    auto ms = std::make_shared<MsgState>();
+    ms->route = topo_.routeFromSwitch(switchOf(sv), m.dst);
+    ms->totalFlits = flitsOf(m);
+    ms->birth = eq_.now();
+    ms->msg = std::move(m);
+    ++sent_;
+    ++live_;
+    ++stats_.counter(std::string("net.msgs.") + toString(ms->msg.type));
+    ++stats_.counter("net.switch_injected");
+    switches_[flat].injectQueue.push_back(std::move(ms));
+  }
+  if (!out.pass) {
+    f.ms->sunk = true;
+    ++sunk_;
+    ++stats_.counter("net.sunk");
+    return false;
+  }
+  return true;
+}
+
+void FlitNetwork::tickSwitch(std::uint32_t sv) {
+  SwitchState& s = switches_[sv - 2 * numNodes_];
+
+  // Pass 1: drain flits of sunk messages and run pending head snoops; then
+  // collect, per requested output, the oldest eligible candidate.
+  struct Candidate {
+    std::uint64_t inputKey = 0;
+    bool fromInject = false;
+    Cycle age = kNoCycle;
+  };
+  std::map<std::uint32_t, Candidate> wants;  // output vertex -> best candidate
+
+  auto consider = [&](std::uint32_t output, std::uint64_t key, bool inject, Cycle age) {
+    // Wormhole: a locked output only accepts its owner.
+    auto lockIt = s.outputLock.find(output);
+    if (lockIt != s.outputLock.end() && lockIt->second != key) return;
+    auto [it, inserted] = wants.try_emplace(output, Candidate{key, inject, age});
+    if (!inserted && (age < it->second.age ||
+                      (age == it->second.age && key < it->second.inputKey))) {
+      it->second = Candidate{key, inject, age};
+    }
+  };
+
+  for (auto& [key, in] : s.inputs) {
+    // Drain everything a sink consumed (credits flow back upstream).
+    while (!in.fifo.empty() && in.fifo.front().ms->sunk) {
+      const Flit f = in.fifo.front();
+      in.fifo.pop_front();
+      const auto upstream = static_cast<std::uint32_t>(key >> 8);
+      ++link(upstream, sv).credits[vcOf(f.ms->msg)];
+      if (f.tail()) --live_;  // the whole message has now been consumed
+    }
+    if (in.fifo.empty()) continue;
+    if (!maybeSnoop(sv, in)) continue;  // sunk this cycle; drained next
+    const Flit& f = in.fifo.front();
+    std::uint32_t output;
+    if (f.head()) {
+      // Resolve the hop that follows this switch on the message's route.
+      output = 0xFFFFFFFFu;
+      const Route& r = f.ms->route;
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        if (r[i].kind == Hop::Kind::Switch && vertexOf(r[i].sw) == sv) {
+          const Hop& nh = r[i + 1];
+          output = nh.kind == Hop::Kind::Switch ? vertexOf(nh.sw) : vertexOf(nh.ep);
+          break;
+        }
+      }
+      if (output == 0xFFFFFFFFu) throw std::logic_error("FlitNetwork: switch not on route");
+    } else {
+      output = in.lockedOutput;
+    }
+    consider(output, key, false, f.ms->birth);
+  }
+
+  // The injection port competes like any other input.
+  if (!s.injectQueue.empty()) {
+    const MsgPtr& ms = s.injectQueue.front();
+    const Hop& h = ms->route.front();
+    const std::uint32_t output =
+        h.kind == Hop::Kind::Switch ? vertexOf(h.sw) : vertexOf(h.ep);
+    consider(output, inKey(kInjectUpstream, vcOf(ms->msg)), true, ms->birth);
+  }
+
+  // Pass 2: grant up to four outputs this cycle, oldest first (paper 4.1).
+  std::vector<std::pair<std::uint32_t, Candidate>> grants(wants.begin(), wants.end());
+  std::sort(grants.begin(), grants.end(), [](const auto& a, const auto& b) {
+    if (a.second.age != b.second.age) return a.second.age < b.second.age;
+    return a.first < b.first;
+  });
+  std::uint32_t granted = 0;
+  for (const auto& [output, cand] : grants) {
+    if (granted >= 4) break;
+    // Link and credit availability.
+    Link& l = link(sv, output);
+    if (l.nextFree > eq_.now()) continue;
+
+    if (cand.fromInject) {
+      MsgPtr ms = s.injectQueue.front();
+      const std::uint32_t vc = vcOf(ms->msg);
+      if (isSwitchVertex(output) && l.credits[vc] == 0) continue;
+      Flit f{ms, s.injectFlitsSent};
+      // Lock while the message streams out.
+      if (f.head()) s.outputLock[output] = cand.inputKey;
+      transmit(sv, output, f, cfg_.coreDelay);
+      ++s.injectFlitsSent;
+      ++granted;
+      if (f.tail()) {
+        s.outputLock.erase(output);
+        s.injectQueue.pop_front();
+        s.injectFlitsSent = 0;
+      }
+      continue;
+    }
+
+    InputVc& in = s.inputs[cand.inputKey];
+    if (in.fifo.empty()) continue;
+    Flit f = in.fifo.front();
+    const std::uint32_t vc = vcOf(f.ms->msg);
+    if (isSwitchVertex(output) && l.credits[vc] == 0) continue;
+    in.fifo.pop_front();
+    // Credit back to the upstream sender.
+    const auto upstream = static_cast<std::uint32_t>(cand.inputKey >> 8);
+    ++link(upstream, sv).credits[vcOf(f.ms->msg)];
+    if (f.head()) {
+      s.outputLock[output] = cand.inputKey;
+      in.lockedOutput = output;
+    }
+    const bool tail = f.tail();
+    transmit(sv, output, f, cfg_.coreDelay);
+    ++granted;
+    ++stats_.counter("flit.grants");
+    if (tail) {
+      s.outputLock.erase(output);
+      in.lockedOutput = InputVc::kNoOutput;
+    }
+  }
+}
+
+}  // namespace dresar

@@ -1,0 +1,158 @@
+// Flit-level wormhole interconnect (paper Section 4.1): 8-byte flits over
+// 16-bit links (4 link cycles per flit), 4-cycle switch core, input-buffered
+// virtual channels with credit-based backpressure, and age-based arbitration
+// granting at most four flits per switch per cycle — the SGI SPIDER scheme
+// the paper adopts. Virtual channels are partitioned by destination node so
+// messages between one source/destination pair can never be reordered.
+//
+// The switch-directory snoop fires when a message's head flit first reaches
+// the front of an input buffer at a switch, in parallel with arbitration,
+// exactly as DRESAR is specified to operate; a sunk message's remaining
+// flits are drained at that switch, and switch-generated messages enter the
+// crossbar through the extra injection port (the paper's 10x4 crossbar).
+//
+// This model is cycle-driven and slower than the message-level Network; the
+// full system can run on either (SystemConfig::net.flitLevel), and
+// bench/validation_flit_vs_message quantifies how close the two are.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "interconnect/inetwork.h"
+
+namespace dresar {
+
+class FlitNetwork final : public INetwork {
+ public:
+  FlitNetwork(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t lineBytes,
+              EventQueue& eq, StatRegistry& stats);
+
+  FlitNetwork(const FlitNetwork&) = delete;
+  FlitNetwork& operator=(const FlitNetwork&) = delete;
+
+  [[nodiscard]] const Butterfly& topology() const override { return topo_; }
+  void setSnoop(ISwitchSnoop* snoop) override { snoop_ = snoop; }
+  void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) override;
+  void send(Message m) override;
+  [[nodiscard]] std::uint64_t messagesSent() const override { return sent_; }
+  [[nodiscard]] std::uint64_t messagesSunk() const override { return sunk_; }
+
+  /// Live flits + undelivered messages; zero when the network is idle.
+  [[nodiscard]] std::uint64_t inFlight() const { return live_; }
+
+ private:
+  // Vertices: procs [0,N), mems [N,2N), switches [2N, 2N+S).
+  [[nodiscard]] std::uint32_t vertexOf(Endpoint ep) const {
+    return ep.kind == EndpointKind::Proc ? ep.node : numNodes_ + ep.node;
+  }
+  [[nodiscard]] std::uint32_t vertexOf(SwitchId sw) const {
+    return 2 * numNodes_ + topo_.flat(sw);
+  }
+  [[nodiscard]] bool isSwitchVertex(std::uint32_t v) const { return v >= 2 * numNodes_; }
+  [[nodiscard]] SwitchId switchOf(std::uint32_t v) const {
+    return topo_.unflat(v - 2 * numNodes_);
+  }
+
+  /// One in-flight message, shared by all of its flits.
+  struct MsgState {
+    Message msg;
+    Route route;
+    std::uint32_t totalFlits = 1;
+    std::uint64_t snoopedMask = 0; ///< switches (flat) whose snoop has run
+    bool sunk = false;
+    Cycle birth = 0;               ///< age for arbitration
+  };
+  using MsgPtr = std::shared_ptr<MsgState>;
+
+  struct Flit {
+    MsgPtr ms;
+    std::uint32_t seq = 0;  ///< 0 = head; totalFlits-1 = tail
+    [[nodiscard]] bool head() const { return seq == 0; }
+    [[nodiscard]] bool tail() const { return seq + 1 == ms->totalFlits; }
+  };
+
+  /// Input buffer at a switch for one (upstream vertex, virtual channel).
+  struct InputVc {
+    std::deque<Flit> fifo;
+    std::uint32_t lockedOutput = kNoOutput;  ///< wormhole: output held by current msg
+    static constexpr std::uint32_t kNoOutput = 0xffffffffu;
+  };
+
+  /// Per-directed-link transmitter state (held at the sender side).
+  struct Link {
+    Cycle nextFree = 0;                 ///< one flit per linkCyclesPerFlit
+    std::vector<std::uint32_t> credits; ///< per VC, space in the downstream buffer
+  };
+
+  struct SwitchState {
+    // Keyed by (upstream vertex, vc); ordered for deterministic arbitration.
+    std::map<std::uint64_t, InputVc> inputs;
+    std::deque<MsgPtr> injectQueue;     ///< switch-directory generated messages
+    std::uint32_t injectFlitsSent = 0;  ///< progress within injectQueue.front()
+    // Wormhole lock per output vertex: which (upstream,vc) owns it.
+    std::map<std::uint32_t, std::uint64_t> outputLock;
+  };
+
+  struct EndpointNi {
+    std::deque<MsgPtr> sendQueue;
+    std::uint32_t flitsSent = 0;
+    std::function<void(const Message&)> deliver;
+  };
+
+  [[nodiscard]] std::uint32_t vcOf(const Message& m) const {
+    return cfg_.virtualChannels == 0 ? 0 : m.dst.node % cfg_.virtualChannels;
+  }
+  [[nodiscard]] static std::uint64_t inKey(std::uint32_t upstream, std::uint32_t vc) {
+    return (static_cast<std::uint64_t>(upstream) << 8) | vc;
+  }
+
+  [[nodiscard]] std::uint32_t flitsOf(const Message& m) const {
+    const std::uint32_t bytes = m.sizeBytes(cfg_.headerBytes, lineBytes_);
+    return (bytes + cfg_.flitBytes - 1) / cfg_.flitBytes;
+  }
+
+  Link& link(std::uint32_t from, std::uint32_t to);
+
+  void ensureTicking();
+  void tick();
+  void tickSwitch(std::uint32_t sv);
+  void tickSourceNi(std::uint32_t ev);
+  /// Emit one flit from `from` onto the link toward `to`; schedules its
+  /// arrival (buffer insert or delivery).
+  void transmit(std::uint32_t from, std::uint32_t to, const Flit& f, Cycle extraDelay);
+  void arrive(std::uint32_t atVertex, std::uint32_t fromVertex, Flit f);
+  void deliver(std::uint32_t epVertex, const Flit& f);
+
+  /// Run the snoop for the head flit of `in`'s front message at switch `sv`
+  /// if it has not run there yet. Returns false if the message was sunk.
+  bool maybeSnoop(std::uint32_t sv, InputVc& in);
+
+  NetworkConfig cfg_;
+  std::uint32_t numNodes_;
+  std::uint32_t lineBytes_;
+  EventQueue& eq_;
+  StatRegistry& stats_;
+  Butterfly topo_;
+  ISwitchSnoop* snoop_ = nullptr;
+
+  std::vector<SwitchState> switches_;   // by flat switch id
+  std::vector<EndpointNi> endpoints_;   // by vertex (procs + mems)
+  std::unordered_map<std::uint64_t, Link> links_;
+
+  bool ticking_ = false;
+  std::uint64_t live_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t sunk_ = 0;
+  std::uint64_t nextMsgId_ = 1;
+};
+
+}  // namespace dresar

@@ -1,0 +1,47 @@
+// Abstract interconnect interface. Two implementations exist:
+//   * Network      — message-level timing (default; fast),
+//   * FlitNetwork  — flit-level wormhole switching with input-buffered
+//                    virtual channels, credits and age-based arbitration,
+//                    faithful to paper Section 4.1.
+// Both run over the same Butterfly topology and feed the same snoop hook,
+// so the switch-directory protocol is identical; only timing fidelity
+// differs (see bench/validation_flit_vs_message).
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+#include "interconnect/message.h"
+#include "interconnect/topology.h"
+
+namespace dresar {
+
+struct SnoopOutcome {
+  bool pass = true;      ///< false => message is sunk at this switch
+  Cycle extraDelay = 0;  ///< directory port contention beyond the core delay
+};
+
+/// Implemented by the switch-directory module (or test doubles). The snoop
+/// may modify the message in place (annotations such as the carried sharer
+/// pids) and append switch-generated messages to `spawn`; the network routes
+/// spawned messages from this switch.
+class ISwitchSnoop {
+ public:
+  virtual ~ISwitchSnoop() = default;
+  virtual SnoopOutcome onMessage(SwitchId sw, Cycle now, Message& m,
+                                 std::vector<Message>& spawn) = 0;
+};
+
+class INetwork {
+ public:
+  virtual ~INetwork() = default;
+
+  [[nodiscard]] virtual const Butterfly& topology() const = 0;
+  virtual void setSnoop(ISwitchSnoop* snoop) = 0;
+  virtual void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) = 0;
+  virtual void send(Message m) = 0;
+  [[nodiscard]] virtual std::uint64_t messagesSent() const = 0;
+  [[nodiscard]] virtual std::uint64_t messagesSunk() const = 0;
+};
+
+}  // namespace dresar

@@ -1,0 +1,48 @@
+#include "interconnect/message.h"
+
+#include <sstream>
+
+namespace dresar {
+
+const char* toString(MsgType t) {
+  switch (t) {
+    case MsgType::ReadRequest: return "ReadRequest";
+    case MsgType::WriteRequest: return "WriteRequest";
+    case MsgType::WriteReply: return "WriteReply";
+    case MsgType::CtoCRequest: return "CtoCRequest";
+    case MsgType::CopyBack: return "CopyBack";
+    case MsgType::WriteBack: return "WriteBack";
+    case MsgType::Retry: return "Retry";
+    case MsgType::ReadReply: return "ReadReply";
+    case MsgType::CtoCReply: return "CtoCReply";
+    case MsgType::Invalidation: return "Invalidation";
+    case MsgType::InvalAck: return "InvalAck";
+    case MsgType::SharerNotify: return "SharerNotify";
+  }
+  return "?";
+}
+
+bool carriesData(MsgType t) {
+  switch (t) {
+    case MsgType::WriteReply:
+    case MsgType::CopyBack:
+    case MsgType::WriteBack:
+    case MsgType::ReadReply:
+    case MsgType::CtoCReply:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Message::describe() const {
+  std::ostringstream os;
+  os << toString(type) << " #" << id << ' ' << toString(src) << "->" << toString(dst) << " addr=0x"
+     << std::hex << addr << std::dec;
+  if (requester != kInvalidNode) os << " req=" << requester;
+  if (marked) os << " [marked]";
+  if (carriedSharers != 0) os << " sharers=0x" << std::hex << carriedSharers << std::dec;
+  return os.str();
+}
+
+}  // namespace dresar

@@ -1,0 +1,114 @@
+#include "interconnect/network.h"
+
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace dresar {
+
+Network::Network(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t lineBytes,
+                 EventQueue& eq, StatRegistry& stats)
+    : cfg_(cfg),
+      numNodes_(numNodes),
+      lineBytes_(lineBytes),
+      eq_(eq),
+      stats_(stats),
+      topo_(numNodes, cfg.switchRadix) {
+  handlers_.resize(2ull * numNodes_ + topo_.totalSwitches());
+}
+
+std::uint32_t Network::vertexOf(Endpoint ep) const {
+  return ep.kind == EndpointKind::Proc ? ep.node : numNodes_ + ep.node;
+}
+
+std::uint32_t Network::vertexOf(SwitchId sw) const { return 2 * numNodes_ + topo_.flat(sw); }
+
+void Network::setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) {
+  handlers_.at(vertexOf(ep)) = std::move(handler);
+}
+
+Cycle Network::serializationCycles(const Message& m) const {
+  const std::uint32_t bytes = m.sizeBytes(cfg_.headerBytes, lineBytes_);
+  const std::uint32_t flits = (bytes + cfg_.flitBytes - 1) / cfg_.flitBytes;
+  return static_cast<Cycle>(flits) * cfg_.linkCyclesPerFlit;
+}
+
+Cycle Network::traverseLink(std::uint32_t from, std::uint32_t to, Cycle ready, const Message& m) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  Cycle& free = linkFree_[key];
+  const Cycle start = std::max(ready, free);
+  const Cycle ser = serializationCycles(m);
+  free = start + ser;
+  stats_.counter("net.link.busy_cycles") += ser;
+  return start + ser;
+}
+
+void Network::send(Message m) {
+  if (m.id == 0) m.id = nextMsgId_++;
+  m.birth = eq_.now();
+  ++sent_;
+  ++stats_.counter(std::string("net.msgs.") + toString(m.type));
+  Route route = topo_.route(m.src, m.dst);
+  const std::uint32_t srcVertex = vertexOf(m.src);
+  DRESAR_LOG_TRACE("net: @%llu inject %s", static_cast<unsigned long long>(eq_.now()),
+                   m.describe().c_str());
+  advance(std::move(m), std::move(route), 0, srcVertex, eq_.now());
+}
+
+void Network::sendFromSwitch(SwitchId from, Message m) {
+  if (m.id == 0) m.id = nextMsgId_++;
+  m.birth = eq_.now();
+  ++sent_;
+  ++stats_.counter(std::string("net.msgs.") + toString(m.type));
+  ++stats_.counter("net.switch_injected");
+  Route route = topo_.routeFromSwitch(from, m.dst);
+  const std::uint32_t srcVertex = vertexOf(from);
+  DRESAR_LOG_TRACE("net: switch(%u,%u) inject %s", from.stage, from.index, m.describe().c_str());
+  advance(std::move(m), std::move(route), 0, srcVertex, eq_.now());
+}
+
+void Network::advance(Message m, Route route, std::size_t hopIdx, std::uint32_t fromVertex,
+                      Cycle when) {
+  if (hopIdx >= route.size()) throw std::logic_error("Network::advance: route exhausted");
+  const Hop hop = route[hopIdx];
+  const std::uint32_t toVertex =
+      hop.kind == Hop::Kind::Switch ? vertexOf(hop.sw) : vertexOf(hop.ep);
+  const Cycle arrive = traverseLink(fromVertex, toVertex, when, m);
+
+  if (hop.kind == Hop::Kind::Deliver) {
+    eq_.scheduleAt(arrive, [this, m = std::move(m), ep = hop.ep] {
+      stats_.sampler("net.latency").add(static_cast<double>(eq_.now() - m.birth));
+      auto& h = handlers_.at(vertexOf(ep));
+      if (!h) throw std::logic_error("Network: no delivery handler for " + toString(ep));
+      h(m);
+    });
+    return;
+  }
+
+  eq_.scheduleAt(arrive, [this, m = std::move(m), route = std::move(route), hopIdx,
+                          sw = hop.sw]() mutable {
+    ++stats_.counter("switch." + std::to_string(topo_.flat(sw)) + ".traversals");
+    Cycle delay = cfg_.coreDelay;
+    if (snoop_ != nullptr) {
+      std::vector<Message> spawn;
+      const SnoopOutcome out = snoop_->onMessage(sw, eq_.now(), m, spawn);
+      delay += out.extraDelay;
+      for (auto& s : spawn) {
+        // Switch-generated messages leave after the directory decision.
+        eq_.scheduleAfter(delay, [this, sw, s = std::move(s)]() mutable {
+          sendFromSwitch(sw, std::move(s));
+        });
+      }
+      if (!out.pass) {
+        ++sunk_;
+        ++stats_.counter("net.sunk");
+        DRESAR_LOG_TRACE("net: %s sunk at switch(%u,%u)", m.describe().c_str(), sw.stage,
+                         sw.index);
+        return;
+      }
+    }
+    advance(std::move(m), std::move(route), hopIdx + 1, vertexOf(sw), eq_.now() + delay);
+  });
+}
+
+}  // namespace dresar

@@ -1,0 +1,79 @@
+// Message-level network model over the butterfly BMIN. Timing is derived
+// from the paper's flit parameters (8-byte flits, 16-bit links, 4 link
+// cycles per flit, 4-cycle switch core at 200 MHz): each hop charges the
+// switch core delay plus link serialization, and messages queue on busy
+// output links, so contention and message-length effects are modeled.
+// Every switch exposes a snoop hook; the DRESAR switch-directory module
+// observes (and may sink, annotate, or respond to) every traversing message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "interconnect/inetwork.h"
+#include "interconnect/message.h"
+#include "interconnect/topology.h"
+
+namespace dresar {
+
+class Network final : public INetwork {
+ public:
+  Network(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t lineBytes,
+          EventQueue& eq, StatRegistry& stats);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] const Butterfly& topology() const override { return topo_; }
+
+  /// Install the snoop observer (typically the DresarManager). May be null.
+  void setSnoop(ISwitchSnoop* snoop) override { snoop_ = snoop; }
+
+  /// Register the receiver for messages delivered to `ep`.
+  void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) override;
+
+  /// Inject a message from its `src` endpoint at the current cycle.
+  void send(Message m) override;
+
+  /// Inject a message from inside switch `from` (switch-directory traffic).
+  void sendFromSwitch(SwitchId from, Message m);
+
+  [[nodiscard]] std::uint64_t messagesSent() const override { return sent_; }
+  [[nodiscard]] std::uint64_t messagesSunk() const override { return sunk_; }
+
+ private:
+  // Vertex ids: procs [0,N), mems [N,2N), switches [2N, 2N + totalSwitches).
+  [[nodiscard]] std::uint32_t vertexOf(Endpoint ep) const;
+  [[nodiscard]] std::uint32_t vertexOf(SwitchId sw) const;
+
+  [[nodiscard]] Cycle serializationCycles(const Message& m) const;
+
+  /// Advance `m` along `route` starting at `hopIdx`; `fromVertex` is where the
+  /// message currently sits, `when` the cycle it becomes ready to move.
+  void advance(Message m, Route route, std::size_t hopIdx, std::uint32_t fromVertex, Cycle when);
+
+  /// Reserve the (from,to) link starting no earlier than `ready`; returns the
+  /// cycle the last flit lands at `to`.
+  Cycle traverseLink(std::uint32_t from, std::uint32_t to, Cycle ready, const Message& m);
+
+  NetworkConfig cfg_;
+  std::uint32_t numNodes_;
+  std::uint32_t lineBytes_;
+  EventQueue& eq_;
+  StatRegistry& stats_;
+  Butterfly topo_;
+  ISwitchSnoop* snoop_ = nullptr;
+  std::vector<std::function<void(const Message&)>> handlers_;  // indexed by vertex
+  std::unordered_map<std::uint64_t, Cycle> linkFree_;          // (from<<32|to) -> next free cycle
+  std::uint64_t nextMsgId_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t sunk_ = 0;
+};
+
+}  // namespace dresar

@@ -1,0 +1,83 @@
+#include "interconnect/topology.h"
+
+#include <stdexcept>
+
+namespace dresar {
+
+Butterfly::Butterfly(std::uint32_t numNodes, std::uint32_t switchRadix)
+    : numNodes_(numNodes), half_(switchRadix / 2) {
+  if (switchRadix < 2 || switchRadix % 2 != 0)
+    throw std::invalid_argument("Butterfly: radix must be even and >= 2");
+  if (half_ == 0 || numNodes % half_ != 0)
+    throw std::invalid_argument("Butterfly: numNodes must be a multiple of radix/2");
+  perStage_ = numNodes / half_;
+  if (perStage_ > half_)
+    throw std::invalid_argument(
+        "Butterfly: numNodes exceeds (radix/2)^2; a 2-stage BMIN cannot connect it");
+}
+
+Route Butterfly::route(Endpoint src, Endpoint dst) const {
+  if (src.node >= numNodes_ || dst.node >= numNodes_)
+    throw std::out_of_range("Butterfly::route: node out of range");
+  Route r;
+  if (src.kind == EndpointKind::Proc && dst.kind == EndpointKind::Mem) {
+    // Forward: leaf switch, then the destination memory's root switch.
+    r.push_back(Hop::atSwitch(procSwitch(src.node)));
+    r.push_back(Hop::atSwitch(memSwitch(dst.node)));
+  } else if (src.kind == EndpointKind::Mem && dst.kind == EndpointKind::Proc) {
+    // Backward: mirror of the forward path.
+    r.push_back(Hop::atSwitch(memSwitch(src.node)));
+    r.push_back(Hop::atSwitch(procSwitch(dst.node)));
+  } else if (src.kind == EndpointKind::Proc && dst.kind == EndpointKind::Proc) {
+    const SwitchId s0 = procSwitch(src.node);
+    const SwitchId d0 = procSwitch(dst.node);
+    if (s0 == d0) {
+      // Same cluster: turnaround at the shared leaf switch.
+      r.push_back(Hop::atSwitch(s0));
+    } else {
+      // Up to a root switch, back down. Deterministic and symmetric root
+      // choice so the pair always meets at the same switch.
+      const std::uint32_t root = (s0.index + d0.index) % perStage_;
+      r.push_back(Hop::atSwitch(s0));
+      r.push_back(Hop::atSwitch(SwitchId{1, root}));
+      r.push_back(Hop::atSwitch(d0));
+    }
+  } else {
+    throw std::invalid_argument("Butterfly::route: mem->mem traffic is not defined");
+  }
+  r.push_back(Hop::deliver(dst));
+  return r;
+}
+
+Route Butterfly::routeFromSwitch(SwitchId from, Endpoint dst) const {
+  if (dst.node >= numNodes_) throw std::out_of_range("Butterfly::routeFromSwitch: node range");
+  Route r;
+  if (dst.kind == EndpointKind::Proc) {
+    const SwitchId leaf = procSwitch(dst.node);
+    if (from.stage == 1) {
+      // Root switch: go down through the destination's leaf switch.
+      r.push_back(Hop::atSwitch(leaf));
+    } else if (!(from == leaf)) {
+      // Leaf switch of a different cluster: up to a root, then down.
+      const std::uint32_t root = (from.index + leaf.index) % perStage_;
+      r.push_back(Hop::atSwitch(SwitchId{1, root}));
+      r.push_back(Hop::atSwitch(leaf));
+    }
+    // from == leaf: deliver directly downward.
+  } else {
+    const SwitchId rootSw = memSwitch(dst.node);
+    if (from.stage == 0) {
+      r.push_back(Hop::atSwitch(rootSw));
+    } else if (!(from == rootSw)) {
+      throw std::invalid_argument("Butterfly: root switch cannot reach a foreign memory");
+    }
+  }
+  r.push_back(Hop::deliver(dst));
+  return r;
+}
+
+std::vector<SwitchId> Butterfly::forwardPath(NodeId proc, NodeId mem) const {
+  return {procSwitch(proc), memSwitch(mem)};
+}
+
+}  // namespace dresar

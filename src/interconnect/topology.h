@@ -1,0 +1,80 @@
+// Dance-hall butterfly BMIN topology (paper Figure 3): processors attach
+// below stage 0, memory/directory modules above stage 1. Every (processor,
+// memory) pair has a unique minimal path that is identical for forward
+// (proc->mem) and backward (mem->proc) traffic — the path-overlap property
+// switch directories rely on (paper 3.1). Processor-to-processor messages
+// (c2c data, switch-generated requests) use turnaround routing at the lowest
+// common stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace dresar {
+
+/// Identifies a switch: stage 0 is adjacent to processors, stage 1 to memory.
+struct SwitchId {
+  std::uint32_t stage = 0;
+  std::uint32_t index = 0;
+
+  friend bool operator==(const SwitchId&, const SwitchId&) = default;
+};
+
+/// A routing step: either a switch traversal or the final endpoint delivery.
+struct Hop {
+  enum class Kind : std::uint8_t { Switch, Deliver } kind = Kind::Switch;
+  SwitchId sw;        ///< valid when kind == Switch
+  Endpoint ep;        ///< valid when kind == Deliver
+
+  static Hop atSwitch(SwitchId s) { return Hop{Kind::Switch, s, {}}; }
+  static Hop deliver(Endpoint e) { return Hop{Kind::Deliver, {}, e}; }
+};
+
+using Route = std::vector<Hop>;
+
+/// Two-stage butterfly of radix-R switches (R/2 down ports, R/2 up ports)
+/// for up to (R/2)^2 nodes. For the paper's reference system: R=8, 16 nodes,
+/// 4 switches per stage.
+class Butterfly {
+ public:
+  Butterfly(std::uint32_t numNodes, std::uint32_t switchRadix);
+
+  [[nodiscard]] std::uint32_t numNodes() const { return numNodes_; }
+  [[nodiscard]] std::uint32_t switchesPerStage() const { return perStage_; }
+  [[nodiscard]] std::uint32_t numStages() const { return 2; }
+  [[nodiscard]] std::uint32_t totalSwitches() const { return perStage_ * 2; }
+  [[nodiscard]] std::uint32_t half() const { return half_; }
+
+  /// Flattened switch index in [0, totalSwitches()).
+  [[nodiscard]] std::uint32_t flat(SwitchId s) const { return s.stage * perStage_ + s.index; }
+  [[nodiscard]] SwitchId unflat(std::uint32_t f) const {
+    return SwitchId{f / perStage_, f % perStage_};
+  }
+
+  /// Leaf (stage-0) switch of processor p; root (stage-1) switch of memory m.
+  [[nodiscard]] SwitchId procSwitch(NodeId p) const { return SwitchId{0, p / half_}; }
+  [[nodiscard]] SwitchId memSwitch(NodeId m) const { return SwitchId{1, m / half_}; }
+
+  /// Unique route between two endpoints. Supported pairs: proc->mem (forward),
+  /// mem->proc (backward), proc->proc (turnaround).
+  [[nodiscard]] Route route(Endpoint src, Endpoint dst) const;
+
+  /// Route for a message injected by switch `from` (switch-directory
+  /// generated traffic: CtoCRequest/ReadReply/Retry toward a processor, or
+  /// nothing toward memory — those annotate passing messages instead).
+  [[nodiscard]] Route routeFromSwitch(SwitchId from, Endpoint dst) const;
+
+  /// The switches a proc->mem request traverses, in order. Used by the
+  /// trace-driven simulator, which needs path membership but not timing.
+  [[nodiscard]] std::vector<SwitchId> forwardPath(NodeId proc, NodeId mem) const;
+
+ private:
+  std::uint32_t numNodes_;
+  std::uint32_t half_;
+  std::uint32_t perStage_;
+};
+
+}  // namespace dresar

@@ -1,0 +1,84 @@
+// Simulated shared physical address space. Pages map to home nodes
+// round-robin (addr/page mod N), so a plain allocation is page-interleaved
+// across all memories; allocAt places small structures on a chosen home.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace dresar {
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(const SystemConfig& cfg) : cfg_(cfg) {
+    placedNext_.resize(cfg.numNodes);
+    const Addr placedBase = Addr{1} << 40;  // far above the interleaved arena
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+      // First page at or above placedBase whose home is n.
+      const Addr basePage = placedBase / cfg_.pageBytes;
+      const Addr page = basePage + (n + cfg.numNodes - static_cast<NodeId>(basePage % cfg.numNodes)) % cfg.numNodes;
+      placedNext_[n] = page * cfg_.pageBytes;
+    }
+  }
+
+  /// Allocate `bytes` from the page-interleaved arena, line-aligned.
+  Addr alloc(std::size_t bytes) {
+    const Addr a = alignUp(next_, cfg_.lineBytes);
+    next_ = a + bytes;
+    return a;
+  }
+
+  /// Allocate `bytes` homed entirely at `node` (must fit in one page).
+  Addr allocAt(NodeId node, std::size_t bytes) {
+    if (node >= cfg_.numNodes) throw std::out_of_range("AddressSpace::allocAt: bad node");
+    if (bytes > cfg_.pageBytes) throw std::invalid_argument("allocAt: larger than a page");
+    Addr& cursor = placedNext_[node];
+    Addr a = alignUp(cursor, cfg_.lineBytes);
+    // Keep the allocation inside a page homed at `node`.
+    if (a / cfg_.pageBytes != (a + bytes - 1) / cfg_.pageBytes ||
+        cfg_.homeOf(a) != node) {
+      // Advance to this node's next page (pages for node n recur every N).
+      const Addr page = a / cfg_.pageBytes;
+      Addr nextPage = page + 1;
+      while (cfg_.homeOf(nextPage * cfg_.pageBytes) != node) ++nextPage;
+      a = nextPage * cfg_.pageBytes;
+    }
+    cursor = a + bytes;
+    return a;
+  }
+
+  [[nodiscard]] NodeId homeOf(Addr a) const { return cfg_.homeOf(a); }
+
+ private:
+  static Addr alignUp(Addr a, Addr align) { return (a + align - 1) & ~(align - 1); }
+
+  const SystemConfig& cfg_;
+  Addr next_ = 0;
+  std::vector<Addr> placedNext_;
+};
+
+/// A typed shared array: a real backing store for genuine execution-driven
+/// computation plus the simulated addresses its elements live at.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  SharedArray(AddressSpace& as, std::size_t count)
+      : base_(as.alloc(count * sizeof(T))), data_(count) {}
+
+  [[nodiscard]] Addr addr(std::size_t i) const { return base_ + i * sizeof(T); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  Addr base_ = kInvalidAddr;
+  std::vector<T> data_;
+};
+
+}  // namespace dresar

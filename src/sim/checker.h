@@ -1,0 +1,38 @@
+// Protocol invariant checker. Runs on a quiescent System (no in-flight
+// transactions) and verifies the global coherence invariants; tests,
+// examples and long stress runs use it. Violations are reported as strings,
+// never thrown, so a harness can decide how to fail.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dresar {
+
+class System;
+
+struct CheckReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+class ProtocolChecker {
+ public:
+  /// Checks, on a quiescent system:
+  ///  1. quiescence itself (no MSHRs, empty write buffers, no BUSY directory
+  ///     entries, no pending queues),
+  ///  2. single-owner: at most one cache holds any block in M,
+  ///  3. home/owner agreement: every M line is MODIFIED at its home with the
+  ///     correct owner, and every MODIFIED home entry has exactly that owner
+  ///     caching the block in M,
+  ///  4. sharer soundness: a cache holding a block in S is recorded in the
+  ///     home's sharer vector (silent eviction makes the converse legal),
+  ///  5. no orphaned TRANSIENT switch-directory entries, and every MODIFIED
+  ///     switch entry's owner is consistent with the home or detectably
+  ///     stale (its owner no longer holds the block in M).
+  static CheckReport check(const System& sys);
+};
+
+}  // namespace dresar

@@ -1,0 +1,77 @@
+#include "sim/metrics.h"
+
+#include <iomanip>
+
+#include "sim/system.h"
+
+namespace dresar {
+
+RunMetrics RunMetrics::collect(const System& sys, const std::string& workload) {
+  RunMetrics m;
+  m.workload = workload;
+  const StatRegistry& st = sys.stats();
+
+  Cycle finish = 0;
+  for (NodeId n = 0; n < sys.config().numNodes; ++n) {
+    const ThreadContext& ctx = sys.ctx(n);
+    m.reads += ctx.loads();
+    m.totalReadStall += static_cast<double>(ctx.readStallCycles());
+    if (ctx.finishTime() > finish) finish = ctx.finishTime();
+    m.homeCtoC += sys.dir(n).homeCtoCForwards();
+  }
+  m.execTime = finish;
+
+  m.svcClean = st.counterValue("svc.CleanMemory");
+  m.svcCtoCHome = st.counterValue("svc.CtoCHome");
+  m.svcCtoCSwitch = st.counterValue("svc.CtoCSwitchDir");
+  m.svcSwitchWB = st.counterValue("svc.SwitchWriteBack");
+  m.svcSwitchCache = st.counterValue("svc.SwitchCache");
+  m.readMisses = m.svcClean + m.svcCtoCHome + m.svcCtoCSwitch + m.svcSwitchWB + m.svcSwitchCache;
+
+  if (const Sampler* s = st.findSampler("cpu.read_latency"); s != nullptr) {
+    m.avgReadLatency = s->mean();
+  }
+  if (const Sampler* s = st.findSampler("cpu.read_latency.ctoc"); s != nullptr) {
+    m.totalReadLatCtoC = s->sum();
+  }
+  if (const Sampler* s = st.findSampler("cpu.read_latency.clean"); s != nullptr) {
+    m.totalReadLatClean = s->sum();
+  }
+  if (const Sampler* s = st.findSampler("cpu.read_latency.clean_miss"); s != nullptr) {
+    m.totalReadLatCleanMiss = s->sum();
+  }
+
+  const DresarManager& sd = sys.dresar();
+  if (sd.enabled()) {
+    m.sdDeposits = sd.deposits();
+    m.sdCtoCInitiated = sd.ctocInitiated();
+    m.sdWriteBackServes = sd.writeBackServes();
+    m.sdCopyBackServes = sd.copyBackServes();
+    m.sdRetries = sd.readRetries() + sd.writeRetries();
+  }
+  m.netMessages = st.sumByPrefix("net.msgs.");
+  m.retriesObserved = st.sumByPrefix("cache.") == 0 ? 0 : 0;  // per-node detail stays in registry
+  std::uint64_t retries = 0;
+  for (NodeId n = 0; n < sys.config().numNodes; ++n) {
+    retries += st.counterValue("cache." + std::to_string(n) + ".retries");
+  }
+  m.retriesObserved = retries;
+  return m;
+}
+
+void RunMetrics::print(std::ostream& os) const {
+  os << "workload=" << workload << " exec=" << execTime << " reads=" << reads
+     << " misses=" << readMisses << " clean=" << svcClean << " ctocHome=" << svcCtoCHome
+     << " ctocSwitch=" << svcCtoCSwitch << " switchWB=" << svcSwitchWB
+     << " dirty%=" << std::fixed << std::setprecision(1) << dirtyFraction() * 100.0
+     << " avgReadLat=" << std::setprecision(2) << avgReadLatency
+     << " readStall=" << std::setprecision(0) << totalReadStall << " homeCtoC=" << homeCtoC
+     << " sdCtoC=" << sdCtoCInitiated << " retries=" << retriesObserved << "\n";
+}
+
+double reductionPct(double base, double with) {
+  if (base <= 0.0) return 0.0;
+  return (1.0 - with / base) * 100.0;
+}
+
+}  // namespace dresar

@@ -1,0 +1,64 @@
+// Aggregated run metrics — exactly the quantities the paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/types.h"
+
+namespace dresar {
+
+class System;
+
+struct RunMetrics {
+  std::string workload;
+  Cycle execTime = 0;  ///< Figure 11 numerator
+
+  // Read classification (Figure 1).
+  std::uint64_t reads = 0;       ///< all CPU loads
+  std::uint64_t readMisses = 0;  ///< serviced beyond L2 / write buffer
+  std::uint64_t svcClean = 0;    ///< clean memory replies
+  std::uint64_t svcCtoCHome = 0; ///< home-forwarded cache-to-cache
+  std::uint64_t svcCtoCSwitch = 0;  ///< switch-directory re-routed c2c
+  std::uint64_t svcSwitchWB = 0;    ///< served from write-back data at a switch
+  std::uint64_t svcSwitchCache = 0; ///< clean data served by a switch cache (ext.)
+
+  // Latency (Figures 9/10).
+  double avgReadLatency = 0.0;
+  double totalReadStall = 0.0;
+  double totalReadLatCtoC = 0.0;   ///< latency mass from c2c-serviced reads
+  double totalReadLatClean = 0.0;  ///< latency mass from clean-serviced reads (incl. hits)
+  double totalReadLatCleanMiss = 0.0;  ///< latency mass from clean *misses* only
+
+  // Home directory activity (Figure 8).
+  std::uint64_t homeCtoC = 0;  ///< c2c transfers forwarded by home nodes
+
+  // Switch directory activity.
+  std::uint64_t sdDeposits = 0;
+  std::uint64_t sdCtoCInitiated = 0;
+  std::uint64_t sdWriteBackServes = 0;
+  std::uint64_t sdCopyBackServes = 0;
+  std::uint64_t sdRetries = 0;
+
+  std::uint64_t netMessages = 0;
+  std::uint64_t retriesObserved = 0;
+
+  [[nodiscard]] std::uint64_t ctocServiced() const {
+    return svcCtoCHome + svcCtoCSwitch + svcSwitchWB;
+  }
+  /// Fraction of read misses serviced dirty (Figure 1 right bar).
+  [[nodiscard]] double dirtyFraction() const {
+    return readMisses == 0 ? 0.0 : static_cast<double>(ctocServiced()) / readMisses;
+  }
+
+  static RunMetrics collect(const System& sys, const std::string& workload);
+
+  void print(std::ostream& os) const;
+};
+
+/// Normalized reduction helpers used by every figure bench:
+/// reduction = 1 - with/base, reported as a percentage.
+double reductionPct(double base, double with);
+
+}  // namespace dresar

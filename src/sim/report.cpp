@@ -1,0 +1,82 @@
+#include "sim/report.h"
+
+#include <iomanip>
+
+#include "sim/system.h"
+
+namespace dresar {
+
+namespace {
+std::uint64_t cnt(const StatRegistry& st, const std::string& name) {
+  return st.counterValue(name);
+}
+}  // namespace
+
+void printRunReport(const System& sys, std::ostream& os) {
+  const SystemConfig& cfg = sys.config();
+  const StatRegistry& st = sys.stats();
+
+  os << "==== per-processor ====\n";
+  os << std::left << std::setw(6) << "proc" << std::right << std::setw(10) << "loads"
+     << std::setw(10) << "stores" << std::setw(8) << "rmws" << std::setw(10) << "l1hit%"
+     << std::setw(10) << "misses" << std::setw(12) << "stall" << std::setw(10) << "retries"
+     << '\n';
+  for (NodeId n = 0; n < cfg.numNodes; ++n) {
+    const ThreadContext& ctx = sys.ctx(n);
+    const std::string p = "cache." + std::to_string(n) + ".";
+    const std::uint64_t reads = cnt(st, p + "reads");
+    const std::uint64_t l1 = cnt(st, p + "l1_hits");
+    os << std::left << std::setw(6) << n << std::right << std::setw(10) << ctx.loads()
+       << std::setw(10) << ctx.stores() << std::setw(8) << ctx.rmws() << std::setw(9)
+       << std::fixed << std::setprecision(1)
+       << (reads ? 100.0 * static_cast<double>(l1) / static_cast<double>(reads) : 0.0) << '%'
+       << std::setw(10) << cnt(st, p + "read_misses") << std::setw(12) << ctx.readStallCycles()
+       << std::setw(10) << cnt(st, p + "retries") << '\n';
+  }
+
+  os << "==== per-home directory ====\n";
+  os << std::left << std::setw(6) << "home" << std::right << std::setw(10) << "requests"
+     << std::setw(10) << "cleanRd" << std::setw(10) << "homeC2C" << std::setw(10) << "recalls"
+     << std::setw(12) << "markedCB" << std::setw(10) << "queued" << '\n';
+  for (NodeId n = 0; n < cfg.numNodes; ++n) {
+    const std::string p = "dir." + std::to_string(n) + ".";
+    os << std::left << std::setw(6) << n << std::right << std::setw(10) << cnt(st, p + "requests")
+       << std::setw(10) << cnt(st, p + "reads_clean") << std::setw(10)
+       << sys.dir(n).homeCtoCForwards() << std::setw(10) << cnt(st, p + "write_recalls")
+       << std::setw(12) << cnt(st, p + "marked_copybacks") << std::setw(10)
+       << cnt(st, p + "queued") << '\n';
+  }
+
+  if (sys.dresar().enabled()) {
+    os << "==== per-switch directory (DRESAR) ====\n";
+    os << std::left << std::setw(8) << "switch" << std::right << std::setw(10) << "deposits"
+       << std::setw(10) << "c2cInit" << std::setw(10) << "retries" << std::setw(10) << "wbServe"
+       << std::setw(10) << "cbServe" << '\n';
+    const Butterfly& topo = sys.net().topology();
+    for (std::uint32_t f = 0; f < topo.totalSwitches(); ++f) {
+      const std::string p = "sd." + std::to_string(f) + ".";
+      const SwitchId id = topo.unflat(f);
+      os << std::left << "  S(" << id.stage << ',' << id.index << ')' << std::right
+         << std::setw(9) << cnt(st, p + "deposits") << std::setw(10)
+         << cnt(st, p + "ctoc_initiated") << std::setw(10)
+         << cnt(st, p + "read_retries") + cnt(st, p + "write_retries") << std::setw(10)
+         << cnt(st, p + "writeback_serves") << std::setw(10) << cnt(st, p + "copyback_serves")
+         << '\n';
+    }
+  }
+
+  os << "==== network ====\n";
+  os << "  messages sent " << sys.net().messagesSent() << ", sunk at switches "
+     << sys.net().messagesSunk() << "\n";
+  for (const auto& [name, value] : st.counters()) {
+    if (name.rfind("net.msgs.", 0) == 0) {
+      os << "  " << std::left << std::setw(28) << name.substr(9) << value << '\n';
+    }
+  }
+  if (const Sampler* s = st.findSampler("net.latency"); s != nullptr && s->count() > 0) {
+    os << "  latency mean " << std::fixed << std::setprecision(1) << s->mean() << " cycles (max "
+       << s->max() << ")\n";
+  }
+}
+
+}  // namespace dresar

@@ -1,0 +1,14 @@
+// Human-readable run report: per-processor, per-home and per-switch tables
+// assembled from the stat registry — the RSIM-style post-run dump.
+#pragma once
+
+#include <ostream>
+
+namespace dresar {
+
+class System;
+
+/// Print a full breakdown of a finished run. Safe on any quiescent system.
+void printRunReport(const System& sys, std::ostream& os);
+
+}  // namespace dresar

@@ -1,0 +1,73 @@
+#include "sim/system.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dresar {
+
+System::System(const SystemConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  if (cfg_.net.flitLevel) {
+    net_ = std::make_unique<FlitNetwork>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, eq_, stats_);
+  } else {
+    net_ = std::make_unique<Network>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, eq_, stats_);
+  }
+  dresar_ = std::make_unique<DresarManager>(cfg_.switchDir, net_->topology(), cfg_.lineBytes,
+                                            cfg_.numNodes, stats_);
+  scache_ = std::make_unique<SwitchCacheManager>(cfg_.switchCache, net_->topology(),
+                                                 cfg_.lineBytes, stats_);
+  if (dresar_->enabled() && scache_->enabled()) {
+    snoopChain_ = std::make_unique<SnoopChain>(dresar_.get(), scache_.get());
+    net_->setSnoop(snoopChain_.get());
+  } else if (dresar_->enabled()) {
+    net_->setSnoop(dresar_.get());
+  } else if (scache_->enabled()) {
+    net_->setSnoop(scache_.get());
+  }
+  mem_ = std::make_unique<AddressSpace>(cfg_);
+
+  caches_.reserve(cfg_.numNodes);
+  dirs_.reserve(cfg_.numNodes);
+  ctxs_.reserve(cfg_.numNodes);
+  for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+    caches_.push_back(std::make_unique<CacheController>(n, cfg_, eq_, *net_, stats_));
+    dirs_.push_back(std::make_unique<DirController>(n, cfg_, eq_, *net_, stats_));
+    ctxs_.push_back(std::make_unique<ThreadContext>(n, cfg_, eq_, *caches_.back()));
+    net_->setDeliveryHandler(procEp(n),
+                             [c = caches_.back().get()](const Message& m) { c->onMessage(m); });
+    net_->setDeliveryHandler(memEp(n),
+                             [d = dirs_.back().get()](const Message& m) { d->onMessage(m); });
+  }
+}
+
+void System::spawn(SimTask task) { tasks_.push_back(std::move(task)); }
+
+Cycle System::run(Cycle limit) {
+  for (auto& t : tasks_) t.start();
+  const bool drained = eq_.run(limit);
+  for (auto& t : tasks_) t.rethrowIfFailed();
+  if (!drained) {
+    throw std::runtime_error("System::run: cycle limit " + std::to_string(limit) +
+                             " exceeded with events pending (livelock?)");
+  }
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!tasks_[i].done()) {
+      throw std::runtime_error("System::run: deadlock — task " + std::to_string(i) +
+                               " suspended with no pending events at cycle " +
+                               std::to_string(eq_.now()));
+    }
+  }
+  return eq_.now();
+}
+
+bool System::quiescent() const {
+  for (const auto& c : caches_) {
+    if (!c->quiescent()) return false;
+  }
+  for (const auto& d : dirs_) {
+    if (!d->quiescent()) return false;
+  }
+  return true;
+}
+
+}  // namespace dresar

@@ -1,0 +1,79 @@
+// Assembles a complete CC-NUMA multiprocessor: event queue, BMIN network
+// with DRESAR switch directories, one cache controller + thread context per
+// processor, one directory controller per memory module, and a shared
+// address space. Runs workload coroutines to completion with a deadlock
+// watchdog and exposes everything the metrics layer and tests need.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "coherence/cache_controller.h"
+#include "coherence/dir_controller.h"
+#include "cpu/context.h"
+#include "cpu/task.h"
+#include "interconnect/flit_network.h"
+#include "interconnect/network.h"
+#include "sim/address_space.h"
+#include "switchdir/dresar.h"
+#include "switchdir/switch_cache.h"
+
+namespace dresar {
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  [[nodiscard]] EventQueue& eq() { return eq_; }
+  [[nodiscard]] StatRegistry& stats() { return stats_; }
+  [[nodiscard]] const StatRegistry& stats() const { return stats_; }
+  [[nodiscard]] INetwork& net() { return *net_; }
+  [[nodiscard]] const INetwork& net() const { return *net_; }
+  [[nodiscard]] AddressSpace& mem() { return *mem_; }
+  [[nodiscard]] DresarManager& dresar() { return *dresar_; }
+  [[nodiscard]] const DresarManager& dresar() const { return *dresar_; }
+  [[nodiscard]] SwitchCacheManager& switchCache() { return *scache_; }
+  [[nodiscard]] const SwitchCacheManager& switchCache() const { return *scache_; }
+
+  [[nodiscard]] CacheController& cache(NodeId n) { return *caches_.at(n); }
+  [[nodiscard]] const CacheController& cache(NodeId n) const { return *caches_.at(n); }
+  [[nodiscard]] DirController& dir(NodeId n) { return *dirs_.at(n); }
+  [[nodiscard]] const DirController& dir(NodeId n) const { return *dirs_.at(n); }
+  [[nodiscard]] ThreadContext& ctx(NodeId n) { return *ctxs_.at(n); }
+  [[nodiscard]] const ThreadContext& ctx(NodeId n) const { return *ctxs_.at(n); }
+
+  /// Register a top-level task (one per processor, typically).
+  void spawn(SimTask task);
+
+  /// Start every spawned task and run the event loop until it drains.
+  /// Returns the final cycle. Throws on deadlock (events exhausted while a
+  /// task is still suspended) or if a task failed with an exception.
+  Cycle run(Cycle limit = kNoCycle);
+
+  /// True when every controller has no in-flight transaction — the state in
+  /// which the protocol invariant checker may run.
+  [[nodiscard]] bool quiescent() const;
+
+ private:
+  SystemConfig cfg_;
+  EventQueue eq_;
+  StatRegistry stats_;
+  std::unique_ptr<INetwork> net_;
+  std::unique_ptr<DresarManager> dresar_;
+  std::unique_ptr<SwitchCacheManager> scache_;
+  std::unique_ptr<SnoopChain> snoopChain_;
+  std::unique_ptr<AddressSpace> mem_;
+  std::vector<std::unique_ptr<CacheController>> caches_;
+  std::vector<std::unique_ptr<DirController>> dirs_;
+  std::vector<std::unique_ptr<ThreadContext>> ctxs_;
+  std::vector<SimTask> tasks_;
+};
+
+}  // namespace dresar

@@ -1,0 +1,97 @@
+#include "switchdir/dir_cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dresar {
+
+const char* toString(SDState s) {
+  switch (s) {
+    case SDState::Invalid: return "Invalid";
+    case SDState::Modified: return "Modified";
+    case SDState::Transient: return "Transient";
+  }
+  return "?";
+}
+
+SwitchDirCache::SwitchDirCache(std::uint32_t entries, std::uint32_t associativity,
+                               std::uint32_t lineBytes)
+    : assoc_(associativity), lineShift_(static_cast<std::uint32_t>(std::countr_zero(lineBytes))) {
+  if (entries == 0 || associativity == 0 || entries % associativity != 0)
+    throw std::invalid_argument("SwitchDirCache: entries must be a positive multiple of assoc");
+  if (lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0)
+    throw std::invalid_argument("SwitchDirCache: lineBytes must be a power of two");
+  numSets_ = entries / associativity;
+  ways_.resize(entries);
+}
+
+std::size_t SwitchDirCache::setBase(Addr block) const {
+  return static_cast<std::size_t>((block >> lineShift_) % numSets_) * assoc_;
+}
+
+SDEntry* SwitchDirCache::find(Addr block) {
+  ++stats_.lookups;
+  const std::size_t base = setBase(block);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    SDEntry& e = ways_[base + w];
+    if (e.valid() && e.tag == block) {
+      ++stats_.hits;
+      e.lastUse = ++tick_;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const SDEntry* SwitchDirCache::peek(Addr block) const {
+  const std::size_t base = setBase(block);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    const SDEntry& e = ways_[base + w];
+    if (e.valid() && e.tag == block) return &e;
+  }
+  return nullptr;
+}
+
+SDEntry* SwitchDirCache::allocate(Addr block) {
+  const std::size_t base = setBase(block);
+  SDEntry* invalid = nullptr;
+  SDEntry* lruModified = nullptr;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    SDEntry& e = ways_[base + w];
+    if (e.valid() && e.tag == block) {
+      e.lastUse = ++tick_;
+      return &e;
+    }
+    if (!e.valid()) {
+      if (invalid == nullptr) invalid = &e;
+    } else if (e.state == SDState::Modified) {
+      if (lruModified == nullptr || e.lastUse < lruModified->lastUse) lruModified = &e;
+    }
+  }
+  SDEntry* victim = invalid != nullptr ? invalid : lruModified;
+  if (victim == nullptr) {
+    ++stats_.allocFailures;
+    return nullptr;
+  }
+  if (victim->valid()) ++stats_.evictions;
+  ++stats_.allocations;
+  *victim = SDEntry{};
+  victim->tag = block;
+  victim->lastUse = ++tick_;
+  return victim;
+}
+
+void SwitchDirCache::invalidate(SDEntry& e) {
+  ++stats_.invalidations;
+  e = SDEntry{};
+}
+
+std::uint64_t SwitchDirCache::countState(SDState s) const {
+  std::uint64_t n = 0;
+  for (const auto& e : ways_) {
+    if (e.valid() && e.state == s) ++n;
+  }
+  return n;
+}
+
+}  // namespace dresar

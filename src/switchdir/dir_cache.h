@@ -1,0 +1,80 @@
+// Set-associative SRAM switch-directory cache (paper 4.2). Each entry holds
+// the block tag, one of three states (MODIFIED / TRANSIENT / INVALID), the
+// owner pid and — while TRANSIENT — the pid of the requester the switch is
+// serving. TRANSIENT entries are pinned: LRU replacement only ever evicts
+// MODIFIED entries, so an in-flight switch-initiated transfer can never lose
+// its bookkeeping. Allocation that finds no evictable way is skipped, which
+// is always functionally safe (the request simply proceeds to the home node).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dresar {
+
+enum class SDState : std::uint8_t { Invalid, Modified, Transient };
+
+const char* toString(SDState s);
+
+struct SDEntry {
+  Addr tag = kInvalidAddr;       ///< block-aligned address (full tag kept for clarity)
+  SDState state = SDState::Invalid;
+  NodeId owner = kInvalidNode;
+  NodeId requester = kInvalidNode;  ///< valid while TRANSIENT
+  std::uint64_t lastUse = 0;
+
+  [[nodiscard]] bool valid() const { return state != SDState::Invalid; }
+};
+
+class SwitchDirCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t evictions = 0;      ///< MODIFIED entries displaced by LRU
+    std::uint64_t allocFailures = 0;  ///< all ways TRANSIENT, allocation skipped
+    std::uint64_t invalidations = 0;
+  };
+
+  SwitchDirCache(std::uint32_t entries, std::uint32_t associativity, std::uint32_t lineBytes);
+
+  /// Lookup without allocation. Returns nullptr on miss. Counts a lookup.
+  SDEntry* find(Addr block);
+  [[nodiscard]] const SDEntry* peek(Addr block) const;  ///< no stats side effects
+
+  /// Find-or-allocate for a WriteReply deposit. Returns nullptr if every way
+  /// in the set is pinned TRANSIENT.
+  SDEntry* allocate(Addr block);
+
+  void invalidate(SDEntry& e);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t entries() const { return static_cast<std::uint32_t>(ways_.size()); }
+  [[nodiscard]] std::uint32_t associativity() const { return assoc_; }
+
+  /// Number of live entries in each state (test/invariant support).
+  [[nodiscard]] std::uint64_t countState(SDState s) const;
+
+  /// Visit every valid entry (invariant checker support).
+  template <typename Fn>
+  void forEachValid(Fn&& fn) const {
+    for (const auto& e : ways_) {
+      if (e.valid()) fn(e);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t setBase(Addr block) const;
+
+  std::uint32_t assoc_;
+  std::uint32_t numSets_;
+  std::uint32_t lineShift_;
+  std::vector<SDEntry> ways_;  ///< numSets_ * assoc_, set-major
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dresar

@@ -1,0 +1,260 @@
+#include "switchdir/dresar.h"
+
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace dresar {
+
+namespace {
+std::uint64_t bit(NodeId n) { return 1ull << n; }
+}  // namespace
+
+DresarManager::DresarManager(const SwitchDirConfig& cfg, const Butterfly& topo,
+                             std::uint32_t lineBytes, std::uint32_t numNodes, StatRegistry& stats)
+    : cfg_(cfg), topo_(topo), lineBytes_(lineBytes), numNodes_(numNodes), stats_(stats) {
+  if (numNodes_ > 64) throw std::invalid_argument("DresarManager: sharer masks support <= 64 nodes");
+  if (cfg_.enabled()) {
+    units_.reserve(topo_.totalSwitches());
+    for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) units_.emplace_back(cfg_, lineBytes);
+  }
+}
+
+const SwitchDirCache& DresarManager::cacheAt(SwitchId sw) const {
+  return units_.at(topo_.flat(sw)).cache;
+}
+
+void DresarManager::setTransient(Unit& u, SDEntry& e, NodeId requester) {
+  if (e.state != SDState::Transient) ++u.transientCount;
+  e.state = SDState::Transient;
+  e.requester = requester;
+}
+
+void DresarManager::clearEntry(Unit& u, SDEntry& e) {
+  if (e.state == SDState::Transient) --u.transientCount;
+  u.cache.invalidate(e);
+}
+
+Cycle DresarManager::reservePorts(Unit& u, Cycle now, bool pendingEligible) {
+  if (cfg_.usePendingBuffer && pendingEligible && u.transientCount <= cfg_.pendingBufferEntries) {
+    return u.pendingPorts.reserve(now);
+  }
+  return u.mainPorts.reserve(now);
+}
+
+SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
+                                      std::vector<Message>& spawn) {
+  if (!cfg_.enabled()) return {};
+  Unit& u = unit(sw);
+  const std::string pfx = prefix(sw);
+
+  switch (m.type) {
+    case MsgType::WriteReply: {
+      // Ownership grant flowing home -> writer: deposit/update an entry at
+      // every switch on the backward path (paper 3.2 "Write Replies").
+      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/false);
+      SDEntry* e = u.cache.allocate(m.addr);
+      if (e == nullptr) {
+        ++stats_.counter(pfx + "deposit_skipped");
+        return {true, delay};
+      }
+      if (e->state == SDState::Transient) {
+        // Should be unreachable: a write to a block with an in-flight
+        // switch-initiated transfer is retried before reaching the home.
+        ++stats_.counter(pfx + "writereply_on_transient");
+        return {true, delay};
+      }
+      e->state = SDState::Modified;
+      e->owner = m.dst.node;
+      e->requester = kInvalidNode;
+      ++deposits_;
+      ++stats_.counter(pfx + "deposits");
+      return {true, delay};
+    }
+
+    case MsgType::ReadRequest: {
+      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/false);
+      SDEntry* e = u.cache.find(m.addr);
+      if (e == nullptr) return {true, delay};
+      if (e->state == SDState::Modified) {
+        if (e->owner == m.requester) {
+          // Stale entry: the "owner" itself is asking again (it lost the
+          // line since). Drop the entry and let the home service the read.
+          ++staleSelf_;
+          ++stats_.counter(pfx + "stale_self");
+          clearEntry(u, *e);
+          return {true, delay};
+        }
+        // Directory hit: sink the request and re-route a marked c2c request
+        // straight to the owner's cache (paper 3.2 "Read Requests").
+        const NodeId owner = e->owner;
+        setTransient(u, *e, m.requester);
+        Message ctoc;
+        ctoc.type = MsgType::CtoCRequest;
+        ctoc.src = procEp(m.requester);
+        ctoc.dst = procEp(owner);
+        ctoc.addr = m.addr;
+        ctoc.requester = m.requester;
+        ctoc.marked = true;
+        ctoc.viaSwitchDir = true;
+        spawn.push_back(ctoc);
+        ++ctocInitiated_;
+        ++stats_.counter(pfx + "ctoc_initiated");
+        return {false, delay};
+      }
+      // TRANSIENT: a transfer for this block is already in flight from this
+      // switch; bounce the requester (design choice in paper 3.2).
+      Message retry;
+      retry.type = MsgType::Retry;
+      retry.src = procEp(m.requester);
+      retry.dst = procEp(m.requester);
+      retry.addr = m.addr;
+      retry.requester = m.requester;
+      retry.marked = true;
+      spawn.push_back(retry);
+      ++readRetries_;
+      ++stats_.counter(pfx + "read_retries");
+      return {false, delay};
+    }
+
+    case MsgType::WriteRequest: {
+      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/false);
+      SDEntry* e = u.cache.find(m.addr);
+      if (e == nullptr) return {true, delay};
+      if (e->state == SDState::Modified) {
+        clearEntry(u, *e);
+        return {true, delay};
+      }
+      // TRANSIENT: NAK the writer, sink the request (paper 3.2).
+      Message retry;
+      retry.type = MsgType::Retry;
+      retry.src = procEp(m.requester);
+      retry.dst = procEp(m.requester);
+      retry.addr = m.addr;
+      retry.requester = m.requester;
+      retry.marked = true;
+      spawn.push_back(retry);
+      ++writeRetries_;
+      ++stats_.counter(pfx + "write_retries");
+      return {false, delay};
+    }
+
+    case MsgType::CtoCRequest: {
+      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
+      SDEntry* e = u.cache.find(m.addr);
+      if (e == nullptr) return {true, delay};
+      if (e->state == SDState::Modified) {
+        // A transfer (home- or switch-initiated) is about to downgrade the
+        // owner; this entry would go stale, drop it (Figure 4a).
+        clearEntry(u, *e);
+        return {true, delay};
+      }
+      // TRANSIENT: this switch already initiated a transfer. The paper sinks
+      // the request here, but that deadlocks if our own transfer fails (a
+      // stale owner bounces it with a Retry and produces no copyback for the
+      // home to complete on). Passing is always safe: the owner may serve
+      // twice, and duplicate fills/sharer notifications are tolerated.
+      ++stats_.counter(pfx + "ctoc_passed_transient");
+      return {true, delay};
+    }
+
+    case MsgType::CopyBack: {
+      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
+      SDEntry* e = u.cache.find(m.addr);
+      if (e == nullptr) return {true, delay};
+      if (e->state == SDState::Transient &&
+          (m.carriedSharers & bit(e->requester)) == 0) {
+        // The copyback serves a different requester than the one this switch
+        // recorded; use its data to answer ours and tell the home about it.
+        Message reply;
+        reply.type = MsgType::ReadReply;
+        reply.src = procEp(e->requester);
+        reply.dst = procEp(e->requester);
+        reply.addr = m.addr;
+        reply.requester = e->requester;
+        reply.marked = true;
+        reply.viaSwitchDir = true;
+        spawn.push_back(reply);
+        m.carriedSharers |= bit(e->requester);
+        m.marked = true;
+        ++cbServes_;
+        ++stats_.counter(pfx + "copyback_serves");
+      }
+      clearEntry(u, *e);
+      return {true, delay};
+    }
+
+    case MsgType::WriteBack: {
+      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
+      SDEntry* e = u.cache.find(m.addr);
+      if (e == nullptr) return {true, delay};
+      if (e->state == SDState::Transient) {
+        // The dirty line was evicted before our marked CtoCRequest reached
+        // the owner: serve the stored requester from the write-back data and
+        // carry its pid to the home (paper 3.2 "Write-Backs and Copy-Backs").
+        Message reply;
+        reply.type = MsgType::ReadReply;
+        reply.src = procEp(e->requester);
+        reply.dst = procEp(e->requester);
+        reply.addr = m.addr;
+        reply.requester = e->requester;
+        reply.marked = true;
+        reply.viaSwitchDir = true;
+        spawn.push_back(reply);
+        m.carriedSharers |= bit(e->requester);
+        m.marked = true;
+        ++wbServes_;
+        ++stats_.counter(pfx + "writeback_serves");
+      }
+      clearEntry(u, *e);
+      return {true, delay};
+    }
+
+    case MsgType::Retry: {
+      // Only owner-generated marked retries heading to the home concern the
+      // switch directory: they mean "I could not supply the block" and must
+      // clear the initiating TRANSIENT entry and bounce its requester.
+      if (!m.marked || m.dst.kind != EndpointKind::Mem) return {};
+      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
+      SDEntry* e = u.cache.find(m.addr);
+      if (e == nullptr || e->state != SDState::Transient) return {true, delay};
+      Message retry;
+      retry.type = MsgType::Retry;
+      retry.src = procEp(e->requester);
+      retry.dst = procEp(e->requester);
+      retry.addr = m.addr;
+      retry.requester = e->requester;
+      retry.marked = true;
+      spawn.push_back(retry);
+      clearEntry(u, *e);
+      ++stats_.counter(pfx + "owner_retry_bounced");
+      // Keep travelling: another switch on the owner->home path may hold its
+      // own TRANSIENT entry for this block and must be cleared too (sinking
+      // here would orphan it). The home drops the message at the end.
+      return {true, delay};
+    }
+
+    case MsgType::Invalidation: {
+      if (!cfg_.snoopInvalidations) return {};
+      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
+      SDEntry* e = u.cache.find(m.addr);
+      if (e != nullptr && e->state == SDState::Modified) {
+        clearEntry(u, *e);
+        ++stats_.counter(pfx + "inval_snooped");
+      }
+      return {true, delay};
+    }
+
+    default:
+      // ReadReply, CtoCReply, InvalAck need no switch-directory processing.
+      return {};
+  }
+}
+
+std::uint64_t DresarManager::transientEntries() const {
+  std::uint64_t n = 0;
+  for (const auto& u : units_) n += u.cache.countState(SDState::Transient);
+  return n;
+}
+
+}  // namespace dresar

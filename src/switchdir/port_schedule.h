@@ -1,0 +1,46 @@
+// Models a multiported SRAM's per-cycle port budget (paper 4.2: a 2-way
+// multiported directory serves two snoops per cycle; the 4-way multiported
+// pending buffer serves four). Reservations arrive in nondecreasing simulated
+// time (event-queue order), so a compact head-of-line schedule suffices.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace dresar {
+
+class PortSchedule {
+ public:
+  explicit PortSchedule(std::uint32_t portsPerCycle) : ports_(portsPerCycle) {
+    if (portsPerCycle == 0) throw std::invalid_argument("PortSchedule: need >= 1 port");
+  }
+
+  /// Reserve one port at the earliest cycle >= now; returns the wait (cycles
+  /// beyond `now` the access must be delayed by port contention).
+  Cycle reserve(Cycle now) {
+    if (now > head_) {
+      head_ = now;
+      used_ = 1;
+      return 0;
+    }
+    if (used_ < ports_) {
+      ++used_;
+      return head_ - now;
+    }
+    ++head_;
+    used_ = 1;
+    return head_ - now;
+  }
+
+  [[nodiscard]] std::uint32_t portsPerCycle() const { return ports_; }
+
+ private:
+  std::uint32_t ports_;
+  Cycle head_ = 0;
+  std::uint32_t used_ = 0;
+};
+
+}  // namespace dresar

@@ -1,0 +1,85 @@
+#include "switchdir/switch_cache.h"
+
+#include <stdexcept>
+
+namespace dresar {
+
+SwitchCacheManager::SwitchCacheManager(const SwitchCacheConfig& cfg, const Butterfly& topo,
+                                       std::uint32_t lineBytes, StatRegistry& stats)
+    : cfg_(cfg), topo_(topo), stats_(stats) {
+  if (cfg_.enabled()) {
+    units_.reserve(topo_.totalSwitches());
+    for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) units_.emplace_back(cfg_, lineBytes);
+  }
+}
+
+SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
+                                           std::vector<Message>& spawn) {
+  if (!cfg_.enabled()) return {};
+  Unit& u = unit(sw);
+  const std::string pfx = "sc." + std::to_string(topo_.flat(sw)) + ".";
+
+  switch (m.type) {
+    case MsgType::ReadReply: {
+      // Clean data flowing home -> reader: deposit it. Switch-served replies
+      // are not re-deposited (they never crossed the home).
+      if (m.viaSwitchCache || m.marked) return {};
+      const Cycle delay = u.ports.reserve(now);
+      if (SDEntry* e = u.tags.allocate(m.addr); e != nullptr) {
+        e->state = SDState::Modified;  // "valid data" for the tag array
+        e->owner = kInvalidNode;
+        ++deposits_;
+        ++stats_.counter(pfx + "deposits");
+      }
+      return {true, delay};
+    }
+
+    case MsgType::ReadRequest: {
+      const Cycle delay = u.ports.reserve(now);
+      SDEntry* e = u.tags.find(m.addr);
+      if (e == nullptr) return {true, delay};
+      // Serve the read right here and tell the home about the new sharer.
+      Message reply;
+      reply.type = MsgType::ReadReply;
+      reply.src = procEp(m.requester);
+      reply.dst = procEp(m.requester);
+      reply.addr = m.addr;
+      reply.requester = m.requester;
+      reply.viaSwitchCache = true;
+      spawn.push_back(reply);
+
+      Message notify;
+      notify.type = MsgType::SharerNotify;
+      notify.src = procEp(m.requester);
+      notify.dst = m.dst;  // the home this request was heading to
+      notify.addr = m.addr;
+      notify.requester = m.requester;
+      spawn.push_back(notify);
+
+      ++serves_;
+      ++stats_.counter(pfx + "serves");
+      return {false, delay};
+    }
+
+    // Anything that can make the cached value stale kills the entry.
+    case MsgType::WriteRequest:
+    case MsgType::WriteReply:
+    case MsgType::Invalidation:
+    case MsgType::CtoCRequest:
+    case MsgType::CopyBack:
+    case MsgType::WriteBack: {
+      const Cycle delay = u.ports.reserve(now);
+      if (SDEntry* e = u.tags.find(m.addr); e != nullptr) {
+        u.tags.invalidate(*e);
+        ++invalidates_;
+        ++stats_.counter(pfx + "invalidates");
+      }
+      return {true, delay};
+    }
+
+    default:
+      return {};
+  }
+}
+
+}  // namespace dresar

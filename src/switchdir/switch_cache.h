@@ -1,0 +1,85 @@
+// Switch cache (the paper's conclusion proposes combining DRESAR with the
+// authors' earlier HPCA-5 "switch cache" framework; this implements that
+// extension). Where the switch *directory* captures ownership of dirty
+// blocks, the switch *cache* holds the data of recently read clean blocks:
+// ReadReplies flowing home -> reader deposit the line, and later reads that
+// hit are served directly at the switch, skipping the home entirely.
+//
+// Coherence: entries are invalidated by every message that makes the cached
+// value suspect (WriteRequest, WriteReply, Invalidation, CtoCRequest,
+// CopyBack, WriteBack). A switch-served read additionally sends a
+// SharerNotify to the home so the full-map directory keeps tracking every
+// copy; a notify that finds the block no longer cleanly SHARED makes the
+// home invalidate the served reader again (the same fill-then-invalidate
+// window the base protocol already tolerates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "interconnect/network.h"
+#include "switchdir/dir_cache.h"
+#include "switchdir/port_schedule.h"
+
+namespace dresar {
+
+class SwitchCacheManager : public ISwitchSnoop {
+ public:
+  SwitchCacheManager(const SwitchCacheConfig& cfg, const Butterfly& topo,
+                     std::uint32_t lineBytes, StatRegistry& stats);
+
+  SnoopOutcome onMessage(SwitchId sw, Cycle now, Message& m,
+                         std::vector<Message>& spawn) override;
+
+  [[nodiscard]] bool enabled() const { return cfg_.enabled(); }
+  [[nodiscard]] std::uint64_t deposits() const { return deposits_; }
+  [[nodiscard]] std::uint64_t serves() const { return serves_; }
+  [[nodiscard]] std::uint64_t invalidates() const { return invalidates_; }
+
+ private:
+  struct Unit {
+    SwitchDirCache tags;  ///< reuse the tag array; state Modified == "valid data"
+    PortSchedule ports;
+    Unit(const SwitchCacheConfig& cfg, std::uint32_t lineBytes)
+        : tags(cfg.entries, cfg.associativity, lineBytes), ports(cfg.snoopPortsPerCycle) {}
+  };
+
+  Unit& unit(SwitchId sw) { return units_[topo_.flat(sw)]; }
+
+  SwitchCacheConfig cfg_;
+  const Butterfly& topo_;
+  StatRegistry& stats_;
+  std::vector<Unit> units_;
+  std::uint64_t deposits_ = 0;
+  std::uint64_t serves_ = 0;
+  std::uint64_t invalidates_ = 0;
+};
+
+/// Chains two snoops: the switch directory decides first (it may sink a
+/// request to start a dirty transfer); the switch cache sees the message
+/// only if it passed. Delays add (both structures are probed in the same
+/// switch pipeline).
+class SnoopChain : public ISwitchSnoop {
+ public:
+  SnoopChain(ISwitchSnoop* first, ISwitchSnoop* second) : first_(first), second_(second) {}
+
+  SnoopOutcome onMessage(SwitchId sw, Cycle now, Message& m,
+                         std::vector<Message>& spawn) override {
+    SnoopOutcome a{true, 0};
+    if (first_ != nullptr) a = first_->onMessage(sw, now, m, spawn);
+    if (!a.pass) return a;
+    SnoopOutcome b{true, 0};
+    if (second_ != nullptr) b = second_->onMessage(sw, now, m, spawn);
+    return {b.pass, a.extraDelay + b.extraDelay};
+  }
+
+ private:
+  ISwitchSnoop* first_;
+  ISwitchSnoop* second_;
+};
+
+}  // namespace dresar

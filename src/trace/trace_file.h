@@ -1,0 +1,57 @@
+// Trace file I/O. The paper consumed COMPASS traces; downstream users will
+// have their own. The format is a simple line-oriented text format,
+//
+//     # comment
+//     <pid> <r|w> <hex-address>
+//
+// plus a compact binary variant (12 bytes/record, little-endian) for large
+// traces. Readers auto-detect the format from the magic header.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/tpc_gen.h"
+
+namespace dresar {
+
+/// Binary format magic ("DTRC" + version 1).
+inline constexpr std::uint32_t kTraceMagic = 0x44545243u;
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+class TraceWriter {
+ public:
+  /// `binary` selects the compact format.
+  explicit TraceWriter(std::ostream& os, bool binary = false);
+  void write(const TraceRecord& r);
+  [[nodiscard]] std::uint64_t written() const { return count_; }
+
+ private:
+  std::ostream& os_;
+  bool binary_;
+  std::uint64_t count_ = 0;
+};
+
+class TraceReader {
+ public:
+  /// Auto-detects text vs. binary from the stream head.
+  explicit TraceReader(std::istream& is);
+  /// Returns false at end of trace. Throws std::runtime_error on malformed
+  /// input (with the offending line number for the text format).
+  bool next(TraceRecord& out);
+  [[nodiscard]] std::uint64_t consumed() const { return count_; }
+
+ private:
+  std::istream& is_;
+  bool binary_ = false;
+  std::uint64_t count_ = 0;
+  std::uint64_t line_ = 0;
+};
+
+/// Convenience: materialize a generator into a file and read it back.
+void dumpTrace(TpcGenerator& gen, std::ostream& os, bool binary = false);
+std::vector<TraceRecord> loadTrace(std::istream& is);
+
+}  // namespace dresar

@@ -1,0 +1,124 @@
+// Trace-driven simulator for the commercial workloads (paper Section 5.1,
+// Table 3): a single-issue processor per node, one 2MB 4-way set-associative
+// cache, the MSI cache protocol, a full-map home directory, constant service
+// latencies, and the switch-directory interconnect modeled structurally over
+// the same butterfly BMIN (which switches a request path crosses, which
+// entries a reply deposits, which a copyback clears).
+//
+// Transactions complete atomically between records — the sequential
+// abstraction the paper adopted "for simplicity and limiting simulation
+// execution time". TRANSIENT states therefore never persist; the one
+// protocol artifact that survives is the *stale* switch entry (the owner
+// lost the line via a path that missed the switch), which costs a retry trip
+// before the home services the request, exactly as in the event-driven
+// model.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "coherence/cache_array.h"
+#include "interconnect/topology.h"
+#include "switchdir/dir_cache.h"
+#include "trace/tpc_gen.h"
+
+namespace dresar {
+
+struct TraceMetrics {
+  std::uint64_t refs = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t readHits = 0;
+  std::uint64_t readMisses = 0;
+  std::uint64_t svcCleanLocal = 0;
+  std::uint64_t svcCleanRemote = 0;
+  std::uint64_t svcCtoCLocal = 0;   ///< home-serviced c2c, local home
+  std::uint64_t svcCtoCRemote = 0;  ///< home-serviced c2c, remote home
+  std::uint64_t svcSwitchDir = 0;   ///< re-routed by a switch directory
+  std::uint64_t homeCtoC = 0;       ///< c2c transfers the home had to forward
+  std::uint64_t sdDeposits = 0;
+  std::uint64_t sdStaleRetries = 0;
+  double totalReadLatency = 0.0;  ///< Figure 10 numerator (read stall)
+  Cycle execTime = 0;             ///< max per-processor accumulated cycles
+
+  [[nodiscard]] std::uint64_t ctoc() const {
+    return svcCtoCLocal + svcCtoCRemote + svcSwitchDir;
+  }
+  [[nodiscard]] double dirtyFraction() const {
+    return readMisses == 0 ? 0.0 : static_cast<double>(ctoc()) / readMisses;
+  }
+  [[nodiscard]] double avgReadLatency() const {
+    return reads == 0 ? 0.0 : totalReadLatency / static_cast<double>(reads);
+  }
+};
+
+/// Per-block miss accounting for Figure 2.
+struct BlockStat {
+  std::uint32_t misses = 0;
+  std::uint32_t ctocs = 0;
+};
+
+class TraceSimulator {
+ public:
+  explicit TraceSimulator(const TraceConfig& cfg);
+
+  /// Process one trace record.
+  void access(NodeId pid, Addr addr, bool write);
+  void access(const TraceRecord& r) { access(r.pid, r.addr, r.write); }
+
+  /// Drive an entire generator through the simulator (calls finalize()).
+  void run(TpcGenerator& gen);
+
+  /// Recompute execTime from the per-processor cycle totals; call after
+  /// feeding records via access() directly.
+  void finalize();
+
+  [[nodiscard]] const TraceMetrics& metrics() const { return m_; }
+  [[nodiscard]] const TraceConfig& config() const { return cfg_; }
+
+  void enableBlockStats() { collectBlocks_ = true; }
+  [[nodiscard]] const std::unordered_map<Addr, BlockStat>& blockStats() const { return blocks_; }
+
+  /// Invariant support for tests.
+  [[nodiscard]] std::uint64_t switchEntries(SDState s) const;
+
+ private:
+  enum class TDir : std::uint8_t { Uncached, Shared, Modified };
+  struct DirEntry {
+    TDir state = TDir::Uncached;
+    NodeId owner = kInvalidNode;
+    std::uint64_t sharers = 0;
+  };
+
+  [[nodiscard]] NodeId homeOf(Addr block) const { return cfg_.homeOf(block); }
+  DirEntry& dir(Addr block) { return dir_[block]; }
+
+  /// Clear this block's entries along `who`'s forward path to the home
+  /// (models the copyback/writeback snoop).
+  void clearPathEntries(NodeId who, Addr block);
+  /// Deposit {MODIFIED, owner} along the home->owner backward path (models
+  /// the WriteReply snoop).
+  void depositEntries(NodeId owner, Addr block);
+
+  void doRead(NodeId pid, Addr block);
+  void doWrite(NodeId pid, Addr block);
+  /// Install `block` in pid's cache with `state`, handling dirty victims.
+  void fill(NodeId pid, Addr block, CacheState state);
+
+  void noteMiss(Addr block, bool ctoc);
+
+  TraceConfig cfg_;
+  Butterfly topo_;
+  std::vector<CacheArray> caches_;              // one per processor
+  std::vector<SwitchDirCache> switchDirs_;      // one per switch (may be empty)
+  std::unordered_map<Addr, DirEntry> dir_;
+  std::vector<Cycle> procCycles_;
+  TraceMetrics m_;
+  bool collectBlocks_ = false;
+  std::unordered_map<Addr, BlockStat> blocks_;
+};
+
+}  // namespace dresar

@@ -1,0 +1,26 @@
+#include <stdexcept>
+
+#include "workloads/workload.h"
+
+namespace dresar {
+
+namespace workloads {
+std::unique_ptr<Workload> makeFft(std::size_t points);
+std::unique_ptr<Workload> makeSor(std::size_t n, std::size_t iters);
+std::unique_ptr<Workload> makeTc(std::size_t n);
+std::unique_ptr<Workload> makeFwa(std::size_t n);
+std::unique_ptr<Workload> makeGauss(std::size_t n);
+}  // namespace workloads
+
+std::unique_ptr<Workload> makeWorkload(const std::string& name, const WorkloadScale& scale) {
+  if (name == "fft" || name == "FFT") return workloads::makeFft(scale.fftPoints);
+  if (name == "sor" || name == "SOR") return workloads::makeSor(scale.sorN, scale.sorIters);
+  if (name == "tc" || name == "TC") return workloads::makeTc(scale.tcN);
+  if (name == "fwa" || name == "FWA") return workloads::makeFwa(scale.fwaN);
+  if (name == "gauss" || name == "GAUSS") return workloads::makeGauss(scale.gaussN);
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::vector<std::string> workloadNames() { return {"fft", "tc", "sor", "fwa", "gauss"}; }
+
+}  // namespace dresar

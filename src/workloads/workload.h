@@ -1,0 +1,77 @@
+// Workload interface for execution-driven runs, plus the runner that wires
+// per-processor coroutines into a System and collects metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/context.h"
+#include "cpu/task.h"
+#include "sim/metrics.h"
+#include "sim/system.h"
+
+namespace dresar {
+
+struct WorkloadResult {
+  bool ok = false;
+  std::string detail;
+};
+
+/// Problem-size knobs. Defaults are scaled for seconds-long runs; `paper()`
+/// gives the Table 2 sizes.
+struct WorkloadScale {
+  std::size_t fftPoints = 4096;     ///< paper: 16K
+  std::size_t sorN = 128;           ///< paper: 512
+  std::size_t sorIters = 8;
+  std::size_t tcN = 48;             ///< paper: 128
+  std::size_t fwaN = 48;            ///< paper: 128
+  std::size_t gaussN = 48;          ///< paper: 128
+
+  static WorkloadScale paper() {
+    WorkloadScale s;
+    s.fftPoints = 16384;
+    s.sorN = 512;
+    s.sorIters = 8;
+    s.tcN = 128;
+    s.fwaN = 128;
+    s.gaussN = 128;
+    return s;
+  }
+  static WorkloadScale tiny() {
+    WorkloadScale s;
+    s.fftPoints = 256;
+    s.sorN = 32;
+    s.sorIters = 4;
+    s.tcN = 16;
+    s.fwaN = 16;
+    s.gaussN = 16;
+    return s;
+  }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Allocate and initialize shared data (called once, before any body).
+  virtual void setup(System& sys) = 0;
+  /// The per-processor program. One coroutine per node runs concurrently at
+  /// simulated time.
+  virtual SimTask body(System& sys, ThreadContext& ctx) = 0;
+  /// Numeric self-check after the run.
+  [[nodiscard]] virtual WorkloadResult verify(System& sys) = 0;
+};
+
+/// Run `w` on `sys` (setup -> one body per processor -> fence -> verify).
+/// Throws if verification fails or the protocol deadlocks.
+RunMetrics runWorkload(System& sys, Workload& w, bool requireVerify = true);
+
+/// Factory over the five scientific kernels: "fft", "sor", "tc", "fwa",
+/// "gauss". Throws on unknown names.
+std::unique_ptr<Workload> makeWorkload(const std::string& name, const WorkloadScale& scale);
+
+/// All registered workload names, in the paper's Figure 1 order.
+std::vector<std::string> workloadNames();
+
+}  // namespace dresar

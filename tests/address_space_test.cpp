@@ -1,0 +1,75 @@
+#include "sim/address_space.h"
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace dresar {
+namespace {
+
+TEST(AddressSpace, InterleavedAllocSpansHomes) {
+  SystemConfig cfg;
+  AddressSpace as(cfg);
+  const Addr base = as.alloc(cfg.pageBytes * cfg.numNodes);
+  // Consecutive pages land on consecutive homes.
+  for (NodeId n = 0; n < cfg.numNodes; ++n) {
+    EXPECT_EQ(as.homeOf(base + n * cfg.pageBytes), (as.homeOf(base) + n) % cfg.numNodes);
+  }
+}
+
+TEST(AddressSpace, AllocationsAreLineAlignedAndDisjoint) {
+  SystemConfig cfg;
+  AddressSpace as(cfg);
+  const Addr a = as.alloc(10);
+  const Addr b = as.alloc(10);
+  EXPECT_EQ(a % cfg.lineBytes, 0u);
+  EXPECT_EQ(b % cfg.lineBytes, 0u);
+  EXPECT_GE(b, a + 10);
+}
+
+TEST(AddressSpace, AllocAtPlacesOnRequestedHome) {
+  SystemConfig cfg;
+  AddressSpace as(cfg);
+  for (NodeId n = 0; n < cfg.numNodes; ++n) {
+    const Addr a = as.allocAt(n, cfg.lineBytes);
+    EXPECT_EQ(as.homeOf(a), n) << "allocation for node " << n;
+  }
+}
+
+TEST(AddressSpace, AllocAtStaysOnHomeAcrossManyAllocations) {
+  SystemConfig cfg;
+  AddressSpace as(cfg);
+  for (int i = 0; i < 500; ++i) {
+    const Addr a = as.allocAt(5, 96);
+    EXPECT_EQ(as.homeOf(a), 5u);
+    EXPECT_EQ(as.homeOf(a + 95), 5u);  // whole object on one home
+  }
+}
+
+TEST(AddressSpace, AllocAtRejectsOverPageAllocations) {
+  SystemConfig cfg;
+  AddressSpace as(cfg);
+  EXPECT_THROW(as.allocAt(0, cfg.pageBytes + 1), std::invalid_argument);
+  EXPECT_THROW(as.allocAt(cfg.numNodes, 8), std::out_of_range);
+}
+
+TEST(SharedArray, ElementAddressing) {
+  SystemConfig cfg;
+  AddressSpace as(cfg);
+  SharedArray<double> arr(as, 100);
+  EXPECT_EQ(arr.size(), 100u);
+  EXPECT_EQ(arr.addr(1) - arr.addr(0), sizeof(double));
+  arr[7] = 3.5;
+  EXPECT_DOUBLE_EQ(arr[7], 3.5);
+}
+
+TEST(SharedArray, DistinctArraysDoNotOverlap) {
+  SystemConfig cfg;
+  AddressSpace as(cfg);
+  SharedArray<int> a(as, 64);
+  SharedArray<int> b(as, 64);
+  EXPECT_GE(b.addr(0), a.addr(63) + sizeof(int));
+}
+
+}  // namespace
+}  // namespace dresar

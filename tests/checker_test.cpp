@@ -1,0 +1,53 @@
+#include "sim/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/system.h"
+#include "workloads/workload.h"
+
+namespace dresar {
+namespace {
+
+TEST(ProtocolChecker, CleanRunPasses) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = 1024;
+  System sys(cfg);
+  auto w = makeWorkload("sor", WorkloadScale::tiny());
+  runWorkload(sys, *w);
+  const CheckReport r = ProtocolChecker::check(sys);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.summary(), "protocol invariants hold");
+}
+
+TEST(ProtocolChecker, FreshSystemPasses) {
+  SystemConfig cfg;
+  System sys(cfg);
+  const CheckReport r = ProtocolChecker::check(sys);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ProtocolChecker, AllKernelsBothConfigs) {
+  for (const auto& name : workloadNames()) {
+    for (const std::uint32_t sd : {0u, 512u}) {
+      SystemConfig cfg;
+      cfg.switchDir.entries = sd;
+      System sys(cfg);
+      auto w = makeWorkload(name, WorkloadScale::tiny());
+      runWorkload(sys, *w);
+      const CheckReport r = ProtocolChecker::check(sys);
+      EXPECT_TRUE(r.ok()) << name << " sd=" << sd << ": " << r.summary();
+    }
+  }
+}
+
+TEST(ProtocolChecker, SummaryListsViolations) {
+  CheckReport r;
+  r.violations.push_back("first");
+  r.violations.push_back("second");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.summary().find("2 violation(s)"), std::string::npos);
+  EXPECT_NE(r.summary().find("first"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dresar

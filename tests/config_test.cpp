@@ -1,0 +1,93 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dresar {
+namespace {
+
+TEST(SystemConfig, DefaultsMatchPaperTable2) {
+  SystemConfig c;
+  EXPECT_EQ(c.numNodes, 16u);
+  EXPECT_EQ(c.issueWidth, 4u);
+  EXPECT_EQ(c.l1Bytes, 16u * 1024);
+  EXPECT_EQ(c.l1Assoc, 2u);
+  EXPECT_EQ(c.l1AccessCycles, 1u);
+  EXPECT_EQ(c.l2Bytes, 128u * 1024);
+  EXPECT_EQ(c.l2Assoc, 4u);
+  EXPECT_EQ(c.l2AccessCycles, 8u);
+  EXPECT_EQ(c.lineBytes, 32u);
+  EXPECT_EQ(c.memAccessCycles, 40u);
+  EXPECT_EQ(c.memInterleave, 4u);
+  EXPECT_EQ(c.net.switchRadix, 8u);
+  EXPECT_EQ(c.net.coreDelay, 4u);
+  EXPECT_EQ(c.net.linkCyclesPerFlit, 4u);
+  EXPECT_EQ(c.net.flitBytes, 8u);
+  EXPECT_EQ(c.net.virtualChannels, 2u);
+  EXPECT_EQ(c.net.bufferFlits, 4u);
+  EXPECT_EQ(c.switchDir.entries, 1024u);
+  EXPECT_EQ(c.switchDir.associativity, 4u);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(SystemConfig, HomeAndBlockMapping) {
+  SystemConfig c;
+  EXPECT_EQ(c.blockOf(0x1234), 0x1220u);  // 32B lines
+  EXPECT_EQ(c.homeOf(0), 0u);
+  EXPECT_EQ(c.homeOf(4096), 1u);
+  EXPECT_EQ(c.homeOf(4096ull * 16), 0u);  // wraps at numNodes pages
+}
+
+TEST(SystemConfig, ValidationCatchesBadGeometry) {
+  SystemConfig c;
+  c.lineBytes = 48;  // not a power of two
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = SystemConfig{};
+  c.numNodes = 12;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = SystemConfig{};
+  c.switchDir.entries = 1000;  // not divisible by assoc=4? 1000/4=250 ok; use assoc 3
+  c.switchDir.associativity = 3;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = SystemConfig{};
+  c.writeBufferEntries = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SystemConfig, DisabledSwitchDirIsBaseSystem) {
+  SystemConfig c;
+  c.switchDir.entries = 0;
+  EXPECT_FALSE(c.switchDir.enabled());
+  EXPECT_NO_THROW(c.validate());
+  std::ostringstream os;
+  c.dump(os);
+  EXPECT_NE(os.str().find("Base system"), std::string::npos);
+}
+
+TEST(TraceConfig, DefaultsMatchPaperTable3) {
+  TraceConfig t;
+  EXPECT_EQ(t.cacheBytes, 2u * 1024 * 1024);
+  EXPECT_EQ(t.cacheAssoc, 4u);
+  EXPECT_EQ(t.cacheAccess, 8u);
+  EXPECT_EQ(t.localMemory, 100u);
+  EXPECT_EQ(t.ctocLocalHome, 220u);
+  EXPECT_EQ(t.remoteMemory, 260u);
+  EXPECT_EQ(t.ctocRemoteHome, 320u);
+  EXPECT_EQ(t.switchDirHit, 200u);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(TraceConfig, Dump) {
+  TraceConfig t;
+  std::ostringstream os;
+  t.dump(os);
+  EXPECT_NE(os.str().find("220"), std::string::npos);
+  EXPECT_NE(os.str().find("320"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dresar

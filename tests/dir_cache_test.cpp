@@ -1,0 +1,129 @@
+#include "switchdir/dir_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "switchdir/port_schedule.h"
+
+namespace dresar {
+namespace {
+
+TEST(SwitchDirCache, MissThenAllocateThenHit) {
+  SwitchDirCache c(64, 4, 32);
+  EXPECT_EQ(c.find(0x100), nullptr);
+  SDEntry* e = c.allocate(0x100);
+  ASSERT_NE(e, nullptr);
+  e->state = SDState::Modified;
+  e->owner = 3;
+  SDEntry* f = c.find(0x100);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->owner, 3u);
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(SwitchDirCache, LruEvictsOldestModified) {
+  // 1 set of 2 ways: entries=2, assoc=2 -> numSets=1.
+  SwitchDirCache c(2, 2, 32);
+  auto* a = c.allocate(0x20);
+  a->state = SDState::Modified;
+  auto* b = c.allocate(0x40);
+  b->state = SDState::Modified;
+  c.find(0x20);  // touch A, making B the LRU
+  auto* d = c.allocate(0x60);
+  d->state = SDState::Modified;
+  EXPECT_NE(c.find(0x20), nullptr);
+  EXPECT_EQ(c.find(0x40), nullptr);  // evicted
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(SwitchDirCache, TransientEntriesArePinned) {
+  SwitchDirCache c(2, 2, 32);
+  auto* a = c.allocate(0x20);
+  a->state = SDState::Transient;
+  a->requester = 5;
+  auto* b = c.allocate(0x40);
+  b->state = SDState::Transient;
+  b->requester = 6;
+  // Both ways pinned: allocation must fail, not displace a transient entry.
+  EXPECT_EQ(c.allocate(0x60), nullptr);
+  EXPECT_EQ(c.stats().allocFailures, 1u);
+  EXPECT_NE(c.find(0x20), nullptr);
+  EXPECT_NE(c.find(0x40), nullptr);
+}
+
+TEST(SwitchDirCache, AllocateIsFindOrAllocate) {
+  SwitchDirCache c(64, 4, 32);
+  SDEntry* e = c.allocate(0x80);
+  e->state = SDState::Modified;
+  e->owner = 7;
+  SDEntry* again = c.allocate(0x80);
+  EXPECT_EQ(again, e);
+  EXPECT_EQ(again->owner, 7u);
+  EXPECT_EQ(c.stats().allocations, 1u);
+}
+
+TEST(SwitchDirCache, InvalidateFreesWay) {
+  SwitchDirCache c(2, 2, 32);
+  auto* a = c.allocate(0x20);
+  a->state = SDState::Modified;
+  c.invalidate(*a);
+  EXPECT_EQ(c.find(0x20), nullptr);
+  EXPECT_EQ(c.countState(SDState::Modified), 0u);
+  EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(SwitchDirCache, SetIndexingSeparatesConflicts) {
+  // 8 entries, 2-way => 4 sets; blocks 0x0 and 0x80 map to different sets
+  // with 32B lines (block>>5 mod 4).
+  SwitchDirCache c(8, 2, 32);
+  auto* a = c.allocate(0x0);
+  a->state = SDState::Modified;
+  auto* b = c.allocate(0x80);
+  b->state = SDState::Modified;
+  EXPECT_NE(c.find(0x0), nullptr);
+  EXPECT_NE(c.find(0x80), nullptr);
+}
+
+TEST(SwitchDirCache, CountState) {
+  SwitchDirCache c(16, 4, 32);
+  c.allocate(0x20)->state = SDState::Modified;
+  c.allocate(0x40)->state = SDState::Transient;
+  c.allocate(0x60)->state = SDState::Modified;
+  EXPECT_EQ(c.countState(SDState::Modified), 2u);
+  EXPECT_EQ(c.countState(SDState::Transient), 1u);
+}
+
+TEST(SwitchDirCache, RejectsBadGeometry) {
+  EXPECT_THROW(SwitchDirCache(10, 4, 32), std::invalid_argument);
+  EXPECT_THROW(SwitchDirCache(16, 4, 48), std::invalid_argument);
+  EXPECT_THROW(SwitchDirCache(0, 4, 32), std::invalid_argument);
+}
+
+TEST(PortSchedule, TwoPortsPerCycle) {
+  PortSchedule p(2);
+  EXPECT_EQ(p.reserve(10), 0u);
+  EXPECT_EQ(p.reserve(10), 0u);
+  EXPECT_EQ(p.reserve(10), 1u);  // third access waits a cycle
+  EXPECT_EQ(p.reserve(10), 1u);
+  EXPECT_EQ(p.reserve(10), 2u);
+}
+
+TEST(PortSchedule, IdleCyclesResetBudget) {
+  PortSchedule p(2);
+  p.reserve(5);
+  p.reserve(5);
+  p.reserve(5);
+  EXPECT_EQ(p.reserve(100), 0u);
+}
+
+TEST(PortSchedule, SinglePortSerializes) {
+  PortSchedule p(1);
+  EXPECT_EQ(p.reserve(0), 0u);
+  EXPECT_EQ(p.reserve(0), 1u);
+  EXPECT_EQ(p.reserve(0), 2u);
+  EXPECT_EQ(p.reserve(1), 2u);  // still behind the backlog
+}
+
+TEST(PortSchedule, RejectsZeroPorts) { EXPECT_THROW(PortSchedule(0), std::invalid_argument); }
+
+}  // namespace
+}  // namespace dresar

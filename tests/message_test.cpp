@@ -1,0 +1,67 @@
+#include "interconnect/message.h"
+
+#include <gtest/gtest.h>
+
+namespace dresar {
+namespace {
+
+TEST(Message, DataCarriersMatchProtocol) {
+  // Exactly the replies and write-back family carry a cache line.
+  EXPECT_TRUE(carriesData(MsgType::WriteReply));
+  EXPECT_TRUE(carriesData(MsgType::CopyBack));
+  EXPECT_TRUE(carriesData(MsgType::WriteBack));
+  EXPECT_TRUE(carriesData(MsgType::ReadReply));
+  EXPECT_TRUE(carriesData(MsgType::CtoCReply));
+  EXPECT_FALSE(carriesData(MsgType::ReadRequest));
+  EXPECT_FALSE(carriesData(MsgType::WriteRequest));
+  EXPECT_FALSE(carriesData(MsgType::CtoCRequest));
+  EXPECT_FALSE(carriesData(MsgType::Retry));
+  EXPECT_FALSE(carriesData(MsgType::Invalidation));
+  EXPECT_FALSE(carriesData(MsgType::InvalAck));
+  EXPECT_FALSE(carriesData(MsgType::SharerNotify));
+}
+
+TEST(Message, SizeIncludesHeaderAndLine) {
+  Message req;
+  req.type = MsgType::ReadRequest;
+  EXPECT_EQ(req.sizeBytes(8, 32), 8u);
+  Message data;
+  data.type = MsgType::ReadReply;
+  EXPECT_EQ(data.sizeBytes(8, 32), 40u);
+  EXPECT_EQ(data.sizeBytes(8, 128), 136u);
+}
+
+TEST(Message, DescribeIsInformative) {
+  Message m;
+  m.type = MsgType::CtoCRequest;
+  m.src = memEp(3);
+  m.dst = procEp(7);
+  m.addr = 0xabc0;
+  m.requester = 5;
+  m.marked = true;
+  m.id = 42;
+  const std::string d = m.describe();
+  EXPECT_NE(d.find("CtoCRequest"), std::string::npos);
+  EXPECT_NE(d.find("M3->P7"), std::string::npos);
+  EXPECT_NE(d.find("abc0"), std::string::npos);
+  EXPECT_NE(d.find("req=5"), std::string::npos);
+  EXPECT_NE(d.find("[marked]"), std::string::npos);
+}
+
+TEST(Message, EveryTypeHasAName) {
+  for (int t = 0; t <= static_cast<int>(MsgType::SharerNotify); ++t) {
+    EXPECT_STRNE(toString(static_cast<MsgType>(t)), "?");
+  }
+}
+
+TEST(Endpoint, Helpers) {
+  EXPECT_EQ(procEp(3).kind, EndpointKind::Proc);
+  EXPECT_EQ(memEp(3).kind, EndpointKind::Mem);
+  EXPECT_EQ(toString(procEp(3)), "P3");
+  EXPECT_EQ(toString(memEp(14)), "M14");
+  EXPECT_TRUE(procEp(1) == procEp(1));
+  EXPECT_FALSE(procEp(1) == memEp(1));
+}
+
+}  // namespace
+}  // namespace dresar

@@ -1,0 +1,61 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/system.h"
+#include "workloads/workload.h"
+
+namespace dresar {
+namespace {
+
+TEST(Metrics, ReductionPct) {
+  EXPECT_DOUBLE_EQ(reductionPct(100.0, 40.0), 60.0);
+  EXPECT_DOUBLE_EQ(reductionPct(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(reductionPct(0.0, 10.0), 0.0);  // guarded
+  EXPECT_DOUBLE_EQ(reductionPct(50.0, 75.0), -50.0);
+}
+
+TEST(Metrics, CollectConsistency) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = 1024;
+  System sys(cfg);
+  auto w = makeWorkload("tc", WorkloadScale::tiny());
+  const RunMetrics m = runWorkload(sys, *w);
+  // Misses partition into the four service classes.
+  EXPECT_EQ(m.readMisses, m.svcClean + m.svcCtoCHome + m.svcCtoCSwitch + m.svcSwitchWB);
+  EXPECT_LE(m.readMisses, m.reads);
+  EXPECT_GE(m.dirtyFraction(), 0.0);
+  EXPECT_LE(m.dirtyFraction(), 1.0);
+  // Blocking loads: total stall equals the latency mass.
+  EXPECT_GT(m.totalReadStall, 0.0);
+  EXPECT_GT(m.avgReadLatency, 0.0);
+  EXPECT_EQ(m.workload, "TC");
+  EXPECT_GT(m.netMessages, 0u);
+}
+
+TEST(Metrics, BaseSystemHasNoSwitchActivity) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = 0;
+  System sys(cfg);
+  auto w = makeWorkload("fwa", WorkloadScale::tiny());
+  const RunMetrics m = runWorkload(sys, *w);
+  EXPECT_EQ(m.sdDeposits, 0u);
+  EXPECT_EQ(m.sdCtoCInitiated, 0u);
+  EXPECT_EQ(m.svcCtoCSwitch, 0u);
+  EXPECT_EQ(m.svcSwitchWB, 0u);
+}
+
+TEST(Metrics, LatencyShareDecomposes) {
+  SystemConfig cfg;
+  System sys(cfg);
+  auto w = makeWorkload("sor", WorkloadScale::tiny());
+  const RunMetrics m = runWorkload(sys, *w);
+  // clean + ctoc latency masses cover the total sampled latency.
+  const Sampler* total = sys.stats().findSampler("cpu.read_latency");
+  ASSERT_NE(total, nullptr);
+  EXPECT_NEAR(m.totalReadLatClean + m.totalReadLatCtoC, total->sum(), 1e-6);
+  EXPECT_LE(m.totalReadLatCleanMiss, m.totalReadLatClean);
+}
+
+}  // namespace
+}  // namespace dresar

@@ -1,0 +1,229 @@
+#include "interconnect/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/stats.h"
+
+namespace dresar {
+namespace {
+
+struct Fixture {
+  EventQueue eq;
+  StatRegistry stats;
+  NetworkConfig cfg;
+  Network net;
+
+  Fixture() : net(cfg, 16, 32, eq, stats) {}
+};
+
+Message mkMsg(MsgType t, Endpoint src, Endpoint dst, Addr a = 0x100) {
+  Message m;
+  m.type = t;
+  m.src = src;
+  m.dst = dst;
+  m.addr = a;
+  m.requester = src.kind == EndpointKind::Proc ? src.node : kInvalidNode;
+  return m;
+}
+
+TEST(Network, DeliversWithExpectedLatency) {
+  Fixture f;
+  Cycle arrival = kNoCycle;
+  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrival = f.eq.now(); });
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
+  f.eq.run();
+  // Header-only message: 1 flit = 4 link cycles per hop, 3 link traversals
+  // (inject, stage0->stage1, stage1->mem) + 2 switch core delays of 4.
+  EXPECT_EQ(arrival, 3u * 4 + 2u * 4);
+}
+
+TEST(Network, DataMessagesSerializeLonger) {
+  Fixture f;
+  Cycle headerArrival = 0, dataArrival = 0;
+  f.net.setDeliveryHandler(memEp(9), [&](const Message& m) {
+    (carriesData(m.type) ? dataArrival : headerArrival) = f.eq.now();
+  });
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
+  f.eq.run();
+  f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9)));
+  f.eq.run();
+  // 8B header + 32B line = 5 flits = 20 link cycles per hop.
+  EXPECT_EQ(dataArrival - headerArrival, (3u * 20 + 2u * 4));
+}
+
+TEST(Network, ContentionQueuesOnSharedLink) {
+  Fixture f;
+  std::vector<Cycle> arrivals;
+  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrivals.push_back(f.eq.now()); });
+  // Two messages from the same source serialize on the injection link.
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9), 0x100));
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9), 0x200));
+  f.eq.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], 4u);  // pipelined one flit apart
+}
+
+TEST(Network, PerPathFifoOrdering) {
+  Fixture f;
+  std::vector<Addr> order;
+  f.net.setDeliveryHandler(memEp(9), [&](const Message& m) { order.push_back(m.addr); });
+  // A long data message followed by a short one on the same path must not
+  // be overtaken (store-and-forward per-link reservation).
+  f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9), 0xA));
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9), 0xB));
+  f.eq.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0xAu);
+  EXPECT_EQ(order[1], 0xBu);
+}
+
+class SinkSnoop : public ISwitchSnoop {
+ public:
+  SnoopOutcome onMessage(SwitchId sw, Cycle, Message& m, std::vector<Message>& spawn) override {
+    ++seen;
+    lastSwitch = sw;
+    if (sinkAtRoot && sw.stage == 1) {
+      if (spawnReply) {
+        Message r;
+        r.type = MsgType::Retry;
+        r.src = procEp(m.requester);
+        r.dst = procEp(m.requester);
+        r.addr = m.addr;
+        r.requester = m.requester;
+        r.marked = true;
+        spawn.push_back(r);
+      }
+      return {false, 0};
+    }
+    return {true, extraDelay};
+  }
+  int seen = 0;
+  SwitchId lastSwitch;
+  bool sinkAtRoot = false;
+  bool spawnReply = false;
+  Cycle extraDelay = 0;
+};
+
+TEST(Network, SnoopSeesEverySwitchOnPath) {
+  Fixture f;
+  SinkSnoop snoop;
+  f.net.setSnoop(&snoop);
+  f.net.setDeliveryHandler(memEp(9), [](const Message&) {});
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
+  f.eq.run();
+  EXPECT_EQ(snoop.seen, 2);  // leaf + root
+}
+
+TEST(Network, SnoopCanSinkMessages) {
+  Fixture f;
+  SinkSnoop snoop;
+  snoop.sinkAtRoot = true;
+  f.net.setSnoop(&snoop);
+  bool delivered = false;
+  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { delivered = true; });
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
+  f.eq.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(f.net.messagesSunk(), 1u);
+}
+
+TEST(Network, SnoopSpawnedMessageIsRoutedFromSwitch) {
+  Fixture f;
+  SinkSnoop snoop;
+  snoop.sinkAtRoot = true;
+  snoop.spawnReply = true;
+  f.net.setSnoop(&snoop);
+  bool retryArrived = false;
+  f.net.setDeliveryHandler(memEp(9), [](const Message&) {});
+  f.net.setDeliveryHandler(procEp(5), [&](const Message& m) {
+    retryArrived = m.type == MsgType::Retry && m.marked;
+  });
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
+  f.eq.run();
+  EXPECT_TRUE(retryArrived);
+}
+
+TEST(Network, SnoopExtraDelaySlowsDelivery) {
+  Fixture f;
+  Cycle base = 0, delayed = 0;
+  f.net.setDeliveryHandler(memEp(9), [&](const Message&) {
+    if (base == 0) base = f.eq.now();
+    else delayed = f.eq.now() - base;
+  });
+  SinkSnoop snoop;
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
+  f.eq.run();
+  base = f.eq.now();
+  Cycle t0 = f.eq.now();
+  snoop.extraDelay = 10;
+  f.net.setSnoop(&snoop);
+  Cycle arrive2 = 0;
+  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrive2 = f.eq.now(); });
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
+  f.eq.run();
+  EXPECT_EQ(arrive2 - t0, 3u * 4 + 2u * 4 + 2u * 10);
+}
+
+TEST(Network, CountsMessagesByType) {
+  Fixture f;
+  f.net.setDeliveryHandler(memEp(0), [](const Message&) {});
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(1), memEp(0)));
+  f.net.send(mkMsg(MsgType::WriteRequest, procEp(2), memEp(0)));
+  f.eq.run();
+  EXPECT_EQ(f.stats.counterValue("net.msgs.ReadRequest"), 1u);
+  EXPECT_EQ(f.stats.counterValue("net.msgs.WriteRequest"), 1u);
+  EXPECT_EQ(f.net.messagesSent(), 2u);
+}
+
+TEST(Network, MissingHandlerThrows) {
+  Fixture f;
+  f.net.send(mkMsg(MsgType::ReadRequest, procEp(1), memEp(0)));
+  EXPECT_THROW(f.eq.run(), std::logic_error);
+}
+
+TEST(Network, ProcToProcSameClusterTurnaround) {
+  Fixture f;
+  Cycle arrival = kNoCycle;
+  f.net.setDeliveryHandler(procEp(6), [&](const Message& m) {
+    EXPECT_EQ(m.type, MsgType::CtoCReply);
+    arrival = f.eq.now();
+  });
+  f.net.send(mkMsg(MsgType::CtoCReply, procEp(4), procEp(6)));
+  f.eq.run();
+  // One switch (turnaround at the shared leaf): 2 link traversals of a
+  // 5-flit data message + 1 core delay.
+  EXPECT_EQ(arrival, 2u * 20 + 4);
+}
+
+TEST(Network, ProcToProcCrossClusterTraversesThreeSwitches) {
+  Fixture f;
+  SinkSnoop snoop;
+  f.net.setSnoop(&snoop);
+  bool arrived = false;
+  f.net.setDeliveryHandler(procEp(14), [&](const Message&) { arrived = true; });
+  f.net.send(mkMsg(MsgType::CtoCReply, procEp(1), procEp(14)));
+  f.eq.run();
+  EXPECT_TRUE(arrived);
+  EXPECT_EQ(snoop.seen, 3);  // leaf, root, leaf
+}
+
+TEST(Network, AllPairsDeliver) {
+  Fixture f;
+  int count = 0;
+  for (NodeId m = 0; m < 16; ++m) {
+    f.net.setDeliveryHandler(memEp(m), [&](const Message&) { ++count; });
+  }
+  for (NodeId p = 0; p < 16; ++p) {
+    for (NodeId m = 0; m < 16; ++m) {
+      f.net.send(mkMsg(MsgType::ReadRequest, procEp(p), memEp(m), 0x40ull * (p * 16 + m)));
+    }
+  }
+  f.eq.run();
+  EXPECT_EQ(count, 256);
+}
+
+}  // namespace
+}  // namespace dresar

@@ -1,0 +1,104 @@
+// Parameterized property sweeps: the protocol must stay correct across cache
+// geometries, line sizes, buffer depths and network models — each run ends
+// with the full invariant check and a verified workload result.
+#include <gtest/gtest.h>
+
+#include "sim/checker.h"
+#include "sim/system.h"
+#include "workloads/workload.h"
+
+namespace dresar {
+namespace {
+
+struct GeomParam {
+  std::uint32_t lineBytes;
+  std::uint32_t l2Bytes;
+  std::uint32_t l2Assoc;
+  std::uint32_t sdEntries;
+  bool flitLevel;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeomParam> {};
+
+TEST_P(GeometrySweep, TcVerifiesAndInvariantsHold) {
+  const GeomParam p = GetParam();
+  SystemConfig cfg;
+  cfg.lineBytes = p.lineBytes;
+  cfg.l2Bytes = p.l2Bytes;
+  cfg.l2Assoc = p.l2Assoc;
+  cfg.l1Bytes = std::min(cfg.l1Bytes, p.l2Bytes / 2);
+  cfg.switchDir.entries = p.sdEntries;
+  cfg.net.flitLevel = p.flitLevel;
+  System sys(cfg);
+  auto w = makeWorkload("tc", WorkloadScale::tiny());
+  const RunMetrics m = runWorkload(sys, *w);
+  EXPECT_GT(m.reads, 0u);
+  const CheckReport r = ProtocolChecker::check(sys);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(
+        GeomParam{32, 128 * 1024, 4, 1024, false},   // paper reference
+        GeomParam{64, 128 * 1024, 4, 1024, false},   // wider lines
+        GeomParam{128, 256 * 1024, 8, 1024, false},  // big lines, wide assoc
+        GeomParam{32, 8 * 1024, 1, 1024, false},     // tiny direct-mapped L2
+        GeomParam{32, 16 * 1024, 2, 256, false},     // small everything
+        GeomParam{32, 128 * 1024, 4, 64, false},     // starved switch dir
+        GeomParam{32, 32 * 1024, 4, 512, true},      // flit-level wormhole
+        GeomParam{64, 64 * 1024, 2, 512, true}),     // flit-level, wide lines
+    [](const auto& info) {
+      const GeomParam& p = info.param;
+      return "line" + std::to_string(p.lineBytes) + "_l2x" + std::to_string(p.l2Bytes / 1024) +
+             "w" + std::to_string(p.l2Assoc) + "_sd" + std::to_string(p.sdEntries) +
+             (p.flitLevel ? "_flit" : "");
+    });
+
+class BackoffSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BackoffSweep, RetryBackoffDoesNotAffectCorrectness) {
+  SystemConfig cfg;
+  cfg.retryBackoffCycles = GetParam();
+  cfg.switchDir.entries = 256;  // small: more evictions, more stale retries
+  System sys(cfg);
+  auto w = makeWorkload("sor", WorkloadScale::tiny());
+  const RunMetrics m = runWorkload(sys, *w);
+  EXPECT_GT(m.reads, 0u);
+  EXPECT_TRUE(ProtocolChecker::check(sys).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backoffs, BackoffSweep, ::testing::Values(4u, 24u, 100u),
+                         [](const auto& info) { return "backoff" + std::to_string(info.param); });
+
+class OccupancySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(OccupancySweep, ControllerOccupancyScalesLatencyMonotonically) {
+  // More controller occupancy can only slow things down, never break them.
+  SystemConfig cfg;
+  cfg.dirOccupancyCycles = GetParam();
+  System sys(cfg);
+  auto w = makeWorkload("fwa", WorkloadScale::tiny());
+  const RunMetrics m = runWorkload(sys, *w);
+  EXPECT_GT(m.execTime, 0u);
+  EXPECT_TRUE(ProtocolChecker::check(sys).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Occupancies, OccupancySweep, ::testing::Values(1u, 12u, 60u),
+                         [](const auto& info) { return "occ" + std::to_string(info.param); });
+
+TEST(OccupancyOrdering, HigherOccupancySlowsExecution) {
+  Cycle fast = 0, slow = 0;
+  for (const std::uint32_t occ : {1u, 60u}) {
+    SystemConfig cfg;
+    cfg.dirOccupancyCycles = occ;
+    System sys(cfg);
+    auto w = makeWorkload("fwa", WorkloadScale::tiny());
+    const RunMetrics m = runWorkload(sys, *w);
+    (occ == 1 ? fast : slow) = m.execTime;
+  }
+  EXPECT_LT(fast, slow);
+}
+
+}  // namespace
+}  // namespace dresar

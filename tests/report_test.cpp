@@ -1,0 +1,41 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/system.h"
+#include "workloads/workload.h"
+
+namespace dresar {
+namespace {
+
+TEST(RunReport, ContainsAllSections) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = 512;
+  System sys(cfg);
+  auto w = makeWorkload("tc", WorkloadScale::tiny());
+  runWorkload(sys, *w);
+  std::ostringstream os;
+  printRunReport(sys, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("per-processor"), std::string::npos);
+  EXPECT_NE(out.find("per-home directory"), std::string::npos);
+  EXPECT_NE(out.find("per-switch directory"), std::string::npos);
+  EXPECT_NE(out.find("network"), std::string::npos);
+  EXPECT_NE(out.find("ReadRequest"), std::string::npos);
+}
+
+TEST(RunReport, BaseSystemOmitsSwitchSection) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = 0;
+  System sys(cfg);
+  auto w = makeWorkload("tc", WorkloadScale::tiny());
+  runWorkload(sys, *w);
+  std::ostringstream os;
+  printRunReport(sys, os);
+  EXPECT_EQ(os.str().find("per-switch directory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dresar

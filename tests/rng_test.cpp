@@ -1,0 +1,61 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dresar {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(r.below(10), 10u);
+  }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng r(123);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Zipf, HeadIsHotterThanTail) {
+  ZipfSampler z(1000, 1.0);
+  EXPECT_GT(z.pmf(0), z.pmf(10));
+  EXPECT_GT(z.pmf(10), z.pmf(500));
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler z(100, 0.8);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) total += z.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  ZipfSampler z(50, 1.0);
+  Rng r(99);
+  std::vector<int> counts(50, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(r)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, z.pmf(0), 0.02);
+  // Monotone-ish head.
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[30]);
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }
+
+}  // namespace
+}  // namespace dresar

@@ -1,0 +1,93 @@
+#include "switchdir/switch_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dresar {
+namespace {
+
+class FakeSnoop : public ISwitchSnoop {
+ public:
+  SnoopOutcome onMessage(SwitchId, Cycle, Message& m, std::vector<Message>& spawn) override {
+    ++calls;
+    if (annotate) m.carriedSharers |= 0x8;
+    if (spawnOne) {
+      Message r;
+      r.type = MsgType::Retry;
+      r.dst = procEp(1);
+      spawn.push_back(r);
+    }
+    return {pass, delay};
+  }
+  int calls = 0;
+  bool pass = true;
+  bool annotate = false;
+  bool spawnOne = false;
+  Cycle delay = 0;
+};
+
+TEST(SnoopChain, BothRunWhenFirstPasses) {
+  FakeSnoop a, b;
+  SnoopChain chain(&a, &b);
+  Message m;
+  std::vector<Message> spawn;
+  const SnoopOutcome out = chain.onMessage(SwitchId{0, 0}, 0, m, spawn);
+  EXPECT_TRUE(out.pass);
+  EXPECT_EQ(a.calls, 1);
+  EXPECT_EQ(b.calls, 1);
+}
+
+TEST(SnoopChain, SecondSkippedWhenFirstSinks) {
+  FakeSnoop a, b;
+  a.pass = false;
+  SnoopChain chain(&a, &b);
+  Message m;
+  std::vector<Message> spawn;
+  const SnoopOutcome out = chain.onMessage(SwitchId{0, 0}, 0, m, spawn);
+  EXPECT_FALSE(out.pass);
+  EXPECT_EQ(b.calls, 0);
+}
+
+TEST(SnoopChain, DelaysAccumulate) {
+  FakeSnoop a, b;
+  a.delay = 3;
+  b.delay = 4;
+  SnoopChain chain(&a, &b);
+  Message m;
+  std::vector<Message> spawn;
+  EXPECT_EQ(chain.onMessage(SwitchId{0, 0}, 0, m, spawn).extraDelay, 7u);
+}
+
+TEST(SnoopChain, AnnotationsVisibleDownstream) {
+  FakeSnoop a, b;
+  a.annotate = true;
+  SnoopChain chain(&a, &b);
+  Message m;
+  std::vector<Message> spawn;
+  chain.onMessage(SwitchId{0, 0}, 0, m, spawn);
+  EXPECT_EQ(m.carriedSharers, 0x8u);
+}
+
+TEST(SnoopChain, SpawnsCollectFromBoth) {
+  FakeSnoop a, b;
+  a.spawnOne = true;
+  b.spawnOne = true;
+  SnoopChain chain(&a, &b);
+  Message m;
+  std::vector<Message> spawn;
+  chain.onMessage(SwitchId{0, 0}, 0, m, spawn);
+  EXPECT_EQ(spawn.size(), 2u);
+}
+
+TEST(SnoopChain, NullMembersAreSkipped) {
+  FakeSnoop b;
+  SnoopChain chain(nullptr, &b);
+  Message m;
+  std::vector<Message> spawn;
+  EXPECT_TRUE(chain.onMessage(SwitchId{0, 0}, 0, m, spawn).pass);
+  EXPECT_EQ(b.calls, 1);
+  SnoopChain empty(nullptr, nullptr);
+  EXPECT_TRUE(empty.onMessage(SwitchId{0, 0}, 0, m, spawn).pass);
+}
+
+}  // namespace
+}  // namespace dresar

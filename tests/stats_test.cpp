@@ -1,0 +1,94 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dresar {
+namespace {
+
+TEST(Sampler, Accumulates) {
+  Sampler s;
+  s.add(10);
+  s.add(20);
+  s.add(30);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 30.0);
+}
+
+TEST(Sampler, EmptyIsZero) {
+  Sampler s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Sampler, Merge) {
+  Sampler a, b;
+  a.add(1);
+  b.add(3);
+  b.add(5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(10.0, 4);
+  h.add(5);    // bucket 0
+  h.add(15);   // bucket 1
+  h.add(35);   // bucket 3
+  h.add(999);  // overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.buckets()[4], 1u);
+}
+
+TEST(Histogram, Percentile) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+}
+
+TEST(StatRegistry, CountersCreateOnDemand) {
+  StatRegistry r;
+  r.counter("a.b") += 3;
+  r.counter("a.b") += 4;
+  EXPECT_EQ(r.counterValue("a.b"), 7u);
+  EXPECT_EQ(r.counterValue("missing"), 0u);
+}
+
+TEST(StatRegistry, SumByPrefix) {
+  StatRegistry r;
+  r.counter("sd.0.hits") = 2;
+  r.counter("sd.1.hits") = 5;
+  r.counter("sdx.other") = 100;
+  EXPECT_EQ(r.sumByPrefix("sd."), 7u);
+}
+
+TEST(StatRegistry, DumpIsStable) {
+  StatRegistry r;
+  r.counter("z") = 1;
+  r.counter("a") = 2;
+  std::ostringstream os;
+  r.dump(os);
+  const std::string out = os.str();
+  EXPECT_LT(out.find('a'), out.find('z'));
+}
+
+TEST(StatRegistry, ResetClears) {
+  StatRegistry r;
+  r.counter("x") = 9;
+  r.sampler("s").add(1.0);
+  r.reset();
+  EXPECT_EQ(r.counterValue("x"), 0u);
+  EXPECT_EQ(r.findSampler("s"), nullptr);
+}
+
+}  // namespace
+}  // namespace dresar

@@ -1,0 +1,168 @@
+// Switch-cache extension tests (paper conclusion / HPCA-5 combination):
+// clean-data capture and in-network service, coherence cleanup on writes,
+// and the combined switch-directory + switch-cache configuration.
+#include "switchdir/switch_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "cpu/sync.h"
+#include "sim/metrics.h"
+#include "sim/system.h"
+#include "workloads/workload.h"
+
+namespace dresar {
+namespace {
+
+SystemConfig configWith(std::uint32_t dirEntries, std::uint32_t cacheEntries) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = dirEntries;
+  cfg.switchCache.entries = cacheEntries;
+  return cfg;
+}
+
+SimTask broadcastReaders(System& sys, ThreadContext& ctx, Addr a, HwBarrier& barrier) {
+  // Proc 0 writes once; everyone then reads the (clean, after c2c) block
+  // repeatedly with re-reads from different processors — switch-cache food.
+  if (ctx.id() == 0) {
+    co_await ctx.store(a);
+    co_await ctx.fence();
+  }
+  co_await barrier.arrive();
+  for (int round = 0; round < 3; ++round) {
+    co_await ctx.load(a);
+    co_await barrier.arrive();
+    // Evict-free re-read pattern: drop via a conflicting read? Keep simple:
+    // the first read per proc misses, later ones hit locally.
+  }
+}
+
+TEST(SwitchCache, ServesRepeatedRemoteReads) {
+  // Force repeated misses: each proc reads a *different* line in the same
+  // home page that proc 0 has freshly read (deposited). Simpler: proc i>0
+  // reads the same block after invalidating... Use distinct readers: each
+  // reader misses once; the first miss deposits, later readers hit at the
+  // home-root switch.
+  System sys(configWith(0, 1024));
+  HwBarrier barrier(sys.eq(), 16, 32);
+  const Addr a = sys.mem().alloc(32);
+  auto body = [&](ThreadContext& ctx) -> SimTask {
+    // Stagger so reader 1 misses first (deposits), then 2..15 hit the
+    // switch cache at the shared root switch.
+    co_await ctx.delay(1 + 200ull * ctx.id());
+    co_await ctx.load(a);
+    co_await barrier.arrive();
+  };
+  for (NodeId n = 0; n < 16; ++n) sys.spawn(body(sys.ctx(n)));
+  sys.run();
+  EXPECT_GT(sys.switchCache().deposits(), 0u);
+  EXPECT_GT(sys.switchCache().serves(), 0u);
+  EXPECT_GT(sys.stats().counterValue("svc.SwitchCache"), 0u);
+  EXPECT_TRUE(sys.quiescent());
+}
+
+TEST(SwitchCache, HomeDirectoryTracksSwitchServedSharers) {
+  System sys(configWith(0, 1024));
+  const Addr a = sys.mem().alloc(32);
+  HwBarrier barrier(sys.eq(), 3, 16);
+  auto body = [&](ThreadContext& ctx) -> SimTask {
+    co_await ctx.delay(1 + 300ull * ctx.id());
+    co_await ctx.load(a);
+    co_await barrier.arrive();
+  };
+  for (NodeId n = 0; n < 3; ++n) sys.spawn(body(sys.ctx(n)));
+  sys.run();
+  const auto* d = sys.dir(sys.config().homeOf(a)).peek(a);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->state, DirState::Shared);
+  // Every reader is in the sharer vector even if served in-network.
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_NE(d->sharers & (1ull << n), 0u) << "reader " << n << " missing from full map";
+  }
+}
+
+TEST(SwitchCache, WritesInvalidateCachedCopiesEverywhere) {
+  System sys(configWith(0, 1024));
+  const Addr a = sys.mem().alloc(32);
+  HwBarrier barrier(sys.eq(), 16, 32);
+  auto body = [&](ThreadContext& ctx) -> SimTask {
+    co_await ctx.delay(1 + 100ull * ctx.id());
+    co_await ctx.load(a);
+    co_await barrier.arrive();
+    if (ctx.id() == 7) {
+      co_await ctx.store(a);
+      co_await ctx.fence();
+    }
+    co_await barrier.arrive();
+    co_await ctx.load(a);  // must see the protocol, not a stale switch copy
+    co_await barrier.arrive();
+  };
+  for (NodeId n = 0; n < 16; ++n) sys.spawn(body(sys.ctx(n)));
+  sys.run();
+  EXPECT_TRUE(sys.quiescent());
+  // After the run the writer's line is properly tracked.
+  const auto* d = sys.dir(sys.config().homeOf(a)).peek(a);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->state, DirState::BusyRead);
+  EXPECT_NE(d->state, DirState::BusyWrite);
+}
+
+TEST(SwitchCache, CombinedWithSwitchDirectory) {
+  for (const auto& name : {"sor", "tc"}) {
+    System sys(configWith(1024, 1024));
+    auto w = makeWorkload(name, WorkloadScale::tiny());
+    const RunMetrics m = runWorkload(sys, *w);
+    EXPECT_GT(m.reads, 0u);
+    EXPECT_EQ(sys.dresar().transientEntries(), 0u);
+    EXPECT_TRUE(sys.quiescent());
+  }
+}
+
+TEST(SwitchCache, StressWithRandomTraffic) {
+  SystemConfig cfg = configWith(512, 512);
+  System sys(cfg);
+  const Addr pool = sys.mem().alloc(32 * cfg.lineBytes);
+  auto body = [&](ThreadContext& ctx, std::uint64_t seed) -> SimTask {
+    Rng rng(seed);
+    for (int i = 0; i < 250; ++i) {
+      const Addr a = pool + rng.below(32) * cfg.lineBytes;
+      if (rng.below(4) == 0) {
+        co_await ctx.store(a);
+      } else {
+        co_await ctx.load(a);
+      }
+      co_await ctx.compute(rng.below(8) + 1);
+    }
+    co_await ctx.fence();
+  };
+  for (NodeId n = 0; n < cfg.numNodes; ++n) sys.spawn(body(sys.ctx(n), 31 + n));
+  sys.run();
+  EXPECT_TRUE(sys.quiescent());
+  EXPECT_EQ(sys.dresar().transientEntries(), 0u);
+  // Single-owner invariant still holds with both structures active.
+  std::uint64_t mCopies = 0;
+  std::map<Addr, int> owners;
+  for (NodeId n = 0; n < cfg.numNodes; ++n) {
+    sys.cache(n).l2().forEachValid([&](const CacheLine& l) {
+      if (l.state == CacheState::M) {
+        ++mCopies;
+        EXPECT_EQ(++owners[l.tag], 1);
+      }
+    });
+  }
+  (void)mCopies;
+}
+
+TEST(SwitchCache, DisabledByDefault) {
+  SystemConfig cfg;
+  EXPECT_FALSE(cfg.switchCache.enabled());
+  System sys(cfg);
+  auto w = makeWorkload("fwa", WorkloadScale::tiny());
+  const RunMetrics m = runWorkload(sys, *w);
+  EXPECT_EQ(m.svcSwitchCache, 0u);
+}
+
+}  // namespace
+}  // namespace dresar

@@ -1,0 +1,168 @@
+// Unit tests for the trace-driven simulator: service classification and
+// latencies (Table 3), directory bookkeeping, and switch-directory capture.
+#include "trace/trace_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace dresar {
+namespace {
+
+TraceConfig cfgWith(std::uint32_t sdEntries) {
+  TraceConfig c;
+  c.switchDir.entries = sdEntries;
+  return c;
+}
+
+// An address homed at node `h` (page-interleaved round robin).
+Addr addrHomedAt(const TraceConfig& c, NodeId h, std::uint32_t blockInPage = 0) {
+  return static_cast<Addr>(h) * c.pageBytes + blockInPage * c.lineBytes;
+}
+
+TEST(TraceSim, ReadHitCostsCacheAccess) {
+  TraceConfig c = cfgWith(0);
+  TraceSimulator sim(c);
+  const Addr a = addrHomedAt(c, 3);
+  sim.access(0, a, false);  // cold miss
+  sim.access(0, a, false);  // hit
+  EXPECT_EQ(sim.metrics().readHits, 1u);
+  EXPECT_EQ(sim.metrics().readMisses, 1u);
+}
+
+TEST(TraceSim, LocalVsRemoteCleanLatency) {
+  TraceConfig c = cfgWith(0);
+  TraceSimulator sim(c);
+  sim.access(3, addrHomedAt(c, 3), false);  // local home
+  EXPECT_EQ(sim.metrics().svcCleanLocal, 1u);
+  EXPECT_DOUBLE_EQ(sim.metrics().totalReadLatency,
+                   static_cast<double>(c.cacheAccess + c.localMemory));
+  sim.access(4, addrHomedAt(c, 3, 1), false);  // remote home
+  EXPECT_EQ(sim.metrics().svcCleanRemote, 1u);
+}
+
+TEST(TraceSim, DirtyReadIsHomeCtoC) {
+  TraceConfig c = cfgWith(0);
+  TraceSimulator sim(c);
+  const Addr a = addrHomedAt(c, 2);
+  sim.access(0, a, true);   // P0 writes: dirty at P0
+  sim.access(1, a, false);  // P1 reads: c2c via home (remote home for P1)
+  EXPECT_EQ(sim.metrics().svcCtoCRemote, 1u);
+  EXPECT_EQ(sim.metrics().homeCtoC, 1u);
+  // Reader whose home is local.
+  sim.access(0, a, true);
+  sim.access(2, a, false);
+  EXPECT_EQ(sim.metrics().svcCtoCLocal, 1u);
+}
+
+TEST(TraceSim, CtoCDowngradesOwnerAndSharesDir) {
+  TraceConfig c = cfgWith(0);
+  TraceSimulator sim(c);
+  const Addr a = addrHomedAt(c, 2);
+  sim.access(0, a, true);
+  sim.access(1, a, false);
+  // Second read by a third processor must now be clean (block was copied
+  // back to memory).
+  sim.access(3, a, false);
+  EXPECT_EQ(sim.metrics().svcCtoCRemote + sim.metrics().svcCtoCLocal, 1u);
+  EXPECT_EQ(sim.metrics().svcCleanRemote, 1u);
+}
+
+TEST(TraceSim, WriteInvalidatesSharers) {
+  TraceConfig c = cfgWith(0);
+  TraceSimulator sim(c);
+  const Addr a = addrHomedAt(c, 2);
+  sim.access(0, a, false);
+  sim.access(1, a, false);
+  sim.access(5, a, true);   // invalidates P0, P1
+  sim.access(0, a, false);  // misses again, c2c from P5
+  EXPECT_EQ(sim.metrics().ctoc(), 1u);
+}
+
+TEST(TraceSim, SwitchDirCapturesOwnershipAndServesReads) {
+  TraceConfig c = cfgWith(1024);
+  TraceSimulator sim(c);
+  const Addr a = addrHomedAt(c, 2);
+  sim.access(0, a, true);   // WriteReply deposits entries
+  EXPECT_GT(sim.metrics().sdDeposits, 0u);
+  sim.access(1, a, false);  // read re-routed by the switch directory
+  EXPECT_EQ(sim.metrics().svcSwitchDir, 1u);
+  EXPECT_EQ(sim.metrics().homeCtoC, 0u);
+  EXPECT_DOUBLE_EQ(sim.metrics().totalReadLatency,
+                   static_cast<double>(c.cacheAccess + c.switchDirHit));
+}
+
+TEST(TraceSim, SwitchDirEntryClearedAfterService) {
+  TraceConfig c = cfgWith(1024);
+  TraceSimulator sim(c);
+  const Addr a = addrHomedAt(c, 2);
+  sim.access(0, a, true);
+  sim.access(1, a, false);  // switch-dir c2c; copyback clears entries
+  sim.access(3, a, false);  // must be served clean by the home
+  EXPECT_EQ(sim.metrics().svcSwitchDir, 1u);
+  EXPECT_EQ(sim.metrics().svcCleanLocal + sim.metrics().svcCleanRemote, 1u);
+  EXPECT_EQ(sim.switchEntries(SDState::Modified), 0u);
+}
+
+TEST(TraceSim, WritebackClearsEntriesAndDirectory) {
+  TraceConfig c = cfgWith(1024);
+  // Tiny cache: 2 sets * 1 way * 32B, forces conflict evictions.
+  c.cacheBytes = 64;
+  c.cacheAssoc = 1;
+  TraceSimulator sim(c);
+  const Addr a = addrHomedAt(c, 2);
+  const Addr conflict = a + 64;  // same set (2 sets of 32B)
+  sim.access(0, a, true);
+  sim.access(0, conflict, true);  // evicts a (dirty) -> writeback
+  sim.access(1, a, false);        // must be clean from memory, not c2c
+  EXPECT_EQ(sim.metrics().ctoc(), 0u);
+}
+
+TEST(TraceSim, RecallOnWriteToDirtyBlock) {
+  TraceConfig c = cfgWith(1024);
+  TraceSimulator sim(c);
+  const Addr a = addrHomedAt(c, 2);
+  sim.access(0, a, true);
+  sim.access(1, a, true);   // recall from P0, ownership to P1
+  sim.access(2, a, false);  // c2c (or switch-dir) from P1
+  EXPECT_EQ(sim.metrics().ctoc(), 1u);
+  // P0 must have lost the line.
+  sim.access(0, a, false);
+  EXPECT_EQ(sim.metrics().readMisses, 2u);
+}
+
+TEST(TraceSim, OwnerReadsOwnDirtyLineIsAHit) {
+  TraceConfig c = cfgWith(1024);
+  TraceSimulator sim(c);
+  const Addr a = addrHomedAt(c, 2);
+  sim.access(0, a, true);
+  sim.access(0, a, false);
+  EXPECT_EQ(sim.metrics().readHits, 1u);
+  EXPECT_EQ(sim.metrics().ctoc(), 0u);
+}
+
+TEST(TraceSim, ExecTimeIsMaxPerProcessor) {
+  TraceConfig c = cfgWith(0);
+  TraceSimulator sim(c);
+  // P0 performs two expensive misses; P1 one.
+  sim.access(0, addrHomedAt(c, 1), false);
+  sim.access(0, addrHomedAt(c, 2), false);
+  sim.access(1, addrHomedAt(c, 3), false);
+  TpcGenerator gen(TpcParams::tpcc(0));  // empty: just finalizes metrics
+  sim.run(gen);
+  EXPECT_EQ(sim.metrics().execTime, 2u * (c.cacheAccess + c.remoteMemory));
+}
+
+TEST(TraceSim, SmallDirectoryCapturesLessThanLarge) {
+  TraceMetrics small, large;
+  for (const std::uint32_t entries : {64u, 4096u}) {
+    TraceConfig c = cfgWith(entries);
+    TraceSimulator sim(c);
+    TpcGenerator gen(TpcParams::tpcc(200'000));
+    sim.run(gen);
+    (entries == 64 ? small : large) = sim.metrics();
+  }
+  EXPECT_LT(small.svcSwitchDir, large.svcSwitchDir);
+  EXPECT_GT(small.homeCtoC, large.homeCtoC);
+}
+
+}  // namespace
+}  // namespace dresar

@@ -1,0 +1,69 @@
+#include "workloads/common.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workload.h"
+
+namespace dresar::workloads {
+namespace {
+
+TEST(BlockPartition, CoversRangeExactlyOnce) {
+  for (const std::size_t n : {1ul, 7ul, 16ul, 100ul, 4096ul}) {
+    for (const std::uint32_t parts : {1u, 3u, 16u}) {
+      std::size_t covered = 0;
+      std::size_t prevEnd = 0;
+      for (std::uint32_t p = 0; p < parts; ++p) {
+        const Range r = blockPartition(n, parts, p);
+        EXPECT_EQ(r.begin, prevEnd) << "gap at part " << p;
+        EXPECT_LE(r.begin, r.end);
+        covered += r.size();
+        prevEnd = r.end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prevEnd, n);
+    }
+  }
+}
+
+TEST(BlockPartition, BalancedWithinOne) {
+  const std::size_t n = 100;
+  const std::uint32_t parts = 16;
+  std::size_t mn = n, mx = 0;
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    const Range r = blockPartition(n, parts, p);
+    mn = std::min(mn, r.size());
+    mx = std::max(mx, r.size());
+  }
+  EXPECT_LE(mx - mn, 1u);
+}
+
+TEST(BlockPartition, MorePartsThanItems) {
+  std::size_t covered = 0;
+  for (std::uint32_t p = 0; p < 16; ++p) covered += blockPartition(3, 16, p).size();
+  EXPECT_EQ(covered, 3u);
+}
+
+TEST(WorkloadScale, PaperSizesMatchTable2) {
+  const WorkloadScale p = WorkloadScale::paper();
+  EXPECT_EQ(p.fftPoints, 16384u);  // "16K pts"
+  EXPECT_EQ(p.sorN, 512u);
+  EXPECT_EQ(p.tcN, 128u);
+  EXPECT_EQ(p.fwaN, 128u);
+  EXPECT_EQ(p.gaussN, 128u);
+}
+
+TEST(WorkloadRegistry, AllNamesConstruct) {
+  for (const auto& name : workloadNames()) {
+    EXPECT_NE(makeWorkload(name, WorkloadScale::tiny()), nullptr);
+  }
+  EXPECT_THROW(makeWorkload("bogus", WorkloadScale::tiny()), std::invalid_argument);
+}
+
+TEST(WorkloadRegistry, FftRejectsNonPowerOfTwo) {
+  WorkloadScale s = WorkloadScale::tiny();
+  s.fftPoints = 1000;
+  EXPECT_THROW(makeWorkload("fft", s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dresar::workloads
