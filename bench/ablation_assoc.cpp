@@ -29,5 +29,5 @@ int main(int argc, char** argv) {
                 reductionPct(static_cast<double>(tbase.homeCtoC), static_cast<double>(t.homeCtoC)),
                 static_cast<unsigned long long>(t.svcSwitchDir));
   }
-  return 0;
+  return writeJsonIfRequested(o);
 }

@@ -4,7 +4,9 @@
 // buffer SRAM a candidate for reuse as a switch directory. Our message-level
 // model has unbounded queues (buffer depth never stalls a link), so we show
 // the parameters that do matter: link serialization and switch core delay.
+#include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 
@@ -20,7 +22,13 @@ RunMetrics runWithNet(const char* app, const WorkloadScale& scale, std::uint32_t
   cfg.net.linkCyclesPerFlit = linkCycles;
   System sys(cfg);
   auto w = makeWorkload(app, scale);
-  return runWorkload(sys, *w);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunMetrics m = runWorkload(sys, *w);
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  const std::string tag = "core" + std::to_string(coreDelay) + "-link" +
+                          std::to_string(linkCycles) + "-" + configTag(sdEntries);
+  recorder().add(makeSciRecord(app, tag, sdEntries, dt.count(), sys.eq().executed(), m));
+  return m;
 }
 }  // namespace
 
@@ -42,5 +50,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(Buffer depth is a non-factor at message level — the paper's point:\n"
               " that SRAM is better spent on the switch directory itself.)\n");
-  return 0;
+  return writeJsonIfRequested(o);
 }

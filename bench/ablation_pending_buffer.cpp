@@ -26,5 +26,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(The paper argues a 4-way pending buffer + 2-way main directory is\n"
               " more cost-effective than a true 4-way multiported directory.)\n");
-  return 0;
+  return writeJsonIfRequested(o);
 }

@@ -25,5 +25,5 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(m.svcCtoCSwitch + m.svcSwitchWB));
     }
   }
-  return 0;
+  return writeJsonIfRequested(o);
 }

@@ -5,8 +5,11 @@
 //   --quick       tiny sizes (CI smoke)
 //   --refs=N      trace length override
 //   --entries=a,b,c   switch-directory sizes to sweep
+//   --json=FILE   also write machine-readable results (see sim/run_recorder.h)
 #pragma once
 
+#include <charconv>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -14,20 +17,61 @@
 #include <vector>
 
 #include "sim/metrics.h"
+#include "sim/run_recorder.h"
 #include "sim/system.h"
 #include "trace/trace_sim.h"
 #include "workloads/workload.h"
 
 namespace dresar::bench {
 
+/// Process-wide result recorder; runScientific/runCommercial feed it
+/// automatically, and writeJsonIfRequested() flushes it when --json=FILE was
+/// given.
+inline RunRecorder& recorder() {
+  static RunRecorder r;
+  return r;
+}
+
+inline void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--paper | --quick] [--refs=N] [--entries=a,b,c] [--json=FILE]\n"
+               "  --paper         paper problem sizes / 16M-ref traces\n"
+               "  --quick         tiny sizes (CI smoke)\n"
+               "  --refs=N        trace length override (positive integer)\n"
+               "  --entries=a,b,c switch-directory sizes to sweep (positive integers)\n"
+               "  --json=FILE     write results as JSON (dresar-bench-results/v1)\n",
+               argv0);
+}
+
+/// Strict unsigned parse: the whole string must be a base-10 number that fits
+/// `max`. Returns false on empty input, stray characters, or overflow.
+inline bool parseU64(const std::string& s, std::uint64_t& out,
+                     std::uint64_t max = UINT64_MAX) {
+  if (s.empty()) return false;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, v, 10);
+  if (ec != std::errc() || ptr != last || v > max) return false;
+  out = v;
+  return true;
+}
+
 struct Options {
   WorkloadScale scale;
   std::uint64_t traceRefs = 1'000'000;
   std::vector<std::uint32_t> entries = {256, 512, 1024, 2048};
   bool paper = false;
+  bool quick = false;
+  std::string jsonPath;
 
   static Options parse(int argc, char** argv) {
     Options o;
+    const auto fail = [&](const char* why, const std::string& arg) {
+      std::fprintf(stderr, "error: %s: %s\n", why, arg.c_str());
+      usage(argv[0]);
+      std::exit(2);
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--paper") {
@@ -35,30 +79,129 @@ struct Options {
         o.scale = WorkloadScale::paper();
         o.traceRefs = 16'000'000;
       } else if (a == "--quick") {
+        o.quick = true;
         o.scale = WorkloadScale::tiny();
         o.traceRefs = 200'000;
+      } else if (a == "--help" || a == "-h") {
+        usage(argv[0]);
+        std::exit(0);
       } else if (a.rfind("--refs=", 0) == 0) {
-        o.traceRefs = std::stoull(a.substr(7));
+        std::uint64_t v = 0;
+        if (!parseU64(a.substr(7), v) || v == 0) fail("--refs expects a positive integer", a);
+        o.traceRefs = v;
       } else if (a.rfind("--entries=", 0) == 0) {
         o.entries.clear();
-        std::string list = a.substr(10);
+        const std::string list = a.substr(10);
         std::size_t pos = 0;
-        while (pos < list.size()) {
+        while (pos <= list.size()) {
           std::size_t comma = list.find(',', pos);
           if (comma == std::string::npos) comma = list.size();
-          o.entries.push_back(static_cast<std::uint32_t>(std::stoul(list.substr(pos, comma - pos))));
+          std::uint64_t v = 0;
+          if (!parseU64(list.substr(pos, comma - pos), v, UINT32_MAX) || v == 0) {
+            fail("--entries expects a comma-separated list of positive integers", a);
+          }
+          o.entries.push_back(static_cast<std::uint32_t>(v));
           pos = comma + 1;
         }
+        if (o.entries.empty()) fail("--entries list must not be empty", a);
+      } else if (a.rfind("--json=", 0) == 0) {
+        o.jsonPath = a.substr(7);
+        if (o.jsonPath.empty()) fail("--json expects a file path", a);
       } else {
-        std::fprintf(stderr, "unknown option: %s\n", a.c_str());
-        std::exit(2);
+        fail("unknown option", a);
       }
     }
+    // Seed the recorder so per-bench mains only need writeJsonIfRequested().
+    const char* base = std::strrchr(argv[0], '/');
+    recorder().setBench(base != nullptr ? base + 1 : argv[0]);
+    recorder().setOption("mode", o.paper ? "paper" : o.quick ? "quick" : "default");
+    recorder().setOption("trace_refs", std::to_string(o.traceRefs));
+    std::string ent;
+    for (const auto e : o.entries) {
+      if (!ent.empty()) ent += ',';
+      ent += std::to_string(e);
+    }
+    recorder().setOption("entries", ent);
     return o;
   }
 };
 
-/// Execution-driven run of one scientific kernel.
+/// Flush the recorder if --json=FILE was given. Returns a process exit code
+/// so a bench main can end with `return bench::writeJsonIfRequested(o);`.
+inline int writeJsonIfRequested(const Options& o) {
+  if (o.jsonPath.empty()) return 0;
+  return recorder().writeFile(o.jsonPath) ? 0 : 1;
+}
+
+inline std::string configTag(std::uint32_t sdEntries) {
+  return sdEntries == 0 ? "base" : "sd-" + std::to_string(sdEntries);
+}
+
+/// Build the standard record for an execution-driven run; callers that drive
+/// System directly (ablations, tables) can use this and recorder().add().
+inline RunRecord makeSciRecord(const std::string& app, const std::string& config,
+                               std::uint64_t sdEntries, double wallSeconds,
+                               std::uint64_t events, const RunMetrics& m) {
+  RunRecord rec;
+  rec.app = app;
+  rec.config = config;
+  rec.kind = "scientific";
+  rec.sdEntries = sdEntries;
+  rec.wallSeconds = wallSeconds;
+  rec.events = events;
+  rec.metric("exec_time", static_cast<double>(m.execTime));
+  rec.metric("reads", static_cast<double>(m.reads));
+  rec.metric("stores", static_cast<double>(m.stores));
+  rec.metric("read_misses", static_cast<double>(m.readMisses));
+  rec.metric("svc_clean", static_cast<double>(m.svcClean));
+  rec.metric("svc_ctoc_home", static_cast<double>(m.svcCtoCHome));
+  rec.metric("svc_ctoc_switch", static_cast<double>(m.svcCtoCSwitch));
+  rec.metric("svc_switch_wb", static_cast<double>(m.svcSwitchWB));
+  rec.metric("svc_switch_cache", static_cast<double>(m.svcSwitchCache));
+  rec.metric("avg_read_latency", m.avgReadLatency);
+  rec.metric("total_read_stall", m.totalReadStall);
+  rec.metric("home_ctoc", static_cast<double>(m.homeCtoC));
+  rec.metric("sd_deposits", static_cast<double>(m.sdDeposits));
+  rec.metric("sd_ctoc_initiated", static_cast<double>(m.sdCtoCInitiated));
+  rec.metric("sd_retries", static_cast<double>(m.sdRetries));
+  rec.metric("net_messages", static_cast<double>(m.netMessages));
+  rec.metric("retries", static_cast<double>(m.retriesObserved));
+  rec.metric("dirty_fraction", m.dirtyFraction());
+  return rec;
+}
+
+/// Trace-run counterpart of makeSciRecord().
+inline RunRecord makeTraceRecord(const std::string& app, const std::string& config,
+                                 std::uint64_t sdEntries, double wallSeconds,
+                                 const TraceMetrics& m) {
+  RunRecord rec;
+  rec.app = app;
+  rec.config = config;
+  rec.kind = "trace";
+  rec.sdEntries = sdEntries;
+  rec.wallSeconds = wallSeconds;
+  rec.events = m.refs;
+  rec.metric("exec_time", static_cast<double>(m.execTime));
+  rec.metric("refs", static_cast<double>(m.refs));
+  rec.metric("reads", static_cast<double>(m.reads));
+  rec.metric("writes", static_cast<double>(m.writes));
+  rec.metric("read_hits", static_cast<double>(m.readHits));
+  rec.metric("read_misses", static_cast<double>(m.readMisses));
+  rec.metric("svc_clean_local", static_cast<double>(m.svcCleanLocal));
+  rec.metric("svc_clean_remote", static_cast<double>(m.svcCleanRemote));
+  rec.metric("svc_ctoc_local", static_cast<double>(m.svcCtoCLocal));
+  rec.metric("svc_ctoc_remote", static_cast<double>(m.svcCtoCRemote));
+  rec.metric("svc_switch_dir", static_cast<double>(m.svcSwitchDir));
+  rec.metric("home_ctoc", static_cast<double>(m.homeCtoC));
+  rec.metric("sd_deposits", static_cast<double>(m.sdDeposits));
+  rec.metric("sd_stale_retries", static_cast<double>(m.sdStaleRetries));
+  rec.metric("avg_read_latency", m.avgReadLatency());
+  rec.metric("dirty_fraction", m.dirtyFraction());
+  return rec;
+}
+
+/// Execution-driven run of one scientific kernel. Records wall time, event
+/// count and headline metrics into the process recorder.
 inline RunMetrics runScientific(const std::string& name, std::uint32_t sdEntries,
                                 const WorkloadScale& scale,
                                 SwitchDirConfig sdTemplate = {}) {
@@ -67,10 +210,16 @@ inline RunMetrics runScientific(const std::string& name, std::uint32_t sdEntries
   cfg.switchDir.entries = sdEntries;
   System sys(cfg);
   auto w = makeWorkload(name, scale);
-  return runWorkload(sys, *w);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunMetrics m = runWorkload(sys, *w);
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  recorder().add(
+      makeSciRecord(name, configTag(sdEntries), sdEntries, dt.count(), sys.eq().executed(), m));
+  return m;
 }
 
-/// Trace-driven run of one commercial workload.
+/// Trace-driven run of one commercial workload. Records wall time, reference
+/// count and headline metrics into the process recorder.
 inline TraceMetrics runCommercial(bool tpcd, std::uint32_t sdEntries, std::uint64_t refs,
                                   SwitchDirConfig sdTemplate = {}) {
   TraceConfig cfg;
@@ -78,8 +227,13 @@ inline TraceMetrics runCommercial(bool tpcd, std::uint32_t sdEntries, std::uint6
   cfg.switchDir.entries = sdEntries;
   TraceSimulator sim(cfg);
   TpcGenerator gen(tpcd ? TpcParams::tpcd(refs) : TpcParams::tpcc(refs));
+  const auto t0 = std::chrono::steady_clock::now();
   sim.run(gen);
-  return sim.metrics();
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  const TraceMetrics& m = sim.metrics();
+  recorder().add(
+      makeTraceRecord(tpcd ? "TPC-D" : "TPC-C", configTag(sdEntries), sdEntries, dt.count(), m));
+  return m;
 }
 
 /// The Figure 1..11 application order.

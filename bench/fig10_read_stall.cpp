@@ -11,5 +11,5 @@ int main(int argc, char** argv) {
   const auto rows = sweep(o, ex);
   printReductionTable("Figure 10: Reduction in the Read Stall Time", "total read stall cycles",
                       o.entries, rows, {25, 15, 22, 8, 12, 10, 5});
-  return 0;
+  return writeJsonIfRequested(o);
 }

@@ -14,5 +14,5 @@ int main(int argc, char** argv) {
   const auto rows = sweep(o, ex);
   printReductionTable("Figure 11: Execution Time Reduction", "execution time", o.entries, rows,
                       {4, 4, 9, 1, 1, 4, 2});
-  return 0;
+  return writeJsonIfRequested(o);
 }

@@ -15,5 +15,5 @@ int main(int argc, char** argv) {
   const auto rows = sweep(o, ex);
   printReductionTable("Figure 8: Reduction in Home Node CtoC Transfers", "home-node c2c forwards",
                       o.entries, rows, {66, 68, 42, 45, 52, 51, 17});
-  return 0;
+  return writeJsonIfRequested(o);
 }

@@ -12,5 +12,5 @@ int main(int argc, char** argv) {
   const auto rows = sweep(o, ex);
   printReductionTable("Figure 9: Reduction in the Average Read Latency", "average read latency",
                       o.entries, rows, {23, 15, 20, 8, 12, 10, 5});
-  return 0;
+  return writeJsonIfRequested(o);
 }

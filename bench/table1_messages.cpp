@@ -1,6 +1,7 @@
 // Table 1: the switch-directory message vocabulary, with the counts each
 // message type actually reached the network in a reference run (SOR with
 // 1024-entry switch directories).
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -14,7 +15,9 @@ int main(int argc, char** argv) {
   cfg.switchDir.entries = 1024;
   System sys(cfg);
   auto w = makeWorkload("sor", o.scale);
-  runWorkload(sys, *w);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunMetrics m = runWorkload(sys, *w);
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
 
   struct Row {
     MsgType t;
@@ -35,10 +38,13 @@ int main(int argc, char** argv) {
   };
   std::printf("Table 1: Messages Relevant to the Switch Directory (SOR reference run)\n");
   std::printf("  %-14s %10s  %s\n", "message", "count", "description");
+  RunRecord rec = makeSciRecord("sor", "sd-1024", 1024, wall.count(), sys.eq().executed(), m);
   for (const auto& r : rows) {
     const auto count = sys.stats().counterValue(std::string("net.msgs.") + toString(r.t));
     std::printf("  %-14s %10llu  %s\n", toString(r.t), static_cast<unsigned long long>(count),
                 r.desc);
+    rec.metric(std::string("msgs_") + toString(r.t), static_cast<double>(count));
   }
-  return 0;
+  recorder().add(std::move(rec));
+  return writeJsonIfRequested(o);
 }

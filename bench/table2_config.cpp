@@ -25,5 +25,5 @@ int main(int argc, char** argv) {
             << "  GE    " << paper.gaussN << "x" << paper.gaussN << "     / " << o.scale.gaussN
             << "x" << o.scale.gaussN << "\n"
             << "Switch directories: 256-2048 entries, 4-way (swept by fig8..fig11)\n";
-  return 0;
+  return writeJsonIfRequested(o);
 }

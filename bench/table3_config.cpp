@@ -23,5 +23,5 @@ int main(int argc, char** argv) {
               << p.hotBlocks << " (zipf " << p.zipfHot << "), warm " << p.warmBlocks
               << ", pHot " << p.pHot << ", pWarm " << p.pWarm << "\n";
   }
-  return 0;
+  return writeJsonIfRequested(o);
 }

@@ -2,7 +2,9 @@
 // wormhole model (paper 4.1). The protocol behaviour (who serves what) must
 // agree; this bench quantifies how close the timing is, justifying the use
 // of the fast model for the figure sweeps (DESIGN.md substitution #3).
+#include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 
@@ -17,7 +19,12 @@ RunMetrics runModel(const char* app, const WorkloadScale& scale, bool flit,
   cfg.switchDir.entries = sdEntries;
   System sys(cfg);
   auto w = makeWorkload(app, scale);
-  return runWorkload(sys, *w);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunMetrics m = runWorkload(sys, *w);
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  const std::string tag = std::string(flit ? "flit-" : "msg-") + configTag(sdEntries);
+  recorder().add(makeSciRecord(app, tag, sdEntries, dt.count(), sys.eq().executed(), m));
+  return m;
 }
 }  // namespace
 
@@ -50,10 +57,14 @@ int main(int argc, char** argv) {
     cfg.switchDir.entries = 0;
     System sys(cfg);
     auto w = makeWorkload("sor", o.paper ? o.scale : WorkloadScale::tiny());
+    const auto t0 = std::chrono::steady_clock::now();
     const RunMetrics m = runWorkload(sys, *w);
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    recorder().add(makeSciRecord("sor", "flit-buf" + std::to_string(buf), 0, dt.count(),
+                                 sys.eq().executed(), m));
     std::printf("  %-12u %12llu\n", buf, static_cast<unsigned long long>(m.execTime));
   }
   std::printf("(beyond a few flits of buffering, performance is flat — the SRAM is\n"
               " better spent on switch directories, which is the paper's premise)\n");
-  return 0;
+  return writeJsonIfRequested(o);
 }

@@ -16,10 +16,41 @@ CacheController::CacheController(NodeId node, const SystemConfig& cfg, EventQueu
       cfg_(cfg),
       eq_(eq),
       net_(net),
-      stats_(stats),
-      pfx_("cache." + std::to_string(node) + "."),
       l1_(cfg.l1Bytes, cfg.l1Assoc, cfg.lineBytes),
-      l2_(cfg.l2Bytes, cfg.l2Assoc, cfg.lineBytes) {}
+      l2_(cfg.l2Bytes, cfg.l2Assoc, cfg.lineBytes) {
+  const std::string pfx = "cache." + std::to_string(node) + ".";
+  c_.reads = stats.counterHandle(pfx + "reads");
+  c_.l1Hits = stats.counterHandle(pfx + "l1_hits");
+  c_.l2Hits = stats.counterHandle(pfx + "l2_hits");
+  c_.readMerged = stats.counterHandle(pfx + "read_merged");
+  c_.mshrFullStalls = stats.counterHandle(pfx + "mshr_full_stalls");
+  c_.readMisses = stats.counterHandle(pfx + "read_misses");
+  c_.writes = stats.counterHandle(pfx + "writes");
+  c_.wbFullStalls = stats.counterHandle(pfx + "wb_full_stalls");
+  c_.rmws = stats.counterHandle(pfx + "rmws");
+  c_.writeHits = stats.counterHandle(pfx + "write_hits");
+  c_.writeUpgrades = stats.counterHandle(pfx + "write_upgrades");
+  c_.writeMisses = stats.counterHandle(pfx + "write_misses");
+  c_.evictions = stats.counterHandle(pfx + "evictions");
+  c_.writebacks = stats.counterHandle(pfx + "writebacks");
+  c_.spuriousFills = stats.counterHandle(pfx + "spurious_fills");
+  c_.fillThenInvalidate = stats.counterHandle(pfx + "fill_then_invalidate");
+  c_.ctocCannotSupply = stats.counterHandle(pfx + "ctoc_cannot_supply");
+  c_.ctocDroppedWbRace = stats.counterHandle(pfx + "ctoc_dropped_wb_race");
+  c_.ctocSupplied = stats.counterHandle(pfx + "ctoc_supplied");
+  c_.cleanupInvalidations = stats.counterHandle(pfx + "cleanup_invalidations");
+  c_.recalls = stats.counterHandle(pfx + "recalls");
+  c_.invalidations = stats.counterHandle(pfx + "invalidations");
+  c_.spuriousRetries = stats.counterHandle(pfx + "spurious_retries");
+  c_.retries = stats.counterHandle(pfx + "retries");
+  for (std::size_t s = 0; s < kReadServiceCount; ++s) {
+    svc_[s] = stats.counterHandle(std::string("svc.") + toString(static_cast<ReadService>(s)));
+  }
+  latAll_ = stats.samplerHandle("cpu.read_latency");
+  latClean_ = stats.samplerHandle("cpu.read_latency.clean");
+  latCtoC_ = stats.samplerHandle("cpu.read_latency.ctoc");
+  latCleanMiss_ = stats.samplerHandle("cpu.read_latency.clean_miss");
+}
 
 Cycle CacheController::acquireCtrl(Cycle busy) {
   const Cycle start = std::max(eq_.now(), ctrlFree_);
@@ -34,12 +65,12 @@ Cycle CacheController::acquireCtrl(Cycle busy) {
 void CacheController::cpuRead(Addr a, ReadCallback done) {
   const Addr block = blockOf(a);
   const Cycle start = eq_.now();
-  ++stats_.counter(pfx_ + "reads");
+  ++c_.reads;
   eq_.scheduleAfter(cfg_.l1AccessCycles, [this, block, start, done = std::move(done)]() mutable {
     if (l1_.contains(block)) {
-      stats_.sampler("cpu.read_latency").add(static_cast<double>(eq_.now() - start));
-      stats_.sampler("cpu.read_latency.clean").add(static_cast<double>(eq_.now() - start));
-      ++stats_.counter(pfx_ + "l1_hits");
+      latAll_.add(static_cast<double>(eq_.now() - start));
+      latClean_.add(static_cast<double>(eq_.now() - start));
+      ++c_.l1Hits;
       done(ReadResult{ReadService::L1Hit, eq_.now() - start, 0});
       return;
     }
@@ -47,9 +78,9 @@ void CacheController::cpuRead(Addr a, ReadCallback done) {
       CacheLine* line = l2_.find(block);
       if (line != nullptr) {
         l1_.insert(block);
-        stats_.sampler("cpu.read_latency").add(static_cast<double>(eq_.now() - start));
-        stats_.sampler("cpu.read_latency.clean").add(static_cast<double>(eq_.now() - start));
-        ++stats_.counter(pfx_ + "l2_hits");
+        latAll_.add(static_cast<double>(eq_.now() - start));
+        latClean_.add(static_cast<double>(eq_.now() - start));
+        ++c_.l2Hits;
         done(ReadResult{ReadService::L2Hit, eq_.now() - start, 0});
         return;
       }
@@ -64,11 +95,11 @@ void CacheController::startReadMiss(Addr block, ReadCallback done, Cycle start) 
     // Merge into the outstanding transaction (possibly a store's ownership
     // fetch — the classic "load hits pending write buffer entry" case).
     it->second.readers.push_back({std::move(done), start});
-    ++stats_.counter(pfx_ + "read_merged");
+    ++c_.readMerged;
     return;
   }
   if (mshrs_.size() >= cfg_.mshrEntries) {
-    ++stats_.counter(pfx_ + "mshr_full_stalls");
+    ++c_.mshrFullStalls;
     eq_.scheduleAfter(cfg_.l2AccessCycles,
                       [this, block, start, done = std::move(done)]() mutable {
                         startReadMiss(block, std::move(done), start);
@@ -78,16 +109,16 @@ void CacheController::startReadMiss(Addr block, ReadCallback done, Cycle start) 
   Mshr& m = mshrs_[block];
   m.firstIssue = eq_.now();
   m.readers.push_back({std::move(done), start});
-  ++stats_.counter(pfx_ + "read_misses");
+  ++c_.readMisses;
   sendRequest(block, m);
 }
 
 void CacheController::cpuWrite(Addr a, DoneCallback accepted) {
   const Addr block = blockOf(a);
-  ++stats_.counter(pfx_ + "writes");
+  ++c_.writes;
   eq_.scheduleAfter(cfg_.l1AccessCycles, [this, block, accepted = std::move(accepted)]() mutable {
     if (wbOccupancy_ >= cfg_.writeBufferEntries) {
-      ++stats_.counter(pfx_ + "wb_full_stalls");
+      ++c_.wbFullStalls;
       stalledStores_.emplace_back(block, std::move(accepted));
       return;
     }
@@ -103,7 +134,7 @@ void CacheController::cpuWrite(Addr a, DoneCallback accepted) {
 
 void CacheController::cpuRmw(Addr a, DoneCallback done) {
   const Addr block = blockOf(a);
-  ++stats_.counter(pfx_ + "rmws");
+  ++c_.rmws;
   eq_.scheduleAfter(cfg_.l1AccessCycles + cfg_.l2AccessCycles,
                     [this, block, done = std::move(done)]() mutable {
                       startWriteMiss(block, std::move(done), /*isRmw=*/true);
@@ -114,7 +145,7 @@ void CacheController::startWriteMiss(Addr block, DoneCallback retire, bool isRmw
   CacheLine* line = l2_.find(block);
   if (line != nullptr && line->state == CacheState::M) {
     l1_.insert(block);
-    if (!isRmw) ++stats_.counter(pfx_ + "write_hits");
+    if (!isRmw) ++c_.writeHits;
     retire();
     return;
   }
@@ -130,7 +161,7 @@ void CacheController::startWriteMiss(Addr block, DoneCallback retire, bool isRmw
     return;
   }
   if (mshrs_.size() >= cfg_.mshrEntries) {
-    ++stats_.counter(pfx_ + "mshr_full_stalls");
+    ++c_.mshrFullStalls;
     eq_.scheduleAfter(cfg_.l2AccessCycles,
                       [this, block, retire = std::move(retire), isRmw]() mutable {
                         startWriteMiss(block, std::move(retire), isRmw);
@@ -141,7 +172,7 @@ void CacheController::startWriteMiss(Addr block, DoneCallback retire, bool isRmw
   m.firstIssue = eq_.now();
   m.wantWrite = true;
   m.writers.push_back(std::move(retire));
-  ++stats_.counter(pfx_ + (line != nullptr ? "write_upgrades" : "write_misses"));
+  ++(line != nullptr ? c_.writeUpgrades : c_.writeMisses);
   sendRequest(block, m);
 }
 
@@ -232,7 +263,7 @@ void CacheController::installLine(Addr block, CacheState state) {
   CacheLine* line = l2_.allocate(block, victim);
   if (victim.evicted) {
     l1_.remove(victim.block);
-    ++stats_.counter(pfx_ + "evictions");
+    ++c_.evictions;
     if (victim.dirty) {
       Message wb;
       wb.type = MsgType::WriteBack;
@@ -241,7 +272,7 @@ void CacheController::installLine(Addr block, CacheState state) {
       wb.addr = victim.block;
       wb.requester = node_;
       net_.send(wb);
-      ++stats_.counter(pfx_ + "writebacks");
+      ++c_.writebacks;
     }
   }
   line->state = state;
@@ -253,7 +284,7 @@ void CacheController::handleFill(const Message& m) {
   if (it == mshrs_.end()) {
     // A transaction can be answered twice when a copyback served the
     // requester at a switch while the owner also replied; drop the extra.
-    ++stats_.counter(pfx_ + "spurious_fills");
+    ++c_.spuriousFills;
     return;
   }
   Mshr& mshr = it->second;
@@ -264,9 +295,9 @@ void CacheController::handleFill(const Message& m) {
     Mshr done = std::move(mshr);
     mshrs_.erase(it);
     for (auto& r : done.readers) {
-      stats_.sampler("cpu.read_latency").add(static_cast<double>(eq_.now() - r.start));
-      stats_.sampler("cpu.read_latency.clean").add(static_cast<double>(eq_.now() - r.start));
-      ++stats_.counter(std::string("svc.") + toString(ReadService::CleanMemory));
+      latAll_.add(static_cast<double>(eq_.now() - r.start));
+      latClean_.add(static_cast<double>(eq_.now() - r.start));
+      ++svc_[static_cast<std::size_t>(ReadService::CleanMemory)];
       r.cb(ReadResult{ReadService::CleanMemory, eq_.now() - r.start, done.retries});
     }
     for (auto& w : done.writers) w();
@@ -279,7 +310,7 @@ void CacheController::handleFill(const Message& m) {
     // The data is still delivered to the waiting loads (it is the value as
     // of the invalidating write's serialization point), but the line is dead.
     l1_.remove(m.addr);
-    ++stats_.counter(pfx_ + "fill_then_invalidate");
+    ++c_.fillThenInvalidate;
   }
   auto readers = std::move(mshr.readers);
   mshr.readers.clear();
@@ -289,10 +320,10 @@ void CacheController::handleFill(const Message& m) {
                       service == ReadService::SwitchWriteBack;
   for (auto& r : readers) {
     const auto lat = static_cast<double>(eq_.now() - r.start);
-    stats_.sampler("cpu.read_latency").add(lat);
-    stats_.sampler(isCtoC ? "cpu.read_latency.ctoc" : "cpu.read_latency.clean").add(lat);
-    if (!isCtoC) stats_.sampler("cpu.read_latency.clean_miss").add(lat);
-    ++stats_.counter(std::string("svc.") + toString(service));
+    latAll_.add(lat);
+    (isCtoC ? latCtoC_ : latClean_).add(lat);
+    if (!isCtoC) latCleanMiss_.add(lat);
+    ++svc_[static_cast<std::size_t>(service)];
     r.cb(ReadResult{service, eq_.now() - r.start, retries});
   }
   if (mshr.wantWrite) {
@@ -319,16 +350,16 @@ void CacheController::handleCtoCRequest(const Message& m) {
         retry.requester = m.requester;
         retry.marked = true;
         net_.send(retry);
-        ++stats_.counter(pfx_ + "ctoc_cannot_supply");
+        ++c_.ctocCannotSupply;
       } else {
         // Our WriteBack is in flight; it resolves the transaction at home.
-        ++stats_.counter(pfx_ + "ctoc_dropped_wb_race");
+        ++c_.ctocDroppedWbRace;
       }
       return;
     }
     // M or S: supply the data directly to the requester and copy back to the
     // home so memory and the full-map directory stay exact.
-    ++stats_.counter(pfx_ + "ctoc_supplied");
+    ++c_.ctocSupplied;
     Message reply;
     reply.type = MsgType::CtoCReply;
     reply.src = procEp(node_);
@@ -364,7 +395,7 @@ void CacheController::handleInvalidation(const Message& m) {
                  it != mshrs_.end() && !it->second.wantWrite) {
         it->second.fillThenInvalidate = true;
       }
-      ++stats_.counter(pfx_ + "cleanup_invalidations");
+      ++c_.cleanupInvalidations;
       return;
     }
     // A recall can only find the line in M/S/I: the home's outgoing messages
@@ -384,7 +415,7 @@ void CacheController::handleInvalidation(const Message& m) {
       net_.send(cb);
       l2_.invalidate(*line);
       l1_.remove(m.addr);
-      ++stats_.counter(pfx_ + "recalls");
+      ++c_.recalls;
       return;
     }
     if (line != nullptr) {
@@ -403,20 +434,20 @@ void CacheController::handleInvalidation(const Message& m) {
     ack.dst = memEp(homeOf(m.addr));
     ack.addr = m.addr;
     net_.send(ack);
-    ++stats_.counter(pfx_ + "invalidations");
+    ++c_.invalidations;
   });
 }
 
 void CacheController::handleRetry(const Message& m) {
   auto it = mshrs_.find(m.addr);
   if (it == mshrs_.end() || !it->second.requestOutstanding) {
-    ++stats_.counter(pfx_ + "spurious_retries");
+    ++c_.spuriousRetries;
     return;
   }
   Mshr& mshr = it->second;
   mshr.requestOutstanding = false;
   ++mshr.retries;
-  ++stats_.counter(pfx_ + "retries");
+  ++c_.retries;
   if (mshr.retries > cfg_.maxRetries) {
     throw std::runtime_error("CacheController: retry livelock on " + m.describe());
   }

@@ -6,6 +6,7 @@
 // Retry NAKs).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -106,8 +107,18 @@ class CacheController {
   const SystemConfig& cfg_;
   EventQueue& eq_;
   INetwork& net_;
-  StatRegistry& stats_;
-  std::string pfx_;
+
+  /// Per-node counters ("cache.<n>.*"), resolved once at construction.
+  struct Counters {
+    CounterHandle reads, l1Hits, l2Hits, readMerged, mshrFullStalls, readMisses, writes,
+        wbFullStalls, rmws, writeHits, writeUpgrades, writeMisses, evictions, writebacks,
+        spuriousFills, fillThenInvalidate, ctocCannotSupply, ctocDroppedWbRace, ctocSupplied,
+        cleanupInvalidations, recalls, invalidations, spuriousRetries, retries;
+  };
+  Counters c_;
+  /// Global read-service classification counters ("svc.<ReadService>").
+  std::array<CounterHandle, kReadServiceCount> svc_;
+  SamplerHandle latAll_, latClean_, latCtoC_, latCleanMiss_;
 
   L1Filter l1_;
   CacheArray l2_;

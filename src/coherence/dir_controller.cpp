@@ -21,12 +21,37 @@ const char* toString(DirState s) {
 
 DirController::DirController(NodeId node, const SystemConfig& cfg, EventQueue& eq, INetwork& net,
                              StatRegistry& stats)
-    : node_(node),
-      cfg_(cfg),
-      eq_(eq),
-      net_(net),
-      stats_(stats),
-      pfx_("dir." + std::to_string(node) + ".") {
+    : node_(node), cfg_(cfg), eq_(eq), net_(net) {
+  const std::string pfx = "dir." + std::to_string(node) + ".";
+  c_.pendingServed = stats.counterHandle(pfx + "pending_served");
+  c_.requests = stats.counterHandle(pfx + "requests");
+  c_.retryDropped = stats.counterHandle(pfx + "retry_dropped");
+  c_.switchCacheSharers = stats.counterHandle(pfx + "switch_cache_sharers");
+  c_.switchCacheStaleServe = stats.counterHandle(pfx + "switch_cache_stale_serve");
+  c_.readsClean = stats.counterHandle(pfx + "reads_clean");
+  c_.anomalyReadFromOwner = stats.counterHandle(pfx + "anomaly.read_from_owner");
+  c_.homeCtoc = stats.counterHandle(pfx + "home_ctoc");
+  c_.queued = stats.counterHandle(pfx + "queued");
+  c_.upgrades = stats.counterHandle(pfx + "upgrades");
+  c_.writeInvalidates = stats.counterHandle(pfx + "write_invalidates");
+  c_.anomalyWriteFromOwner = stats.counterHandle(pfx + "anomaly.write_from_owner");
+  c_.writeRecalls = stats.counterHandle(pfx + "write_recalls");
+  c_.carriedSharerInvalidated = stats.counterHandle(pfx + "carried_sharer_invalidated");
+  c_.anomalyRecallCopyback = stats.counterHandle(pfx + "anomaly.recall_copyback");
+  c_.busyreadServedFromMemory = stats.counterHandle(pfx + "busyread_served_from_memory");
+  c_.copybacks = stats.counterHandle(pfx + "copybacks");
+  c_.copybackDuringWrite = stats.counterHandle(pfx + "copyback_during_write");
+  c_.markedCopybacks = stats.counterHandle(pfx + "marked_copybacks");
+  c_.copybackInShared = stats.counterHandle(pfx + "copyback_in_shared");
+  c_.anomalyCopybackUncached = stats.counterHandle(pfx + "anomaly.copyback_uncached");
+  c_.anomalyWritebackNotOwner = stats.counterHandle(pfx + "anomaly.writeback_not_owner");
+  c_.markedWritebacks = stats.counterHandle(pfx + "marked_writebacks");
+  c_.writebacks = stats.counterHandle(pfx + "writebacks");
+  c_.writebackResolvesBusyread = stats.counterHandle(pfx + "writeback_resolves_busyread");
+  c_.writebackDuringWrite = stats.counterHandle(pfx + "writeback_during_write");
+  c_.anomalyStaleWriteback = stats.counterHandle(pfx + "anomaly.stale_writeback");
+  c_.anomalySpuriousInvalAck = stats.counterHandle(pfx + "anomaly.spurious_inval_ack");
+  c_.writesGranted = stats.counterHandle(pfx + "writes_granted");
   lastInjectTo_.resize(cfg_.numNodes, 0);
 }
 
@@ -72,13 +97,13 @@ void DirController::process(const Message& m) {
   while (e.state != DirState::BusyRead && e.state != DirState::BusyWrite && !e.queue.empty()) {
     Message next = std::move(e.queue.front());
     e.queue.pop_front();
-    ++stats_.counter(pfx_ + "pending_served");
+    ++c_.pendingServed;
     handle(next, e);
   }
 }
 
 void DirController::handle(const Message& m, Entry& e) {
-  ++stats_.counter(pfx_ + "requests");
+  ++c_.requests;
   switch (m.type) {
     case MsgType::ReadRequest: onReadRequest(m, e); break;
     case MsgType::WriteRequest: onWriteRequest(m, e); break;
@@ -88,7 +113,7 @@ void DirController::handle(const Message& m, Entry& e) {
     case MsgType::Retry:
       // A marked owner-retry whose initiating TRANSIENT entry was already
       // cleared; nothing left to do (paper: home ignores it).
-      ++stats_.counter(pfx_ + "retry_dropped");
+      ++c_.retryDropped;
       break;
     case MsgType::SharerNotify: {
       // Switch-cache extension: a read was served with clean data inside the
@@ -97,7 +122,7 @@ void DirController::handle(const Message& m, Entry& e) {
       if (e.state == DirState::Shared || e.state == DirState::Uncached) {
         e.state = DirState::Shared;
         e.sharers |= 1ull << r;
-        ++stats_.counter(pfx_ + "switch_cache_sharers");
+        ++c_.switchCacheSharers;
       } else {
         // The block turned dirty (or is mid-transaction): the served copy is
         // from the old epoch — clean it up with an ack-free invalidation.
@@ -108,7 +133,7 @@ void DirController::handle(const Message& m, Entry& e) {
         inv.addr = m.addr;
         inv.marked = true;  // marked invalidation = no ack expected
         sendOrdered(std::move(inv), 0);
-        ++stats_.counter(pfx_ + "switch_cache_stale_serve");
+        ++c_.switchCacheStaleServe;
       }
       break;
     }
@@ -155,20 +180,20 @@ void DirController::onReadRequest(const Message& m, Entry& e) {
     case DirState::Shared:
       e.state = DirState::Shared;
       e.sharers |= bit(r);
-      ++stats_.counter(pfx_ + "reads_clean");
+      ++c_.readsClean;
       sendReadReply(r, m.addr);
       break;
     case DirState::Modified:
       if (e.owner == r) {
         // Unreachable with per-path FIFO ordering; tolerate and serve.
-        ++stats_.counter(pfx_ + "anomaly.read_from_owner");
+        ++c_.anomalyReadFromOwner;
         sendReadReply(r, m.addr);
         break;
       }
       e.state = DirState::BusyRead;
       e.pendingRequester = r;
       ++homeCtoC_;
-      ++stats_.counter(pfx_ + "home_ctoc");
+      ++c_.homeCtoc;
       {
         Message fwd;
         fwd.type = MsgType::CtoCRequest;
@@ -182,7 +207,7 @@ void DirController::onReadRequest(const Message& m, Entry& e) {
     case DirState::BusyRead:
     case DirState::BusyWrite:
       e.queue.push_back(m);
-      ++stats_.counter(pfx_ + "queued");
+      ++c_.queued;
       break;
   }
 }
@@ -202,7 +227,7 @@ void DirController::onWriteRequest(const Message& m, Entry& e) {
         e.state = DirState::Modified;
         e.owner = w;
         e.sharers = 0;
-        ++stats_.counter(pfx_ + "upgrades");
+        ++c_.upgrades;
         sendWriteReply(w, m.addr);
         break;
       }
@@ -212,12 +237,12 @@ void DirController::onWriteRequest(const Message& m, Entry& e) {
       for (NodeId n = 0; n < cfg_.numNodes; ++n) {
         if (others & bit(n)) sendInvalidation(n, m.addr);
       }
-      ++stats_.counter(pfx_ + "write_invalidates");
+      ++c_.writeInvalidates;
       break;
     }
     case DirState::Modified:
       if (e.owner == w) {
-        ++stats_.counter(pfx_ + "anomaly.write_from_owner");
+        ++c_.anomalyWriteFromOwner;
         sendWriteReply(w, m.addr);
         break;
       }
@@ -226,12 +251,12 @@ void DirController::onWriteRequest(const Message& m, Entry& e) {
       e.pendingRequester = w;
       e.pendingAcks = bit(e.owner);
       sendInvalidation(e.owner, m.addr, /*recall=*/true);
-      ++stats_.counter(pfx_ + "write_recalls");
+      ++c_.writeRecalls;
       break;
     case DirState::BusyRead:
     case DirState::BusyWrite:
       e.queue.push_back(m);
-      ++stats_.counter(pfx_ + "queued");
+      ++c_.queued;
       break;
   }
 }
@@ -245,7 +270,7 @@ void DirController::absorbCarriedSharers(const Message& m, Addr block, Entry& e)
     if (e.pendingAcks & bit(n)) continue;
     e.pendingAcks |= bit(n);
     sendInvalidation(n, block);
-    ++stats_.counter(pfx_ + "carried_sharer_invalidated");
+    ++c_.carriedSharerInvalidated;
   }
 }
 
@@ -262,7 +287,7 @@ void DirController::onCopyBack(const Message& m, Entry& e) {
       e.owner = kInvalidNode;
       if (e.pendingAcks == 0) completeBusyWrite(m.addr, e);
     } else {
-      ++stats_.counter(pfx_ + "anomaly.recall_copyback");
+      ++c_.anomalyRecallCopyback;
     }
     return;
   }
@@ -273,18 +298,18 @@ void DirController::onCopyBack(const Message& m, Entry& e) {
         // The copyback completed a different transfer (a switch-initiated
         // one); serve our requester from the now-clean memory copy.
         sendReadReply(r, m.addr);
-        ++stats_.counter(pfx_ + "busyread_served_from_memory");
+        ++c_.busyreadServedFromMemory;
       }
       e.sharers = bit(from) | m.carriedSharers | bit(r);
       e.owner = kInvalidNode;
       e.pendingRequester = kInvalidNode;
       e.state = DirState::Shared;
-      ++stats_.counter(pfx_ + "copybacks");
+      ++c_.copybacks;
       break;
     }
     case DirState::BusyWrite:
       absorbCarriedSharers(m, m.addr, e);
-      ++stats_.counter(pfx_ + "copyback_during_write");
+      ++c_.copybackDuringWrite;
       break;
     case DirState::Modified:
       // Switch-initiated transfer completing with no home involvement: the
@@ -292,14 +317,14 @@ void DirController::onCopyBack(const Message& m, Entry& e) {
       e.sharers = bit(from) | m.carriedSharers;
       e.owner = kInvalidNode;
       e.state = DirState::Shared;
-      ++stats_.counter(pfx_ + (m.marked ? "marked_copybacks" : "copybacks"));
+      ++(m.marked ? c_.markedCopybacks : c_.copybacks);
       break;
     case DirState::Shared:
       e.sharers |= bit(from) | m.carriedSharers;
-      ++stats_.counter(pfx_ + "copyback_in_shared");
+      ++c_.copybackInShared;
       break;
     case DirState::Uncached:
-      ++stats_.counter(pfx_ + "anomaly.copyback_uncached");
+      ++c_.anomalyCopybackUncached;
       break;
   }
 }
@@ -309,7 +334,7 @@ void DirController::onWriteBack(const Message& m, Entry& e) {
   switch (e.state) {
     case DirState::Modified:
       if (e.owner != from) {
-        ++stats_.counter(pfx_ + "anomaly.writeback_not_owner");
+        ++c_.anomalyWritebackNotOwner;
         break;
       }
       e.owner = kInvalidNode;
@@ -318,11 +343,11 @@ void DirController::onWriteBack(const Message& m, Entry& e) {
         // victim's data on its way here.
         e.sharers = m.carriedSharers;
         e.state = DirState::Shared;
-        ++stats_.counter(pfx_ + "marked_writebacks");
+        ++c_.markedWritebacks;
       } else {
         e.sharers = 0;
         e.state = DirState::Uncached;
-        ++stats_.counter(pfx_ + "writebacks");
+        ++c_.writebacks;
       }
       break;
     case DirState::BusyRead: {
@@ -336,18 +361,18 @@ void DirController::onWriteBack(const Message& m, Entry& e) {
       e.owner = kInvalidNode;
       e.pendingRequester = kInvalidNode;
       e.state = DirState::Shared;
-      ++stats_.counter(pfx_ + "writeback_resolves_busyread");
+      ++c_.writebackResolvesBusyread;
       break;
     }
     case DirState::BusyWrite:
       // Owner evicted instead of answering the recall; its InvalAck arrives
       // separately (the invalidation finds the line gone).
       absorbCarriedSharers(m, m.addr, e);
-      ++stats_.counter(pfx_ + "writeback_during_write");
+      ++c_.writebackDuringWrite;
       break;
     case DirState::Shared:
     case DirState::Uncached:
-      ++stats_.counter(pfx_ + "anomaly.stale_writeback");
+      ++c_.anomalyStaleWriteback;
       break;
   }
 }
@@ -355,7 +380,7 @@ void DirController::onWriteBack(const Message& m, Entry& e) {
 void DirController::onInvalAck(const Message& m, Entry& e) {
   const NodeId from = m.src.node;
   if (e.state != DirState::BusyWrite || (e.pendingAcks & bit(from)) == 0) {
-    ++stats_.counter(pfx_ + "anomaly.spurious_inval_ack");
+    ++c_.anomalySpuriousInvalAck;
     return;
   }
   e.pendingAcks &= ~bit(from);
@@ -370,7 +395,7 @@ void DirController::completeBusyWrite(Addr block, Entry& e) {
   e.sharers = 0;
   e.pendingRequester = kInvalidNode;
   e.pendingAcks = 0;
-  ++stats_.counter(pfx_ + "writes_granted");
+  ++c_.writesGranted;
   sendWriteReply(w, block);
 }
 

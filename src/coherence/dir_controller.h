@@ -83,8 +83,17 @@ class DirController {
   const SystemConfig& cfg_;
   EventQueue& eq_;
   INetwork& net_;
-  StatRegistry& stats_;
-  std::string pfx_;
+  /// Per-home counters ("dir.<n>.*"), resolved once at construction.
+  struct Counters {
+    CounterHandle pendingServed, requests, retryDropped, switchCacheSharers,
+        switchCacheStaleServe, readsClean, anomalyReadFromOwner, homeCtoc, queued, upgrades,
+        writeInvalidates, anomalyWriteFromOwner, writeRecalls, carriedSharerInvalidated,
+        anomalyRecallCopyback, busyreadServedFromMemory, copybacks, copybackDuringWrite,
+        markedCopybacks, copybackInShared, anomalyCopybackUncached, anomalyWritebackNotOwner,
+        markedWritebacks, writebacks, writebackResolvesBusyread, writebackDuringWrite,
+        anomalyStaleWriteback, anomalySpuriousInvalAck, writesGranted;
+  };
+  Counters c_;
   std::unordered_map<Addr, Entry> dir_;
   std::vector<Cycle> lastInjectTo_;  ///< per-destination FIFO horizon
   Cycle ctrlFree_ = 0;

@@ -1,9 +1,10 @@
 // Discrete-event simulation kernel with cycle-granularity timestamps.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <map>
 #include <vector>
 
 #include "common/types.h"
@@ -11,8 +12,17 @@
 namespace dresar {
 
 /// A deterministic discrete-event queue. Events scheduled for the same cycle
-/// fire in scheduling order (FIFO tie-break via a sequence number), which
-/// keeps simulations reproducible across runs and platforms.
+/// fire in scheduling order, which keeps simulations reproducible across runs
+/// and platforms.
+///
+/// Internally a calendar queue: a power-of-two ring of per-cycle FIFO buckets
+/// covering the near window [now, now + kBuckets), with a sorted overflow map
+/// for events beyond the window. Scheduling and dispatch are O(1) on the hot
+/// path (coherence traffic schedules a handful of cycles ahead), versus the
+/// O(log n) push/pop of a binary heap. FIFO append per bucket preserves the
+/// (cycle, scheduling-order) total order exactly: far events for a cycle were
+/// necessarily scheduled before that cycle entered the window, so migrating
+/// them to the front of the bucket keeps them ahead of later near appends.
 class EventQueue {
  public:
   using Handler = std::function<void()>;
@@ -26,8 +36,8 @@ class EventQueue {
   /// Schedule `fn` to run `delay` cycles from now.
   void scheduleAfter(Cycle delay, Handler fn) { scheduleAt(now_ + delay, std::move(fn)); }
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return pending_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return pending_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
   /// Run until the queue drains or `limit` cycles have elapsed.
@@ -42,21 +52,36 @@ class EventQueue {
   void clear();
 
  private:
-  struct Entry {
-    Cycle when;
-    std::uint64_t seq;
-    Handler fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  static constexpr std::size_t kBuckets = 1024;  // power of two; window width
+  static constexpr std::size_t kMask = kBuckets - 1;
+  static constexpr std::size_t kWords = kBuckets / 64;
+
+  /// One cycle's FIFO of handlers. `head` marks how many have already fired,
+  /// so a run can stop mid-cycle (runWhile) without reshuffling the vector.
+  struct Bucket {
+    std::vector<Handler> items;
+    std::size_t head = 0;
+    [[nodiscard]] bool drained() const { return head >= items.size(); }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  [[nodiscard]] Bucket& bucketOf(Cycle when) { return ring_[when & kMask]; }
+  void markOccupied(Cycle when) { occupied_[(when & kMask) >> 6] |= 1ull << (when & 63); }
+  void markDrained(Cycle when) { occupied_[(when & kMask) >> 6] &= ~(1ull << (when & 63)); }
+
+  /// Earliest pending cycle, or kNoCycle if the queue is empty.
+  [[nodiscard]] Cycle nextEventCycle() const;
+  /// Advance now_ to `when` and pull overflow cycles entering the window.
+  void advanceTo(Cycle when);
+  /// Fire the next handler of the current cycle's bucket.
+  void dispatchOne(Bucket& b);
+
+  std::array<Bucket, kBuckets> ring_;
+  std::array<std::uint64_t, kWords> occupied_{};  ///< bit per non-drained bucket
+  std::map<Cycle, std::vector<Handler>> far_;     ///< beyond the near window
   Cycle now_ = 0;
-  std::uint64_t seq_ = 0;
+  Cycle windowEnd_ = kBuckets;  ///< near window is [now_, windowEnd_)
+  std::size_t nearCount_ = 0;   ///< pending handlers in the ring
+  std::size_t pending_ = 0;     ///< pending handlers total (ring + far)
   std::uint64_t executed_ = 0;
 };
 

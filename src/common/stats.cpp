@@ -13,16 +13,28 @@ void Histogram::add(double v) {
   ++total_;
 }
 
-double Histogram::percentile(double fraction) const {
-  if (total_ == 0) return 0.0;
+std::size_t Histogram::percentileBucket(double fraction) const {
+  if (total_ == 0) return std::size_t(-1);
   fraction = std::clamp(fraction, 0.0, 1.0);
   const auto target = static_cast<std::uint64_t>(std::ceil(fraction * static_cast<double>(total_)));
+  if (target == 0) return std::size_t(-1);  // fraction == 0: nothing falls below
   std::uint64_t running = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     running += counts_[i];
-    if (running >= target) return width_ * static_cast<double>(i + 1);
+    if (running >= target) return i;
   }
-  return width_ * static_cast<double>(counts_.size());
+  return counts_.size() - 1;  // unreachable: running == total_ >= target
+}
+
+double Histogram::percentile(double fraction) const {
+  const std::size_t idx = percentileBucket(fraction);
+  if (idx == std::size_t(-1)) return 0.0;
+  if (idx == counts_.size() - 1) return overflowBound();  // clamped, not exact
+  return width_ * static_cast<double>(idx + 1);
+}
+
+bool Histogram::percentileOverflowed(double fraction) const {
+  return percentileBucket(fraction) == counts_.size() - 1;
 }
 
 std::uint64_t StatRegistry::counterValue(const std::string& name) const {
@@ -55,8 +67,8 @@ void StatRegistry::dump(std::ostream& os) const {
 }
 
 void StatRegistry::reset() {
-  counters_.clear();
-  samplers_.clear();
+  for (auto& [name, value] : counters_) value = 0;
+  for (auto& [name, s] : samplers_) s.reset();
 }
 
 }  // namespace dresar

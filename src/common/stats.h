@@ -1,6 +1,12 @@
 // Lightweight statistics: named counters, scalar samples and histograms with
 // a registry for formatted dumps. No global state; each simulation owns one
 // StatRegistry so parallel sweeps in one process never interfere.
+//
+// Hot-path discipline: components resolve CounterHandle / SamplerHandle
+// objects once at construction (a string lookup that also registers the name
+// for dumps), then bump through the cached pointer with zero per-event
+// string work. The dotted-name registry remains the source of truth for
+// dump(), counterValue() and sumByPrefix().
 #pragma once
 
 #include <cstdint>
@@ -54,14 +60,70 @@ class Histogram {
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] double bucketWidth() const { return width_; }
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  /// Samples that fell beyond the last bounded bucket.
+  [[nodiscard]] std::uint64_t overflowCount() const { return counts_.back(); }
+  /// Upper bound of the bounded range; percentile() never reports beyond it.
+  [[nodiscard]] double overflowBound() const {
+    return width_ * static_cast<double>(counts_.size() - 1);
+  }
   /// Value below which `fraction` (in [0,1]) of samples fall (bucket upper
-  /// bound approximation).
+  /// bound approximation). fraction == 0 returns 0.0; a percentile landing in
+  /// the overflow bucket is clamped to overflowBound() — callers can detect
+  /// the clamp via percentileOverflowed().
   [[nodiscard]] double percentile(double fraction) const;
+  /// True when percentile(fraction) landed in the overflow bucket, i.e. the
+  /// returned value is a lower bound on the true percentile.
+  [[nodiscard]] bool percentileOverflowed(double fraction) const;
 
  private:
+  /// Index of the bucket holding the `fraction` percentile, or SIZE_MAX for
+  /// "no samples / fraction == 0".
+  [[nodiscard]] std::size_t percentileBucket(double fraction) const;
+
   double width_ = 1.0;
   std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(11, 0);
   std::uint64_t total_ = 0;
+};
+
+/// Pre-resolved reference to a registry counter. Cheap to copy; bumping is a
+/// single pointer-chase. Stays valid for the registry's lifetime (element
+/// addresses in std::map are stable, and StatRegistry::reset() zeroes values
+/// in place instead of erasing them).
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+
+  CounterHandle& operator++() {
+    ++*p_;
+    return *this;
+  }
+  CounterHandle& operator+=(std::uint64_t v) {
+    *p_ += v;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const { return p_ ? *p_ : 0; }
+  [[nodiscard]] bool valid() const { return p_ != nullptr; }
+
+ private:
+  friend class StatRegistry;
+  explicit CounterHandle(std::uint64_t* p) : p_(p) {}
+  std::uint64_t* p_ = nullptr;
+};
+
+/// Pre-resolved reference to a registry sampler (same lifetime rules as
+/// CounterHandle).
+class SamplerHandle {
+ public:
+  SamplerHandle() = default;
+
+  void add(double v) { p_->add(v); }
+  [[nodiscard]] const Sampler* get() const { return p_; }
+  [[nodiscard]] bool valid() const { return p_ != nullptr; }
+
+ private:
+  friend class StatRegistry;
+  explicit SamplerHandle(Sampler* p) : p_(p) {}
+  Sampler* p_ = nullptr;
 };
 
 /// A hierarchical name -> value registry. Components register counters under
@@ -73,6 +135,16 @@ class StatRegistry {
   /// Returns a named sampler, creating it empty.
   Sampler& sampler(const std::string& name) { return samplers_[name]; }
 
+  /// Resolve a counter once (creating it at zero) and return a handle for
+  /// string-free hot-path bumps.
+  [[nodiscard]] CounterHandle counterHandle(const std::string& name) {
+    return CounterHandle(&counters_[name]);
+  }
+  /// Resolve a sampler once (creating it empty) and return a handle.
+  [[nodiscard]] SamplerHandle samplerHandle(const std::string& name) {
+    return SamplerHandle(&samplers_[name]);
+  }
+
   [[nodiscard]] std::uint64_t counterValue(const std::string& name) const;
   [[nodiscard]] const Sampler* findSampler(const std::string& name) const;
 
@@ -80,6 +152,8 @@ class StatRegistry {
   [[nodiscard]] std::uint64_t sumByPrefix(const std::string& prefix) const;
 
   void dump(std::ostream& os) const;
+  /// Zero every counter and empty every sampler, keeping registrations (and
+  /// therefore outstanding handles) valid.
   void reset();
 
   [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const { return counters_; }

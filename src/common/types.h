@@ -1,6 +1,7 @@
 // Fundamental types shared by every dresar module.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -50,6 +51,10 @@ enum class ReadService : std::uint8_t {
   SwitchWriteBack, ///< served from write-back data captured at a switch.
   SwitchCache,     ///< clean data served by a switch cache (extension).
 };
+
+/// Number of ReadService enumerators; sizes per-service stat handle arrays.
+inline constexpr std::size_t kReadServiceCount =
+    static_cast<std::size_t>(ReadService::SwitchCache) + 1;
 
 const char* toString(ReadService s);
 

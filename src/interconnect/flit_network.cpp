@@ -19,10 +19,18 @@ FlitNetwork::FlitNetwork(const NetworkConfig& cfg, std::uint32_t numNodes,
       numNodes_(numNodes),
       lineBytes_(lineBytes),
       eq_(eq),
-      stats_(stats),
       topo_(numNodes, cfg.switchRadix) {
   switches_.resize(topo_.totalSwitches());
   endpoints_.resize(2ull * numNodes_);
+  for (std::size_t t = 0; t < kMsgTypeCount; ++t) {
+    msgCounters_[t] =
+        stats.counterHandle(std::string("net.msgs.") + toString(static_cast<MsgType>(t)));
+  }
+  flitsTransmitted_ = stats.counterHandle("flit.transmitted");
+  flitGrants_ = stats.counterHandle("flit.grants");
+  switchInjected_ = stats.counterHandle("net.switch_injected");
+  sunkCounter_ = stats.counterHandle("net.sunk");
+  latency_ = stats.samplerHandle("net.latency");
 }
 
 void FlitNetwork::setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) {
@@ -51,7 +59,7 @@ void FlitNetwork::send(Message m) {
   ms->msg = std::move(m);
   ++sent_;
   ++live_;
-  ++stats_.counter(std::string("net.msgs.") + toString(ms->msg.type));
+  ++msgCounters_[static_cast<std::size_t>(ms->msg.type)];
   endpoints_.at(srcVertex).sendQueue.push_back(std::move(ms));
   ensureTicking();
 }
@@ -102,7 +110,7 @@ void FlitNetwork::transmit(std::uint32_t from, std::uint32_t to, const Flit& f,
     if (l.credits[vc] == 0) throw std::logic_error("FlitNetwork: transmit without credit");
     --l.credits[vc];
   }
-  ++stats_.counter("flit.transmitted");
+  ++flitsTransmitted_;
   eq_.scheduleAfter(cfg_.linkCyclesPerFlit + extraDelay,
                     [this, to, from, f] { arrive(to, from, f); });
 }
@@ -119,7 +127,7 @@ void FlitNetwork::arrive(std::uint32_t atVertex, std::uint32_t fromVertex, Flit 
 
 void FlitNetwork::deliver(std::uint32_t epVertex, const Flit& f) {
   if (!f.tail()) return;  // wormhole per-VC ordering: tail implies complete
-  stats_.sampler("net.latency").add(static_cast<double>(eq_.now() - f.ms->msg.birth));
+  latency_.add(static_cast<double>(eq_.now() - f.ms->msg.birth));
   --live_;
   auto& h = endpoints_.at(epVertex).deliver;
   if (!h) throw std::logic_error("FlitNetwork: no delivery handler");
@@ -144,14 +152,14 @@ bool FlitNetwork::maybeSnoop(std::uint32_t sv, InputVc& in) {
     ms->msg = std::move(m);
     ++sent_;
     ++live_;
-    ++stats_.counter(std::string("net.msgs.") + toString(ms->msg.type));
-    ++stats_.counter("net.switch_injected");
+    ++msgCounters_[static_cast<std::size_t>(ms->msg.type)];
+    ++switchInjected_;
     switches_[flat].injectQueue.push_back(std::move(ms));
   }
   if (!out.pass) {
     f.ms->sunk = true;
     ++sunk_;
-    ++stats_.counter("net.sunk");
+    ++sunkCounter_;
     return false;
   }
   return true;
@@ -267,7 +275,7 @@ void FlitNetwork::tickSwitch(std::uint32_t sv) {
     const bool tail = f.tail();
     transmit(sv, output, f, cfg_.coreDelay);
     ++granted;
-    ++stats_.counter("flit.grants");
+    ++flitGrants_;
     if (tail) {
       s.outputLock.erase(output);
       in.lockedOutput = InputVc::kNoOutput;

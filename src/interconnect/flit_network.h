@@ -16,6 +16,7 @@
 // bench/validation_flit_vs_message quantifies how close the two are.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -140,8 +141,11 @@ class FlitNetwork final : public INetwork {
   std::uint32_t numNodes_;
   std::uint32_t lineBytes_;
   EventQueue& eq_;
-  StatRegistry& stats_;
   Butterfly topo_;
+  /// Hot-path counters, resolved once at construction.
+  std::array<CounterHandle, kMsgTypeCount> msgCounters_;  ///< "net.msgs.<type>"
+  CounterHandle flitsTransmitted_, flitGrants_, switchInjected_, sunkCounter_;
+  SamplerHandle latency_;
   ISwitchSnoop* snoop_ = nullptr;
 
   std::vector<SwitchState> switches_;   // by flat switch id

@@ -12,9 +12,41 @@ Network::Network(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t
       numNodes_(numNodes),
       lineBytes_(lineBytes),
       eq_(eq),
-      stats_(stats),
       topo_(numNodes, cfg.switchRadix) {
   handlers_.resize(2ull * numNodes_ + topo_.totalSwitches());
+  for (std::size_t t = 0; t < kMsgTypeCount; ++t) {
+    msgCounters_[t] =
+        stats.counterHandle(std::string("net.msgs.") + toString(static_cast<MsgType>(t)));
+  }
+  traversals_.reserve(topo_.totalSwitches());
+  for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) {
+    traversals_.push_back(stats.counterHandle("switch." + std::to_string(i) + ".traversals"));
+  }
+  linkBusy_ = stats.counterHandle("net.link.busy_cycles");
+  switchInjected_ = stats.counterHandle("net.switch_injected");
+  sunkCounter_ = stats.counterHandle("net.sunk");
+  latency_ = stats.samplerHandle("net.latency");
+
+  // Precompute every legal route. Undefined pairs (mem->mem, root switch ->
+  // foreign memory) stay empty; nothing on the hot path asks for them.
+  const std::uint32_t epCount = 2 * numNodes_;
+  routeTable_.resize(static_cast<std::size_t>(epCount + topo_.totalSwitches()) * epCount);
+  for (std::uint32_t d = 0; d < epCount; ++d) {
+    const Endpoint dst = d < numNodes_ ? procEp(d) : memEp(d - numNodes_);
+    for (std::uint32_t s = 0; s < epCount; ++s) {
+      const Endpoint src = s < numNodes_ ? procEp(s) : memEp(s - numNodes_);
+      if (src.kind == EndpointKind::Mem && dst.kind == EndpointKind::Mem) continue;
+      routeTable_[static_cast<std::size_t>(s) * epCount + d] = topo_.route(src, dst);
+    }
+    for (std::uint32_t f = 0; f < topo_.totalSwitches(); ++f) {
+      const SwitchId sw{f / topo_.switchesPerStage(), f % topo_.switchesPerStage()};
+      if (dst.kind == EndpointKind::Mem && sw.stage == 1 && !(sw == topo_.memSwitch(dst.node))) {
+        continue;
+      }
+      routeTable_[static_cast<std::size_t>(epCount + f) * epCount + d] =
+          topo_.routeFromSwitch(sw, dst);
+    }
+  }
 }
 
 std::uint32_t Network::vertexOf(Endpoint ep) const {
@@ -39,7 +71,7 @@ Cycle Network::traverseLink(std::uint32_t from, std::uint32_t to, Cycle ready, c
   const Cycle start = std::max(ready, free);
   const Cycle ser = serializationCycles(m);
   free = start + ser;
-  stats_.counter("net.link.busy_cycles") += ser;
+  linkBusy_ += ser;
   return start + ser;
 }
 
@@ -47,37 +79,37 @@ void Network::send(Message m) {
   if (m.id == 0) m.id = nextMsgId_++;
   m.birth = eq_.now();
   ++sent_;
-  ++stats_.counter(std::string("net.msgs.") + toString(m.type));
-  Route route = topo_.route(m.src, m.dst);
+  ++msgCounters_[static_cast<std::size_t>(m.type)];
   const std::uint32_t srcVertex = vertexOf(m.src);
+  const Route& route = routeFor(srcVertex, vertexOf(m.dst));
   DRESAR_LOG_TRACE("net: @%llu inject %s", static_cast<unsigned long long>(eq_.now()),
                    m.describe().c_str());
-  advance(std::move(m), std::move(route), 0, srcVertex, eq_.now());
+  advance(std::move(m), &route, 0, srcVertex, eq_.now());
 }
 
 void Network::sendFromSwitch(SwitchId from, Message m) {
   if (m.id == 0) m.id = nextMsgId_++;
   m.birth = eq_.now();
   ++sent_;
-  ++stats_.counter(std::string("net.msgs.") + toString(m.type));
-  ++stats_.counter("net.switch_injected");
-  Route route = topo_.routeFromSwitch(from, m.dst);
+  ++msgCounters_[static_cast<std::size_t>(m.type)];
+  ++switchInjected_;
   const std::uint32_t srcVertex = vertexOf(from);
+  const Route& route = routeFor(srcVertex, vertexOf(m.dst));
   DRESAR_LOG_TRACE("net: switch(%u,%u) inject %s", from.stage, from.index, m.describe().c_str());
-  advance(std::move(m), std::move(route), 0, srcVertex, eq_.now());
+  advance(std::move(m), &route, 0, srcVertex, eq_.now());
 }
 
-void Network::advance(Message m, Route route, std::size_t hopIdx, std::uint32_t fromVertex,
+void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::uint32_t fromVertex,
                       Cycle when) {
-  if (hopIdx >= route.size()) throw std::logic_error("Network::advance: route exhausted");
-  const Hop hop = route[hopIdx];
+  if (hopIdx >= route->size()) throw std::logic_error("Network::advance: route exhausted");
+  const Hop hop = (*route)[hopIdx];
   const std::uint32_t toVertex =
       hop.kind == Hop::Kind::Switch ? vertexOf(hop.sw) : vertexOf(hop.ep);
   const Cycle arrive = traverseLink(fromVertex, toVertex, when, m);
 
   if (hop.kind == Hop::Kind::Deliver) {
     eq_.scheduleAt(arrive, [this, m = std::move(m), ep = hop.ep] {
-      stats_.sampler("net.latency").add(static_cast<double>(eq_.now() - m.birth));
+      latency_.add(static_cast<double>(eq_.now() - m.birth));
       auto& h = handlers_.at(vertexOf(ep));
       if (!h) throw std::logic_error("Network: no delivery handler for " + toString(ep));
       h(m);
@@ -85,12 +117,12 @@ void Network::advance(Message m, Route route, std::size_t hopIdx, std::uint32_t 
     return;
   }
 
-  eq_.scheduleAt(arrive, [this, m = std::move(m), route = std::move(route), hopIdx,
-                          sw = hop.sw]() mutable {
-    ++stats_.counter("switch." + std::to_string(topo_.flat(sw)) + ".traversals");
+  eq_.scheduleAt(arrive, [this, m = std::move(m), route, hopIdx, sw = hop.sw]() mutable {
+    ++traversals_[topo_.flat(sw)];
     Cycle delay = cfg_.coreDelay;
     if (snoop_ != nullptr) {
-      std::vector<Message> spawn;
+      std::vector<Message>& spawn = snoopScratch_;
+      spawn.clear();
       const SnoopOutcome out = snoop_->onMessage(sw, eq_.now(), m, spawn);
       delay += out.extraDelay;
       for (auto& s : spawn) {
@@ -101,13 +133,13 @@ void Network::advance(Message m, Route route, std::size_t hopIdx, std::uint32_t 
       }
       if (!out.pass) {
         ++sunk_;
-        ++stats_.counter("net.sunk");
+        ++sunkCounter_;
         DRESAR_LOG_TRACE("net: %s sunk at switch(%u,%u)", m.describe().c_str(), sw.stage,
                          sw.index);
         return;
       }
     }
-    advance(std::move(m), std::move(route), hopIdx + 1, vertexOf(sw), eq_.now() + delay);
+    advance(std::move(m), route, hopIdx + 1, vertexOf(sw), eq_.now() + delay);
   });
 }
 

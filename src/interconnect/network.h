@@ -7,6 +7,7 @@
 // observes (and may sink, annotate, or respond to) every traversing message.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -55,8 +56,17 @@ class Network final : public INetwork {
   [[nodiscard]] Cycle serializationCycles(const Message& m) const;
 
   /// Advance `m` along `route` starting at `hopIdx`; `fromVertex` is where the
-  /// message currently sits, `when` the cycle it becomes ready to move.
-  void advance(Message m, Route route, std::size_t hopIdx, std::uint32_t fromVertex, Cycle when);
+  /// message currently sits, `when` the cycle it becomes ready to move. The
+  /// route must point into routeTable_ (stable for the network's lifetime).
+  void advance(Message m, const Route* route, std::size_t hopIdx, std::uint32_t fromVertex,
+               Cycle when);
+
+  /// Precomputed route from any source vertex (endpoint or switch) to any
+  /// endpoint vertex; topology routing runs once at construction, not per
+  /// message.
+  [[nodiscard]] const Route& routeFor(std::uint32_t fromVertex, std::uint32_t dstVertex) const {
+    return routeTable_[static_cast<std::size_t>(fromVertex) * 2 * numNodes_ + dstVertex];
+  }
 
   /// Reserve the (from,to) link starting no earlier than `ready`; returns the
   /// cycle the last flit lands at `to`.
@@ -66,9 +76,18 @@ class Network final : public INetwork {
   std::uint32_t numNodes_;
   std::uint32_t lineBytes_;
   EventQueue& eq_;
-  StatRegistry& stats_;
   Butterfly topo_;
+  /// Hot-path counters, resolved once at construction.
+  std::array<CounterHandle, kMsgTypeCount> msgCounters_;  ///< "net.msgs.<type>"
+  std::vector<CounterHandle> traversals_;                 ///< "switch.<flat>.traversals"
+  CounterHandle linkBusy_, switchInjected_, sunkCounter_;
+  SamplerHandle latency_;
   ISwitchSnoop* snoop_ = nullptr;
+  /// Scratch buffer for snoop-spawned messages; only live inside one hop's
+  /// snoop block (the snoop itself never re-enters advance), so it is safe to
+  /// reuse across hops instead of allocating per traversal.
+  std::vector<Message> snoopScratch_;
+  std::vector<Route> routeTable_;  ///< by fromVertex * 2N + dstVertex; see routeFor()
   std::vector<std::function<void(const Message&)>> handlers_;  // indexed by vertex
   std::unordered_map<std::uint64_t, Cycle> linkFree_;          // (from<<32|to) -> next free cycle
   std::uint64_t nextMsgId_ = 1;

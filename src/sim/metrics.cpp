@@ -15,6 +15,7 @@ RunMetrics RunMetrics::collect(const System& sys, const std::string& workload) {
   for (NodeId n = 0; n < sys.config().numNodes; ++n) {
     const ThreadContext& ctx = sys.ctx(n);
     m.reads += ctx.loads();
+    m.stores += ctx.stores();
     m.totalReadStall += static_cast<double>(ctx.readStallCycles());
     if (ctx.finishTime() > finish) finish = ctx.finishTime();
     m.homeCtoC += sys.dir(n).homeCtoCForwards();
@@ -50,7 +51,6 @@ RunMetrics RunMetrics::collect(const System& sys, const std::string& workload) {
     m.sdRetries = sd.readRetries() + sd.writeRetries();
   }
   m.netMessages = st.sumByPrefix("net.msgs.");
-  m.retriesObserved = st.sumByPrefix("cache.") == 0 ? 0 : 0;  // per-node detail stays in registry
   std::uint64_t retries = 0;
   for (NodeId n = 0; n < sys.config().numNodes; ++n) {
     retries += st.counterValue("cache." + std::to_string(n) + ".retries");

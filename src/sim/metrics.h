@@ -17,6 +17,7 @@ struct RunMetrics {
 
   // Read classification (Figure 1).
   std::uint64_t reads = 0;       ///< all CPU loads
+  std::uint64_t stores = 0;      ///< all CPU stores (events/sec accounting)
   std::uint64_t readMisses = 0;  ///< serviced beyond L2 / write buffer
   std::uint64_t svcClean = 0;    ///< clean memory replies
   std::uint64_t svcCtoCHome = 0; ///< home-forwarded cache-to-cache

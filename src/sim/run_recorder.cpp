@@ -1,0 +1,66 @@
+#include "sim/run_recorder.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "sim/json_writer.h"
+
+namespace dresar {
+
+std::string RunRecorder::toJson() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("schema", "dresar-bench-results/v1");
+  w.field("bench", bench_);
+  w.key("options");
+  w.beginObject();
+  for (const auto& [k, v] : options_) w.field(k, v);
+  w.endObject();
+
+  double wallTotal = 0.0;
+  std::uint64_t eventsTotal = 0;
+  for (const RunRecord& r : runs_) {
+    wallTotal += r.wallSeconds;
+    eventsTotal += r.events;
+  }
+  w.field("wall_seconds_total", wallTotal);
+  w.field("sim_events_total", eventsTotal);
+  w.field("events_per_sec", wallTotal > 0.0 ? static_cast<double>(eventsTotal) / wallTotal : 0.0);
+
+  w.key("runs");
+  w.beginArray();
+  for (const RunRecord& r : runs_) {
+    w.beginObject();
+    w.field("app", r.app);
+    w.field("config", r.config);
+    w.field("kind", r.kind);
+    w.field("sd_entries", r.sdEntries);
+    w.field("wall_seconds", r.wallSeconds);
+    w.field("events", r.events);
+    w.field("events_per_sec",
+            r.wallSeconds > 0.0 ? static_cast<double>(r.events) / r.wallSeconds : 0.0);
+    w.key("metrics");
+    w.beginObject();
+    for (const auto& [k, v] : r.metrics) w.field(k, v);
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  os << '\n';
+  return os.str();
+}
+
+bool RunRecorder::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open --json file '" << path << "' for writing\n";
+    return false;
+  }
+  out << toJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace dresar

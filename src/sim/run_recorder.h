@@ -1,0 +1,70 @@
+// Machine-readable bench results: every figure/ablation binary can record the
+// runs it performed and dump them as one JSON document (--json=FILE). The
+// schema is versioned so downstream tooling can detect incompatible changes.
+//
+// Schema "dresar-bench-results/v1":
+//   {
+//     "schema": "dresar-bench-results/v1",
+//     "bench": "<binary name>",
+//     "options": { "<key>": "<value>", ... },
+//     "wall_seconds_total": <double>,
+//     "sim_events_total": <uint>,
+//     "events_per_sec": <double>,
+//     "runs": [
+//       {
+//         "app": "FFT", "config": "sd-512", "kind": "scientific"|"trace",
+//         "sd_entries": <uint>,             // 0 when no switch directory
+//         "wall_seconds": <double>,
+//         "events": <uint>,                 // executed sim events (or trace refs)
+//         "events_per_sec": <double>,
+//         "metrics": { "<name>": <number>, ... }
+//       }, ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dresar {
+
+struct RunRecord {
+  std::string app;     ///< workload name (FFT, TPC-D, ...)
+  std::string config;  ///< short config tag, e.g. "base" or "sd-512"
+  std::string kind;    ///< "scientific" (event-driven) or "trace"
+  std::uint64_t sdEntries = 0;
+  double wallSeconds = 0.0;
+  std::uint64_t events = 0;  ///< executed events (scientific) / refs (trace)
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void metric(std::string name, double v) { metrics.emplace_back(std::move(name), v); }
+};
+
+/// Accumulates RunRecords across a bench binary's runs and serializes them.
+class RunRecorder {
+ public:
+  void setBench(std::string name) { bench_ = std::move(name); }
+  void setOption(std::string key, std::string value) {
+    options_.emplace_back(std::move(key), std::move(value));
+  }
+
+  void add(RunRecord r) { runs_.push_back(std::move(r)); }
+
+  [[nodiscard]] const std::vector<RunRecord>& runs() const { return runs_; }
+
+  /// Serialize to the v1 schema. Returns the document as a string.
+  [[nodiscard]] std::string toJson() const;
+
+  /// Write toJson() to `path` (trailing newline included). Returns false and
+  /// reports to stderr if the file cannot be written.
+  bool writeFile(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> options_;
+  std::vector<RunRecord> runs_;
+};
+
+}  // namespace dresar

@@ -12,11 +12,26 @@ std::uint64_t bit(NodeId n) { return 1ull << n; }
 
 DresarManager::DresarManager(const SwitchDirConfig& cfg, const Butterfly& topo,
                              std::uint32_t lineBytes, std::uint32_t numNodes, StatRegistry& stats)
-    : cfg_(cfg), topo_(topo), lineBytes_(lineBytes), numNodes_(numNodes), stats_(stats) {
+    : cfg_(cfg), topo_(topo), lineBytes_(lineBytes), numNodes_(numNodes) {
   if (numNodes_ > 64) throw std::invalid_argument("DresarManager: sharer masks support <= 64 nodes");
   if (cfg_.enabled()) {
     units_.reserve(topo_.totalSwitches());
-    for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) units_.emplace_back(cfg_, lineBytes);
+    for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) {
+      Unit& u = units_.emplace_back(cfg_, lineBytes);
+      const std::string pfx = "sd." + std::to_string(i) + ".";
+      u.c.depositSkipped = stats.counterHandle(pfx + "deposit_skipped");
+      u.c.writereplyOnTransient = stats.counterHandle(pfx + "writereply_on_transient");
+      u.c.deposits = stats.counterHandle(pfx + "deposits");
+      u.c.staleSelf = stats.counterHandle(pfx + "stale_self");
+      u.c.ctocInitiated = stats.counterHandle(pfx + "ctoc_initiated");
+      u.c.readRetries = stats.counterHandle(pfx + "read_retries");
+      u.c.writeRetries = stats.counterHandle(pfx + "write_retries");
+      u.c.ctocPassedTransient = stats.counterHandle(pfx + "ctoc_passed_transient");
+      u.c.copybackServes = stats.counterHandle(pfx + "copyback_serves");
+      u.c.writebackServes = stats.counterHandle(pfx + "writeback_serves");
+      u.c.ownerRetryBounced = stats.counterHandle(pfx + "owner_retry_bounced");
+      u.c.invalSnooped = stats.counterHandle(pfx + "inval_snooped");
+    }
   }
 }
 
@@ -36,7 +51,10 @@ void DresarManager::clearEntry(Unit& u, SDEntry& e) {
 }
 
 Cycle DresarManager::reservePorts(Unit& u, Cycle now, bool pendingEligible) {
-  if (cfg_.usePendingBuffer && pendingEligible && u.transientCount <= cfg_.pendingBufferEntries) {
+  // Strict <: with N buffer entries, the Nth TRANSIENT entry is the last one
+  // that fits, so a full buffer (transientCount == N) falls back to the main
+  // directory ports.
+  if (cfg_.usePendingBuffer && pendingEligible && u.transientCount < cfg_.pendingBufferEntries) {
     return u.pendingPorts.reserve(now);
   }
   return u.mainPorts.reserve(now);
@@ -46,7 +64,6 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
                                       std::vector<Message>& spawn) {
   if (!cfg_.enabled()) return {};
   Unit& u = unit(sw);
-  const std::string pfx = prefix(sw);
 
   switch (m.type) {
     case MsgType::WriteReply: {
@@ -55,20 +72,20 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       const Cycle delay = reservePorts(u, now, /*pendingEligible=*/false);
       SDEntry* e = u.cache.allocate(m.addr);
       if (e == nullptr) {
-        ++stats_.counter(pfx + "deposit_skipped");
+        ++u.c.depositSkipped;
         return {true, delay};
       }
       if (e->state == SDState::Transient) {
         // Should be unreachable: a write to a block with an in-flight
         // switch-initiated transfer is retried before reaching the home.
-        ++stats_.counter(pfx + "writereply_on_transient");
+        ++u.c.writereplyOnTransient;
         return {true, delay};
       }
       e->state = SDState::Modified;
       e->owner = m.dst.node;
       e->requester = kInvalidNode;
       ++deposits_;
-      ++stats_.counter(pfx + "deposits");
+      ++u.c.deposits;
       return {true, delay};
     }
 
@@ -81,7 +98,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
           // Stale entry: the "owner" itself is asking again (it lost the
           // line since). Drop the entry and let the home service the read.
           ++staleSelf_;
-          ++stats_.counter(pfx + "stale_self");
+          ++u.c.staleSelf;
           clearEntry(u, *e);
           return {true, delay};
         }
@@ -99,7 +116,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         ctoc.viaSwitchDir = true;
         spawn.push_back(ctoc);
         ++ctocInitiated_;
-        ++stats_.counter(pfx + "ctoc_initiated");
+        ++u.c.ctocInitiated;
         return {false, delay};
       }
       // TRANSIENT: a transfer for this block is already in flight from this
@@ -113,7 +130,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       retry.marked = true;
       spawn.push_back(retry);
       ++readRetries_;
-      ++stats_.counter(pfx + "read_retries");
+      ++u.c.readRetries;
       return {false, delay};
     }
 
@@ -135,7 +152,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       retry.marked = true;
       spawn.push_back(retry);
       ++writeRetries_;
-      ++stats_.counter(pfx + "write_retries");
+      ++u.c.writeRetries;
       return {false, delay};
     }
 
@@ -154,7 +171,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       // stale owner bounces it with a Retry and produces no copyback for the
       // home to complete on). Passing is always safe: the owner may serve
       // twice, and duplicate fills/sharer notifications are tolerated.
-      ++stats_.counter(pfx + "ctoc_passed_transient");
+      ++u.c.ctocPassedTransient;
       return {true, delay};
     }
 
@@ -178,7 +195,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         m.carriedSharers |= bit(e->requester);
         m.marked = true;
         ++cbServes_;
-        ++stats_.counter(pfx + "copyback_serves");
+        ++u.c.copybackServes;
       }
       clearEntry(u, *e);
       return {true, delay};
@@ -204,7 +221,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         m.carriedSharers |= bit(e->requester);
         m.marked = true;
         ++wbServes_;
-        ++stats_.counter(pfx + "writeback_serves");
+        ++u.c.writebackServes;
       }
       clearEntry(u, *e);
       return {true, delay};
@@ -227,7 +244,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       retry.marked = true;
       spawn.push_back(retry);
       clearEntry(u, *e);
-      ++stats_.counter(pfx + "owner_retry_bounced");
+      ++u.c.ownerRetryBounced;
       // Keep travelling: another switch on the owner->home path may hold its
       // own TRANSIENT entry for this block and must be cleared too (sinking
       // here would orphan it). The home drops the message at the end.
@@ -240,7 +257,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       SDEntry* e = u.cache.find(m.addr);
       if (e != nullptr && e->state == SDState::Modified) {
         clearEntry(u, *e);
-        ++stats_.counter(pfx + "inval_snooped");
+        ++u.c.invalSnooped;
       }
       return {true, delay};
     }

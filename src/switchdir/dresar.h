@@ -64,11 +64,19 @@ class DresarManager : public ISwitchSnoop {
   [[nodiscard]] std::uint64_t transientEntries() const;
 
  private:
+  /// Per-switch counters ("sd.<flat>.*"), resolved once at construction.
+  struct Counters {
+    CounterHandle depositSkipped, writereplyOnTransient, deposits, staleSelf, ctocInitiated,
+        readRetries, writeRetries, ctocPassedTransient, copybackServes, writebackServes,
+        ownerRetryBounced, invalSnooped;
+  };
+
   struct Unit {
     SwitchDirCache cache;
     PortSchedule mainPorts;
     PortSchedule pendingPorts;
     std::uint32_t transientCount = 0;
+    Counters c;
 
     Unit(const SwitchDirConfig& cfg, std::uint32_t lineBytes)
         : cache(cfg.entries, cfg.associativity, lineBytes),
@@ -77,9 +85,6 @@ class DresarManager : public ISwitchSnoop {
   };
 
   Unit& unit(SwitchId sw) { return units_[topo_.flat(sw)]; }
-  [[nodiscard]] std::string prefix(SwitchId sw) const {
-    return "sd." + std::to_string(topo_.flat(sw)) + ".";
-  }
 
   void setTransient(Unit& u, SDEntry& e, NodeId requester);
   void clearEntry(Unit& u, SDEntry& e);
@@ -91,7 +96,6 @@ class DresarManager : public ISwitchSnoop {
   const Butterfly& topo_;
   std::uint32_t lineBytes_;
   std::uint32_t numNodes_;
-  StatRegistry& stats_;
   std::vector<Unit> units_;
 
   std::uint64_t ctocInitiated_ = 0;

@@ -6,10 +6,16 @@ namespace dresar {
 
 SwitchCacheManager::SwitchCacheManager(const SwitchCacheConfig& cfg, const Butterfly& topo,
                                        std::uint32_t lineBytes, StatRegistry& stats)
-    : cfg_(cfg), topo_(topo), stats_(stats) {
+    : cfg_(cfg), topo_(topo) {
   if (cfg_.enabled()) {
     units_.reserve(topo_.totalSwitches());
-    for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) units_.emplace_back(cfg_, lineBytes);
+    for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) {
+      Unit& u = units_.emplace_back(cfg_, lineBytes);
+      const std::string pfx = "sc." + std::to_string(i) + ".";
+      u.deposits = stats.counterHandle(pfx + "deposits");
+      u.serves = stats.counterHandle(pfx + "serves");
+      u.invalidates = stats.counterHandle(pfx + "invalidates");
+    }
   }
 }
 
@@ -17,7 +23,6 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
                                            std::vector<Message>& spawn) {
   if (!cfg_.enabled()) return {};
   Unit& u = unit(sw);
-  const std::string pfx = "sc." + std::to_string(topo_.flat(sw)) + ".";
 
   switch (m.type) {
     case MsgType::ReadReply: {
@@ -29,7 +34,7 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
         e->state = SDState::Modified;  // "valid data" for the tag array
         e->owner = kInvalidNode;
         ++deposits_;
-        ++stats_.counter(pfx + "deposits");
+        ++u.deposits;
       }
       return {true, delay};
     }
@@ -57,7 +62,7 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
       spawn.push_back(notify);
 
       ++serves_;
-      ++stats_.counter(pfx + "serves");
+      ++u.serves;
       return {false, delay};
     }
 
@@ -72,7 +77,7 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
       if (SDEntry* e = u.tags.find(m.addr); e != nullptr) {
         u.tags.invalidate(*e);
         ++invalidates_;
-        ++stats_.counter(pfx + "invalidates");
+        ++u.invalidates;
       }
       return {true, delay};
     }

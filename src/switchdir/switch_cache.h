@@ -44,6 +44,8 @@ class SwitchCacheManager : public ISwitchSnoop {
   struct Unit {
     SwitchDirCache tags;  ///< reuse the tag array; state Modified == "valid data"
     PortSchedule ports;
+    /// Per-switch counters ("sc.<flat>.*"), resolved once at construction.
+    CounterHandle deposits, serves, invalidates;
     Unit(const SwitchCacheConfig& cfg, std::uint32_t lineBytes)
         : tags(cfg.entries, cfg.associativity, lineBytes), ports(cfg.snoopPortsPerCycle) {}
   };
@@ -52,7 +54,6 @@ class SwitchCacheManager : public ISwitchSnoop {
 
   SwitchCacheConfig cfg_;
   const Butterfly& topo_;
-  StatRegistry& stats_;
   std::vector<Unit> units_;
   std::uint64_t deposits_ = 0;
   std::uint64_t serves_ = 0;

@@ -20,20 +20,28 @@ TraceSimulator::TraceSimulator(const TraceConfig& cfg)
                                cfg_.lineBytes);
     }
   }
+  pathTable_.reserve(static_cast<std::size_t>(cfg_.numNodes) * cfg_.numNodes);
+  for (NodeId p = 0; p < cfg_.numNodes; ++p) {
+    for (NodeId m = 0; m < cfg_.numNodes; ++m) {
+      std::vector<std::uint32_t> flats;
+      for (const SwitchId sw : topo_.forwardPath(p, m)) flats.push_back(topo_.flat(sw));
+      pathTable_.push_back(std::move(flats));
+    }
+  }
 }
 
 void TraceSimulator::clearPathEntries(NodeId who, Addr block) {
   if (switchDirs_.empty()) return;
-  for (const SwitchId sw : topo_.forwardPath(who, homeOf(block))) {
-    SwitchDirCache& c = switchDirs_[topo_.flat(sw)];
+  for (const std::uint32_t f : pathOf(who, homeOf(block))) {
+    SwitchDirCache& c = switchDirs_[f];
     if (SDEntry* e = c.find(block); e != nullptr) c.invalidate(*e);
   }
 }
 
 void TraceSimulator::depositEntries(NodeId owner, Addr block) {
   if (switchDirs_.empty()) return;
-  for (const SwitchId sw : topo_.forwardPath(owner, homeOf(block))) {
-    SwitchDirCache& c = switchDirs_[topo_.flat(sw)];
+  for (const std::uint32_t f : pathOf(owner, homeOf(block))) {
+    SwitchDirCache& c = switchDirs_[f];
     if (SDEntry* e = c.allocate(block); e != nullptr) {
       e->state = SDState::Modified;
       e->owner = owner;
@@ -80,8 +88,8 @@ void TraceSimulator::doRead(NodeId pid, Addr block) {
 
     if (!switchDirs_.empty()) {
       // Snoop the switch directories along the forward path, nearest first.
-      for (const SwitchId sw : topo_.forwardPath(pid, homeOf(block))) {
-        SwitchDirCache& c = switchDirs_[topo_.flat(sw)];
+      for (const std::uint32_t f : pathOf(pid, homeOf(block))) {
+        SwitchDirCache& c = switchDirs_[f];
         SDEntry* e = c.find(block);
         if (e == nullptr || e->state != SDState::Modified) continue;
         const bool fresh = d.state == TDir::Modified && d.owner == e->owner && e->owner != pid;

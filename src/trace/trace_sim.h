@@ -96,6 +96,12 @@ class TraceSimulator {
   [[nodiscard]] NodeId homeOf(Addr block) const { return cfg_.homeOf(block); }
   DirEntry& dir(Addr block) { return dir_[block]; }
 
+  /// forwardPath(p, m) flattened to flat switch ids, precomputed per
+  /// (processor, memory) pair — the hot path walks it on every access.
+  [[nodiscard]] const std::vector<std::uint32_t>& pathOf(NodeId who, NodeId mem) const {
+    return pathTable_[who * cfg_.numNodes + mem];
+  }
+
   /// Clear this block's entries along `who`'s forward path to the home
   /// (models the copyback/writeback snoop).
   void clearPathEntries(NodeId who, Addr block);
@@ -112,6 +118,7 @@ class TraceSimulator {
 
   TraceConfig cfg_;
   Butterfly topo_;
+  std::vector<std::vector<std::uint32_t>> pathTable_;  // by (proc * numNodes + mem)
   std::vector<CacheArray> caches_;              // one per processor
   std::vector<SwitchDirCache> switchDirs_;      // one per switch (may be empty)
   std::unordered_map<Addr, DirEntry> dir_;

@@ -1,0 +1,68 @@
+// Golden determinism: two fresh simulations of the same configuration must
+// produce byte-identical statistics. This is the property the bench harness
+// relies on when it claims performance work (event queue, route tables, stat
+// handles) changed wall-clock time but not results.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/metrics.h"
+#include "sim/system.h"
+#include "trace/tpc_gen.h"
+#include "trace/trace_sim.h"
+#include "workloads/workload.h"
+
+namespace dresar {
+namespace {
+
+std::string scientificStatsDump(const std::string& app, std::uint32_t sdEntries) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = sdEntries;
+  System sys(cfg);
+  auto w = makeWorkload(app, WorkloadScale::tiny());
+  (void)runWorkload(sys, *w);
+  std::ostringstream os;
+  sys.stats().dump(os);
+  os << "exec_time=" << sys.eq().now() << " events=" << sys.eq().executed();
+  return os.str();
+}
+
+TEST(Determinism, ScientificRunsAreReproducible) {
+  for (const char* app : {"sor", "fft"}) {
+    for (const std::uint32_t sd : {0u, 512u}) {
+      const std::string first = scientificStatsDump(app, sd);
+      const std::string second = scientificStatsDump(app, sd);
+      EXPECT_EQ(first, second) << app << " sd=" << sd;
+      EXPECT_FALSE(first.empty());
+    }
+  }
+}
+
+std::string traceStatsDump(bool tpcd, std::uint32_t sdEntries) {
+  TraceConfig cfg;
+  cfg.switchDir.entries = sdEntries;
+  TraceSimulator sim(cfg);
+  TpcGenerator gen(tpcd ? TpcParams::tpcd(50'000) : TpcParams::tpcc(50'000));
+  sim.run(gen);
+  const TraceMetrics& m = sim.metrics();
+  std::ostringstream os;
+  os << m.refs << ' ' << m.reads << ' ' << m.writes << ' ' << m.readHits << ' ' << m.readMisses
+     << ' ' << m.svcCleanLocal << ' ' << m.svcCleanRemote << ' ' << m.svcCtoCLocal << ' '
+     << m.svcCtoCRemote << ' ' << m.svcSwitchDir << ' ' << m.homeCtoC << ' ' << m.sdDeposits
+     << ' ' << m.totalReadLatency << ' ' << m.execTime;
+  return os.str();
+}
+
+TEST(Determinism, TraceRunsAreReproducible) {
+  for (const bool tpcd : {false, true}) {
+    for (const std::uint32_t sd : {0u, 1024u}) {
+      const std::string first = traceStatsDump(tpcd, sd);
+      const std::string second = traceStatsDump(tpcd, sd);
+      EXPECT_EQ(first, second) << (tpcd ? "TPC-D" : "TPC-C") << " sd=" << sd;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dresar

@@ -1,0 +1,194 @@
+// Tests for the streaming JSON writer and the bench run recorder: document
+// shape, string escaping, non-finite handling, misuse detection, and the
+// "dresar-bench-results/v1" schema emitted behind --json=FILE.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "sim/json_writer.h"
+#include "sim/run_recorder.h"
+
+namespace dresar {
+namespace {
+
+std::string emit(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  body(w);
+  EXPECT_TRUE(w.done());
+  return os.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(emit([](JsonWriter& w) {
+              w.beginObject();
+              w.endObject();
+            }),
+            "{}");
+  EXPECT_EQ(emit([](JsonWriter& w) {
+              w.beginArray();
+              w.endArray();
+            }),
+            "[]");
+}
+
+TEST(JsonWriter, ObjectFieldsAndCommas) {
+  const std::string out = emit([](JsonWriter& w) {
+    w.beginObject();
+    w.field("a", 1);
+    w.field("b", std::string_view("x"));
+    w.field("c", true);
+    w.endObject();
+  });
+  EXPECT_EQ(out, "{\"a\":1,\"b\":\"x\",\"c\":true}");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  const std::string out = emit([](JsonWriter& w) {
+    w.beginObject();
+    w.key("runs");
+    w.beginArray();
+    w.beginObject();
+    w.field("n", std::uint64_t{7});
+    w.endObject();
+    w.value(2);
+    w.endArray();
+    w.endObject();
+  });
+  EXPECT_EQ(out, "{\"runs\":[{\"n\":7},2]}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const std::string out = emit([](JsonWriter& w) {
+    w.beginArray();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(1.5);
+    w.endArray();
+  });
+  EXPECT_EQ(out, "[null,null,1.5]");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key outside object
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("k");
+    EXPECT_THROW(w.endObject(), std::logic_error);  // dangling key
+  }
+}
+
+TEST(RunRecorder, EmitsV1Schema) {
+  RunRecorder rec;
+  rec.setBench("fig8_ctoc_reduction");
+  rec.setOption("mode", "paper");
+  RunRecord r;
+  r.app = "FFT";
+  r.config = "sd-512";
+  r.kind = "scientific";
+  r.sdEntries = 512;
+  r.wallSeconds = 0.25;
+  r.events = 1000;
+  r.metric("exec_time", 4242.0);
+  rec.add(r);
+
+  const std::string json = rec.toJson();
+  EXPECT_NE(json.find("\"schema\":\"dresar-bench-results/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"fig8_ctoc_reduction\""), std::string::npos);
+  EXPECT_NE(json.find("\"options\":{\"mode\":\"paper\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"app\":\"FFT\""), std::string::npos);
+  EXPECT_NE(json.find("\"config\":\"sd-512\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"scientific\""), std::string::npos);
+  EXPECT_NE(json.find("\"sd_entries\":512"), std::string::npos);
+  EXPECT_NE(json.find("\"events\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"exec_time\":4242"), std::string::npos);
+  // events/sec = 1000 / 0.25
+  EXPECT_NE(json.find("\"events_per_sec\":4000"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_events_total\":1000"), std::string::npos);
+}
+
+TEST(RunRecorder, TotalsAggregateAcrossRuns) {
+  RunRecorder rec;
+  rec.setBench("x");
+  for (int i = 0; i < 3; ++i) {
+    RunRecord r;
+    r.app = "app" + std::to_string(i);
+    r.config = "base";
+    r.kind = "trace";
+    r.wallSeconds = 0.5;
+    r.events = 100;
+    rec.add(r);
+  }
+  const std::string json = rec.toJson();
+  EXPECT_NE(json.find("\"sim_events_total\":300"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds_total\":1.5"), std::string::npos);
+  EXPECT_EQ(rec.runs().size(), 3u);
+}
+
+TEST(RunRecorder, BalancedDocument) {
+  // Structural sanity without a parser: every brace/bracket closes, and the
+  // document never dips below depth zero.
+  RunRecorder rec;
+  rec.setBench("b");
+  RunRecord r;
+  r.app = "a \"quoted\" name";  // must be escaped, not break the document
+  r.config = "base";
+  r.kind = "trace";
+  rec.add(r);
+  const std::string json = rec.toJson();
+
+  int depth = 0;
+  bool inString = false;
+  bool escaped = false;
+  for (const char ch : json) {
+    if (inString) {
+      if (escaped) {
+        escaped = false;
+      } else if (ch == '\\') {
+        escaped = true;
+      } else if (ch == '"') {
+        inString = false;
+      }
+      continue;
+    }
+    if (ch == '"') {
+      inString = true;
+    } else if (ch == '{' || ch == '[') {
+      ++depth;
+    } else if (ch == '}' || ch == ']') {
+      --depth;
+      ASSERT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(inString);
+  EXPECT_NE(json.find("a \\\"quoted\\\" name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dresar

@@ -55,6 +55,31 @@ TEST(Histogram, Percentile) {
   EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
 }
 
+TEST(Histogram, PercentileZeroIsZero) {
+  Histogram h(1.0, 10);
+  h.add(3.0);
+  h.add(7.0);
+  // p=0 must not round up into the first occupied bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+}
+
+TEST(Histogram, PercentileEmptyIsZero) {
+  Histogram h(1.0, 10);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, PercentileOverflowClampsAndFlags) {
+  Histogram h(10.0, 4);  // covers [0, 40); overflow beyond
+  for (int i = 0; i < 9; ++i) h.add(5.0);
+  h.add(1000.0);  // one overflow sample
+  // The 99th percentile lives in the overflow bucket: the reported value
+  // clamps to the tracked range instead of inventing 1000, and the
+  // out-of-range condition is observable.
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), h.overflowBound());
+  EXPECT_TRUE(h.percentileOverflowed(0.99));
+  EXPECT_FALSE(h.percentileOverflowed(0.5));
+}
+
 TEST(StatRegistry, CountersCreateOnDemand) {
   StatRegistry r;
   r.counter("a.b") += 3;
@@ -81,13 +106,76 @@ TEST(StatRegistry, DumpIsStable) {
   EXPECT_LT(out.find('a'), out.find('z'));
 }
 
-TEST(StatRegistry, ResetClears) {
+TEST(StatRegistry, ResetZeroesInPlace) {
   StatRegistry r;
   r.counter("x") = 9;
   r.sampler("s").add(1.0);
   r.reset();
   EXPECT_EQ(r.counterValue("x"), 0u);
-  EXPECT_EQ(r.findSampler("s"), nullptr);
+  // Names survive a reset (only values are zeroed) so resolved handles stay
+  // valid across it.
+  ASSERT_NE(r.findSampler("s"), nullptr);
+  EXPECT_EQ(r.findSampler("s")->count(), 0u);
+}
+
+TEST(StatRegistry, CounterHandleBumpsRegistry) {
+  StatRegistry r;
+  CounterHandle h = r.counterHandle("hot.counter");
+  EXPECT_TRUE(h.valid());
+  ++h;
+  h += 5;
+  EXPECT_EQ(h.value(), 6u);
+  EXPECT_EQ(r.counterValue("hot.counter"), 6u);
+  // The handle and the string path address the same storage.
+  r.counter("hot.counter") += 4;
+  EXPECT_EQ(h.value(), 10u);
+}
+
+TEST(StatRegistry, CounterHandleSurvivesRehash) {
+  StatRegistry r;
+  CounterHandle h = r.counterHandle("first");
+  // Creating many more counters must not invalidate the handle (node-based
+  // map storage).
+  for (int i = 0; i < 1000; ++i) r.counter("filler." + std::to_string(i)) = 1;
+  ++h;
+  EXPECT_EQ(r.counterValue("first"), 1u);
+}
+
+TEST(StatRegistry, CounterHandleSurvivesReset) {
+  StatRegistry r;
+  CounterHandle h = r.counterHandle("c");
+  h += 3;
+  r.reset();
+  EXPECT_EQ(h.value(), 0u);
+  ++h;
+  EXPECT_EQ(r.counterValue("c"), 1u);
+}
+
+TEST(StatRegistry, SamplerHandleFeedsRegistry) {
+  StatRegistry r;
+  SamplerHandle h = r.samplerHandle("lat");
+  EXPECT_TRUE(h.valid());
+  h.add(10.0);
+  h.add(30.0);
+  ASSERT_NE(r.findSampler("lat"), nullptr);
+  EXPECT_EQ(r.findSampler("lat")->count(), 2u);
+  EXPECT_DOUBLE_EQ(r.findSampler("lat")->mean(), 20.0);
+}
+
+TEST(StatRegistry, DefaultHandlesAreInvalid) {
+  CounterHandle c;
+  SamplerHandle s;
+  EXPECT_FALSE(c.valid());
+  EXPECT_FALSE(s.valid());
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatRegistry, HandleRegistersNameForDump) {
+  StatRegistry r;
+  (void)r.counterHandle("pre.registered");
+  std::ostringstream os;
+  r.dump(os);
+  EXPECT_NE(os.str().find("pre.registered"), std::string::npos);
 }
 
 }  // namespace

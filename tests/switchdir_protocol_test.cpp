@@ -334,5 +334,71 @@ TEST(DresarInvalSnoopOpt, InvalidationSnoopClearsModified) {
   EXPECT_EQ(mgr.cacheAt(sw).peek(0x100), nullptr);
 }
 
+TEST(DresarPendingBuffer, FullBufferFallsBackToMainPorts) {
+  // Regression for the capacity comparison in reservePorts: with N pending
+  // buffer entries, transientCount == N means the buffer is full and
+  // pending-eligible snoops must fall back to the 2-wide main directory
+  // ports. The old `<=` admitted that boundary case to the 4-wide
+  // pending-buffer ports, under-reporting contention.
+  StatRegistry stats;
+  Butterfly topo(16, 8);
+  SwitchDirConfig c;
+  c.entries = 64;
+  c.associativity = 4;
+  c.pendingBufferEntries = 1;
+  DresarManager mgr(c, topo, 32, 16, stats);
+  const SwitchId sw{1, 0};
+
+  // A CtoCRequest that misses the directory is pass-through but still pays
+  // for its snoop; its port-contention delay exposes which port pool served
+  // it (pending buffer: 4/cycle, main directory: 2/cycle).
+  const auto ctocMiss = [&](Addr a, Cycle now) {
+    Message m;
+    m.type = MsgType::CtoCRequest;
+    m.src = procEp(2);
+    m.dst = procEp(7);
+    m.addr = a;
+    m.requester = 2;
+    std::vector<Message> spawn;
+    const SnoopOutcome out = mgr.onMessage(sw, now, m, spawn);
+    EXPECT_TRUE(out.pass);
+    EXPECT_TRUE(spawn.empty());
+    return out.extraDelay;
+  };
+
+  // Buffer has a free slot: a 5-snoop burst on the 4-wide pending ports pays
+  // exactly one cycle of contention (delays 0,0,0,0,1).
+  Cycle burst = 0;
+  for (int i = 0; i < 5; ++i) burst += ctocMiss(0x10000 + i * 0x1000ull, /*now=*/100);
+  EXPECT_EQ(burst, 1u);
+
+  // Occupy the single pending-buffer slot: deposit MODIFIED, then a foreign
+  // read moves the entry to TRANSIENT.
+  {
+    Message wr;
+    wr.type = MsgType::WriteReply;
+    wr.src = memEp(0);
+    wr.dst = procEp(7);
+    wr.addr = 0x100;
+    wr.requester = 7;
+    std::vector<Message> spawn;
+    ASSERT_TRUE(mgr.onMessage(sw, 110, wr, spawn).pass);
+    Message rd;
+    rd.type = MsgType::ReadRequest;
+    rd.src = procEp(2);
+    rd.dst = memEp(0);
+    rd.addr = 0x100;
+    rd.requester = 2;
+    ASSERT_FALSE(mgr.onMessage(sw, 120, rd, spawn).pass);
+  }
+  ASSERT_EQ(mgr.transientEntries(), 1u);
+
+  // transientCount == pendingBufferEntries: the buffer is full, so the same
+  // burst now runs on the 2-wide main ports (delays 0,0,1,1,2).
+  burst = 0;
+  for (int i = 0; i < 5; ++i) burst += ctocMiss(0x20000 + i * 0x1000ull, /*now=*/200);
+  EXPECT_EQ(burst, 4u);
+}
+
 }  // namespace
 }  // namespace dresar
