@@ -6,6 +6,9 @@
 //   --refs=N      trace length override
 //   --entries=a,b,c   switch-directory sizes to sweep
 //   --json=FILE   also write machine-readable results (see sim/run_recorder.h)
+//   --trace=FILE  record every transaction and write one Chrome trace_event
+//                 JSON document (open in Perfetto / chrome://tracing); each
+//                 execution-driven run becomes one process in the timeline
 #pragma once
 
 #include <charconv>
@@ -13,9 +16,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/txn_trace.h"
 #include "sim/metrics.h"
 #include "sim/run_recorder.h"
 #include "sim/system.h"
@@ -32,14 +38,33 @@ inline RunRecorder& recorder() {
   return r;
 }
 
+/// Process-wide Chrome trace accumulator (--trace=FILE). Execution-driven
+/// runs append their completed transactions here, one pid per run; the
+/// document is assembled when the bench flushes its outputs.
+struct TraceExport {
+  bool enabled = false;
+  std::string path;
+  std::ostringstream body;
+  bool first = true;
+  std::uint32_t nextPid = 1;
+};
+
+inline TraceExport& traceExport() {
+  static TraceExport t;
+  return t;
+}
+
 inline void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--paper | --quick] [--refs=N] [--entries=a,b,c] [--json=FILE]\n"
+               "usage: %s [--paper | --quick] [--refs=N] [--entries=a,b,c] [--json=FILE]"
+               " [--trace=FILE]\n"
                "  --paper         paper problem sizes / 16M-ref traces\n"
                "  --quick         tiny sizes (CI smoke)\n"
                "  --refs=N        trace length override (positive integer)\n"
                "  --entries=a,b,c switch-directory sizes to sweep (positive integers)\n"
-               "  --json=FILE     write results as JSON (dresar-bench-results/v1)\n",
+               "  --json=FILE     write results as JSON (dresar-bench-results/v2)\n"
+               "  --trace=FILE    write per-transaction Chrome trace_event JSON\n"
+               "                  (execution-driven runs only; open in Perfetto)\n",
                argv0);
 }
 
@@ -64,6 +89,7 @@ struct Options {
   bool paper = false;
   bool quick = false;
   std::string jsonPath;
+  std::string tracePath;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -107,6 +133,11 @@ struct Options {
       } else if (a.rfind("--json=", 0) == 0) {
         o.jsonPath = a.substr(7);
         if (o.jsonPath.empty()) fail("--json expects a file path", a);
+      } else if (a.rfind("--trace=", 0) == 0) {
+        o.tracePath = a.substr(8);
+        if (o.tracePath.empty()) fail("--trace expects a file path", a);
+        traceExport().enabled = true;
+        traceExport().path = o.tracePath;
       } else {
         fail("unknown option", a);
       }
@@ -126,11 +157,25 @@ struct Options {
   }
 };
 
-/// Flush the recorder if --json=FILE was given. Returns a process exit code
-/// so a bench main can end with `return bench::writeJsonIfRequested(o);`.
+/// Flush the requested output files (--json, --trace). Returns a process
+/// exit code so a bench main can end with `return bench::writeJsonIfRequested(o);`.
 inline int writeJsonIfRequested(const Options& o) {
-  if (o.jsonPath.empty()) return 0;
-  return recorder().writeFile(o.jsonPath) ? 0 : 1;
+  int rc = 0;
+  if (const TraceExport& te = traceExport(); te.enabled) {
+    std::ofstream out(te.path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open --trace file '%s' for writing\n",
+                   te.path.c_str());
+      rc = 1;
+    } else {
+      TxnTracer::writeChromeHeader(out);
+      out << te.body.str();
+      TxnTracer::writeChromeFooter(out);
+      if (!out) rc = 1;
+    }
+  }
+  if (!o.jsonPath.empty() && !recorder().writeFile(o.jsonPath)) rc = 1;
+  return rc;
 }
 
 inline std::string configTag(std::uint32_t sdEntries) {
@@ -166,7 +211,17 @@ inline RunRecord makeSciRecord(const std::string& app, const std::string& config
   rec.metric("sd_retries", static_cast<double>(m.sdRetries));
   rec.metric("net_messages", static_cast<double>(m.netMessages));
   rec.metric("retries", static_cast<double>(m.retriesObserved));
+  rec.metric("backoff_cycles", static_cast<double>(m.backoffCycles));
   rec.metric("dirty_fraction", m.dirtyFraction());
+  if (m.traceReadTxns + m.traceWriteTxns > 0) {
+    rec.hasTrace = true;
+    rec.traceReadTxns = m.traceReadTxns;
+    rec.traceWriteTxns = m.traceWriteTxns;
+    rec.traceReadEndToEnd = m.traceReadEndToEnd;
+    rec.traceWriteEndToEnd = m.traceWriteEndToEnd;
+    rec.traceReadStage = m.traceReadStage;
+    rec.traceWriteStage = m.traceWriteStage;
+  }
   return rec;
 }
 
@@ -208,11 +263,17 @@ inline RunMetrics runScientific(const std::string& name, std::uint32_t sdEntries
   SystemConfig cfg;
   cfg.switchDir = sdTemplate;
   cfg.switchDir.entries = sdEntries;
+  cfg.txnTrace.enabled = traceExport().enabled;
   System sys(cfg);
   auto w = makeWorkload(name, scale);
   const auto t0 = std::chrono::steady_clock::now();
   RunMetrics m = runWorkload(sys, *w);
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  if (TraceExport& te = traceExport(); te.enabled) {
+    const std::uint32_t pid = te.nextPid++;
+    TxnTracer::writeChromeProcessName(te.body, pid, name + " " + configTag(sdEntries), te.first);
+    sys.txnTracer().appendChromeEvents(te.body, pid, te.first);
+  }
   recorder().add(
       makeSciRecord(name, configTag(sdEntries), sdEntries, dt.count(), sys.eq().executed(), m));
   return m;

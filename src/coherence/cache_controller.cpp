@@ -1,5 +1,6 @@
 #include "coherence/cache_controller.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/log.h"
@@ -43,6 +44,7 @@ CacheController::CacheController(NodeId node, const SystemConfig& cfg, EventQueu
   c_.invalidations = stats.counterHandle(pfx + "invalidations");
   c_.spuriousRetries = stats.counterHandle(pfx + "spurious_retries");
   c_.retries = stats.counterHandle(pfx + "retries");
+  c_.backoffCycles = stats.counterHandle(pfx + "backoff_cycles");
   for (std::size_t s = 0; s < kReadServiceCount; ++s) {
     svc_[s] = stats.counterHandle(std::string("svc.") + toString(static_cast<ReadService>(s)));
   }
@@ -56,6 +58,13 @@ Cycle CacheController::acquireCtrl(Cycle busy) {
   const Cycle start = std::max(eq_.now(), ctrlFree_);
   ctrlFree_ = start + busy;
   return start - eq_.now();
+}
+
+Cycle CacheController::backoffDelay(std::uint32_t attempt) const {
+  const Cycle base = cfg_.retryBackoffCycles;
+  const Cycle cap = std::max<Cycle>(base, cfg_.switchDir.retryBackoffMaxCycles);
+  const std::uint32_t shift = std::min(attempt - 1, 24u);
+  return std::min(base << shift, cap);
 }
 
 // ---------------------------------------------------------------------------
@@ -108,9 +117,15 @@ void CacheController::startReadMiss(Addr block, ReadCallback done, Cycle start) 
   }
   Mshr& m = mshrs_[block];
   m.firstIssue = eq_.now();
+  if (tracer_ != nullptr) {
+    m.txn = tracer_->begin(block, node_, /*write=*/false, start);
+  }
   m.readers.push_back({std::move(done), start});
   ++c_.readMisses;
   sendRequest(block, m);
+  if (tracer_ != nullptr && m.txn != 0) {
+    tracer_->record(m.txn, TxnEvent::Issue, TxnLeg::Request, txnAtProc(node_), eq_.now());
+  }
 }
 
 void CacheController::cpuWrite(Addr a, DoneCallback accepted) {
@@ -171,9 +186,15 @@ void CacheController::startWriteMiss(Addr block, DoneCallback retire, bool isRmw
   Mshr& m = mshrs_[block];
   m.firstIssue = eq_.now();
   m.wantWrite = true;
+  if (tracer_ != nullptr) {
+    m.txn = tracer_->begin(block, node_, /*write=*/true, eq_.now());
+  }
   m.writers.push_back(std::move(retire));
   ++(line != nullptr ? c_.writeUpgrades : c_.writeMisses);
   sendRequest(block, m);
+  if (tracer_ != nullptr && m.txn != 0) {
+    tracer_->record(m.txn, TxnEvent::Issue, TxnLeg::Request, txnAtProc(node_), eq_.now());
+  }
 }
 
 void CacheController::sendRequest(Addr block, Mshr& m) {
@@ -185,6 +206,7 @@ void CacheController::sendRequest(Addr block, Mshr& m) {
   req.dst = memEp(homeOf(block));
   req.addr = block;
   req.requester = node_;
+  req.txn = m.txn;
   net_.send(req);
 }
 
@@ -294,6 +316,10 @@ void CacheController::handleFill(const Message& m) {
     installLine(m.addr, CacheState::M);
     Mshr done = std::move(mshr);
     mshrs_.erase(it);
+    if (tracer_ != nullptr && done.txn != 0) {
+      tracer_->record(done.txn, TxnEvent::Fill, TxnLeg::Return, txnAtProc(node_), eq_.now());
+      tracer_->complete(done.txn);
+    }
     for (auto& r : done.readers) {
       latAll_.add(static_cast<double>(eq_.now() - r.start));
       latClean_.add(static_cast<double>(eq_.now() - r.start));
@@ -326,16 +352,32 @@ void CacheController::handleFill(const Message& m) {
     ++svc_[static_cast<std::size_t>(service)];
     r.cb(ReadResult{service, eq_.now() - r.start, retries});
   }
+  if (tracer_ != nullptr && mshr.txn != 0) {
+    tracer_->record(mshr.txn, TxnEvent::Fill, TxnLeg::Return, txnAtProc(node_), eq_.now());
+    tracer_->complete(mshr.txn);
+    mshr.txn = 0;
+  }
   if (mshr.wantWrite) {
-    // A store merged behind this read: chase ownership now.
+    // A store merged behind this read: chase ownership now. The ownership
+    // fetch is traced as a fresh write transaction.
     mshr.requestOutstanding = false;
+    mshr.retries = 0;
+    if (tracer_ != nullptr) {
+      mshr.txn = tracer_->begin(m.addr, node_, /*write=*/true, eq_.now());
+    }
     sendRequest(m.addr, mshr);
+    if (tracer_ != nullptr && mshr.txn != 0) {
+      tracer_->record(mshr.txn, TxnEvent::Issue, TxnLeg::Request, txnAtProc(node_), eq_.now());
+    }
   } else {
     mshrs_.erase(it);
   }
 }
 
 void CacheController::handleCtoCRequest(const Message& m) {
+  if (tracer_ != nullptr && m.txn != 0) {
+    tracer_->record(m.txn, TxnEvent::OwnerArrive, TxnLeg::Forward, txnAtProc(node_), eq_.now());
+  }
   eq_.scheduleAfter(cfg_.l2AccessCycles, [this, m] {
     CacheLine* line = l2_.find(m.addr);
     if (line == nullptr) {
@@ -349,6 +391,11 @@ void CacheController::handleCtoCRequest(const Message& m) {
         retry.addr = m.addr;
         retry.requester = m.requester;
         retry.marked = true;
+        retry.txn = m.txn;
+        if (tracer_ != nullptr && m.txn != 0) {
+          tracer_->record(m.txn, TxnEvent::OwnerInject, TxnLeg::Retry, txnAtProc(node_),
+                          eq_.now());
+        }
         net_.send(retry);
         ++c_.ctocCannotSupply;
       } else {
@@ -367,6 +414,10 @@ void CacheController::handleCtoCRequest(const Message& m) {
     reply.addr = m.addr;
     reply.requester = m.requester;
     reply.viaSwitchDir = m.marked;
+    reply.txn = m.txn;
+    if (tracer_ != nullptr && m.txn != 0) {
+      tracer_->record(m.txn, TxnEvent::OwnerInject, TxnLeg::Return, txnAtProc(node_), eq_.now());
+    }
     net_.send(reply);
 
     Message cb;
@@ -451,11 +502,20 @@ void CacheController::handleRetry(const Message& m) {
   if (mshr.retries > cfg_.maxRetries) {
     throw std::runtime_error("CacheController: retry livelock on " + m.describe());
   }
+  if (tracer_ != nullptr && mshr.txn != 0) {
+    tracer_->record(mshr.txn, TxnEvent::RetryArrive, TxnLeg::Retry, txnAtProc(node_), eq_.now());
+  }
   const Addr block = m.addr;
-  eq_.scheduleAfter(cfg_.retryBackoffCycles, [this, block] {
+  const Cycle delay = backoffDelay(mshr.retries);
+  c_.backoffCycles += delay;
+  eq_.scheduleAfter(delay, [this, block] {
     auto it2 = mshrs_.find(block);
     if (it2 == mshrs_.end() || it2->second.requestOutstanding) return;
-    sendRequest(block, it2->second);
+    Mshr& mshr2 = it2->second;
+    if (tracer_ != nullptr && mshr2.txn != 0) {
+      tracer_->record(mshr2.txn, TxnEvent::Reissue, TxnLeg::None, txnAtProc(node_), eq_.now());
+    }
+    sendRequest(block, mshr2);
   });
 }
 

@@ -57,6 +57,9 @@ class CacheController {
   // ---- Network-facing API ---------------------------------------------
   void onMessage(const Message& m);
 
+  /// Install the transaction tracer (issue/owner/fill events). May be null.
+  void setTracer(TxnTracer* tracer) { tracer_ = tracer; }
+
   // ---- Introspection ----------------------------------------------------
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] const CacheArray& l2() const { return l2_; }
@@ -73,6 +76,7 @@ class CacheController {
     bool fillThenInvalidate = false; ///< an invalidation raced the read fill
     std::uint32_t retries = 0;
     Cycle firstIssue = 0;
+    std::uint64_t txn = 0;           ///< traced transaction id (0 = untraced)
     struct Reader {
       ReadCallback cb;
       Cycle start;
@@ -86,6 +90,10 @@ class CacheController {
 
   /// Controller occupancy for incoming protocol messages.
   Cycle acquireCtrl(Cycle busy);
+
+  /// Re-issue delay after the `attempt`-th NAK of one transaction: the base
+  /// backoff doubled per retry, bounded by switchDir.retryBackoffMaxCycles.
+  [[nodiscard]] Cycle backoffDelay(std::uint32_t attempt) const;
 
   void sendRequest(Addr block, Mshr& m);
   void startReadMiss(Addr block, ReadCallback done, Cycle start);
@@ -107,13 +115,14 @@ class CacheController {
   const SystemConfig& cfg_;
   EventQueue& eq_;
   INetwork& net_;
+  TxnTracer* tracer_ = nullptr;
 
   /// Per-node counters ("cache.<n>.*"), resolved once at construction.
   struct Counters {
     CounterHandle reads, l1Hits, l2Hits, readMerged, mshrFullStalls, readMisses, writes,
         wbFullStalls, rmws, writeHits, writeUpgrades, writeMisses, evictions, writebacks,
         spuriousFills, fillThenInvalidate, ctocCannotSupply, ctocDroppedWbRace, ctocSupplied,
-        cleanupInvalidations, recalls, invalidations, spuriousRetries, retries;
+        cleanupInvalidations, recalls, invalidations, spuriousRetries, retries, backoffCycles;
   };
   Counters c_;
   /// Global read-service classification counters ("svc.<ReadService>").

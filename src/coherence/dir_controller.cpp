@@ -59,7 +59,13 @@ void DirController::sendOrdered(Message m, Cycle delay) {
   Cycle& horizon = lastInjectTo_.at(m.dst.node);
   const Cycle when = std::max(eq_.now() + delay, horizon);
   horizon = when;
-  eq_.scheduleAt(when, [this, m = std::move(m)] { net_.send(m); });
+  eq_.scheduleAt(when, [this, m = std::move(m)] {
+    if (tracer_ != nullptr && m.txn != 0) {
+      tracer_->record(m.txn, TxnEvent::HomeInject, txnLegOf(m.type),
+                      txnAtMem(node_), eq_.now());
+    }
+    net_.send(m);
+  });
 }
 
 Cycle DirController::acquireCtrl() {
@@ -82,6 +88,11 @@ bool DirController::quiescent() const {
 }
 
 void DirController::onMessage(const Message& m) {
+  if (tracer_ != nullptr && m.txn != 0 &&
+      (m.type == MsgType::ReadRequest || m.type == MsgType::WriteRequest)) {
+    tracer_->record(m.txn, TxnEvent::HomeArrive, TxnLeg::Request, txnAtMem(node_),
+                    eq_.now());
+  }
   // Controller occupancy, then the slow DRAM directory lookup.
   const Cycle delay = acquireCtrl() + cfg_.dirLookupCycles;
   eq_.scheduleAfter(delay, [this, m] { process(m); });
@@ -104,6 +115,13 @@ void DirController::process(const Message& m) {
 
 void DirController::handle(const Message& m, Entry& e) {
   ++c_.requests;
+  if (tracer_ != nullptr && m.txn != 0 &&
+      (m.type == MsgType::ReadRequest || m.type == MsgType::WriteRequest)) {
+    // Recorded again when a queued request is re-handled after a BUSY state
+    // resolves; both intervals are home-directory time.
+    tracer_->record(m.txn, TxnEvent::HomeService, TxnLeg::Request, txnAtMem(node_),
+                    eq_.now());
+  }
   switch (m.type) {
     case MsgType::ReadRequest: onReadRequest(m, e); break;
     case MsgType::WriteRequest: onWriteRequest(m, e); break;
@@ -142,7 +160,8 @@ void DirController::handle(const Message& m, Entry& e) {
   }
 }
 
-void DirController::sendReadReply(NodeId to, Addr block, bool viaSwitchDir) {
+void DirController::sendReadReply(NodeId to, Addr block, bool viaSwitchDir,
+                                  std::uint64_t txn) {
   Message r;
   r.type = MsgType::ReadReply;
   r.src = memEp(node_);
@@ -150,16 +169,18 @@ void DirController::sendReadReply(NodeId to, Addr block, bool viaSwitchDir) {
   r.addr = block;
   r.requester = to;
   r.viaSwitchDir = viaSwitchDir;
+  r.txn = txn;
   sendOrdered(std::move(r), cfg_.memAccessCycles);
 }
 
-void DirController::sendWriteReply(NodeId to, Addr block) {
+void DirController::sendWriteReply(NodeId to, Addr block, std::uint64_t txn) {
   Message r;
   r.type = MsgType::WriteReply;
   r.src = memEp(node_);
   r.dst = procEp(to);
   r.addr = block;
   r.requester = to;
+  r.txn = txn;
   sendOrdered(std::move(r), cfg_.memAccessCycles);
 }
 
@@ -181,17 +202,18 @@ void DirController::onReadRequest(const Message& m, Entry& e) {
       e.state = DirState::Shared;
       e.sharers |= bit(r);
       ++c_.readsClean;
-      sendReadReply(r, m.addr);
+      sendReadReply(r, m.addr, /*viaSwitchDir=*/false, m.txn);
       break;
     case DirState::Modified:
       if (e.owner == r) {
         // Unreachable with per-path FIFO ordering; tolerate and serve.
         ++c_.anomalyReadFromOwner;
-        sendReadReply(r, m.addr);
+        sendReadReply(r, m.addr, /*viaSwitchDir=*/false, m.txn);
         break;
       }
       e.state = DirState::BusyRead;
       e.pendingRequester = r;
+      e.pendingTxn = m.txn;
       ++homeCtoC_;
       ++c_.homeCtoc;
       {
@@ -201,6 +223,7 @@ void DirController::onReadRequest(const Message& m, Entry& e) {
         fwd.dst = procEp(e.owner);
         fwd.addr = m.addr;
         fwd.requester = r;
+        fwd.txn = m.txn;
         sendOrdered(std::move(fwd), 0);
       }
       break;
@@ -219,7 +242,7 @@ void DirController::onWriteRequest(const Message& m, Entry& e) {
       e.state = DirState::Modified;
       e.owner = w;
       e.sharers = 0;
-      sendWriteReply(w, m.addr);
+      sendWriteReply(w, m.addr, m.txn);
       break;
     case DirState::Shared: {
       const std::uint64_t others = e.sharers & ~bit(w);
@@ -228,11 +251,12 @@ void DirController::onWriteRequest(const Message& m, Entry& e) {
         e.owner = w;
         e.sharers = 0;
         ++c_.upgrades;
-        sendWriteReply(w, m.addr);
+        sendWriteReply(w, m.addr, m.txn);
         break;
       }
       e.state = DirState::BusyWrite;
       e.pendingRequester = w;
+      e.pendingTxn = m.txn;
       e.pendingAcks = others;
       for (NodeId n = 0; n < cfg_.numNodes; ++n) {
         if (others & bit(n)) sendInvalidation(n, m.addr);
@@ -243,12 +267,13 @@ void DirController::onWriteRequest(const Message& m, Entry& e) {
     case DirState::Modified:
       if (e.owner == w) {
         ++c_.anomalyWriteFromOwner;
-        sendWriteReply(w, m.addr);
+        sendWriteReply(w, m.addr, m.txn);
         break;
       }
       // Recall the dirty line, then grant ownership from memory.
       e.state = DirState::BusyWrite;
       e.pendingRequester = w;
+      e.pendingTxn = m.txn;
       e.pendingAcks = bit(e.owner);
       sendInvalidation(e.owner, m.addr, /*recall=*/true);
       ++c_.writeRecalls;
@@ -297,12 +322,13 @@ void DirController::onCopyBack(const Message& m, Entry& e) {
       if ((m.carriedSharers & bit(r)) == 0) {
         // The copyback completed a different transfer (a switch-initiated
         // one); serve our requester from the now-clean memory copy.
-        sendReadReply(r, m.addr);
+        sendReadReply(r, m.addr, /*viaSwitchDir=*/false, e.pendingTxn);
         ++c_.busyreadServedFromMemory;
       }
       e.sharers = bit(from) | m.carriedSharers | bit(r);
       e.owner = kInvalidNode;
       e.pendingRequester = kInvalidNode;
+      e.pendingTxn = 0;
       e.state = DirState::Shared;
       ++c_.copybacks;
       break;
@@ -355,11 +381,12 @@ void DirController::onWriteBack(const Message& m, Entry& e) {
       // its data just arrived, serve the waiting read from memory.
       const NodeId r = e.pendingRequester;
       if ((m.carriedSharers & bit(r)) == 0) {
-        sendReadReply(r, m.addr);
+        sendReadReply(r, m.addr, /*viaSwitchDir=*/false, e.pendingTxn);
       }
       e.sharers = m.carriedSharers | bit(r);
       e.owner = kInvalidNode;
       e.pendingRequester = kInvalidNode;
+      e.pendingTxn = 0;
       e.state = DirState::Shared;
       ++c_.writebackResolvesBusyread;
       break;
@@ -390,13 +417,15 @@ void DirController::onInvalAck(const Message& m, Entry& e) {
 
 void DirController::completeBusyWrite(Addr block, Entry& e) {
   const NodeId w = e.pendingRequester;
+  const std::uint64_t txn = e.pendingTxn;
   e.state = DirState::Modified;
   e.owner = w;
   e.sharers = 0;
   e.pendingRequester = kInvalidNode;
+  e.pendingTxn = 0;
   e.pendingAcks = 0;
   ++c_.writesGranted;
-  sendWriteReply(w, block);
+  sendWriteReply(w, block, txn);
 }
 
 }  // namespace dresar

@@ -35,6 +35,9 @@ class DirController {
 
   void onMessage(const Message& m);
 
+  /// Install the transaction tracer (home arrive/service/inject events).
+  void setTracer(TxnTracer* tracer) { tracer_ = tracer; }
+
   [[nodiscard]] NodeId node() const { return node_; }
 
   /// Home-node cache-to-cache forwards (the Figure 8 metric).
@@ -45,6 +48,7 @@ class DirController {
     std::uint64_t sharers = 0;      ///< bit per node (SHARED)
     NodeId owner = kInvalidNode;    ///< valid in MODIFIED / during BUSY
     NodeId pendingRequester = kInvalidNode;
+    std::uint64_t pendingTxn = 0;   ///< pendingRequester's traced transaction
     std::uint64_t pendingAcks = 0;  ///< BUSY_WR: invalidations not yet acked
     std::deque<Message> queue;      ///< requests waiting out a BUSY state
   };
@@ -70,8 +74,9 @@ class DirController {
   /// FIFO (one output port), which the protocol relies on — a CtoCRequest or
   /// recall must not overtake the WriteReply that granted ownership.
   void sendOrdered(Message m, Cycle delay);
-  void sendReadReply(NodeId to, Addr block, bool viaSwitchDir = false);
-  void sendWriteReply(NodeId to, Addr block);
+  void sendReadReply(NodeId to, Addr block, bool viaSwitchDir = false,
+                     std::uint64_t txn = 0);
+  void sendWriteReply(NodeId to, Addr block, std::uint64_t txn = 0);
   void sendInvalidation(NodeId to, Addr block, bool recall = false);
   void completeBusyWrite(Addr block, Entry& e);
 
@@ -83,6 +88,7 @@ class DirController {
   const SystemConfig& cfg_;
   EventQueue& eq_;
   INetwork& net_;
+  TxnTracer* tracer_ = nullptr;
   /// Per-home counters ("dir.<n>.*"), resolved once at construction.
   struct Counters {
     CounterHandle pendingServed, requests, retryDropped, switchCacheSharers,

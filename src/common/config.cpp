@@ -39,6 +39,11 @@ void SystemConfig::validate() const {
   }
   if (writeBufferEntries == 0) throw std::invalid_argument("writeBufferEntries must be >= 1");
   if (mshrEntries < 2) throw std::invalid_argument("mshrEntries must be >= 2");
+  if (retryBackoffCycles == 0) throw std::invalid_argument("retryBackoffCycles must be >= 1");
+  if (switchDir.retryBackoffMaxCycles < retryBackoffCycles)
+    throw std::invalid_argument("retryBackoffMaxCycles must be >= retryBackoffCycles");
+  if (txnTrace.enabled && txnTrace.maxEventsPerTxn < 2)
+    throw std::invalid_argument("txnTrace.maxEventsPerTxn must be >= 2");
 }
 
 void SystemConfig::dump(std::ostream& os) const {

@@ -21,6 +21,10 @@ struct SwitchDirConfig {
   /// Optional extension (ablation): invalidate matching entries when
   /// Invalidation messages traverse a switch, reducing stale-entry retries.
   bool snoopInvalidations = false;
+  /// Cap on the exponential retry backoff a NAKed requester applies. The
+  /// first re-issue waits SystemConfig::retryBackoffCycles; each further
+  /// retry of the same transaction doubles the wait up to this bound.
+  std::uint32_t retryBackoffMaxCycles = 768;
 
   [[nodiscard]] bool enabled() const { return entries > 0; }
 };
@@ -49,6 +53,15 @@ struct NetworkConfig {
   /// Select the flit-level wormhole model (paper 4.1 fidelity) instead of
   /// the default message-level timing. Slower; identical protocol behaviour.
   bool flitLevel = false;
+};
+
+/// Transaction tracing & latency attribution. Disabled by default: no
+/// component is handed a tracer, so instrumented paths cost one untaken
+/// branch and results are bit-identical to an untraced build.
+struct TxnTraceConfig {
+  bool enabled = false;
+  std::uint64_t ringEvents = 1ull << 22;  ///< completed-txn ring capacity, in events
+  std::uint32_t maxEventsPerTxn = 512;    ///< per-transaction event cap
 };
 
 /// Processor + cache + memory parameters (paper Table 2).
@@ -84,6 +97,7 @@ struct SystemConfig {
   NetworkConfig net;
   SwitchDirConfig switchDir;
   SwitchCacheConfig switchCache;
+  TxnTraceConfig txnTrace;
 
   [[nodiscard]] std::uint32_t lineOffsetBits() const;
   [[nodiscard]] Addr blockOf(Addr a) const { return a & ~static_cast<Addr>(lineBytes - 1); }

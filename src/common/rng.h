@@ -21,8 +21,23 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  /// Uniform in [0, bound). bound must be > 0.
-  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+  /// Uniform in [0, bound). bound must be > 0. Lemire multiply-shift with
+  /// rejection: `next() % bound` over-weights small residues whenever bound
+  /// does not divide 2^64; this draws from the unbiased distribution at the
+  /// cost of one widening multiply (rejection is astronomically rare for the
+  /// small bounds used here).
+  std::uint64_t below(std::uint64_t bound) {
+    unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform double in [0, 1).
   double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }

@@ -1,0 +1,218 @@
+#include "common/txn_trace.h"
+
+#include <algorithm>
+
+namespace dresar {
+
+const char* toString(TxnStage s) {
+  switch (s) {
+    case TxnStage::CacheAccess: return "cache_access";
+    case TxnStage::RequestNet: return "request_net";
+    case TxnStage::HomeDir: return "home_dir";
+    case TxnStage::HomeService: return "home_service";
+    case TxnStage::Forward: return "forward";
+    case TxnStage::OwnerAccess: return "owner_access";
+    case TxnStage::DataReturn: return "data_return";
+    case TxnStage::Retry: return "retry";
+    case TxnStage::Backoff: return "backoff";
+  }
+  return "?";
+}
+
+const char* toString(TxnEvent e) {
+  switch (e) {
+    case TxnEvent::Begin: return "begin";
+    case TxnEvent::Issue: return "issue";
+    case TxnEvent::Reissue: return "reissue";
+    case TxnEvent::SwitchHop: return "switch_hop";
+    case TxnEvent::SwitchIntercept: return "switch_intercept";
+    case TxnEvent::SwitchRetry: return "switch_retry";
+    case TxnEvent::SwitchServe: return "switch_serve";
+    case TxnEvent::HomeArrive: return "home_arrive";
+    case TxnEvent::HomeService: return "home_service";
+    case TxnEvent::HomeInject: return "home_inject";
+    case TxnEvent::OwnerArrive: return "owner_arrive";
+    case TxnEvent::OwnerInject: return "owner_inject";
+    case TxnEvent::RetryArrive: return "retry_arrive";
+    case TxnEvent::Fill: return "fill";
+  }
+  return "?";
+}
+
+const char* toString(TxnLeg l) {
+  switch (l) {
+    case TxnLeg::None: return "none";
+    case TxnLeg::Request: return "request";
+    case TxnLeg::Forward: return "forward";
+    case TxnLeg::Return: return "return";
+    case TxnLeg::Retry: return "retry";
+  }
+  return "?";
+}
+
+TxnStage stageOf(TxnEvent e, TxnLeg leg) {
+  switch (e) {
+    case TxnEvent::Begin:
+    case TxnEvent::Issue:
+      return TxnStage::CacheAccess;
+    case TxnEvent::Reissue:
+      return TxnStage::Backoff;
+    case TxnEvent::HomeArrive:
+      return TxnStage::RequestNet;
+    case TxnEvent::HomeService:
+      return TxnStage::HomeDir;
+    case TxnEvent::HomeInject:
+      return TxnStage::HomeService;
+    case TxnEvent::SwitchServe:
+    case TxnEvent::OwnerArrive:
+      return TxnStage::Forward;
+    case TxnEvent::OwnerInject:
+      return TxnStage::OwnerAccess;
+    case TxnEvent::RetryArrive:
+      return TxnStage::Retry;
+    case TxnEvent::Fill:
+      return TxnStage::DataReturn;
+    case TxnEvent::SwitchHop:
+    case TxnEvent::SwitchIntercept:
+    case TxnEvent::SwitchRetry:
+      break;  // leg decides below
+  }
+  switch (leg) {
+    case TxnLeg::Forward: return TxnStage::Forward;
+    case TxnLeg::Return: return TxnStage::DataReturn;
+    case TxnLeg::Retry: return TxnStage::Retry;
+    case TxnLeg::Request:
+    case TxnLeg::None:
+      break;
+  }
+  return TxnStage::RequestNet;
+}
+
+std::string txnWhereName(std::uint32_t where) {
+  if (where & 0x80000000u) return "switch" + std::to_string(where & ~0x80000000u);
+  if (where & 0x40000000u) return "mem" + std::to_string(where & ~0x40000000u);
+  return "proc" + std::to_string(where);
+}
+
+TxnTracer::TxnTracer(bool enabled) : TxnTracer(enabled, Config{}) {}
+
+TxnTracer::TxnTracer(bool enabled, Config cfg) : enabled_(enabled), cfg_(cfg) {}
+
+std::uint64_t TxnTracer::begin(Addr addr, NodeId requester, bool write,
+                               Cycle start) {
+  if (!enabled_) return 0;
+  const std::uint64_t id = nextId_++;
+  Txn& t = live_[id];
+  t.id = id;
+  t.addr = addr;
+  t.requester = requester;
+  t.write = write;
+  t.start = start;
+  t.last = start;
+  t.events.push_back({TxnEvent::Begin, TxnLeg::None, txnAtProc(requester), start});
+  return id;
+}
+
+void TxnTracer::record(std::uint64_t txn, TxnEvent e, TxnLeg leg,
+                       std::uint32_t where, Cycle now) {
+  if (txn == 0) return;
+  auto it = live_.find(txn);
+  if (it == live_.end()) return;  // completed or never traced; late events are fine
+  Txn& t = it->second;
+  const Cycle at = std::max(now, t.last);
+  t.stage[static_cast<std::size_t>(stageOf(e, leg))] += at - t.last;
+  t.last = at;
+  if (t.events.size() < cfg_.maxEventsPerTxn) {
+    t.events.push_back({e, leg, where, at});
+  } else {
+    ++t.dropped;
+    ++droppedEvents_;
+  }
+}
+
+void TxnTracer::complete(std::uint64_t txn) {
+  if (txn == 0) return;
+  auto it = live_.find(txn);
+  if (it == live_.end()) return;
+  Txn t = std::move(it->second);
+  live_.erase(it);
+  t.end = t.last;
+  Totals& agg = t.write ? writes_ : reads_;
+  ++agg.txns;
+  agg.endToEnd += static_cast<double>(t.end - t.start);
+  for (std::size_t s = 0; s < kTxnStageCount; ++s) {
+    agg.stage[s] += static_cast<double>(t.stage[s]);
+  }
+  ringEventCount_ += t.events.size();
+  ring_.push_back(std::move(t));
+  evictToCapacity();
+}
+
+void TxnTracer::evictToCapacity() {
+  while (ringEventCount_ > cfg_.ringEvents && !ring_.empty()) {
+    ringEventCount_ -= ring_.front().events.size();
+    ring_.pop_front();
+    ++evicted_;
+  }
+}
+
+namespace {
+void jsonEscaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // labels are plain ASCII
+    os << c;
+  }
+}
+}  // namespace
+
+void TxnTracer::writeChromeHeader(std::ostream& os) {
+  os << "{\"traceEvents\":[";
+}
+
+void TxnTracer::writeChromeFooter(std::ostream& os) { os << "\n]}\n"; }
+
+void TxnTracer::writeChromeProcessName(std::ostream& os, std::uint32_t pid,
+                                       std::string_view name, bool& first) {
+  if (!first) os << ',';
+  first = false;
+  os << "\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+     << ",\"tid\":0,\"args\":{\"name\":\"";
+  jsonEscaped(os, name);
+  os << "\"}}";
+}
+
+void TxnTracer::appendChromeEvents(std::ostream& os, std::uint32_t pid,
+                                   bool& first) const {
+  // One "X" complete-event slice per recorded interval: the slice named after
+  // the stage the interval was charged to, spanning [previous event, event].
+  // Timestamps are simulated cycles (Perfetto renders them as microseconds).
+  for (const Txn& t : ring_) {
+    Cycle prev = t.start;
+    for (const Event& e : t.events) {
+      if (e.kind == TxnEvent::Begin && e.at == prev && t.events.size() > 1) {
+        continue;  // zero-length begin marker; the issue slice covers it
+      }
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"ph\":\"X\",\"name\":\"" << toString(stageOf(e.kind, e.leg))
+         << "\",\"cat\":\"" << (t.write ? "write" : "read") << "\",\"pid\":" << pid
+         << ",\"tid\":" << t.id << ",\"ts\":" << prev << ",\"dur\":" << (e.at - prev)
+         << ",\"args\":{\"event\":\"" << toString(e.kind) << "\",\"at\":\""
+         << txnWhereName(e.where) << "\",\"addr\":\"0x" << std::hex << t.addr
+         << std::dec << "\",\"requester\":" << t.requester << "}}";
+      prev = e.at;
+    }
+  }
+}
+
+void TxnTracer::exportChrome(std::ostream& os, std::string_view processLabel,
+                             std::uint32_t pid) const {
+  bool first = true;
+  writeChromeHeader(os);
+  writeChromeProcessName(os, pid, processLabel, first);
+  appendChromeEvents(os, pid, first);
+  writeChromeFooter(os);
+}
+
+}  // namespace dresar

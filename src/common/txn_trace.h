@@ -1,0 +1,194 @@
+// Transaction-level tracing and latency attribution. Every read/write miss
+// transaction can be tagged with an id (Message::txn) and accumulate
+// timestamped lifecycle events — issue, per-hop switch traversal, snoop
+// outcome, home directory enqueue/service/inject, forward, fill — as it moves
+// through the CacheController, Network, DresarManager and DirController.
+//
+// Attribution works by interval partition: each recorded event closes the
+// interval since the transaction's previous event and charges it to a stage
+// derived from the event kind (and, for network hops, the message leg being
+// traversed). Because the intervals tile [issue, fill] exactly, the per-stage
+// sums equal the end-to-end latency by construction — the property the
+// paper's Figure 3/9/10 decompositions rely on.
+//
+// Completed transactions are kept in a ring buffer (bounded by total event
+// count) for the Chrome trace_event JSON exporter (--trace=FILE, loadable in
+// Perfetto / chrome://tracing). Aggregate per-stage totals survive ring
+// eviction. When tracing is disabled no component holds a tracer pointer, so
+// runs are bit-identical and pay nothing on the hot path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dresar {
+
+/// Pipeline stages a transaction's cycles are attributed to.
+enum class TxnStage : std::uint8_t {
+  CacheAccess,  ///< L1/L2 lookup + MSHR allocation before the request leaves
+  RequestNet,   ///< request message travelling requester -> home
+  HomeDir,      ///< home controller occupancy, queueing and directory lookup
+  HomeService,  ///< home protocol action + memory access before injection
+  Forward,      ///< forwarded CtoCRequest travelling toward the owner
+  OwnerAccess,  ///< owner cache controller + L2 access supplying the line
+  DataReturn,   ///< reply travelling back to the requester + fill
+  Retry,        ///< NAK'd attempts: bounce travel until the retry arrives
+  Backoff,      ///< cycles spent backed off before re-issuing
+};
+
+inline constexpr std::size_t kTxnStageCount =
+    static_cast<std::size_t>(TxnStage::Backoff) + 1;
+
+const char* toString(TxnStage s);
+
+/// Lifecycle events components record against a transaction.
+enum class TxnEvent : std::uint8_t {
+  Begin,            ///< transaction created (miss detected), zero-length
+  Issue,            ///< request injected into the network
+  Reissue,          ///< request re-injected after backoff
+  SwitchHop,        ///< message traversed a switch (any leg)
+  SwitchIntercept,  ///< switch directory sank the request, spawned a c2c
+  SwitchRetry,      ///< switch directory NAK'd the request (TRANSIENT)
+  SwitchServe,      ///< switch served the requester from passing wb/cb data
+  HomeArrive,       ///< request delivered at the home controller
+  HomeService,      ///< home directory entry handled (post lookup/occupancy)
+  HomeInject,       ///< home injected the response/forward into the network
+  OwnerArrive,      ///< CtoCRequest delivered at the owning cache
+  OwnerInject,      ///< owner injected its reply (or bounce) after L2 access
+  RetryArrive,      ///< Retry NAK delivered back at the requester
+  Fill,             ///< data fill delivered; transaction complete
+};
+
+const char* toString(TxnEvent e);
+
+/// Which protocol leg a message in flight belongs to; picks the stage for
+/// generic network events (SwitchHop and friends).
+enum class TxnLeg : std::uint8_t { None, Request, Forward, Return, Retry };
+
+const char* toString(TxnLeg l);
+
+/// Stage an interval ending at (event, leg) is charged to.
+TxnStage stageOf(TxnEvent e, TxnLeg leg);
+
+// Location encoding for Event::where: processors, memory/directory modules
+// and switches (by flat id) share one 32-bit namespace.
+inline constexpr std::uint32_t txnAtProc(NodeId n) { return n; }
+inline constexpr std::uint32_t txnAtMem(NodeId n) { return 0x40000000u | n; }
+inline constexpr std::uint32_t txnAtSwitch(std::uint32_t flat) {
+  return 0x80000000u | flat;
+}
+std::string txnWhereName(std::uint32_t where);
+
+class TxnTracer {
+ public:
+  struct Config {
+    /// Total events retained across completed transactions (ring buffer);
+    /// oldest transactions are evicted beyond this. Aggregates are unaffected.
+    std::uint64_t ringEvents = 1ull << 22;
+    /// Per-transaction event cap (bounds retry storms); excess events still
+    /// close their stage interval but are not kept for export.
+    std::uint32_t maxEventsPerTxn = 512;
+  };
+
+  struct Event {
+    TxnEvent kind = TxnEvent::Begin;
+    TxnLeg leg = TxnLeg::None;
+    std::uint32_t where = 0;
+    Cycle at = 0;
+  };
+
+  struct Txn {
+    std::uint64_t id = 0;
+    Addr addr = kInvalidAddr;
+    NodeId requester = kInvalidNode;
+    bool write = false;
+    Cycle start = 0;
+    Cycle end = 0;   ///< valid once completed
+    Cycle last = 0;  ///< previous event cycle (interval bookkeeping)
+    std::uint32_t dropped = 0;  ///< events over maxEventsPerTxn
+    std::array<Cycle, kTxnStageCount> stage{};
+    std::vector<Event> events;
+  };
+
+  /// Per-class (read/write) aggregate stage totals, in cycles.
+  struct Totals {
+    std::uint64_t txns = 0;
+    double endToEnd = 0.0;
+    std::array<double, kTxnStageCount> stage{};
+  };
+
+  explicit TxnTracer(bool enabled);
+  TxnTracer(bool enabled, Config cfg);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Open a transaction; returns its id (0 when tracing is disabled).
+  /// `start` may predate the current cycle (cache lookup already underway).
+  std::uint64_t begin(Addr addr, NodeId requester, bool write, Cycle start);
+
+  /// Record an event against a live transaction. Charges [last, now) to
+  /// stageOf(e, leg). No-op for id 0 or already-completed transactions (a
+  /// duplicate fill or late bounce simply stops mattering).
+  void record(std::uint64_t txn, TxnEvent e, TxnLeg leg, std::uint32_t where,
+              Cycle now);
+
+  /// Close a transaction (its Fill must have been recorded): fold its stage
+  /// cycles into the aggregates and move it to the ring buffer.
+  void complete(std::uint64_t txn);
+
+  [[nodiscard]] const Totals& readTotals() const { return reads_; }
+  [[nodiscard]] const Totals& writeTotals() const { return writes_; }
+  [[nodiscard]] std::size_t liveTxns() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t completedTxns() const {
+    return reads_.txns + writes_.txns;
+  }
+  [[nodiscard]] std::uint64_t evictedTxns() const { return evicted_; }
+  [[nodiscard]] std::uint64_t droppedEvents() const { return droppedEvents_; }
+
+  /// Visit the retained completed transactions, oldest first.
+  template <typename Fn>
+  void forEachCompleted(Fn&& fn) const {
+    for (const Txn& t : ring_) fn(t);
+  }
+
+  // ---- Chrome trace_event ("Trace Event Format") JSON export ------------
+  /// Write one self-contained document: {"traceEvents":[...]}.
+  void exportChrome(std::ostream& os, std::string_view processLabel,
+                    std::uint32_t pid = 1) const;
+
+  // Streaming variants used by the bench harness to combine several runs
+  // (one pid per run) into a single document.
+  static void writeChromeHeader(std::ostream& os);
+  static void writeChromeFooter(std::ostream& os);
+  /// Emit the "M" process_name metadata record for `pid`.
+  static void writeChromeProcessName(std::ostream& os, std::uint32_t pid,
+                                     std::string_view name, bool& first);
+  /// Emit every retained transaction's stage slices as "X" complete events.
+  void appendChromeEvents(std::ostream& os, std::uint32_t pid,
+                          bool& first) const;
+
+ private:
+  void evictToCapacity();
+
+  bool enabled_;
+  Config cfg_;
+  std::uint64_t nextId_ = 1;
+  std::unordered_map<std::uint64_t, Txn> live_;
+  std::deque<Txn> ring_;           ///< completed, oldest first
+  std::uint64_t ringEventCount_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t droppedEvents_ = 0;
+  Totals reads_;
+  Totals writes_;
+};
+
+}  // namespace dresar

@@ -121,6 +121,11 @@ void FlitNetwork::arrive(std::uint32_t atVertex, std::uint32_t fromVertex, Flit 
     return;
   }
   SwitchState& s = switches_[atVertex - 2 * numNodes_];
+  // The head flit reaches each switch exactly once; that is the hop event.
+  if (tracer_ != nullptr && f.head() && f.ms->msg.txn != 0) {
+    tracer_->record(f.ms->msg.txn, TxnEvent::SwitchHop, txnLegOf(f.ms->msg.type),
+                    txnAtSwitch(atVertex - 2 * numNodes_), eq_.now());
+  }
   const std::uint32_t vc = vcOf(f.ms->msg);
   s.inputs[inKey(fromVertex, vc)].fifo.push_back(std::move(f));
 }

@@ -42,6 +42,7 @@ class FlitNetwork final : public INetwork {
 
   [[nodiscard]] const Butterfly& topology() const override { return topo_; }
   void setSnoop(ISwitchSnoop* snoop) override { snoop_ = snoop; }
+  void setTracer(TxnTracer* tracer) override { tracer_ = tracer; }
   void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) override;
   void send(Message m) override;
   [[nodiscard]] std::uint64_t messagesSent() const override { return sent_; }
@@ -147,6 +148,7 @@ class FlitNetwork final : public INetwork {
   CounterHandle flitsTransmitted_, flitGrants_, switchInjected_, sunkCounter_;
   SamplerHandle latency_;
   ISwitchSnoop* snoop_ = nullptr;
+  TxnTracer* tracer_ = nullptr;
 
   std::vector<SwitchState> switches_;   // by flat switch id
   std::vector<EndpointNi> endpoints_;   // by vertex (procs + mems)

@@ -16,6 +16,8 @@
 
 namespace dresar {
 
+class TxnTracer;
+
 struct SnoopOutcome {
   bool pass = true;      ///< false => message is sunk at this switch
   Cycle extraDelay = 0;  ///< directory port contention beyond the core delay
@@ -38,6 +40,9 @@ class INetwork {
 
   [[nodiscard]] virtual const Butterfly& topology() const = 0;
   virtual void setSnoop(ISwitchSnoop* snoop) = 0;
+  /// Install the transaction tracer (switch-hop events). May be null; the
+  /// default ignores it so test doubles need not care.
+  virtual void setTracer(TxnTracer*) {}
   virtual void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) = 0;
   virtual void send(Message m) = 0;
   [[nodiscard]] virtual std::uint64_t messagesSent() const = 0;

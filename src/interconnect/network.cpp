@@ -119,6 +119,10 @@ void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::ui
 
   eq_.scheduleAt(arrive, [this, m = std::move(m), route, hopIdx, sw = hop.sw]() mutable {
     ++traversals_[topo_.flat(sw)];
+    if (tracer_ != nullptr && m.txn != 0) {
+      tracer_->record(m.txn, TxnEvent::SwitchHop, txnLegOf(m.type),
+                      txnAtSwitch(topo_.flat(sw)), eq_.now());
+    }
     Cycle delay = cfg_.coreDelay;
     if (snoop_ != nullptr) {
       std::vector<Message>& spawn = snoopScratch_;

@@ -36,6 +36,9 @@ class Network final : public INetwork {
   /// Install the snoop observer (typically the DresarManager). May be null.
   void setSnoop(ISwitchSnoop* snoop) override { snoop_ = snoop; }
 
+  /// Install the transaction tracer; records a SwitchHop per traversal.
+  void setTracer(TxnTracer* tracer) override { tracer_ = tracer; }
+
   /// Register the receiver for messages delivered to `ep`.
   void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) override;
 
@@ -83,6 +86,7 @@ class Network final : public INetwork {
   CounterHandle linkBusy_, switchInjected_, sunkCounter_;
   SamplerHandle latency_;
   ISwitchSnoop* snoop_ = nullptr;
+  TxnTracer* tracer_ = nullptr;
   /// Scratch buffer for snoop-spawned messages; only live inside one hop's
   /// snoop block (the snoop itself never re-enters advance), so it is safe to
   /// reuse across hops instead of allocating per traversal.

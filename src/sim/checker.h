@@ -13,6 +13,9 @@ class System;
 
 struct CheckReport {
   std::vector<std::string> violations;
+  /// Checks that could not run (with the reason), e.g. the transient-state
+  /// checks on a non-quiescent system. Empty on a clean quiescent run.
+  std::vector<std::string> skipped;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   [[nodiscard]] std::string summary() const;

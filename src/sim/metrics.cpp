@@ -56,6 +56,21 @@ RunMetrics RunMetrics::collect(const System& sys, const std::string& workload) {
     retries += st.counterValue("cache." + std::to_string(n) + ".retries");
   }
   m.retriesObserved = retries;
+  for (NodeId n = 0; n < sys.config().numNodes; ++n) {
+    m.backoffCycles += st.counterValue("cache." + std::to_string(n) + ".backoff_cycles");
+  }
+
+  const TxnTracer& tr = sys.txnTracer();
+  if (tr.enabled()) {
+    const TxnTracer::Totals& rt = tr.readTotals();
+    const TxnTracer::Totals& wt = tr.writeTotals();
+    m.traceReadTxns = rt.txns;
+    m.traceWriteTxns = wt.txns;
+    m.traceReadEndToEnd = rt.endToEnd;
+    m.traceWriteEndToEnd = wt.endToEnd;
+    m.traceReadStage = rt.stage;
+    m.traceWriteStage = wt.stage;
+  }
   return m;
 }
 

@@ -1,10 +1,12 @@
 // Aggregated run metrics — exactly the quantities the paper's figures plot.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <ostream>
 #include <string>
 
+#include "common/txn_trace.h"
 #include "common/types.h"
 
 namespace dresar {
@@ -44,6 +46,15 @@ struct RunMetrics {
 
   std::uint64_t netMessages = 0;
   std::uint64_t retriesObserved = 0;
+  std::uint64_t backoffCycles = 0;  ///< cycles NAKed requesters spent backing off
+
+  // Latency attribution (filled only when the run traced transactions).
+  std::uint64_t traceReadTxns = 0;
+  std::uint64_t traceWriteTxns = 0;
+  double traceReadEndToEnd = 0.0;   ///< summed issue->fill cycles, reads
+  double traceWriteEndToEnd = 0.0;  ///< summed issue->fill cycles, writes
+  std::array<double, kTxnStageCount> traceReadStage{};
+  std::array<double, kTxnStageCount> traceWriteStage{};
 
   [[nodiscard]] std::uint64_t ctocServiced() const {
     return svcCtoCHome + svcCtoCSwitch + svcSwitchWB;

@@ -77,6 +77,25 @@ void printRunReport(const System& sys, std::ostream& os) {
     os << "  latency mean " << std::fixed << std::setprecision(1) << s->mean() << " cycles (max "
        << s->max() << ")\n";
   }
+
+  const TxnTracer& tr = sys.txnTracer();
+  if (tr.enabled() && tr.completedTxns() > 0) {
+    os << "==== latency attribution (traced transactions) ====\n";
+    const auto emit = [&os](const char* label, const TxnTracer::Totals& t) {
+      if (t.txns == 0) return;
+      const double n = static_cast<double>(t.txns);
+      os << "  " << label << ": " << t.txns << " txns, mean end-to-end " << std::fixed
+         << std::setprecision(1) << t.endToEnd / n << " cycles\n";
+      for (std::size_t s = 0; s < kTxnStageCount; ++s) {
+        if (t.stage[s] == 0.0) continue;
+        os << "    " << std::left << std::setw(14) << toString(static_cast<TxnStage>(s))
+           << std::right << std::setw(10) << std::setprecision(1) << t.stage[s] / n << "  ("
+           << std::setprecision(1) << 100.0 * t.stage[s] / t.endToEnd << "%)\n";
+      }
+    };
+    emit("reads", tr.readTotals());
+    emit("writes", tr.writeTotals());
+  }
 }
 
 }  // namespace dresar

@@ -12,7 +12,7 @@ std::string RunRecorder::toJson() const {
   std::ostringstream os;
   JsonWriter w(os);
   w.beginObject();
-  w.field("schema", "dresar-bench-results/v1");
+  w.field("schema", "dresar-bench-results/v2");
   w.field("bench", bench_);
   w.key("options");
   w.beginObject();
@@ -45,6 +45,27 @@ std::string RunRecorder::toJson() const {
     w.beginObject();
     for (const auto& [k, v] : r.metrics) w.field(k, v);
     w.endObject();
+    if (r.hasTrace) {
+      const auto emitClass = [&w](const char* name, std::uint64_t txns, double endToEnd,
+                                  const std::array<double, kTxnStageCount>& stage) {
+        w.key(name);
+        w.beginObject();
+        w.field("txns", txns);
+        w.field("end_to_end_cycles", endToEnd);
+        w.key("stages");
+        w.beginObject();
+        for (std::size_t s = 0; s < kTxnStageCount; ++s) {
+          w.field(toString(static_cast<TxnStage>(s)), stage[s]);
+        }
+        w.endObject();
+        w.endObject();
+      };
+      w.key("latency_stages");
+      w.beginObject();
+      emitClass("read", r.traceReadTxns, r.traceReadEndToEnd, r.traceReadStage);
+      emitClass("write", r.traceWriteTxns, r.traceWriteEndToEnd, r.traceWriteStage);
+      w.endObject();
+    }
     w.endObject();
   }
   w.endArray();

@@ -2,9 +2,9 @@
 // runs it performed and dump them as one JSON document (--json=FILE). The
 // schema is versioned so downstream tooling can detect incompatible changes.
 //
-// Schema "dresar-bench-results/v1":
+// Schema "dresar-bench-results/v2":
 //   {
-//     "schema": "dresar-bench-results/v1",
+//     "schema": "dresar-bench-results/v2",
 //     "bench": "<binary name>",
 //     "options": { "<key>": "<value>", ... },
 //     "wall_seconds_total": <double>,
@@ -17,16 +17,32 @@
 //         "wall_seconds": <double>,
 //         "events": <uint>,                 // executed sim events (or trace refs)
 //         "events_per_sec": <double>,
-//         "metrics": { "<name>": <number>, ... }
+//         "metrics": { "<name>": <number>, ... },
+//         "latency_stages": {               // v2; only when the run traced txns
+//           "read": {
+//             "txns": <uint>,
+//             "end_to_end_cycles": <double>,
+//             "stages": { "cache_access": <double>, ..., "backoff": <double> }
+//           },
+//           "write": { ... same shape ... }
+//         }
 //       }, ...
 //     ]
 //   }
+//
+// v1 -> v2: added the optional per-run "latency_stages" breakdown (the
+// transaction tracer's per-stage cycle attribution). v1 consumers that
+// ignore unknown keys keep working; the schema string changed because the
+// version is the documented compatibility contract.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/txn_trace.h"
 
 namespace dresar {
 
@@ -38,6 +54,15 @@ struct RunRecord {
   double wallSeconds = 0.0;
   std::uint64_t events = 0;  ///< executed events (scientific) / refs (trace)
   std::vector<std::pair<std::string, double>> metrics;
+
+  /// Latency attribution (only serialized when hasTrace is set).
+  bool hasTrace = false;
+  std::uint64_t traceReadTxns = 0;
+  std::uint64_t traceWriteTxns = 0;
+  double traceReadEndToEnd = 0.0;
+  double traceWriteEndToEnd = 0.0;
+  std::array<double, kTxnStageCount> traceReadStage{};
+  std::array<double, kTxnStageCount> traceWriteStage{};
 
   void metric(std::string name, double v) { metrics.emplace_back(std::move(name), v); }
 };

@@ -7,6 +7,12 @@ namespace dresar {
 
 System::System(const SystemConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
+  tracer_ = std::make_unique<TxnTracer>(
+      cfg_.txnTrace.enabled,
+      TxnTracer::Config{cfg_.txnTrace.ringEvents, cfg_.txnTrace.maxEventsPerTxn});
+  // Components only get the tracer when tracing is on, so a disabled run
+  // pays nothing but a null check and stays bit-identical.
+  TxnTracer* tracer = cfg_.txnTrace.enabled ? tracer_.get() : nullptr;
   if (cfg_.net.flitLevel) {
     net_ = std::make_unique<FlitNetwork>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, eq_, stats_);
   } else {
@@ -24,6 +30,10 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   } else if (scache_->enabled()) {
     net_->setSnoop(scache_.get());
   }
+  if (tracer != nullptr) {
+    net_->setTracer(tracer);
+    dresar_->setTracer(tracer);
+  }
   mem_ = std::make_unique<AddressSpace>(cfg_);
 
   caches_.reserve(cfg_.numNodes);
@@ -32,6 +42,10 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   for (NodeId n = 0; n < cfg_.numNodes; ++n) {
     caches_.push_back(std::make_unique<CacheController>(n, cfg_, eq_, *net_, stats_));
     dirs_.push_back(std::make_unique<DirController>(n, cfg_, eq_, *net_, stats_));
+    if (tracer != nullptr) {
+      caches_.back()->setTracer(tracer);
+      dirs_.back()->setTracer(tracer);
+    }
     ctxs_.push_back(std::make_unique<ThreadContext>(n, cfg_, eq_, *caches_.back()));
     net_->setDeliveryHandler(procEp(n),
                              [c = caches_.back().get()](const Message& m) { c->onMessage(m); });

@@ -41,6 +41,9 @@ class System {
   [[nodiscard]] const DresarManager& dresar() const { return *dresar_; }
   [[nodiscard]] SwitchCacheManager& switchCache() { return *scache_; }
   [[nodiscard]] const SwitchCacheManager& switchCache() const { return *scache_; }
+  /// Transaction tracer; records only when cfg.txnTrace.enabled.
+  [[nodiscard]] TxnTracer& txnTracer() { return *tracer_; }
+  [[nodiscard]] const TxnTracer& txnTracer() const { return *tracer_; }
 
   [[nodiscard]] CacheController& cache(NodeId n) { return *caches_.at(n); }
   [[nodiscard]] const CacheController& cache(NodeId n) const { return *caches_.at(n); }
@@ -65,6 +68,7 @@ class System {
   SystemConfig cfg_;
   EventQueue eq_;
   StatRegistry stats_;
+  std::unique_ptr<TxnTracer> tracer_;
   std::unique_ptr<INetwork> net_;
   std::unique_ptr<DresarManager> dresar_;
   std::unique_ptr<SwitchCacheManager> scache_;

@@ -23,6 +23,7 @@ struct SDEntry {
   SDState state = SDState::Invalid;
   NodeId owner = kInvalidNode;
   NodeId requester = kInvalidNode;  ///< valid while TRANSIENT
+  std::uint64_t txn = 0;  ///< requester's traced transaction (valid while TRANSIENT)
   std::uint64_t lastUse = 0;
 
   [[nodiscard]] bool valid() const { return state != SDState::Invalid; }

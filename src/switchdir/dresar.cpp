@@ -39,10 +39,12 @@ const SwitchDirCache& DresarManager::cacheAt(SwitchId sw) const {
   return units_.at(topo_.flat(sw)).cache;
 }
 
-void DresarManager::setTransient(Unit& u, SDEntry& e, NodeId requester) {
+void DresarManager::setTransient(Unit& u, SDEntry& e, NodeId requester,
+                                 std::uint64_t txn) {
   if (e.state != SDState::Transient) ++u.transientCount;
   e.state = SDState::Transient;
   e.requester = requester;
+  e.txn = txn;
 }
 
 void DresarManager::clearEntry(Unit& u, SDEntry& e) {
@@ -105,7 +107,11 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         // Directory hit: sink the request and re-route a marked c2c request
         // straight to the owner's cache (paper 3.2 "Read Requests").
         const NodeId owner = e->owner;
-        setTransient(u, *e, m.requester);
+        setTransient(u, *e, m.requester, m.txn);
+        if (tracer_ != nullptr && m.txn != 0) {
+          tracer_->record(m.txn, TxnEvent::SwitchIntercept, TxnLeg::Request,
+                          txnAtSwitch(topo_.flat(sw)), now);
+        }
         Message ctoc;
         ctoc.type = MsgType::CtoCRequest;
         ctoc.src = procEp(m.requester);
@@ -114,6 +120,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         ctoc.requester = m.requester;
         ctoc.marked = true;
         ctoc.viaSwitchDir = true;
+        ctoc.txn = m.txn;
         spawn.push_back(ctoc);
         ++ctocInitiated_;
         ++u.c.ctocInitiated;
@@ -121,6 +128,10 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       }
       // TRANSIENT: a transfer for this block is already in flight from this
       // switch; bounce the requester (design choice in paper 3.2).
+      if (tracer_ != nullptr && m.txn != 0) {
+        tracer_->record(m.txn, TxnEvent::SwitchRetry, TxnLeg::Request,
+                        txnAtSwitch(topo_.flat(sw)), now);
+      }
       Message retry;
       retry.type = MsgType::Retry;
       retry.src = procEp(m.requester);
@@ -128,6 +139,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       retry.addr = m.addr;
       retry.requester = m.requester;
       retry.marked = true;
+      retry.txn = m.txn;
       spawn.push_back(retry);
       ++readRetries_;
       ++u.c.readRetries;
@@ -143,6 +155,10 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         return {true, delay};
       }
       // TRANSIENT: NAK the writer, sink the request (paper 3.2).
+      if (tracer_ != nullptr && m.txn != 0) {
+        tracer_->record(m.txn, TxnEvent::SwitchRetry, TxnLeg::Request,
+                        txnAtSwitch(topo_.flat(sw)), now);
+      }
       Message retry;
       retry.type = MsgType::Retry;
       retry.src = procEp(m.requester);
@@ -150,6 +166,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       retry.addr = m.addr;
       retry.requester = m.requester;
       retry.marked = true;
+      retry.txn = m.txn;
       spawn.push_back(retry);
       ++writeRetries_;
       ++u.c.writeRetries;
@@ -183,6 +200,10 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
           (m.carriedSharers & bit(e->requester)) == 0) {
         // The copyback serves a different requester than the one this switch
         // recorded; use its data to answer ours and tell the home about it.
+        if (tracer_ != nullptr && e->txn != 0) {
+          tracer_->record(e->txn, TxnEvent::SwitchServe, TxnLeg::Forward,
+                          txnAtSwitch(topo_.flat(sw)), now);
+        }
         Message reply;
         reply.type = MsgType::ReadReply;
         reply.src = procEp(e->requester);
@@ -191,6 +212,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         reply.requester = e->requester;
         reply.marked = true;
         reply.viaSwitchDir = true;
+        reply.txn = e->txn;
         spawn.push_back(reply);
         m.carriedSharers |= bit(e->requester);
         m.marked = true;
@@ -209,6 +231,10 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         // The dirty line was evicted before our marked CtoCRequest reached
         // the owner: serve the stored requester from the write-back data and
         // carry its pid to the home (paper 3.2 "Write-Backs and Copy-Backs").
+        if (tracer_ != nullptr && e->txn != 0) {
+          tracer_->record(e->txn, TxnEvent::SwitchServe, TxnLeg::Forward,
+                          txnAtSwitch(topo_.flat(sw)), now);
+        }
         Message reply;
         reply.type = MsgType::ReadReply;
         reply.src = procEp(e->requester);
@@ -217,6 +243,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         reply.requester = e->requester;
         reply.marked = true;
         reply.viaSwitchDir = true;
+        reply.txn = e->txn;
         spawn.push_back(reply);
         m.carriedSharers |= bit(e->requester);
         m.marked = true;
@@ -235,6 +262,10 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
       SDEntry* e = u.cache.find(m.addr);
       if (e == nullptr || e->state != SDState::Transient) return {true, delay};
+      if (tracer_ != nullptr && e->txn != 0) {
+        tracer_->record(e->txn, TxnEvent::SwitchRetry, TxnLeg::Retry,
+                        txnAtSwitch(topo_.flat(sw)), now);
+      }
       Message retry;
       retry.type = MsgType::Retry;
       retry.src = procEp(e->requester);
@@ -242,6 +273,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       retry.addr = m.addr;
       retry.requester = e->requester;
       retry.marked = true;
+      retry.txn = e->txn;
       spawn.push_back(retry);
       clearEntry(u, *e);
       ++u.c.ownerRetryBounced;

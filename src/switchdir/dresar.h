@@ -47,6 +47,9 @@ class DresarManager : public ISwitchSnoop {
   SnoopOutcome onMessage(SwitchId sw, Cycle now, Message& m,
                          std::vector<Message>& spawn) override;
 
+  /// Install the transaction tracer (snoop-outcome events). May be null.
+  void setTracer(TxnTracer* tracer) { tracer_ = tracer; }
+
   [[nodiscard]] const SwitchDirCache& cacheAt(SwitchId sw) const;
   [[nodiscard]] bool enabled() const { return cfg_.enabled(); }
 
@@ -86,7 +89,7 @@ class DresarManager : public ISwitchSnoop {
 
   Unit& unit(SwitchId sw) { return units_[topo_.flat(sw)]; }
 
-  void setTransient(Unit& u, SDEntry& e, NodeId requester);
+  void setTransient(Unit& u, SDEntry& e, NodeId requester, std::uint64_t txn);
   void clearEntry(Unit& u, SDEntry& e);
 
   /// Reserve directory access ports; returns the contention delay.
@@ -96,6 +99,7 @@ class DresarManager : public ISwitchSnoop {
   const Butterfly& topo_;
   std::uint32_t lineBytes_;
   std::uint32_t numNodes_;
+  TxnTracer* tracer_ = nullptr;
   std::vector<Unit> units_;
 
   std::uint64_t ctocInitiated_ = 0;

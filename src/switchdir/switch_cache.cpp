@@ -51,6 +51,7 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
       reply.addr = m.addr;
       reply.requester = m.requester;
       reply.viaSwitchCache = true;
+      reply.txn = m.txn;
       spawn.push_back(reply);
 
       Message notify;

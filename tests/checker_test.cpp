@@ -40,6 +40,26 @@ TEST(ProtocolChecker, AllKernelsBothConfigs) {
   }
 }
 
+TEST(ProtocolChecker, NonQuiescentSystemStillRunsSafeChecks) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = 512;
+  System sys(cfg);
+  // Kick off one read miss and stop the simulation the moment the MSHR makes
+  // the system non-quiescent (mid-transaction).
+  sys.cache(0).cpuRead(0x4000, [](const ReadResult&) {});
+  sys.eq().runWhile([&] { return sys.quiescent(); });
+  ASSERT_FALSE(sys.quiescent());
+
+  const CheckReport r = ProtocolChecker::check(sys);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_NE(r.violations[0].find("not quiescent"), std::string::npos) << r.violations[0];
+  // The transient-sensitive checks are skipped — and say so — while the
+  // always-valid ones (double-M, home-contradicts-owner) still ran.
+  EXPECT_FALSE(r.skipped.empty());
+  EXPECT_NE(r.summary().find("skipped check(s)"), std::string::npos) << r.summary();
+}
+
 TEST(ProtocolChecker, SummaryListsViolations) {
   CheckReport r;
   r.violations.push_back("first");

@@ -1,6 +1,6 @@
 // Tests for the streaming JSON writer and the bench run recorder: document
 // shape, string escaping, non-finite handling, misuse detection, and the
-// "dresar-bench-results/v1" schema emitted behind --json=FILE.
+// "dresar-bench-results/v2" schema emitted behind --json=FILE.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -103,7 +103,7 @@ TEST(JsonWriter, MisuseThrows) {
   }
 }
 
-TEST(RunRecorder, EmitsV1Schema) {
+TEST(RunRecorder, EmitsV2Schema) {
   RunRecorder rec;
   rec.setBench("fig8_ctoc_reduction");
   rec.setOption("mode", "paper");
@@ -118,7 +118,9 @@ TEST(RunRecorder, EmitsV1Schema) {
   rec.add(r);
 
   const std::string json = rec.toJson();
-  EXPECT_NE(json.find("\"schema\":\"dresar-bench-results/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"dresar-bench-results/v2\""), std::string::npos);
+  // No tracer ran, so the optional v2 latency_stages block must be absent.
+  EXPECT_EQ(json.find("\"latency_stages\""), std::string::npos);
   EXPECT_NE(json.find("\"bench\":\"fig8_ctoc_reduction\""), std::string::npos);
   EXPECT_NE(json.find("\"options\":{\"mode\":\"paper\"}"), std::string::npos);
   EXPECT_NE(json.find("\"app\":\"FFT\""), std::string::npos);
@@ -130,6 +132,30 @@ TEST(RunRecorder, EmitsV1Schema) {
   // events/sec = 1000 / 0.25
   EXPECT_NE(json.find("\"events_per_sec\":4000"), std::string::npos);
   EXPECT_NE(json.find("\"sim_events_total\":1000"), std::string::npos);
+}
+
+TEST(RunRecorder, EmitsLatencyStagesWhenTraced) {
+  RunRecorder rec;
+  rec.setBench("fig9_read_latency");
+  RunRecord r;
+  r.app = "SOR";
+  r.config = "sd-512";
+  r.kind = "scientific";
+  r.hasTrace = true;
+  r.traceReadTxns = 10;
+  r.traceReadEndToEnd = 1500.0;
+  r.traceReadStage[static_cast<std::size_t>(TxnStage::RequestNet)] = 600.0;
+  r.traceReadStage[static_cast<std::size_t>(TxnStage::HomeDir)] = 900.0;
+  rec.add(r);
+
+  const std::string json = rec.toJson();
+  EXPECT_NE(json.find("\"latency_stages\":{\"read\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"txns\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"end_to_end_cycles\":1500"), std::string::npos);
+  EXPECT_NE(json.find("\"request_net\":600"), std::string::npos);
+  EXPECT_NE(json.find("\"home_dir\":900"), std::string::npos);
+  EXPECT_NE(json.find("\"write\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"backoff\":0"), std::string::npos);
 }
 
 TEST(RunRecorder, TotalsAggregateAcrossRuns) {

@@ -2,8 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 namespace dresar {
 namespace {
+
+/// Pearson chi-squared statistic for observed counts vs expected counts.
+double chiSquared(const std::vector<std::uint64_t>& obs, const std::vector<double>& exp) {
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const double d = static_cast<double>(obs[i]) - exp[i];
+    chi2 += d * d / exp[i];
+  }
+  return chi2;
+}
+
+/// Loose upper bound on the chi-squared critical value: mean + 5 sigma
+/// (df + 5*sqrt(2*df)), far beyond the p=0.001 quantile for the df used here.
+/// With fixed seeds the draws are deterministic, so this cannot flake — it
+/// regresses only if below()/sample() become genuinely non-uniform (e.g. the
+/// old `next() % bound` bias at adversarial bounds).
+double chi2Bound(std::size_t df) {
+  return static_cast<double>(df) + 5.0 * std::sqrt(2.0 * static_cast<double>(df));
+}
 
 TEST(Rng, Deterministic) {
   Rng a(42), b(42);
@@ -30,6 +52,35 @@ TEST(Rng, ChanceIsRoughlyCalibrated) {
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
 }
 
+TEST(Rng, BelowPassesChiSquaredUniformity) {
+  for (const std::uint64_t bound : {3ull, 7ull, 10ull, 97ull, 1000ull}) {
+    Rng r(0xDEADBEEFull + bound);
+    const int n = 200'000;
+    std::vector<std::uint64_t> counts(bound, 0);
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t v = r.below(bound);
+      ASSERT_LT(v, bound);
+      ++counts[v];
+    }
+    const std::vector<double> expected(bound, static_cast<double>(n) / static_cast<double>(bound));
+    EXPECT_LT(chiSquared(counts, expected), chi2Bound(bound - 1)) << "bound=" << bound;
+  }
+}
+
+TEST(Rng, BelowCoversFullRangeNearPowerOfTwo) {
+  // Bounds adjacent to 2^k exercise the rejection path's threshold math.
+  for (const std::uint64_t bound : {(1ull << 32) - 1, (1ull << 32) + 1}) {
+    Rng r(11);
+    std::uint64_t mx = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      const std::uint64_t v = r.below(bound);
+      ASSERT_LT(v, bound);
+      mx = std::max(mx, v);
+    }
+    EXPECT_GT(mx, bound / 2);  // draws reach the upper half
+  }
+}
+
 TEST(Zipf, HeadIsHotterThanTail) {
   ZipfSampler z(1000, 1.0);
   EXPECT_GT(z.pmf(0), z.pmf(10));
@@ -53,6 +104,17 @@ TEST(Zipf, SamplingMatchesPmf) {
   // Monotone-ish head.
   EXPECT_GT(counts[0], counts[5]);
   EXPECT_GT(counts[5], counts[30]);
+}
+
+TEST(Zipf, SamplingPassesChiSquaredAgainstPmf) {
+  ZipfSampler z(50, 1.0);
+  Rng r(4242);
+  const int n = 200'000;
+  std::vector<std::uint64_t> counts(z.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[z.sample(r)];
+  std::vector<double> expected(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) expected[i] = n * z.pmf(i);
+  EXPECT_LT(chiSquared(counts, expected), chi2Bound(z.size() - 1));
 }
 
 TEST(Zipf, RejectsEmpty) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }

@@ -1,0 +1,235 @@
+// Transaction tracing & latency attribution: interval bookkeeping, the
+// stage-sums-equal-end-to-end invariant (unit and whole-system), ring
+// eviction, Chrome export shape, and the guarantee that tracing never
+// perturbs simulation results.
+#include "common/txn_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/metrics.h"
+#include "sim/system.h"
+#include "workloads/workload.h"
+
+namespace dresar {
+namespace {
+
+TEST(TxnTracer, DisabledTracerIsInert) {
+  TxnTracer t(false);
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.begin(0x100, 0, false, 5), 0u);
+  t.record(0, TxnEvent::Issue, TxnLeg::Request, txnAtProc(0), 10);  // no-op
+  t.complete(0);
+  EXPECT_EQ(t.completedTxns(), 0u);
+  EXPECT_EQ(t.liveTxns(), 0u);
+}
+
+TEST(TxnTracer, IntervalPartitionTilesEndToEnd) {
+  TxnTracer t(true);
+  const std::uint64_t id = t.begin(0x1000, 3, /*write=*/false, 10);
+  ASSERT_NE(id, 0u);
+  t.record(id, TxnEvent::Issue, TxnLeg::Request, txnAtProc(3), 15);
+  t.record(id, TxnEvent::SwitchHop, TxnLeg::Request, txnAtSwitch(0), 20);
+  t.record(id, TxnEvent::HomeArrive, TxnLeg::Request, txnAtMem(7), 25);
+  t.record(id, TxnEvent::HomeService, TxnLeg::Request, txnAtMem(7), 60);
+  t.record(id, TxnEvent::HomeInject, TxnLeg::Return, txnAtMem(7), 100);
+  t.record(id, TxnEvent::SwitchHop, TxnLeg::Return, txnAtSwitch(1), 110);
+  t.record(id, TxnEvent::Fill, TxnLeg::Return, txnAtProc(3), 120);
+  t.complete(id);
+
+  const TxnTracer::Totals& r = t.readTotals();
+  EXPECT_EQ(r.txns, 1u);
+  EXPECT_DOUBLE_EQ(r.endToEnd, 110.0);
+  EXPECT_DOUBLE_EQ(r.stage[static_cast<std::size_t>(TxnStage::CacheAccess)], 5.0);
+  EXPECT_DOUBLE_EQ(r.stage[static_cast<std::size_t>(TxnStage::RequestNet)], 10.0);
+  EXPECT_DOUBLE_EQ(r.stage[static_cast<std::size_t>(TxnStage::HomeDir)], 35.0);
+  EXPECT_DOUBLE_EQ(r.stage[static_cast<std::size_t>(TxnStage::HomeService)], 40.0);
+  EXPECT_DOUBLE_EQ(r.stage[static_cast<std::size_t>(TxnStage::DataReturn)], 20.0);
+  double sum = 0.0;
+  for (const double s : r.stage) sum += s;
+  EXPECT_DOUBLE_EQ(sum, r.endToEnd);
+
+  std::size_t seen = 0;
+  t.forEachCompleted([&](const TxnTracer::Txn& txn) {
+    ++seen;
+    EXPECT_EQ(txn.id, id);
+    EXPECT_EQ(txn.start, 10u);
+    EXPECT_EQ(txn.end, 120u);
+    ASSERT_EQ(txn.events.size(), 8u);  // Begin + 7 recorded
+    for (std::size_t i = 1; i < txn.events.size(); ++i) {
+      EXPECT_GE(txn.events[i].at, txn.events[i - 1].at);
+    }
+  });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(TxnTracer, EventCapStillChargesStages) {
+  TxnTracer t(true, TxnTracer::Config{1ull << 20, /*maxEventsPerTxn=*/3});
+  const std::uint64_t id = t.begin(0x40, 1, /*write=*/true, 0);
+  t.record(id, TxnEvent::Issue, TxnLeg::Request, txnAtProc(1), 4);
+  t.record(id, TxnEvent::SwitchHop, TxnLeg::Request, txnAtSwitch(0), 8);  // at the cap
+  t.record(id, TxnEvent::HomeArrive, TxnLeg::Request, txnAtMem(0), 12);  // dropped
+  t.record(id, TxnEvent::Fill, TxnLeg::Return, txnAtProc(1), 30);        // dropped
+  t.complete(id);
+  EXPECT_EQ(t.droppedEvents(), 2u);
+  const TxnTracer::Totals& w = t.writeTotals();
+  EXPECT_EQ(w.txns, 1u);
+  EXPECT_DOUBLE_EQ(w.endToEnd, 30.0);  // attribution unaffected by the cap
+  double sum = 0.0;
+  for (const double s : w.stage) sum += s;
+  EXPECT_DOUBLE_EQ(sum, 30.0);
+}
+
+TEST(TxnTracer, RingEvictionPreservesAggregates) {
+  // Each txn retains 3 events (Begin + 2); a 6-event ring holds two txns.
+  TxnTracer t(true, TxnTracer::Config{6, 16});
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t id = t.begin(0x40u * static_cast<Addr>(i + 1), 0, false, 0);
+    t.record(id, TxnEvent::Issue, TxnLeg::Request, txnAtProc(0), 2);
+    t.record(id, TxnEvent::Fill, TxnLeg::Return, txnAtProc(0), 10);
+    t.complete(id);
+  }
+  EXPECT_EQ(t.completedTxns(), 5u);
+  EXPECT_EQ(t.evictedTxns(), 3u);
+  std::size_t retained = 0;
+  t.forEachCompleted([&](const TxnTracer::Txn&) { ++retained; });
+  EXPECT_EQ(retained, 2u);
+  EXPECT_DOUBLE_EQ(t.readTotals().endToEnd, 50.0);  // all five still counted
+}
+
+TEST(TxnTracer, RecordAfterCompleteIsIgnored) {
+  TxnTracer t(true);
+  const std::uint64_t id = t.begin(0x80, 2, false, 0);
+  t.record(id, TxnEvent::Fill, TxnLeg::Return, txnAtProc(2), 40);
+  t.complete(id);
+  t.record(id, TxnEvent::Fill, TxnLeg::Return, txnAtProc(2), 90);  // duplicate fill
+  EXPECT_DOUBLE_EQ(t.readTotals().endToEnd, 40.0);
+}
+
+TEST(TxnTracer, ChromeExportShape) {
+  TxnTracer t(true);
+  const std::uint64_t id = t.begin(0x1000, 3, false, 10);
+  t.record(id, TxnEvent::Issue, TxnLeg::Request, txnAtProc(3), 15);
+  t.record(id, TxnEvent::Fill, TxnLeg::Return, txnAtProc(3), 95);
+  t.complete(id);
+
+  std::ostringstream os;
+  t.exportChrome(os, "unit test");
+  const std::string doc = os.str();
+  EXPECT_EQ(doc.rfind("{\"traceEvents\":[", 0), 0u) << doc;
+  EXPECT_NE(doc.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cache_access\""), std::string::npos);
+  EXPECT_NE(doc.find("\"data_return\""), std::string::npos);
+  EXPECT_NE(doc.find("]}"), std::string::npos);
+  // Balanced object braces — cheap well-formedness proxy (no strings in the
+  // emitted events contain braces).
+  std::size_t open = 0, close = 0;
+  for (const char c : doc) {
+    open += c == '{';
+    close += c == '}';
+  }
+  EXPECT_EQ(open, close);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-system properties.
+// ---------------------------------------------------------------------------
+
+TEST(TxnTraceSystem, PerTxnStageSumsEqualEndToEnd) {
+  for (const std::uint32_t sd : {0u, 512u}) {
+    SystemConfig cfg;
+    cfg.switchDir.entries = sd;
+    cfg.txnTrace.enabled = true;
+    System sys(cfg);
+    auto w = makeWorkload("sor", WorkloadScale::tiny());
+    runWorkload(sys, *w);
+
+    const TxnTracer& t = sys.txnTracer();
+    EXPECT_GT(t.completedTxns(), 0u) << "sd=" << sd;
+    EXPECT_EQ(t.liveTxns(), 0u) << "sd=" << sd;  // quiescent at workload end
+    std::uint64_t checked = 0;
+    t.forEachCompleted([&](const TxnTracer::Txn& txn) {
+      ++checked;
+      Cycle sum = 0;
+      for (const Cycle s : txn.stage) sum += s;
+      EXPECT_EQ(sum, txn.end - txn.start) << "txn " << txn.id << " sd=" << sd;
+      for (std::size_t i = 1; i < txn.events.size(); ++i) {
+        EXPECT_GE(txn.events[i].at, txn.events[i - 1].at) << "txn " << txn.id;
+      }
+      EXPECT_EQ(txn.events.front().kind, TxnEvent::Begin);
+      EXPECT_EQ(txn.events.back().kind, TxnEvent::Fill);
+    });
+    EXPECT_GT(checked, 0u);
+
+    // Aggregates fold exactly the same intervals.
+    const TxnTracer::Totals& r = t.readTotals();
+    const TxnTracer::Totals& wr = t.writeTotals();
+    EXPECT_GT(r.txns, 0u);
+    EXPECT_GT(wr.txns, 0u) << "write transactions must be traced too";
+    for (const TxnTracer::Totals* tot : {&r, &wr}) {
+      double sum = 0.0;
+      for (const double s : tot->stage) sum += s;
+      EXPECT_DOUBLE_EQ(sum, tot->endToEnd);
+    }
+  }
+}
+
+TEST(TxnTraceSystem, FlitLevelNetworkTracesToo) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = 512;
+  cfg.net.flitLevel = true;
+  cfg.txnTrace.enabled = true;
+  System sys(cfg);
+  auto w = makeWorkload("fft", WorkloadScale::tiny());
+  runWorkload(sys, *w);
+  const TxnTracer& t = sys.txnTracer();
+  EXPECT_GT(t.completedTxns(), 0u);
+  bool sawHop = false;
+  t.forEachCompleted([&](const TxnTracer::Txn& txn) {
+    Cycle sum = 0;
+    for (const Cycle s : txn.stage) sum += s;
+    EXPECT_EQ(sum, txn.end - txn.start) << "txn " << txn.id;
+    for (const auto& e : txn.events) sawHop |= e.kind == TxnEvent::SwitchHop;
+  });
+  EXPECT_TRUE(sawHop) << "flit network should record per-switch hops";
+}
+
+std::string statsDump(const std::string& app, bool traced) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = 512;
+  cfg.txnTrace.enabled = traced;
+  System sys(cfg);
+  auto w = makeWorkload(app, WorkloadScale::tiny());
+  const RunMetrics m = runWorkload(sys, *w);
+  std::ostringstream os;
+  sys.stats().dump(os);
+  os << "exec=" << m.execTime << " events=" << sys.eq().executed();
+  return os.str();
+}
+
+TEST(TxnTraceSystem, TracingDoesNotPerturbResults) {
+  for (const char* app : {"sor", "fft"}) {
+    EXPECT_EQ(statsDump(app, false), statsDump(app, true)) << app;
+  }
+}
+
+TEST(TxnTraceSystem, MetricsCarryStageBreakdown) {
+  SystemConfig cfg;
+  cfg.switchDir.entries = 512;
+  cfg.txnTrace.enabled = true;
+  System sys(cfg);
+  auto w = makeWorkload("sor", WorkloadScale::tiny());
+  const RunMetrics m = runWorkload(sys, *w);
+  EXPECT_GT(m.traceReadTxns, 0u);
+  double readSum = 0.0;
+  for (const double s : m.traceReadStage) readSum += s;
+  EXPECT_DOUBLE_EQ(readSum, m.traceReadEndToEnd);
+  EXPECT_GT(m.traceReadEndToEnd, 0.0);
+}
+
+}  // namespace
+}  // namespace dresar
