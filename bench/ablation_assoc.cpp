@@ -16,15 +16,15 @@ int main(int argc, char** argv) {
     SwitchDirConfig sd;
     sd.associativity = assoc;
 
-    const RunMetrics sorBase = runScientific("sor", 0, o.scale, sd);
-    const RunMetrics sor = runScientific("sor", 1024, o.scale, sd);
+    const RunMetrics sorBase = runScientific(o, "sor", 0, sd);
+    const RunMetrics sor = runScientific(o, "sor", 1024, sd);
     std::printf("  %-8s %6u %17.1f%% %18llu\n", "SOR", assoc,
                 reductionPct(static_cast<double>(sorBase.homeCtoC),
                              static_cast<double>(sor.homeCtoC)),
                 static_cast<unsigned long long>(sor.svcCtoCSwitch + sor.svcSwitchWB));
 
-    const TraceMetrics tbase = runCommercial(false, 0, o.traceRefs, sd);
-    const TraceMetrics t = runCommercial(false, 1024, o.traceRefs, sd);
+    const TraceMetrics tbase = runCommercial(o, false, 0, sd);
+    const TraceMetrics t = runCommercial(o, false, 1024, sd);
     std::printf("  %-8s %6u %17.1f%% %18llu\n", "TPC-C", assoc,
                 reductionPct(static_cast<double>(tbase.homeCtoC), static_cast<double>(t.homeCtoC)),
                 static_cast<unsigned long long>(t.svcSwitchDir));

@@ -9,13 +9,15 @@
 #include <string>
 
 #include "bench_util.h"
+#include "sim/system.h"
 
 using namespace dresar;
 using namespace dresar::bench;
 
 namespace {
-RunMetrics runWithNet(const char* app, const WorkloadScale& scale, std::uint32_t coreDelay,
-                      std::uint32_t linkCycles, std::uint32_t sdEntries) {
+RunMetrics runWithNet(const Options& o, const char* app, const WorkloadScale& scale,
+                      std::uint32_t coreDelay, std::uint32_t linkCycles,
+                      std::uint32_t sdEntries) {
   SystemConfig cfg;
   cfg.switchDir.entries = sdEntries;
   cfg.net.coreDelay = coreDelay;
@@ -27,7 +29,7 @@ RunMetrics runWithNet(const char* app, const WorkloadScale& scale, std::uint32_t
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   const std::string tag = "core" + std::to_string(coreDelay) + "-link" +
                           std::to_string(linkCycles) + "-" + configTag(sdEntries);
-  recorder().add(makeSciRecord(app, tag, sdEntries, dt.count(), sys.eq().executed(), m));
+  o.ctx.recorder.add(makeSciRecord(app, tag, sdEntries, dt.count(), sys.eq().executed(), m));
   return m;
 }
 }  // namespace
@@ -39,8 +41,8 @@ int main(int argc, char** argv) {
               "exec(sd1K)", "sd benefit");
   for (const std::uint32_t core : {2u, 4u, 8u}) {
     for (const std::uint32_t link : {2u, 4u, 8u}) {
-      const RunMetrics base = runWithNet("sor", o.scale, core, link, 0);
-      const RunMetrics sd = runWithNet("sor", o.scale, core, link, 1024);
+      const RunMetrics base = runWithNet(o, "sor", o.scale, core, link, 0);
+      const RunMetrics sd = runWithNet(o, "sor", o.scale, core, link, 1024);
       std::printf("  %-10u %-10u %12llu %12llu %13.1f%%\n", core, link,
                   static_cast<unsigned long long>(base.execTime),
                   static_cast<unsigned long long>(sd.execTime),

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
     for (const bool pending : {true, false}) {
       SwitchDirConfig sd;
       sd.usePendingBuffer = pending;
-      const RunMetrics m = runScientific(app, 1024, o.scale, sd);
+      const RunMetrics m = runScientific(o, app, 1024, sd);
       std::printf("  %-8s %-10s %12llu %14.2f %12llu\n", app, pending ? "on" : "off",
                   static_cast<unsigned long long>(m.execTime), m.avgReadLatency,
                   static_cast<unsigned long long>(m.homeCtoC));

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
     for (const bool snoop : {false, true}) {
       SwitchDirConfig sd;
       sd.snoopInvalidations = snoop;
-      const RunMetrics m = runScientific(app, 1024, o.scale, sd);
+      const RunMetrics m = runScientific(o, app, 1024, sd);
       std::printf("  %-8s %-10s %12llu %10llu %14llu\n", app, snoop ? "on" : "off",
                   static_cast<unsigned long long>(m.execTime),
                   static_cast<unsigned long long>(m.retriesObserved),

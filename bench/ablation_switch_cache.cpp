@@ -5,13 +5,15 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "sim/system.h"
 
 using namespace dresar;
 using namespace dresar::bench;
 
 namespace {
-RunMetrics runCombo(const char* app, const char* tag, const WorkloadScale& scale,
-                    std::uint32_t dirEntries, std::uint32_t cacheEntries) {
+RunMetrics runCombo(const Options& o, const char* app, const char* tag,
+                    const WorkloadScale& scale, std::uint32_t dirEntries,
+                    std::uint32_t cacheEntries) {
   SystemConfig cfg;
   cfg.switchDir.entries = dirEntries;
   cfg.switchCache.entries = cacheEntries;
@@ -20,7 +22,7 @@ RunMetrics runCombo(const char* app, const char* tag, const WorkloadScale& scale
   const auto t0 = std::chrono::steady_clock::now();
   const RunMetrics m = runWorkload(sys, *w);
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-  recorder().add(makeSciRecord(app, tag, dirEntries, dt.count(), sys.eq().executed(), m));
+  o.ctx.recorder.add(makeSciRecord(app, tag, dirEntries, dt.count(), sys.eq().executed(), m));
   return m;
 }
 }  // namespace
@@ -38,7 +40,7 @@ int main(int argc, char** argv) {
       {"base", 0, 0}, {"dir-only", 1024, 0}, {"cache-only", 0, 1024}, {"both", 1024, 1024}};
   for (const auto* app : {"fft", "tc", "sor", "gauss"}) {
     for (const auto& c : combos) {
-      const RunMetrics m = runCombo(app, c.name, o.scale, c.dir, c.cache);
+      const RunMetrics m = runCombo(o, app, c.name, o.scale, c.dir, c.cache);
       std::printf("  %-7s %-12s %12llu %10.2f %12llu %12llu %10llu\n", app, c.name,
                   static_cast<unsigned long long>(m.execTime), m.avgReadLatency,
                   static_cast<unsigned long long>(m.svcCtoCSwitch + m.svcSwitchWB),

@@ -1,10 +1,17 @@
 // Shared helpers for the figure/table reproduction harnesses.
 //
+// The benches are thin wrappers over the harness subsystem (src/harness):
+// every run is a harness::JobSpec executed in isolation, results are folded
+// into the per-process harness::RunContext owned by Options. There is no
+// process-global state; `--jobs=N` runs a bench's sweep on a work-stealing
+// pool with byte-stable output (see harness/run_context.h).
+//
 // Every binary accepts:
 //   --paper       run the paper's Table 2 problem sizes / 16M-ref traces
 //   --quick       tiny sizes (CI smoke)
 //   --refs=N      trace length override
 //   --entries=a,b,c   switch-directory sizes to sweep
+//   --jobs=N      worker threads for sweep() (default 1)
 //   --json=FILE   also write machine-readable results (see sim/run_recorder.h)
 //   --trace=FILE  record every transaction and write one Chrome trace_event
 //                 JSON document (open in Perfetto / chrome://tracing); each
@@ -12,56 +19,34 @@
 #pragma once
 
 #include <charconv>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "common/txn_trace.h"
+#include "harness/job.h"
+#include "harness/run_context.h"
 #include "sim/metrics.h"
-#include "sim/run_recorder.h"
-#include "sim/system.h"
-#include "trace/trace_sim.h"
-#include "workloads/workload.h"
 
 namespace dresar::bench {
 
-/// Process-wide result recorder; runScientific/runCommercial feed it
-/// automatically, and writeJsonIfRequested() flushes it when --json=FILE was
-/// given.
-inline RunRecorder& recorder() {
-  static RunRecorder r;
-  return r;
-}
-
-/// Process-wide Chrome trace accumulator (--trace=FILE). Execution-driven
-/// runs append their completed transactions here, one pid per run; the
-/// document is assembled when the bench flushes its outputs.
-struct TraceExport {
-  bool enabled = false;
-  std::string path;
-  std::ostringstream body;
-  bool first = true;
-  std::uint32_t nextPid = 1;
-};
-
-inline TraceExport& traceExport() {
-  static TraceExport t;
-  return t;
-}
+// Record builders, re-exposed for benches that drive System directly
+// (network/switch-cache ablations, flit validation) and record via
+// o.ctx.recorder.add(...).
+using harness::makeSciRecord;
+using harness::makeTraceRecord;
 
 inline void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--paper | --quick] [--refs=N] [--entries=a,b,c] [--json=FILE]"
-               " [--trace=FILE]\n"
+               "usage: %s [--paper | --quick] [--refs=N] [--entries=a,b,c] [--jobs=N]"
+               " [--json=FILE] [--trace=FILE]\n"
                "  --paper         paper problem sizes / 16M-ref traces\n"
                "  --quick         tiny sizes (CI smoke)\n"
                "  --refs=N        trace length override (positive integer)\n"
                "  --entries=a,b,c switch-directory sizes to sweep (positive integers)\n"
+               "  --jobs=N        run sweeps on N worker threads (default 1;\n"
+               "                  output is identical for every N)\n"
                "  --json=FILE     write results as JSON (dresar-bench-results/v2)\n"
                "  --trace=FILE    write per-transaction Chrome trace_event JSON\n"
                "                  (execution-driven runs only; open in Perfetto)\n",
@@ -86,10 +71,15 @@ struct Options {
   WorkloadScale scale;
   std::uint64_t traceRefs = 1'000'000;
   std::vector<std::uint32_t> entries = {256, 512, 1024, 2048};
+  unsigned jobs = 1;
   bool paper = false;
   bool quick = false;
   std::string jsonPath;
   std::string tracePath;
+  /// All results and trace fragments for this process accumulate here.
+  /// `mutable` so run helpers can take `const Options&` like the rest of the
+  /// flags: the context is an output channel, not configuration.
+  mutable harness::RunContext ctx;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -115,6 +105,12 @@ struct Options {
         std::uint64_t v = 0;
         if (!parseU64(a.substr(7), v) || v == 0) fail("--refs expects a positive integer", a);
         o.traceRefs = v;
+      } else if (a.rfind("--jobs=", 0) == 0) {
+        std::uint64_t v = 0;
+        if (!parseU64(a.substr(7), v, 1024) || v == 0) {
+          fail("--jobs expects a positive integer", a);
+        }
+        o.jobs = static_cast<unsigned>(v);
       } else if (a.rfind("--entries=", 0) == 0) {
         o.entries.clear();
         const std::string list = a.substr(10);
@@ -136,23 +132,23 @@ struct Options {
       } else if (a.rfind("--trace=", 0) == 0) {
         o.tracePath = a.substr(8);
         if (o.tracePath.empty()) fail("--trace expects a file path", a);
-        traceExport().enabled = true;
-        traceExport().path = o.tracePath;
+        o.ctx.traceExport.enabled = true;
+        o.ctx.traceExport.path = o.tracePath;
       } else {
         fail("unknown option", a);
       }
     }
     // Seed the recorder so per-bench mains only need writeJsonIfRequested().
     const char* base = std::strrchr(argv[0], '/');
-    recorder().setBench(base != nullptr ? base + 1 : argv[0]);
-    recorder().setOption("mode", o.paper ? "paper" : o.quick ? "quick" : "default");
-    recorder().setOption("trace_refs", std::to_string(o.traceRefs));
+    o.ctx.recorder.setBench(base != nullptr ? base + 1 : argv[0]);
+    o.ctx.recorder.setOption("mode", o.paper ? "paper" : o.quick ? "quick" : "default");
+    o.ctx.recorder.setOption("trace_refs", std::to_string(o.traceRefs));
     std::string ent;
     for (const auto e : o.entries) {
       if (!ent.empty()) ent += ',';
       ent += std::to_string(e);
     }
-    recorder().setOption("entries", ent);
+    o.ctx.recorder.setOption("entries", ent);
     return o;
   }
 };
@@ -161,20 +157,8 @@ struct Options {
 /// exit code so a bench main can end with `return bench::writeJsonIfRequested(o);`.
 inline int writeJsonIfRequested(const Options& o) {
   int rc = 0;
-  if (const TraceExport& te = traceExport(); te.enabled) {
-    std::ofstream out(te.path);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot open --trace file '%s' for writing\n",
-                   te.path.c_str());
-      rc = 1;
-    } else {
-      TxnTracer::writeChromeHeader(out);
-      out << te.body.str();
-      TxnTracer::writeChromeFooter(out);
-      if (!out) rc = 1;
-    }
-  }
-  if (!o.jsonPath.empty() && !recorder().writeFile(o.jsonPath)) rc = 1;
+  if (o.ctx.traceExport.enabled && !o.ctx.traceExport.write()) rc = 1;
+  if (!o.jsonPath.empty() && !o.ctx.recorder.writeFile(o.jsonPath)) rc = 1;
   return rc;
 }
 
@@ -182,119 +166,48 @@ inline std::string configTag(std::uint32_t sdEntries) {
   return sdEntries == 0 ? "base" : "sd-" + std::to_string(sdEntries);
 }
 
-/// Build the standard record for an execution-driven run; callers that drive
-/// System directly (ablations, tables) can use this and recorder().add().
-inline RunRecord makeSciRecord(const std::string& app, const std::string& config,
-                               std::uint64_t sdEntries, double wallSeconds,
-                               std::uint64_t events, const RunMetrics& m) {
-  RunRecord rec;
-  rec.app = app;
-  rec.config = config;
-  rec.kind = "scientific";
-  rec.sdEntries = sdEntries;
-  rec.wallSeconds = wallSeconds;
-  rec.events = events;
-  rec.metric("exec_time", static_cast<double>(m.execTime));
-  rec.metric("reads", static_cast<double>(m.reads));
-  rec.metric("stores", static_cast<double>(m.stores));
-  rec.metric("read_misses", static_cast<double>(m.readMisses));
-  rec.metric("svc_clean", static_cast<double>(m.svcClean));
-  rec.metric("svc_ctoc_home", static_cast<double>(m.svcCtoCHome));
-  rec.metric("svc_ctoc_switch", static_cast<double>(m.svcCtoCSwitch));
-  rec.metric("svc_switch_wb", static_cast<double>(m.svcSwitchWB));
-  rec.metric("svc_switch_cache", static_cast<double>(m.svcSwitchCache));
-  rec.metric("avg_read_latency", m.avgReadLatency);
-  rec.metric("total_read_stall", m.totalReadStall);
-  rec.metric("home_ctoc", static_cast<double>(m.homeCtoC));
-  rec.metric("sd_deposits", static_cast<double>(m.sdDeposits));
-  rec.metric("sd_ctoc_initiated", static_cast<double>(m.sdCtoCInitiated));
-  rec.metric("sd_retries", static_cast<double>(m.sdRetries));
-  rec.metric("net_messages", static_cast<double>(m.netMessages));
-  rec.metric("retries", static_cast<double>(m.retriesObserved));
-  rec.metric("backoff_cycles", static_cast<double>(m.backoffCycles));
-  rec.metric("dirty_fraction", m.dirtyFraction());
-  if (m.traceReadTxns + m.traceWriteTxns > 0) {
-    rec.hasTrace = true;
-    rec.traceReadTxns = m.traceReadTxns;
-    rec.traceWriteTxns = m.traceWriteTxns;
-    rec.traceReadEndToEnd = m.traceReadEndToEnd;
-    rec.traceWriteEndToEnd = m.traceWriteEndToEnd;
-    rec.traceReadStage = m.traceReadStage;
-    rec.traceWriteStage = m.traceWriteStage;
-  }
-  return rec;
+/// Build the JobSpec for one execution-driven run of a scientific kernel.
+inline harness::JobSpec sciJob(const Options& o, const std::string& key,
+                               std::uint32_t sdEntries, const SwitchDirConfig& sdTemplate = {}) {
+  harness::JobSpec j;
+  j.kind = harness::JobKind::Scientific;
+  j.app = key;
+  j.sdEntries = sdEntries;
+  j.assoc = sdTemplate.associativity;
+  j.pendingBuffer = sdTemplate.pendingBufferEntries;
+  j.sdTemplate = sdTemplate;
+  j.scale = o.scale;
+  j.traceTxns = o.ctx.traceExport.enabled;
+  return j;
 }
 
-/// Trace-run counterpart of makeSciRecord().
-inline RunRecord makeTraceRecord(const std::string& app, const std::string& config,
-                                 std::uint64_t sdEntries, double wallSeconds,
-                                 const TraceMetrics& m) {
-  RunRecord rec;
-  rec.app = app;
-  rec.config = config;
-  rec.kind = "trace";
-  rec.sdEntries = sdEntries;
-  rec.wallSeconds = wallSeconds;
-  rec.events = m.refs;
-  rec.metric("exec_time", static_cast<double>(m.execTime));
-  rec.metric("refs", static_cast<double>(m.refs));
-  rec.metric("reads", static_cast<double>(m.reads));
-  rec.metric("writes", static_cast<double>(m.writes));
-  rec.metric("read_hits", static_cast<double>(m.readHits));
-  rec.metric("read_misses", static_cast<double>(m.readMisses));
-  rec.metric("svc_clean_local", static_cast<double>(m.svcCleanLocal));
-  rec.metric("svc_clean_remote", static_cast<double>(m.svcCleanRemote));
-  rec.metric("svc_ctoc_local", static_cast<double>(m.svcCtoCLocal));
-  rec.metric("svc_ctoc_remote", static_cast<double>(m.svcCtoCRemote));
-  rec.metric("svc_switch_dir", static_cast<double>(m.svcSwitchDir));
-  rec.metric("home_ctoc", static_cast<double>(m.homeCtoC));
-  rec.metric("sd_deposits", static_cast<double>(m.sdDeposits));
-  rec.metric("sd_stale_retries", static_cast<double>(m.sdStaleRetries));
-  rec.metric("avg_read_latency", m.avgReadLatency());
-  rec.metric("dirty_fraction", m.dirtyFraction());
-  return rec;
+/// Build the JobSpec for one trace-driven run of a commercial workload.
+inline harness::JobSpec comJob(const Options& o, bool tpcd, std::uint32_t sdEntries,
+                               const SwitchDirConfig& sdTemplate = {}) {
+  harness::JobSpec j;
+  j.kind = harness::JobKind::Trace;
+  j.app = tpcd ? "tpcd" : "tpcc";
+  j.sdEntries = sdEntries;
+  j.assoc = sdTemplate.associativity;
+  j.pendingBuffer = sdTemplate.pendingBufferEntries;
+  j.sdTemplate = sdTemplate;
+  j.traceRefs = o.traceRefs;
+  return j;
 }
 
 /// Execution-driven run of one scientific kernel. Records wall time, event
-/// count and headline metrics into the process recorder.
-inline RunMetrics runScientific(const std::string& name, std::uint32_t sdEntries,
-                                const WorkloadScale& scale,
-                                SwitchDirConfig sdTemplate = {}) {
-  SystemConfig cfg;
-  cfg.switchDir = sdTemplate;
-  cfg.switchDir.entries = sdEntries;
-  cfg.txnTrace.enabled = traceExport().enabled;
-  System sys(cfg);
-  auto w = makeWorkload(name, scale);
-  const auto t0 = std::chrono::steady_clock::now();
-  RunMetrics m = runWorkload(sys, *w);
-  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-  if (TraceExport& te = traceExport(); te.enabled) {
-    const std::uint32_t pid = te.nextPid++;
-    TxnTracer::writeChromeProcessName(te.body, pid, name + " " + configTag(sdEntries), te.first);
-    sys.txnTracer().appendChromeEvents(te.body, pid, te.first);
-  }
-  recorder().add(
-      makeSciRecord(name, configTag(sdEntries), sdEntries, dt.count(), sys.eq().executed(), m));
-  return m;
+/// count and headline metrics into o.ctx.
+inline RunMetrics runScientific(const Options& o, const std::string& key,
+                                std::uint32_t sdEntries,
+                                const SwitchDirConfig& sdTemplate = {}) {
+  return harness::runJobs(o.ctx, {sciJob(o, key, sdEntries, sdTemplate)}, 1)[0].sci;
 }
 
 /// Trace-driven run of one commercial workload. Records wall time, reference
-/// count and headline metrics into the process recorder.
-inline TraceMetrics runCommercial(bool tpcd, std::uint32_t sdEntries, std::uint64_t refs,
-                                  SwitchDirConfig sdTemplate = {}) {
-  TraceConfig cfg;
-  cfg.switchDir = sdTemplate;
-  cfg.switchDir.entries = sdEntries;
-  TraceSimulator sim(cfg);
-  TpcGenerator gen(tpcd ? TpcParams::tpcd(refs) : TpcParams::tpcc(refs));
-  const auto t0 = std::chrono::steady_clock::now();
-  sim.run(gen);
-  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-  const TraceMetrics& m = sim.metrics();
-  recorder().add(
-      makeTraceRecord(tpcd ? "TPC-D" : "TPC-C", configTag(sdEntries), sdEntries, dt.count(), m));
-  return m;
+/// count and headline metrics into o.ctx.
+inline TraceMetrics runCommercial(const Options& o, bool tpcd, std::uint32_t sdEntries,
+                                  const SwitchDirConfig& sdTemplate = {}) {
+  return harness::runJobs(o.ctx, {comJob(o, tpcd, sdEntries, sdTemplate)}, 1)[0].trace;
 }
 
 /// The Figure 1..11 application order.
@@ -341,28 +254,37 @@ struct MetricExtractors {
   double (*com)(const TraceMetrics&);
 };
 
+/// Run the full app x {base, entries...} matrix — on `o.jobs` worker threads
+/// when --jobs=N was given — and reduce each run to one scalar. Results and
+/// row order are independent of the worker count.
 inline std::vector<ReductionRow> sweep(const Options& o, const MetricExtractors& ex,
-                                       SwitchDirConfig sdTemplate = {}) {
-  std::vector<ReductionRow> rows;
-  for (const auto& app : appOrder()) {
-    ReductionRow row;
-    row.app = app;
+                                       const SwitchDirConfig& sdTemplate = {}) {
+  static const char* kSciKeys[] = {"fft", "tc", "sor", "fwa", "gauss"};
+  std::vector<harness::JobSpec> jobs;
+  for (std::size_t a = 0; a < appOrder().size(); ++a) {
+    const std::string& app = appOrder()[a];
     if (isCommercial(app)) {
       const bool d = app == "TPC-D";
-      row.base = ex.com(runCommercial(d, 0, o.traceRefs, sdTemplate));
-      for (const auto e : o.entries) {
-        row.values.push_back(ex.com(runCommercial(d, e, o.traceRefs, sdTemplate)));
-      }
+      jobs.push_back(comJob(o, d, 0, sdTemplate));
+      for (const auto e : o.entries) jobs.push_back(comJob(o, d, e, sdTemplate));
     } else {
-      const std::string key = app == "FFT"   ? "fft"
-                              : app == "TC"  ? "tc"
-                              : app == "SOR" ? "sor"
-                              : app == "FWA" ? "fwa"
-                                             : "gauss";
-      row.base = ex.sci(runScientific(key, 0, o.scale, sdTemplate));
-      for (const auto e : o.entries) {
-        row.values.push_back(ex.sci(runScientific(key, e, o.scale, sdTemplate)));
-      }
+      const std::string key = kSciKeys[a];
+      jobs.push_back(sciJob(o, key, 0, sdTemplate));
+      for (const auto e : o.entries) jobs.push_back(sciJob(o, key, e, sdTemplate));
+    }
+  }
+  const std::vector<harness::JobResult> results = harness::runJobs(o.ctx, jobs, o.jobs);
+
+  std::vector<ReductionRow> rows;
+  std::size_t idx = 0;
+  for (const auto& app : appOrder()) {
+    const bool com = isCommercial(app);
+    ReductionRow row;
+    row.app = app;
+    row.base = com ? ex.com(results[idx].trace) : ex.sci(results[idx].sci);
+    ++idx;
+    for (std::size_t k = 0; k < o.entries.size(); ++k, ++idx) {
+      row.values.push_back(com ? ex.com(results[idx].trace) : ex.sci(results[idx].sci));
     }
     rows.push_back(std::move(row));
   }

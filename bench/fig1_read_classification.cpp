@@ -36,12 +36,13 @@ int main(int argc, char** argv) {
                               static_cast<double>(m.svcCleanRemote) * sim.config().remoteMemory;
       dirtyLatShare = (dirtyLat + cleanLat) > 0 ? dirtyLat / (dirtyLat + cleanLat) : 0;
     } else {
-      const RunMetrics m = runScientific(app == "FFT"     ? "fft"
-                                         : app == "TC"    ? "tc"
-                                         : app == "SOR"   ? "sor"
-                                         : app == "FWA"   ? "fwa"
-                                                          : "gauss",
-                                         0, o.scale);
+      const RunMetrics m = runScientific(o,
+                                         app == "FFT"   ? "fft"
+                                         : app == "TC"  ? "tc"
+                                         : app == "SOR" ? "sor"
+                                         : app == "FWA" ? "fwa"
+                                                        : "gauss",
+                                         0);
       misses = static_cast<double>(m.readMisses);
       dirty = static_cast<double>(m.ctocServiced());
       clean = static_cast<double>(m.svcClean);

@@ -71,6 +71,6 @@ int main(int argc, char** argv) {
   RunRecord rec = makeTraceRecord("TPC-C", "base", 0, wall.count(), m);
   rec.metric("blocks_touched", static_cast<double>(v.size()));
   rec.metric("top10_ctoc_pct", top10Pct);
-  recorder().add(std::move(rec));
+  o.ctx.recorder.add(std::move(rec));
   return writeJsonIfRequested(o);
 }

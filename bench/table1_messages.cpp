@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "sim/system.h"
 
 using namespace dresar;
 using namespace dresar::bench;
@@ -45,6 +46,6 @@ int main(int argc, char** argv) {
                 r.desc);
     rec.metric(std::string("msgs_") + toString(r.t), static_cast<double>(count));
   }
-  recorder().add(std::move(rec));
+  o.ctx.recorder.add(std::move(rec));
   return writeJsonIfRequested(o);
 }

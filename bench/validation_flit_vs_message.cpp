@@ -7,12 +7,13 @@
 #include <string>
 
 #include "bench_util.h"
+#include "sim/system.h"
 
 using namespace dresar;
 using namespace dresar::bench;
 
 namespace {
-RunMetrics runModel(const char* app, const WorkloadScale& scale, bool flit,
+RunMetrics runModel(const Options& o, const char* app, const WorkloadScale& scale, bool flit,
                     std::uint32_t sdEntries) {
   SystemConfig cfg;
   cfg.net.flitLevel = flit;
@@ -23,7 +24,7 @@ RunMetrics runModel(const char* app, const WorkloadScale& scale, bool flit,
   const RunMetrics m = runWorkload(sys, *w);
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   const std::string tag = std::string(flit ? "flit-" : "msg-") + configTag(sdEntries);
-  recorder().add(makeSciRecord(app, tag, sdEntries, dt.count(), sys.eq().executed(), m));
+  o.ctx.recorder.add(makeSciRecord(app, tag, sdEntries, dt.count(), sys.eq().executed(), m));
   return m;
 }
 }  // namespace
@@ -37,8 +38,8 @@ int main(int argc, char** argv) {
               "exec(flit)", "ratio", "lat(msg)", "lat(flit)", "sdC2C m/f");
   for (const auto* app : {"fft", "sor", "tc"}) {
     for (const std::uint32_t sd : {0u, 1024u}) {
-      const RunMetrics msg = runModel(app, o.scale, false, sd);
-      const RunMetrics flit = runModel(app, o.scale, true, sd);
+      const RunMetrics msg = runModel(o, app, o.scale, false, sd);
+      const RunMetrics flit = runModel(o, app, o.scale, true, sd);
       std::printf("  %-7s %-6u | %12llu %12llu %7.2f | %10.2f %10.2f | %5llu/%llu\n", app, sd,
                   static_cast<unsigned long long>(msg.execTime),
                   static_cast<unsigned long long>(flit.execTime),
@@ -60,8 +61,8 @@ int main(int argc, char** argv) {
     const auto t0 = std::chrono::steady_clock::now();
     const RunMetrics m = runWorkload(sys, *w);
     const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-    recorder().add(makeSciRecord("sor", "flit-buf" + std::to_string(buf), 0, dt.count(),
-                                 sys.eq().executed(), m));
+    o.ctx.recorder.add(makeSciRecord("sor", "flit-buf" + std::to_string(buf), 0, dt.count(),
+                                     sys.eq().executed(), m));
     std::printf("  %-12u %12llu\n", buf, static_cast<unsigned long long>(m.execTime));
   }
   std::printf("(beyond a few flits of buffering, performance is flat — the SRAM is\n"

@@ -2,21 +2,26 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 #include "common/types.h"
 
 namespace dresar {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::Error)};
-}
+std::atomic<LogLevel> g_level{LogLevel::Error};
+// Serializes logLine(): concurrent harness workers must not interleave
+// characters of different lines on stderr.
+std::mutex g_logMutex;
+}  // namespace
 
-LogLevel logLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
-void setLogLevel(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+void setLogLevel(LogLevel lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
 namespace detail {
 void logLine(LogLevel lvl, const std::string& msg) {
   const char* tag = lvl == LogLevel::Error ? "E" : (lvl == LogLevel::Info ? "I" : "T");
+  const std::lock_guard<std::mutex> lock(g_logMutex);
   std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
 }
 }  // namespace detail

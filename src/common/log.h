@@ -10,10 +10,14 @@ namespace dresar {
 enum class LogLevel : int { None = 0, Error = 1, Info = 2, Trace = 3 };
 
 /// Per-process log level; defaults to Error. Tests raise it locally.
+/// Thread-safe: backed by a std::atomic<LogLevel>, so concurrent harness
+/// workers may read it while another thread adjusts it.
 LogLevel logLevel();
 void setLogLevel(LogLevel lvl);
 
 namespace detail {
+/// Emits one line to stderr; serialized by an internal mutex so lines from
+/// concurrent simulation jobs never interleave mid-line.
 void logLine(LogLevel lvl, const std::string& msg);
 }
 

@@ -1,0 +1,254 @@
+// dresar-sweep — declarative parallel design-space sweeps.
+//
+//   dresar-sweep --spec=sweeps/paper_all.spec --jobs=8 --json=out.json
+//   dresar-sweep --spec=sweeps/quick.spec --quick --baseline=main.json
+//
+// Expands the spec's job matrix (workload x switch-dir entries x assoc x
+// pending-buffer depth x seed replicas), runs every job on a work-stealing
+// thread pool (each job is a fully isolated simulation), aggregates
+// per-config statistics over seed replicas into one schema-v3 JSON document,
+// and optionally gates on regressions against a prior document.
+//
+// Exit codes: 0 ok, 1 I/O or simulation failure, 2 bad usage,
+//             3 baseline regression beyond threshold.
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/aggregate.h"
+#include "harness/baseline.h"
+#include "harness/run_context.h"
+#include "harness/sweep_spec.h"
+
+namespace {
+
+using namespace dresar;
+using namespace dresar::harness;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --spec=FILE [options]\n"
+               "  --spec=FILE       sweep specification (see sweeps/*.spec)\n"
+               "  --jobs=N          worker threads (default 1)\n"
+               "  --json=FILE       write the aggregated v3 result document\n"
+               "  --baseline=FILE   compare against a prior result document;\n"
+               "                    exit 3 on watched-metric regressions\n"
+               "  --threshold=PCT   regression threshold, percent (default 5)\n"
+               "  --quick           override problem sizes to CI-smoke scale\n"
+               "  --paper           override problem sizes to the paper's Table 2\n"
+               "  --seeds=N         override the spec's seed replica count\n"
+               "  --deterministic   omit wall-clock fields from the JSON so the\n"
+               "                    document is byte-identical for any --jobs=N\n"
+               "  --list            print the expanded job matrix and exit\n",
+               argv0);
+}
+
+bool parseU64(const std::string& s, std::uint64_t& out, std::uint64_t max = UINT64_MAX) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  if (ec != std::errc() || ptr != s.data() + s.size() || v > max) return false;
+  out = v;
+  return true;
+}
+
+struct Cli {
+  std::string specPath;
+  std::string jsonPath;
+  std::string baselinePath;
+  double thresholdPct = 5.0;
+  unsigned jobs = 1;
+  std::uint64_t seedsOverride = 0;
+  bool quick = false;
+  bool paper = false;
+  bool deterministic = false;
+  bool list = false;
+};
+
+Cli parseCli(int argc, char** argv) {
+  Cli c;
+  const auto fail = [&](const char* why, const std::string& arg) {
+    std::fprintf(stderr, "error: %s: %s\n", why, arg.c_str());
+    usage(argv[0]);
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (a.rfind("--spec=", 0) == 0) {
+      c.specPath = a.substr(7);
+      if (c.specPath.empty()) fail("--spec expects a file path", a);
+    } else if (a == "--spec" && i + 1 < argc) {
+      c.specPath = argv[++i];
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      std::uint64_t v = 0;
+      if (!parseU64(a.substr(7), v, 1024) || v == 0) {
+        fail("--jobs expects a positive integer", a);
+      }
+      c.jobs = static_cast<unsigned>(v);
+    } else if (a.rfind("--json=", 0) == 0) {
+      c.jsonPath = a.substr(7);
+      if (c.jsonPath.empty()) fail("--json expects a file path", a);
+    } else if (a.rfind("--baseline=", 0) == 0) {
+      c.baselinePath = a.substr(11);
+      if (c.baselinePath.empty()) fail("--baseline expects a file path", a);
+    } else if (a.rfind("--threshold=", 0) == 0) {
+      char* end = nullptr;
+      c.thresholdPct = std::strtod(a.c_str() + 12, &end);
+      if (end == nullptr || *end != '\0' || c.thresholdPct < 0.0) {
+        fail("--threshold expects a non-negative number", a);
+      }
+    } else if (a.rfind("--seeds=", 0) == 0) {
+      if (!parseU64(a.substr(8), c.seedsOverride, 10'000) || c.seedsOverride == 0) {
+        fail("--seeds expects a positive integer", a);
+      }
+    } else if (a == "--quick") {
+      c.quick = true;
+    } else if (a == "--paper") {
+      c.paper = true;
+    } else if (a == "--deterministic") {
+      c.deterministic = true;
+    } else if (a == "--list") {
+      c.list = true;
+    } else {
+      fail("unknown option", a);
+    }
+  }
+  if (c.specPath.empty()) fail("--spec is required", "(missing)");
+  if (c.quick && c.paper) fail("--quick and --paper are mutually exclusive", "(conflict)");
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parseCli(argc, argv);
+
+  SweepSpec spec;
+  try {
+    spec = SweepSpec::parseFile(cli.specPath);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (cli.quick) spec.overrideScale("tiny");
+  if (cli.paper) spec.overrideScale("paper");
+  if (cli.seedsOverride != 0) spec.seeds = cli.seedsOverride;
+
+  const std::vector<JobSpec> jobs = spec.expand();
+  if (cli.list) {
+    std::printf("sweep '%s': %zu job(s)\n", spec.name.c_str(), jobs.size());
+    for (const JobSpec& j : jobs) {
+      std::printf("  %-8s %-14s seed=%llu %s\n", j.displayApp().c_str(), j.configTag().c_str(),
+                  static_cast<unsigned long long>(j.seed),
+                  j.kind == JobKind::Trace ? "trace" : "scientific");
+    }
+    return 0;
+  }
+
+  // Load the baseline up front: a bad path or malformed document must fail
+  // before hours of simulation, not after.
+  std::vector<ConfigAggregate> baseline;
+  if (!cli.baselinePath.empty()) {
+    try {
+      baseline = loadBaselineFile(cli.baselinePath);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: cannot load baseline: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  std::printf("sweep '%s': %zu job(s) on %u worker(s), scale=%s\n", spec.name.c_str(),
+              jobs.size(), cli.jobs, spec.scale.c_str());
+
+  RunContext ctx;
+  ctx.recorder.setBench("dresar-sweep");
+  ctx.recorder.setOption("spec", spec.name);
+  ctx.recorder.setOption("scale", spec.scale);
+  ctx.recorder.setOption("seeds", std::to_string(spec.seeds));
+  ctx.recorder.setOption("trace_refs", std::to_string(spec.traceRefs));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<JobResult> results;
+  try {
+    results = runJobs(ctx, jobs, cli.jobs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: sweep job failed: %s\n", e.what());
+    return 1;
+  }
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
+
+  const std::vector<ConfigAggregate> configs = aggregate(ctx.recorder.runs());
+
+  // Console summary: one line per config cell.
+  std::printf("\n%-8s %-14s %-10s %8s %14s %14s %10s\n", "app", "config", "kind", "replicas",
+              "exec_time", "avg_read_lat", "stddev%");
+  for (const ConfigAggregate& c : configs) {
+    double execMean = 0.0;
+    double execStd = 0.0;
+    double lat = 0.0;
+    for (const auto& [n, s] : c.metrics) {
+      if (n == "exec_time") {
+        execMean = s.mean;
+        execStd = s.stddev;
+      } else if (n == "avg_read_latency") {
+        lat = s.mean;
+      }
+    }
+    std::printf("%-8s %-14s %-10s %8llu %14.0f %14.2f %9.2f%%\n", c.app.c_str(),
+                c.config.c_str(), c.kind.c_str(), static_cast<unsigned long long>(c.replicas),
+                execMean, lat, execMean > 0.0 ? execStd / execMean * 100.0 : 0.0);
+  }
+
+  // Whole-sweep totals over the scientific runs (RunMetrics::merge).
+  RunMetrics sciTotal;
+  std::uint64_t sciRuns = 0;
+  for (const JobResult& r : results) {
+    if (r.job.kind == JobKind::Scientific) {
+      sciTotal.merge(r.sci);
+      ++sciRuns;
+    }
+  }
+  if (sciRuns > 0) {
+    std::printf("\nscientific totals over %llu run(s): cycles=%llu reads=%llu misses=%llu\n",
+                static_cast<unsigned long long>(sciRuns),
+                static_cast<unsigned long long>(sciTotal.execTime),
+                static_cast<unsigned long long>(sciTotal.reads),
+                static_cast<unsigned long long>(sciTotal.readMisses));
+  }
+  std::printf("wall: %.2fs (%zu jobs / %u workers)\n", wall.count(), jobs.size(), cli.jobs);
+
+  int rc = 0;
+  if (!cli.jsonPath.empty()) {
+    SweepJsonOptions jo;
+    jo.specName = spec.name;
+    jo.options = {{"scale", spec.scale},
+                  {"seeds", std::to_string(spec.seeds)},
+                  {"trace_refs", std::to_string(spec.traceRefs)}};
+    jo.jobs = cli.jobs;
+    jo.deterministic = cli.deterministic;
+    std::ofstream out(cli.jsonPath);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open --json file '%s' for writing\n",
+                   cli.jsonPath.c_str());
+      rc = 1;
+    } else {
+      out << sweepToJson(ctx.recorder, configs, jo);
+      if (!out) rc = 1;
+    }
+  }
+
+  if (!cli.baselinePath.empty()) {
+    const RegressionReport report = compareAgainstBaseline(baseline, configs, cli.thresholdPct);
+    report.print(std::cout);
+    if (!report.ok()) return 3;
+  }
+  return rc;
+}

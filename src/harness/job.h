@@ -1,0 +1,69 @@
+// One cell of a sweep's job matrix: which workload, which switch-directory
+// configuration, which seed replica. Jobs are fully self-describing so a
+// worker thread can execute one with no shared state beyond the spec itself.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "workloads/workload.h"
+
+namespace dresar::harness {
+
+enum class JobKind : std::uint8_t {
+  Scientific,  ///< execution-driven kernel on the cycle-level System
+  Trace,       ///< trace-driven commercial workload (synthetic TPC stream)
+};
+
+struct JobSpec {
+  JobKind kind = JobKind::Scientific;
+  /// Workload key: "fft"/"tc"/"sor"/"fwa"/"gauss" (scientific) or
+  /// "tpcc"/"tpcd" (trace).
+  std::string app;
+  std::uint32_t sdEntries = 0;  ///< 0 = Base system (no switch directories)
+  std::uint32_t assoc = 4;
+  std::uint32_t pendingBuffer = 16;
+  /// Replica index, 1-based. Replica 1 reproduces the historical default
+  /// stream; replica k>1 perturbs the trace generator's seed. Scientific
+  /// kernels are RNG-free, so their replicas are bit-identical by design —
+  /// a per-config stddev > 0 in the aggregate is itself a determinism bug.
+  std::uint64_t seed = 1;
+  WorkloadScale scale;            ///< scientific problem sizes
+  std::uint64_t traceRefs = 1'000'000;  ///< trace length (trace jobs)
+  bool traceTxns = false;         ///< record per-transaction latency events
+  /// Base switch-directory template; entries/assoc/pendingBuffer above are
+  /// applied on top. Lets ablation benches sweep the remaining knobs
+  /// (pending-buffer enable, invalidation snooping, retry backoff).
+  SwitchDirConfig sdTemplate{};
+  /// When non-empty, used verbatim as the recorded config tag instead of
+  /// the derived one (bench binaries keep their historical tags this way).
+  std::string tagOverride;
+
+  /// Display name in the paper's style ("FFT", "TPC-C", ...).
+  [[nodiscard]] std::string displayApp() const {
+    if (kind == JobKind::Trace) return app == "tpcd" ? "TPC-D" : "TPC-C";
+    std::string up = app;
+    for (char& c : up) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return up;
+  }
+
+  /// Short config tag; matches the bench convention ("base", "sd-512") and
+  /// appends -aN / -pbN only when they differ from the defaults, so default
+  /// sweeps serialize exactly as the historical bench output did.
+  [[nodiscard]] std::string configTag() const {
+    if (!tagOverride.empty()) return tagOverride;
+    if (sdEntries == 0) return "base";
+    std::string t = "sd-" + std::to_string(sdEntries);
+    if (assoc != 4) t += "-a" + std::to_string(assoc);
+    if (pendingBuffer != 16) t += "-pb" + std::to_string(pendingBuffer);
+    return t;
+  }
+
+  /// Canonical identity of the config cell this job belongs to (seed
+  /// replicas of the same cell share it). Used for grouping and sorting.
+  [[nodiscard]] std::string configKey() const { return displayApp() + "/" + configTag(); }
+};
+
+}  // namespace dresar::harness

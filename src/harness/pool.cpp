@@ -1,0 +1,65 @@
+#include "harness/pool.h"
+
+#include <exception>
+#include <thread>
+
+namespace dresar::harness {
+
+void WorkStealingPool::forEach(std::size_t n,
+                               const std::function<void(std::size_t, unsigned)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  const unsigned workers = threads_;
+  std::vector<Queue> queues(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues[i % workers].jobs.push_back(i);  // round-robin seeding, pre-start
+  }
+
+  std::mutex errMu;
+  std::exception_ptr firstError;
+
+  const auto popOwn = [&queues](unsigned w, std::size_t& out) {
+    Queue& q = queues[w];
+    const std::lock_guard<std::mutex> lock(q.mu);
+    if (q.jobs.empty()) return false;
+    out = q.jobs.front();
+    q.jobs.pop_front();
+    return true;
+  };
+  const auto steal = [&queues, workers](unsigned thief, std::size_t& out) {
+    for (unsigned d = 1; d < workers; ++d) {
+      Queue& q = queues[(thief + d) % workers];
+      const std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.jobs.empty()) {
+        out = q.jobs.back();
+        q.jobs.pop_back();
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const auto workerBody = [&](unsigned w) {
+    std::size_t job = 0;
+    while (popOwn(w, job) || steal(w, job)) {
+      try {
+        fn(job, w);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errMu);
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(workerBody, w);
+  for (std::thread& t : pool) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace dresar::harness

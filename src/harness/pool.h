@@ -1,0 +1,40 @@
+// Work-stealing thread pool for sweep jobs. Simulation jobs vary in cost by
+// orders of magnitude (GAUSS @ paper scale vs a 200K-ref trace), so static
+// partitioning would leave workers idle; each worker owns a deque seeded
+// round-robin, pops from its own front, and steals from the back of a
+// victim's deque when it runs dry — classic owner-front/thief-back so steals
+// grab the work the owner would reach last.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace dresar::harness {
+
+class WorkStealingPool {
+ public:
+  /// `threads` == 0 or 1 runs everything inline on the calling thread.
+  explicit WorkStealingPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {}
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Execute fn(jobIndex, workerIndex) for every jobIndex in [0, n).
+  /// workerIndex < threads() identifies the executing worker so callers can
+  /// keep per-worker accumulators without locks. Blocks until all jobs
+  /// finished; if any invocation threw, the first exception (in completion
+  /// order) is rethrown after the join.
+  void forEach(std::size_t n, const std::function<void(std::size_t, unsigned)>& fn);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::size_t> jobs;
+  };
+
+  unsigned threads_;
+};
+
+}  // namespace dresar::harness

@@ -1,0 +1,78 @@
+// Per-run context & job execution. Everything that used to be process-global
+// in bench/bench_util.h (the RunRecorder singleton, the Chrome-trace
+// accumulator) lives here as explicit state owned by the caller, which is
+// what makes in-process parallel sweeps possible: each simulation job is
+// executed against fresh System/TraceSimulator instances and returns its
+// results as a value; the coordinator folds them into one RunContext in
+// deterministic job order, so `--jobs=N` never changes output bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/job.h"
+#include "sim/metrics.h"
+#include "sim/run_recorder.h"
+#include "trace/trace_sim.h"
+
+namespace dresar::harness {
+
+/// Chrome trace_event accumulator (--trace=FILE). Job bodies are appended in
+/// job order; writeChromeTrace() assembles the final document.
+struct TraceExport {
+  bool enabled = false;
+  std::string path;
+  std::string body;   ///< concatenated per-job event fragments
+  bool any = false;   ///< at least one fragment appended (comma placement)
+  std::uint32_t nextPid = 1;  ///< next Chrome pid; runJobs() advances it
+
+  /// Append one job's event fragment (no leading comma in the fragment).
+  void append(const std::string& fragment);
+  /// Write the complete trace document to `path`. Returns false (after
+  /// reporting to stderr) if the file cannot be written.
+  [[nodiscard]] bool write() const;
+};
+
+/// Explicit replacement for the old process-global bench state: one results
+/// recorder plus one trace accumulator. NOT thread-safe by design — worker
+/// threads produce standalone JobResults and only the coordinating thread
+/// touches the context (see runJobs()).
+struct RunContext {
+  RunRecorder recorder;
+  TraceExport traceExport;
+};
+
+/// Everything a finished job hands back to the coordinator.
+struct JobResult {
+  JobSpec job;
+  RunRecord record;       ///< ready to add() to a recorder
+  std::string traceBody;  ///< Chrome event fragment (empty unless traced)
+  RunMetrics sci;         ///< valid when job.kind == Scientific
+  TraceMetrics trace;     ///< valid when job.kind == Trace
+  double wallSeconds = 0.0;
+};
+
+/// Build the standard RunRecord for an execution-driven run. Exposed for
+/// benches that drive System directly (ablations, tables).
+RunRecord makeSciRecord(const std::string& app, const std::string& config,
+                        std::uint64_t sdEntries, double wallSeconds, std::uint64_t events,
+                        const RunMetrics& m);
+
+/// Trace-run counterpart of makeSciRecord().
+RunRecord makeTraceRecord(const std::string& app, const std::string& config,
+                          std::uint64_t sdEntries, double wallSeconds, const TraceMetrics& m);
+
+/// Execute one job in complete isolation: fresh simulator state, no global
+/// reads or writes. Thread-safe against concurrent executeJob() calls.
+/// `chromePid` labels this job's slice group when transaction tracing is on.
+JobResult executeJob(const JobSpec& job, std::uint32_t chromePid);
+
+/// Run `jobs` (with `threads` workers when threads > 1; work-stealing pool),
+/// then fold every result into `ctx` in job order: records into
+/// ctx.recorder, trace fragments into ctx.traceExport. Results are returned
+/// indexed exactly like `jobs`. Propagates the first job exception, if any.
+std::vector<JobResult> runJobs(RunContext& ctx, const std::vector<JobSpec>& jobs,
+                               unsigned threads);
+
+}  // namespace dresar::harness

@@ -1,0 +1,169 @@
+#include "harness/sweep_spec.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace dresar::harness {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> splitList(const std::string& v) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    std::size_t comma = v.find(',', pos);
+    if (comma == std::string::npos) comma = v.size();
+    out.push_back(trim(v.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void fail(const std::string& source, int line, const std::string& why) {
+  throw std::runtime_error(source + ":" + std::to_string(line) + ": " + why);
+}
+
+std::uint64_t parseUnsigned(const std::string& source, int line, const std::string& s,
+                            std::uint64_t max) {
+  std::uint64_t v = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v, 10);
+  if (s.empty() || ec != std::errc() || ptr != last || v > max) {
+    fail(source, line, "expected an unsigned integer, got '" + s + "'");
+  }
+  return v;
+}
+
+std::vector<std::uint32_t> parseU32List(const std::string& source, int line,
+                                        const std::string& v, bool allowZero) {
+  std::vector<std::uint32_t> out;
+  for (const std::string& item : splitList(v)) {
+    const std::uint64_t x = parseUnsigned(source, line, item, UINT32_MAX);
+    if (x == 0 && !allowZero) fail(source, line, "value must be positive: '" + item + "'");
+    out.push_back(static_cast<std::uint32_t>(x));
+  }
+  if (out.empty()) fail(source, line, "list must not be empty");
+  return out;
+}
+
+bool isTraceWorkload(const std::string& w) { return w == "tpcc" || w == "tpcd"; }
+
+}  // namespace
+
+SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
+  SweepSpec spec;
+  spec.workloads = {"fft", "tc", "sor", "fwa", "gauss", "tpcc", "tpcd"};
+
+  static const std::set<std::string> knownWorkloads = {"fft", "tc",   "sor", "fwa",
+                                                       "gauss", "tpcc", "tpcd"};
+  std::set<std::string> seenKeys;
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    if (const std::size_t hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    const std::string t = trim(raw);
+    if (t.empty()) continue;
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) fail(source, line, "expected 'key = value', got '" + t + "'");
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) fail(source, line, "empty key");
+    if (value.empty()) fail(source, line, "empty value for '" + key + "'");
+    if (!seenKeys.insert(key).second) fail(source, line, "duplicate key '" + key + "'");
+
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "workloads") {
+      spec.workloads = splitList(value);
+      for (const std::string& w : spec.workloads) {
+        if (knownWorkloads.count(w) == 0) fail(source, line, "unknown workload '" + w + "'");
+      }
+      if (spec.workloads.empty()) fail(source, line, "workloads list must not be empty");
+    } else if (key == "entries") {
+      spec.entries = parseU32List(source, line, value, /*allowZero=*/true);
+    } else if (key == "assoc") {
+      spec.assoc = parseU32List(source, line, value, /*allowZero=*/false);
+    } else if (key == "pending_buffer") {
+      spec.pendingBuffer = parseU32List(source, line, value, /*allowZero=*/false);
+    } else if (key == "seeds") {
+      spec.seeds = parseUnsigned(source, line, value, 10'000);
+      if (spec.seeds == 0) fail(source, line, "seeds must be positive");
+    } else if (key == "scale") {
+      if (value != "tiny" && value != "default" && value != "paper") {
+        fail(source, line, "scale must be tiny|default|paper, got '" + value + "'");
+      }
+      spec.scale = value;
+    } else if (key == "trace_refs") {
+      spec.traceRefs = parseUnsigned(source, line, value, UINT64_MAX);
+      if (spec.traceRefs == 0) fail(source, line, "trace_refs must be positive");
+    } else {
+      fail(source, line, "unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+SweepSpec SweepSpec::parseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open sweep spec '" + path + "'");
+  return parse(in, path);
+}
+
+void SweepSpec::overrideScale(const std::string& s) {
+  scale = s;
+  if (s == "tiny") {
+    traceRefs = std::min<std::uint64_t>(traceRefs, 200'000);
+  } else if (s == "paper") {
+    traceRefs = 16'000'000;
+  }
+}
+
+std::vector<JobSpec> SweepSpec::expand() const {
+  WorkloadScale ws;
+  if (scale == "tiny") {
+    ws = WorkloadScale::tiny();
+  } else if (scale == "paper") {
+    ws = WorkloadScale::paper();
+  }
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(jobCount());
+  for (const std::string& w : workloads) {
+    for (const std::uint32_t e : entries) {
+      for (const std::uint32_t a : assoc) {
+        for (const std::uint32_t pb : pendingBuffer) {
+          for (std::uint64_t s = 1; s <= seeds; ++s) {
+            JobSpec j;
+            j.kind = isTraceWorkload(w) ? JobKind::Trace : JobKind::Scientific;
+            j.app = w;
+            j.sdEntries = e;
+            j.assoc = a;
+            j.pendingBuffer = pb;
+            j.seed = s;
+            j.scale = ws;
+            j.traceRefs = traceRefs;
+            jobs.push_back(std::move(j));
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace dresar::harness

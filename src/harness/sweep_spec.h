@@ -1,0 +1,58 @@
+// Declarative sweep specifications. A spec file is a flat `key = value`
+// document (''#'' comments, blank lines ignored); multi-valued keys take
+// comma-separated lists and the expansion is the full cross product:
+//
+//   # sweeps/paper_all.spec
+//   name = paper_all
+//   workloads = fft, tc, sor, fwa, gauss, tpcc, tpcd
+//   entries = 0, 256, 512, 1024, 2048    # 0 = Base system
+//   assoc = 4
+//   pending_buffer = 16
+//   seeds = 1                            # replicas per config cell
+//   scale = paper                        # tiny | default | paper
+//   trace_refs = 16000000
+//
+// expand() turns this into workload x entries x assoc x pending_buffer x
+// seed JobSpecs. Unknown keys and malformed values are hard errors with the
+// line number, so a typo'd sweep fails before burning hours of simulation.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "harness/job.h"
+
+namespace dresar::harness {
+
+struct SweepSpec {
+  std::string name = "sweep";
+  std::vector<std::string> workloads;            ///< fft/tc/sor/fwa/gauss/tpcc/tpcd
+  std::vector<std::uint32_t> entries = {0, 256, 512, 1024, 2048};
+  std::vector<std::uint32_t> assoc = {4};
+  std::vector<std::uint32_t> pendingBuffer = {16};
+  std::uint64_t seeds = 1;                       ///< replicas per config cell
+  std::string scale = "default";                 ///< tiny | default | paper
+  std::uint64_t traceRefs = 1'000'000;
+
+  /// Parse from a stream / file. Throws std::runtime_error with
+  /// "<source>:<line>: ..." context on any malformed or unknown input.
+  static SweepSpec parse(std::istream& in, const std::string& source = "<spec>");
+  static SweepSpec parseFile(const std::string& path);
+
+  /// The full job matrix, in deterministic spec order (workload-major, then
+  /// entries, assoc, pending buffer, seed).
+  [[nodiscard]] std::vector<JobSpec> expand() const;
+
+  /// Total matrix size without materializing it.
+  [[nodiscard]] std::size_t jobCount() const {
+    return workloads.size() * entries.size() * assoc.size() * pendingBuffer.size() *
+           static_cast<std::size_t>(seeds);
+  }
+
+  /// Problem-size override used by `dresar-sweep --quick` / `--paper`.
+  void overrideScale(const std::string& s);
+};
+
+}  // namespace dresar::harness

@@ -74,6 +74,46 @@ RunMetrics RunMetrics::collect(const System& sys, const std::string& workload) {
   return m;
 }
 
+void RunMetrics::merge(const RunMetrics& other) {
+  if (workload.empty()) workload = other.workload;
+  const std::uint64_t totalReads = reads + other.reads;
+  if (totalReads > 0) {
+    avgReadLatency = (avgReadLatency * static_cast<double>(reads) +
+                      other.avgReadLatency * static_cast<double>(other.reads)) /
+                     static_cast<double>(totalReads);
+  }
+  execTime += other.execTime;
+  reads = totalReads;
+  stores += other.stores;
+  readMisses += other.readMisses;
+  svcClean += other.svcClean;
+  svcCtoCHome += other.svcCtoCHome;
+  svcCtoCSwitch += other.svcCtoCSwitch;
+  svcSwitchWB += other.svcSwitchWB;
+  svcSwitchCache += other.svcSwitchCache;
+  totalReadStall += other.totalReadStall;
+  totalReadLatCtoC += other.totalReadLatCtoC;
+  totalReadLatClean += other.totalReadLatClean;
+  totalReadLatCleanMiss += other.totalReadLatCleanMiss;
+  homeCtoC += other.homeCtoC;
+  sdDeposits += other.sdDeposits;
+  sdCtoCInitiated += other.sdCtoCInitiated;
+  sdWriteBackServes += other.sdWriteBackServes;
+  sdCopyBackServes += other.sdCopyBackServes;
+  sdRetries += other.sdRetries;
+  netMessages += other.netMessages;
+  retriesObserved += other.retriesObserved;
+  backoffCycles += other.backoffCycles;
+  traceReadTxns += other.traceReadTxns;
+  traceWriteTxns += other.traceWriteTxns;
+  traceReadEndToEnd += other.traceReadEndToEnd;
+  traceWriteEndToEnd += other.traceWriteEndToEnd;
+  for (std::size_t s = 0; s < kTxnStageCount; ++s) {
+    traceReadStage[s] += other.traceReadStage[s];
+    traceWriteStage[s] += other.traceWriteStage[s];
+  }
+}
+
 void RunMetrics::print(std::ostream& os) const {
   os << "workload=" << workload << " exec=" << execTime << " reads=" << reads
      << " misses=" << readMisses << " clean=" << svcClean << " ctocHome=" << svcCtoCHome

@@ -66,6 +66,12 @@ struct RunMetrics {
 
   static RunMetrics collect(const System& sys, const std::string& workload);
 
+  /// Fold another run's metrics into this one: counters and latency masses
+  /// add, execTime accumulates (total simulated cycles across the merged
+  /// runs), and avgReadLatency becomes the read-count-weighted mean. Used by
+  /// the sweep harness to report whole-sweep totals over many jobs.
+  void merge(const RunMetrics& other);
+
   void print(std::ostream& os) const;
 };
 

@@ -1,12 +1,29 @@
 #include "sim/run_recorder.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <tuple>
 
 #include "sim/json_writer.h"
 
 namespace dresar {
+
+void RunRecorder::merge(RunRecorder&& other) {
+  if (bench_.empty()) bench_ = std::move(other.bench_);
+  for (auto& opt : other.options_) options_.push_back(std::move(opt));
+  runs_.reserve(runs_.size() + other.runs_.size());
+  for (auto& r : other.runs_) runs_.push_back(std::move(r));
+  other.options_.clear();
+  other.runs_.clear();
+}
+
+void RunRecorder::sortCanonical() {
+  std::stable_sort(runs_.begin(), runs_.end(), [](const RunRecord& a, const RunRecord& b) {
+    return std::tie(a.app, a.config, a.seed, a.kind) < std::tie(b.app, b.config, b.seed, b.kind);
+  });
+}
 
 std::string RunRecorder::toJson() const {
   std::ostringstream os;
@@ -37,6 +54,7 @@ std::string RunRecorder::toJson() const {
     w.field("config", r.config);
     w.field("kind", r.kind);
     w.field("sd_entries", r.sdEntries);
+    if (r.seed != 0) w.field("seed", r.seed);
     w.field("wall_seconds", r.wallSeconds);
     w.field("events", r.events);
     w.field("events_per_sec",

@@ -51,6 +51,7 @@ struct RunRecord {
   std::string config;  ///< short config tag, e.g. "base" or "sd-512"
   std::string kind;    ///< "scientific" (event-driven) or "trace"
   std::uint64_t sdEntries = 0;
+  std::uint64_t seed = 0;  ///< replica seed (harness sweeps); 0 = unset, not serialized
   double wallSeconds = 0.0;
   std::uint64_t events = 0;  ///< executed events (scientific) / refs (trace)
   std::vector<std::pair<std::string, double>> metrics;
@@ -68,6 +69,11 @@ struct RunRecord {
 };
 
 /// Accumulates RunRecords across a bench binary's runs and serializes them.
+///
+/// Not internally synchronized. Concurrent producers (the sweep harness's
+/// worker threads) each own a private RunRecorder and the coordinator folds
+/// them together with merge() once the workers have joined — cheaper than a
+/// mutex on every add() and it keeps single-threaded benches overhead-free.
 class RunRecorder {
  public:
   void setBench(std::string name) { bench_ = std::move(name); }
@@ -76,6 +82,15 @@ class RunRecorder {
   }
 
   void add(RunRecord r) { runs_.push_back(std::move(r)); }
+
+  /// Steal every run (and any options) from `other`, leaving it empty.
+  /// Bench name is kept from *this unless unset.
+  void merge(RunRecorder&& other);
+
+  /// Sort runs by (app, config, seed, kind) so a parallel sweep serializes
+  /// identically regardless of worker scheduling. Stable, so records that
+  /// compare equal keep their insertion order.
+  void sortCanonical();
 
   [[nodiscard]] const std::vector<RunRecord>& runs() const { return runs_; }
 

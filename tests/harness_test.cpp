@@ -1,0 +1,317 @@
+// Tests for the sweep/orchestration subsystem: spec parsing & expansion,
+// the work-stealing pool, parallel-vs-serial output determinism, recorder
+// merging, aggregation, and the baseline regression gate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/aggregate.h"
+#include "harness/baseline.h"
+#include "harness/job.h"
+#include "harness/pool.h"
+#include "harness/run_context.h"
+#include "harness/sweep_spec.h"
+#include "sim/json_reader.h"
+
+namespace dresar::harness {
+namespace {
+
+// ---------------------------------------------------------------- JobSpec --
+
+TEST(JobSpec, ConfigTagsMatchBenchConvention) {
+  JobSpec j;
+  EXPECT_EQ(j.configTag(), "base");
+  j.sdEntries = 512;
+  EXPECT_EQ(j.configTag(), "sd-512");
+  j.assoc = 2;
+  EXPECT_EQ(j.configTag(), "sd-512-a2");
+  j.pendingBuffer = 4;
+  EXPECT_EQ(j.configTag(), "sd-512-a2-pb4");
+  j.tagOverride = "custom";
+  EXPECT_EQ(j.configTag(), "custom");
+}
+
+TEST(JobSpec, DisplayApp) {
+  JobSpec j;
+  j.app = "fft";
+  EXPECT_EQ(j.displayApp(), "FFT");
+  j.kind = JobKind::Trace;
+  j.app = "tpcd";
+  EXPECT_EQ(j.displayApp(), "TPC-D");
+  j.app = "tpcc";
+  EXPECT_EQ(j.displayApp(), "TPC-C");
+}
+
+// -------------------------------------------------------------- SweepSpec --
+
+TEST(SweepSpec, ParsesFullSpec) {
+  std::istringstream in(
+      "# comment\n"
+      "name = demo\n"
+      "workloads = fft, tpcc\n"
+      "entries = 0, 512\n"
+      "assoc = 2, 4\n"
+      "pending_buffer = 8\n"
+      "seeds = 3\n"
+      "scale = tiny\n"
+      "trace_refs = 50000\n");
+  const SweepSpec s = SweepSpec::parse(in, "demo.spec");
+  EXPECT_EQ(s.name, "demo");
+  EXPECT_EQ(s.workloads, (std::vector<std::string>{"fft", "tpcc"}));
+  EXPECT_EQ(s.entries, (std::vector<std::uint32_t>{0, 512}));
+  EXPECT_EQ(s.assoc, (std::vector<std::uint32_t>{2, 4}));
+  EXPECT_EQ(s.pendingBuffer, (std::vector<std::uint32_t>{8}));
+  EXPECT_EQ(s.seeds, 3u);
+  EXPECT_EQ(s.scale, "tiny");
+  EXPECT_EQ(s.traceRefs, 50000u);
+  EXPECT_EQ(s.jobCount(), 2u * 2u * 2u * 1u * 3u);
+}
+
+TEST(SweepSpec, RejectsMalformedInput) {
+  const auto parseText = [](const std::string& text) {
+    std::istringstream in(text);
+    return SweepSpec::parse(in, "bad.spec");
+  };
+  EXPECT_THROW(parseText("bogus_key = 1\n"), std::runtime_error);
+  EXPECT_THROW(parseText("workloads = fft, quake\n"), std::runtime_error);
+  EXPECT_THROW(parseText("entries = -1\n"), std::runtime_error);
+  EXPECT_THROW(parseText("seeds = 0\n"), std::runtime_error);
+  EXPECT_THROW(parseText("scale = huge\n"), std::runtime_error);
+  EXPECT_THROW(parseText("name = a\nname = b\n"), std::runtime_error);
+  EXPECT_THROW(parseText("just some text\n"), std::runtime_error);
+}
+
+TEST(SweepSpec, ErrorsNameSourceAndLine) {
+  std::istringstream in("name = ok\nbogus = 1\n");
+  try {
+    (void)SweepSpec::parse(in, "demo.spec");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("demo.spec:2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SweepSpec, ExpandIsWorkloadMajorCrossProduct) {
+  SweepSpec s;
+  s.workloads = {"fft", "tpcc"};
+  s.entries = {0, 512};
+  s.seeds = 2;
+  const std::vector<JobSpec> jobs = s.expand();
+  ASSERT_EQ(jobs.size(), s.jobCount());
+  // workload-major: all fft cells first, then tpcc.
+  EXPECT_EQ(jobs[0].app, "fft");
+  EXPECT_EQ(jobs[0].sdEntries, 0u);
+  EXPECT_EQ(jobs[0].seed, 1u);
+  EXPECT_EQ(jobs[1].seed, 2u);
+  EXPECT_EQ(jobs[2].sdEntries, 512u);
+  EXPECT_EQ(jobs[4].app, "tpcc");
+  EXPECT_EQ(jobs[4].kind, JobKind::Trace);
+  EXPECT_EQ(jobs[0].kind, JobKind::Scientific);
+}
+
+// ------------------------------------------------------- WorkStealingPool --
+
+TEST(WorkStealingPool, RunsEveryJobExactlyOnce) {
+  WorkStealingPool pool(4);
+  constexpr std::size_t kJobs = 500;
+  std::vector<std::atomic<int>> hits(kJobs);
+  pool.forEach(kJobs, [&](std::size_t i, unsigned w) {
+    ASSERT_LT(w, pool.threads());
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkStealingPool, SingleThreadRunsInline) {
+  WorkStealingPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.forEach(3, [&](std::size_t, unsigned w) {
+    EXPECT_EQ(w, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(WorkStealingPool, PropagatesFirstException) {
+  WorkStealingPool pool(4);
+  EXPECT_THROW(pool.forEach(64,
+                            [&](std::size_t i, unsigned) {
+                              if (i == 13) throw std::runtime_error("job 13 failed");
+                            }),
+               std::runtime_error);
+}
+
+// --------------------------------------------- parallel determinism (E2E) --
+
+SweepSpec tinySpec() {
+  SweepSpec s;
+  s.name = "test";
+  s.workloads = {"fft", "tpcc"};
+  s.entries = {0, 512};
+  s.scale = "tiny";
+  s.traceRefs = 20'000;
+  return s;
+}
+
+std::string runSweepJson(unsigned threads) {
+  SweepSpec s = tinySpec();
+  s.overrideScale(s.scale);
+  RunContext ctx;
+  ctx.recorder.setBench("harness_test");
+  (void)runJobs(ctx, s.expand(), threads);
+  SweepJsonOptions jo;
+  jo.specName = s.name;
+  jo.jobs = threads;
+  jo.deterministic = true;
+  return sweepToJson(ctx.recorder, aggregate(ctx.recorder.runs()), jo);
+}
+
+TEST(HarnessDeterminism, SerialAndParallelSweepsAreByteIdentical) {
+  const std::string serial = runSweepJson(1);
+  const std::string parallel = runSweepJson(4);
+  EXPECT_EQ(serial, parallel);
+  // And the document is valid v3 JSON with every run present.
+  const JsonValue v = JsonValue::parse(serial);
+  EXPECT_EQ(v.at("schema").asString(), kSweepSchema);
+  EXPECT_EQ(v.at("runs").asArray().size(), 4u);
+  EXPECT_EQ(v.at("configs").asArray().size(), 4u);
+}
+
+// ------------------------------------------------- recorder merge & sort --
+
+RunRecord rec(const char* app, const char* config, std::uint64_t seed, double execTime) {
+  RunRecord r;
+  r.app = app;
+  r.config = config;
+  r.kind = "scientific";
+  r.seed = seed;
+  r.metric("exec_time", execTime);
+  return r;
+}
+
+TEST(RunRecorderMerge, MergesAndCanonicalizes) {
+  RunRecorder a;
+  a.setBench("merged");
+  a.add(rec("SOR", "sd-512", 0, 10));
+  RunRecorder b;
+  b.add(rec("FFT", "base", 2, 20));
+  b.add(rec("FFT", "base", 1, 30));
+  a.merge(std::move(b));
+  a.sortCanonical();
+  const auto& runs = a.runs();
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].app, "FFT");
+  EXPECT_EQ(runs[0].seed, 1u);  // seeds ordered within a cell
+  EXPECT_EQ(runs[1].seed, 2u);
+  EXPECT_EQ(runs[2].app, "SOR");
+}
+
+// ------------------------------------------------ aggregate & comparison --
+
+TEST(Aggregate, SummarizesReplicas) {
+  std::vector<RunRecord> runs;
+  runs.push_back(rec("FFT", "base", 1, 10));
+  runs.push_back(rec("FFT", "base", 2, 14));
+  runs.push_back(rec("FFT", "sd-512", 1, 6));
+  const std::vector<ConfigAggregate> aggs = aggregate(runs);
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_EQ(aggs[0].replicas, 2u);
+  ASSERT_FALSE(aggs[0].metrics.empty());
+  EXPECT_EQ(aggs[0].metrics[0].first, "exec_time");
+  EXPECT_DOUBLE_EQ(aggs[0].metrics[0].second.mean, 12.0);
+  EXPECT_DOUBLE_EQ(aggs[0].metrics[0].second.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(aggs[0].metrics[0].second.min, 10.0);
+  EXPECT_DOUBLE_EQ(aggs[0].metrics[0].second.max, 14.0);
+  EXPECT_DOUBLE_EQ(aggs[1].metrics[0].second.mean, 6.0);
+}
+
+TEST(Aggregate, CompareMetricsComputesSignedPct) {
+  const std::vector<std::pair<std::string, double>> base = {{"exec_time", 100.0}};
+  const std::vector<std::pair<std::string, double>> cur = {{"exec_time", 110.0},
+                                                           {"new_metric", 1.0}};
+  const std::vector<MetricDelta> deltas = compareMetrics(base, cur);
+  ASSERT_EQ(deltas.size(), 1u);  // only metrics present in both
+  EXPECT_DOUBLE_EQ(deltas[0].pct, 10.0);
+}
+
+// --------------------------------------------------------- baseline gate --
+
+std::vector<ConfigAggregate> oneCell(double execTime, double latency) {
+  std::vector<RunRecord> runs;
+  RunRecord r = rec("FFT", "base", 0, execTime);
+  r.metric("avg_read_latency", latency);
+  r.metric("reads", 1000);  // unwatched: must never gate
+  runs.push_back(std::move(r));
+  return aggregate(runs);
+}
+
+TEST(BaselineGate, PassesWhenUnchanged) {
+  const auto base = oneCell(100, 50);
+  const RegressionReport rep = compareAgainstBaseline(base, oneCell(100, 50), 0.1);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.regressions(), 0u);
+}
+
+TEST(BaselineGate, FlagsWatchedMetricBeyondThreshold) {
+  const auto base = oneCell(100, 50);
+  const RegressionReport rep = compareAgainstBaseline(base, oneCell(110, 50), 5.0);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.regressions(), 1u);
+  bool found = false;
+  for (const RegressionItem& i : rep.items) {
+    if (i.metric == "exec_time" && i.regression) {
+      EXPECT_DOUBLE_EQ(i.pct, 10.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BaselineGate, ImprovementAndSmallDriftPass) {
+  const auto base = oneCell(100, 50);
+  EXPECT_TRUE(compareAgainstBaseline(base, oneCell(90, 50), 5.0).ok());   // faster
+  EXPECT_TRUE(compareAgainstBaseline(base, oneCell(104, 50), 5.0).ok());  // within 5%
+}
+
+TEST(BaselineGate, ReportsMissingConfigs) {
+  std::vector<RunRecord> runs;
+  runs.push_back(rec("FFT", "base", 0, 100));
+  runs.push_back(rec("SOR", "base", 0, 100));
+  const auto base = aggregate(runs);
+  const RegressionReport rep = compareAgainstBaseline(base, oneCell(100, 50), 5.0);
+  ASSERT_EQ(rep.missingInCurrent.size(), 1u);
+  EXPECT_NE(rep.missingInCurrent[0].find("SOR"), std::string::npos);
+  // Reverse direction: current has a config the baseline lacks.
+  const RegressionReport rep2 = compareAgainstBaseline(oneCell(100, 50), base, 5.0);
+  EXPECT_EQ(rep2.missingInBaseline.size(), 1u);
+}
+
+TEST(BaselineGate, LoadsV3AndV2Documents) {
+  // v3 round trip through the real writer.
+  std::vector<RunRecord> runs;
+  runs.push_back(rec("FFT", "base", 0, 100));
+  RunRecorder r;
+  r.setBench("x");
+  r.add(runs[0]);
+  SweepJsonOptions jo;
+  jo.deterministic = true;
+  const std::string v3 = sweepToJson(r, aggregate(r.runs()), jo);
+  const auto fromV3 = loadBaseline(v3);
+  ASSERT_EQ(fromV3.size(), 1u);
+  EXPECT_EQ(fromV3[0].app, "FFT");
+
+  // v2 bench document (runs only, no configs).
+  const std::string v2 = r.toJson();
+  const auto fromV2 = loadBaseline(v2);
+  ASSERT_EQ(fromV2.size(), 1u);
+  EXPECT_EQ(fromV2[0].config, "base");
+
+  EXPECT_THROW((void)loadBaseline("{\"schema\": \"x\"}"), std::runtime_error);
+  EXPECT_THROW((void)loadBaseline("not json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dresar::harness
