@@ -1,10 +1,14 @@
 // Shared helpers for the figure/table reproduction harnesses.
 //
 // The benches are thin wrappers over the harness subsystem (src/harness):
-// every run is a harness::JobSpec executed in isolation, results are folded
-// into the per-process harness::RunContext owned by Options. There is no
-// process-global state; `--jobs=N` runs a bench's sweep on a work-stealing
-// pool with byte-stable output (see harness/run_context.h).
+// every run is a harness::JobSpec executed in isolation — scientific jobs
+// through the sim::Simulation facade (config in, RunMetrics out; see
+// sim/simulation.h) — and results are folded into the per-process
+// harness::RunContext owned by Options. There is no process-global state;
+// `--jobs=N` runs a bench's sweep on a work-stealing pool with byte-stable
+// output (see harness/run_context.h). JSON documents use schema
+// dresar-bench-results/v2, upgraded to v4 when a run injected faults
+// (JobSpec::fault; see sim/run_recorder.h).
 //
 // Every binary accepts:
 //   --paper       run the paper's Table 2 problem sizes / 16M-ref traces

@@ -1,9 +1,11 @@
 #include "coherence/cache_controller.h"
 
 #include <algorithm>
+#include <ostream>
 #include <stdexcept>
 
 #include "common/log.h"
+#include "fault/injector.h"
 
 namespace dresar {
 
@@ -208,6 +210,52 @@ void CacheController::sendRequest(Addr block, Mshr& m) {
   req.requester = node_;
   req.txn = m.txn;
   net_.send(req);
+  if (fault_ != nullptr) {
+    ++m.issueSerial;
+    armRequestTimeout(block, m.issueSerial);
+  }
+}
+
+void CacheController::armRequestTimeout(Addr block, std::uint64_t serial) {
+  eq_.scheduleAfter(fault_->requestTimeoutCycles(), [this, block, serial] {
+    auto it = mshrs_.find(block);
+    if (it == mshrs_.end()) return;  // transaction completed meanwhile
+    Mshr& mshr = it->second;
+    if (!mshr.requestOutstanding || mshr.issueSerial != serial) return;  // stale timer
+    // The request (or its NAK) vanished in the network: reissue. A duplicate
+    // of a request that merely crawled is protocol-safe — the directory
+    // re-grants to the current owner and this controller absorbs the extra
+    // reply/NAK as spurious.
+    mshr.requestOutstanding = false;
+    ++mshr.retries;
+    if (mshr.retries > cfg_.maxRetries) {
+      throw std::runtime_error("CacheController: timeout livelock on block " +
+                               std::to_string(block));
+    }
+    fault_->noteTimeoutReissue();
+    fault_->consumeStranded(node_, block);
+    if (tracer_ != nullptr && mshr.txn != 0) {
+      tracer_->record(mshr.txn, TxnEvent::Reissue, TxnLeg::None, txnAtProc(node_), eq_.now());
+    }
+    sendRequest(block, mshr);
+  });
+}
+
+void CacheController::describeInFlight(std::ostream& os) const {
+  if (quiescent()) return;
+  os << "\n  node " << node_ << ": " << mshrs_.size() << " MSHR(s), write-buffer occupancy "
+     << wbOccupancy_ << ", stalled stores " << stalledStores_.size();
+  std::vector<Addr> blocks;
+  blocks.reserve(mshrs_.size());
+  for (const auto& [block, m] : mshrs_) blocks.push_back(block);
+  std::sort(blocks.begin(), blocks.end());
+  for (const Addr block : blocks) {
+    const Mshr& m = mshrs_.at(block);
+    os << "\n    block 0x" << std::hex << block << std::dec
+       << (m.wantWrite ? " write" : " read")
+       << (m.requestOutstanding ? ", request outstanding" : ", awaiting reissue")
+       << ", retries " << m.retries << ", age " << eq_.now() - m.firstIssue << " cycles";
+  }
 }
 
 void CacheController::drainWrites(DoneCallback done) {
@@ -310,6 +358,11 @@ void CacheController::handleFill(const Message& m) {
     return;
   }
   Mshr& mshr = it->second;
+  // A fill can rescue a dropped issue (e.g. the original request crawled in
+  // after a timeout-reissue was itself dropped); settle the strand here so
+  // the recovery accounting balances even when the MSHR dies with a stale
+  // timer pending.
+  if (fault_ != nullptr) fault_->consumeStranded(node_, m.addr);
   const ReadService service = classifyFill(m);
 
   if (m.type == MsgType::WriteReply) {

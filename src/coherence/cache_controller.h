@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +61,11 @@ class CacheController {
   /// Install the transaction tracer (issue/owner/fill events). May be null.
   void setTracer(TxnTracer* tracer) { tracer_ = tracer; }
 
+  /// Install the fault injector. Non-null arms a per-MSHR request timeout on
+  /// every issue: a request (or its NAK) that vanishes in the network is
+  /// reissued after fault.requestTimeoutCycles, bounded by maxRetries.
+  void setFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
   // ---- Introspection ----------------------------------------------------
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] const CacheArray& l2() const { return l2_; }
@@ -67,6 +73,9 @@ class CacheController {
   [[nodiscard]] bool quiescent() const {
     return mshrs_.empty() && wbOccupancy_ == 0 && stalledStores_.empty();
   }
+  /// Append a human-readable line per in-flight MSHR (block, kind, retries,
+  /// age) plus write-buffer occupancy to `os`. Deadlock diagnostics.
+  void describeInFlight(std::ostream& os) const;
 
  private:
   struct Mshr {
@@ -76,6 +85,9 @@ class CacheController {
     bool fillThenInvalidate = false; ///< an invalidation raced the read fill
     std::uint32_t retries = 0;
     Cycle firstIssue = 0;
+    /// Bumped on every issue; a pending request timeout only fires for the
+    /// issue that armed it (stale timers are no-ops). Fault runs only.
+    std::uint64_t issueSerial = 0;
     std::uint64_t txn = 0;           ///< traced transaction id (0 = untraced)
     struct Reader {
       ReadCallback cb;
@@ -96,6 +108,8 @@ class CacheController {
   [[nodiscard]] Cycle backoffDelay(std::uint32_t attempt) const;
 
   void sendRequest(Addr block, Mshr& m);
+  /// Schedule the fault-mode request timeout for the given issue serial.
+  void armRequestTimeout(Addr block, std::uint64_t serial);
   void startReadMiss(Addr block, ReadCallback done, Cycle start);
   void startWriteMiss(Addr block, DoneCallback retire, bool isRmw);
 
@@ -116,6 +130,7 @@ class CacheController {
   EventQueue& eq_;
   INetwork& net_;
   TxnTracer* tracer_ = nullptr;
+  FaultInjector* fault_ = nullptr;
 
   /// Per-node counters ("cache.<n>.*"), resolved once at construction.
   struct Counters {

@@ -1,5 +1,9 @@
 #include "coherence/dir_controller.h"
 
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
 #include "common/log.h"
 
 namespace dresar {
@@ -85,6 +89,26 @@ bool DirController::quiescent() const {
     if (!e.queue.empty()) return false;
   }
   return true;
+}
+
+void DirController::describeInFlight(std::ostream& os) const {
+  std::vector<std::pair<Addr, const Entry*>> busy;
+  for (const auto& [addr, e] : dir_) {
+    if (e.state == DirState::BusyRead || e.state == DirState::BusyWrite || !e.queue.empty()) {
+      busy.emplace_back(addr, &e);
+    }
+  }
+  if (busy.empty()) return;
+  std::sort(busy.begin(), busy.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  os << "\n  dir " << node_ << ": " << busy.size() << " in-flight transaction(s)";
+  for (const auto& [addr, e] : busy) {
+    os << "\n    block 0x" << std::hex << addr << std::dec << ' ' << toString(e->state)
+       << ", owner " << (e->owner == kInvalidNode ? -1 : static_cast<int>(e->owner))
+       << ", pending requester "
+       << (e->pendingRequester == kInvalidNode ? -1 : static_cast<int>(e->pendingRequester))
+       << ", acks outstanding " << e->pendingAcks << ", queued " << e->queue.size();
+  }
 }
 
 void DirController::onMessage(const Message& m) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <vector>
 #include <string>
 #include <unordered_map>
@@ -56,6 +57,10 @@ class DirController {
   /// Directory state snapshot for invariant checks; nullptr if never touched.
   [[nodiscard]] const Entry* peek(Addr block) const;
   [[nodiscard]] bool quiescent() const;
+  /// Append a human-readable line per in-flight directory transaction (block,
+  /// state, owner, pending requester, acks, queue depth) to `os`. Deadlock
+  /// diagnostics.
+  void describeInFlight(std::ostream& os) const;
 
  private:
   Cycle acquireCtrl();

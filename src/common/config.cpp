@@ -13,37 +13,71 @@ std::uint32_t SystemConfig::lineOffsetBits() const {
   return static_cast<std::uint32_t>(std::countr_zero(lineBytes));
 }
 
-void SystemConfig::validate() const {
-  if (!isPow2(numNodes)) throw std::invalid_argument("numNodes must be a power of two");
-  if (!isPow2(lineBytes)) throw std::invalid_argument("lineBytes must be a power of two");
-  if (!isPow2(pageBytes) || pageBytes < lineBytes)
-    throw std::invalid_argument("pageBytes must be a power of two >= lineBytes");
-  if (l1Bytes % (lineBytes * l1Assoc) != 0)
-    throw std::invalid_argument("L1 size not divisible by assoc*line");
-  if (l2Bytes % (lineBytes * l2Assoc) != 0)
-    throw std::invalid_argument("L2 size not divisible by assoc*line");
-  if (issueWidth == 0) throw std::invalid_argument("issueWidth must be >= 1");
-  if (net.switchRadix < 2 || net.switchRadix % 2 != 0)
-    throw std::invalid_argument("switchRadix must be an even number >= 2");
-  const std::uint32_t half = net.switchRadix / 2;
-  if (numNodes % half != 0)
-    throw std::invalid_argument("numNodes must be a multiple of switchRadix/2");
+std::vector<std::string> SystemConfig::validationErrors() const {
+  std::vector<std::string> errs;
+  const auto require = [&errs](bool ok, const char* why) {
+    if (!ok) errs.emplace_back(why);
+  };
+
+  require(isPow2(numNodes), "numNodes must be a power of two");
+  require(isPow2(lineBytes), "lineBytes must be a power of two");
+  require(isPow2(pageBytes) && pageBytes >= lineBytes,
+          "pageBytes must be a power of two >= lineBytes");
+  require(l1Assoc >= 1, "l1Assoc must be >= 1");
+  require(l2Assoc >= 1, "l2Assoc must be >= 1");
+  if (l1Assoc >= 1 && lineBytes != 0) {
+    // A cache must hold at least one full set; divisibility alone lets
+    // l1Bytes == 0 slip through (0 % n == 0).
+    require(l1Bytes >= lineBytes * l1Assoc, "L1 smaller than one set (lineBytes * l1Assoc)");
+    require(l1Bytes % (lineBytes * l1Assoc) == 0, "L1 size not divisible by assoc*line");
+  }
+  if (l2Assoc >= 1 && lineBytes != 0) {
+    require(l2Bytes >= lineBytes * l2Assoc, "L2 smaller than one set (lineBytes * l2Assoc)");
+    require(l2Bytes % (lineBytes * l2Assoc) == 0, "L2 size not divisible by assoc*line");
+  }
+  require(issueWidth >= 1, "issueWidth must be >= 1");
+  require(net.switchRadix >= 2 && net.switchRadix % 2 == 0,
+          "switchRadix must be an even number >= 2");
+  if (net.switchRadix >= 2 && net.switchRadix % 2 == 0) {
+    const std::uint32_t half = net.switchRadix / 2;
+    require(numNodes % half == 0, "numNodes must be a multiple of switchRadix/2");
+    // A 2-stage butterfly of radix-r switches reaches at most (r/2)^2
+    // endpoints (the Butterfly constructor enforces the same bound).
+    require(numNodes / half <= half, "numNodes exceeds (switchRadix/2)^2, needs more stages");
+  }
   if (switchDir.enabled()) {
-    if (switchDir.associativity == 0 || switchDir.entries % switchDir.associativity != 0)
-      throw std::invalid_argument("switch directory entries must divide by associativity");
+    require(switchDir.associativity != 0 && switchDir.entries % switchDir.associativity == 0,
+            "switch directory entries must divide by associativity");
   }
   if (switchCache.enabled()) {
-    if (switchCache.associativity == 0 ||
-        switchCache.entries % switchCache.associativity != 0)
-      throw std::invalid_argument("switch cache entries must divide by associativity");
+    require(switchCache.associativity != 0 &&
+                switchCache.entries % switchCache.associativity == 0,
+            "switch cache entries must divide by associativity");
   }
-  if (writeBufferEntries == 0) throw std::invalid_argument("writeBufferEntries must be >= 1");
-  if (mshrEntries < 2) throw std::invalid_argument("mshrEntries must be >= 2");
-  if (retryBackoffCycles == 0) throw std::invalid_argument("retryBackoffCycles must be >= 1");
-  if (switchDir.retryBackoffMaxCycles < retryBackoffCycles)
-    throw std::invalid_argument("retryBackoffMaxCycles must be >= retryBackoffCycles");
-  if (txnTrace.enabled && txnTrace.maxEventsPerTxn < 2)
-    throw std::invalid_argument("txnTrace.maxEventsPerTxn must be >= 2");
+  require(writeBufferEntries >= 1, "writeBufferEntries must be >= 1");
+  require(mshrEntries >= 2, "mshrEntries must be >= 2");
+  require(retryBackoffCycles >= 1, "retryBackoffCycles must be >= 1");
+  require(switchDir.retryBackoffMaxCycles >= retryBackoffCycles,
+          "retryBackoffMaxCycles must be >= retryBackoffCycles");
+  if (txnTrace.enabled) {
+    require(txnTrace.maxEventsPerTxn >= 2, "txnTrace.maxEventsPerTxn must be >= 2");
+  }
+  fault.appendValidationErrors(errs);
+  if (fault.linkStall.active() && net.switchRadix >= 2 && net.switchRadix % 2 == 0) {
+    require(fault.linkStall.stage < 2, "fault.linkStall stage out of range (2-stage BMIN)");
+    require(fault.linkStall.index < numNodes / (net.switchRadix / 2),
+            "fault.linkStall port index exceeds switches per stage");
+  }
+  return errs;
+}
+
+void SystemConfig::validate() const {
+  const std::vector<std::string> errs = validationErrors();
+  if (errs.empty()) return;
+  std::string msg =
+      "invalid SystemConfig (" + std::to_string(errs.size()) + " violation(s)):";
+  for (const std::string& e : errs) msg += "\n  - " + e;
+  throw std::invalid_argument(msg);
 }
 
 void SystemConfig::dump(std::ostream& os) const {

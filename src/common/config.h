@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
+#include "fault/fault_plan.h"
 
 namespace dresar {
 
@@ -98,6 +100,9 @@ struct SystemConfig {
   SwitchDirConfig switchDir;
   SwitchCacheConfig switchCache;
   TxnTraceConfig txnTrace;
+  /// Fault-injection campaign; default-constructed = fault-free (see
+  /// fault/fault_plan.h — a disabled plan leaves runs byte-identical).
+  FaultPlan fault;
 
   [[nodiscard]] std::uint32_t lineOffsetBits() const;
   [[nodiscard]] Addr blockOf(Addr a) const { return a & ~static_cast<Addr>(lineBytes - 1); }
@@ -106,8 +111,12 @@ struct SystemConfig {
   }
 
   void dump(std::ostream& os) const;
-  /// Validates invariants (power-of-two sizes, radix vs node count, ...).
-  /// Throws std::invalid_argument on violation.
+  /// Collect a description of every violated invariant (power-of-two sizes,
+  /// line-vs-way geometry, radix vs node count, fault rates in [0,1], ...).
+  /// Empty result = valid configuration.
+  [[nodiscard]] std::vector<std::string> validationErrors() const;
+  /// Throws std::invalid_argument listing ALL violations (one bullet per
+  /// finding), so a misconfiguration is fixed in one round trip.
   void validate() const;
 };
 

@@ -1,0 +1,63 @@
+#include "fault/fault_plan.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace dresar {
+
+namespace {
+
+bool inUnitInterval(double r) { return r >= 0.0 && r <= 1.0; }
+
+std::uint64_t parseField(const std::string& spec, const std::string& field, std::size_t& pos) {
+  while (pos < spec.size() && spec[pos] == ' ') ++pos;
+  std::size_t end = pos;
+  while (end < spec.size() && spec[end] != ',') ++end;
+  std::size_t stop = end;
+  while (stop > pos && spec[stop - 1] == ' ') --stop;
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(spec.data() + pos, spec.data() + stop, v, 10);
+  if (ec != std::errc() || ptr != spec.data() + stop || pos == stop) {
+    throw std::invalid_argument("fault.linkStall: bad " + field + " in '" + spec +
+                                "' (want stage,port,start,len)");
+  }
+  pos = end < spec.size() ? end + 1 : end;
+  return v;
+}
+
+}  // namespace
+
+void FaultPlan::appendValidationErrors(std::vector<std::string>& out) const {
+  if (!inUnitInterval(msgDropRate)) {
+    out.push_back("fault.msgDropRate must be in [0,1], got " + std::to_string(msgDropRate));
+  }
+  if (!inUnitInterval(msgDelayRate)) {
+    out.push_back("fault.msgDelayRate must be in [0,1], got " + std::to_string(msgDelayRate));
+  }
+  if (!inUnitInterval(sdEntryLossRate)) {
+    out.push_back("fault.sdEntryLossRate must be in [0,1], got " +
+                  std::to_string(sdEntryLossRate));
+  }
+  if (msgDelayRate > 0.0 && msgDelayCycles == 0) {
+    out.push_back("fault.msgDelayCycles must be >= 1 when fault.msgDelayRate > 0");
+  }
+  if (enabled() && requestTimeoutCycles == 0) {
+    out.push_back("fault.requestTimeoutCycles must be >= 1 when faults are enabled");
+  }
+}
+
+LinkStallSpec FaultPlan::parseLinkStall(const std::string& spec) {
+  LinkStallSpec s;
+  std::size_t pos = 0;
+  s.stage = static_cast<std::uint32_t>(parseField(spec, "stage", pos));
+  s.index = static_cast<std::uint32_t>(parseField(spec, "port", pos));
+  s.startCycle = parseField(spec, "start", pos);
+  s.lengthCycles = parseField(spec, "len", pos);
+  if (pos < spec.size()) {
+    throw std::invalid_argument("fault.linkStall: trailing garbage in '" + spec +
+                                "' (want stage,port,start,len)");
+  }
+  return s;
+}
+
+}  // namespace dresar

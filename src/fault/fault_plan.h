@@ -1,0 +1,83 @@
+// Declarative description of a fault-injection campaign.
+//
+// DRESAR's correctness story is that switch-directory state is a *hint*:
+// losing an entry, a message, or a link for a while must only cost cycles —
+// the request falls back to the home node's full-map directory and the
+// timeout/NAK/backoff machinery re-drives it — never coherence. A FaultPlan
+// says which adversities to inject and how often; the FaultInjector
+// (fault/injector.h) turns it into seeded, bit-reproducible draws.
+//
+// A default-constructed plan injects nothing and costs nothing: System only
+// builds an injector when enabled() is true, so fault-free runs remain
+// byte-identical to a build without this subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dresar {
+
+/// Freeze one switch's outgoing links for a fixed window of cycles.
+/// Deterministic (no RNG): transfers that would start inside
+/// [startCycle, startCycle + lengthCycles) are pushed past the window.
+struct LinkStallSpec {
+  std::uint32_t stage = 0;   ///< butterfly stage of the stalled switch
+  std::uint32_t index = 0;   ///< switch index within the stage
+  Cycle startCycle = 0;      ///< first stalled cycle
+  Cycle lengthCycles = 0;    ///< window length; 0 = no stall configured
+
+  [[nodiscard]] bool active() const { return lengthCycles > 0; }
+};
+
+struct FaultPlan {
+  /// Probability that an eligible request-leg delivery (ReadRequest /
+  /// WriteRequest at the home, Retry NAK at the requester) is silently
+  /// dropped. Recovery: the requester's per-MSHR request timeout reissues.
+  double msgDropRate = 0.0;
+
+  /// Probability that an eligible delivery (same set as drops) is delayed by
+  /// a uniform draw in [1, msgDelayCycles] extra cycles.
+  double msgDelayRate = 0.0;
+  Cycle msgDelayCycles = 64;
+
+  /// Probability that a switch-directory (or switch-cache) entry which is
+  /// about to serve a request is spontaneously invalidated instead; the
+  /// request passes through to the home's full-map directory.
+  double sdEntryLossRate = 0.0;
+
+  /// Optional deterministic link-stall window on one switch.
+  LinkStallSpec linkStall;
+
+  /// Seeds the injector's dedicated Rng streams (one per fault class), kept
+  /// separate from workload seeds so fault draws never perturb the workload.
+  std::uint64_t seed = 1;
+
+  /// Cycles an MSHR's request may stay outstanding before the cache
+  /// controller reissues it (bounded by SwitchDirConfig::maxRetries). Must
+  /// exceed the worst-case fault-free service time or healthy requests get
+  /// duplicated; the default clears the deepest NAK/backoff chains seen in
+  /// the paper configurations with a wide margin.
+  Cycle requestTimeoutCycles = 8192;
+
+  /// True when the plan injects anything at all. Gates injector construction
+  /// so a zero-rate plan leaves the simulation byte-identical to today.
+  [[nodiscard]] bool enabled() const {
+    return msgDropRate > 0.0 || msgDelayRate > 0.0 || sdEntryLossRate > 0.0 ||
+           linkStall.active();
+  }
+
+  /// Append human-readable descriptions of every violated invariant (rates
+  /// outside [0,1], zero timeout, ...) to `out`. Used by
+  /// SystemConfig::validationErrors() so facade, CLI and sweep-spec
+  /// misconfigurations all fail with the same report format.
+  void appendValidationErrors(std::vector<std::string>& out) const;
+
+  /// Parse "stage,port,start,len" (the sweep-spec / CLI syntax for
+  /// fault.linkStall). Throws std::invalid_argument on malformed input.
+  static LinkStallSpec parseLinkStall(const std::string& spec);
+};
+
+}  // namespace dresar

@@ -1,5 +1,6 @@
 #include "harness/aggregate.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -85,8 +86,12 @@ std::string sweepToJson(const RunRecorder& merged, const std::vector<ConfigAggre
                         const SweepJsonOptions& opts) {
   std::ostringstream os;
   JsonWriter w(os);
+  const std::vector<RunRecord>& allRuns = merged.runs();
+  // Fault-free sweeps stay byte-identical to the historical v3 output.
+  const bool anyFault = std::any_of(allRuns.begin(), allRuns.end(),
+                                    [](const RunRecord& r) { return r.hasFault; });
   w.beginObject();
-  w.field("schema", kSweepSchema);
+  w.field("schema", anyFault ? kSweepSchemaFault : kSweepSchema);
   w.field("bench", "dresar-sweep");
   w.field("spec", opts.specName);
   w.key("options");
@@ -118,6 +123,20 @@ std::string sweepToJson(const RunRecorder& merged, const std::vector<ConfigAggre
     w.beginObject();
     for (const auto& [k, v] : r.metrics) w.field(k, v);
     w.endObject();
+    if (r.hasFault) {
+      w.key("fault");
+      w.beginObject();
+      w.field("injected_drops", r.faultInjectedDrops);
+      w.field("injected_delays", r.faultInjectedDelays);
+      w.field("injected_delay_cycles", r.faultInjectedDelayCycles);
+      w.field("injected_sd_losses", r.faultInjectedSdLosses);
+      w.field("injected_stall_cycles", r.faultInjectedStallCycles);
+      w.field("injected_effective", r.faultInjectedEffective);
+      w.field("timeout_reissues", r.faultTimeoutReissues);
+      w.field("recovered", r.faultRecovered);
+      w.field("fallback_home_lookups", r.faultFallbackHomeLookups);
+      w.endObject();
+    }
     w.endObject();
   }
   w.endArray();

@@ -23,6 +23,11 @@
 //                                     "min": .., "max": .. }, ... } }, ...
 //     ]
 //   }
+//
+// v3 -> v4: a sweep with at least one fault-injection run carries schema
+// "dresar-bench-results/v4" and each such run an extra "fault" object (same
+// shape as the bench-document v4, see sim/run_recorder.h). Fault-free
+// sweeps keep emitting v3 byte-for-byte.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +40,7 @@
 namespace dresar::harness {
 
 inline constexpr const char* kSweepSchema = "dresar-bench-results/v3";
+inline constexpr const char* kSweepSchemaFault = "dresar-bench-results/v4";
 
 struct MetricSummary {
   std::uint64_t count = 0;

@@ -232,6 +232,30 @@ int main(int argc, char** argv) {
     jo.options = {{"scale", spec.scale},
                   {"seeds", std::to_string(spec.seeds)},
                   {"trace_refs", std::to_string(spec.traceRefs)}};
+    if (spec.hasFaultAxes()) {
+      // Only faulted sweeps carry fault options; fault-free documents stay
+      // byte-identical to the pre-fault output.
+      const auto rateList = [](const std::vector<double>& v) {
+        std::string s;
+        for (const double x : v) {
+          if (!s.empty()) s += ',';
+          s += JobSpec::rateTag(x);
+        }
+        return s;
+      };
+      jo.options.emplace_back("fault_drop_rate", rateList(spec.faultDropRate));
+      jo.options.emplace_back("fault_delay_rate", rateList(spec.faultDelayRate));
+      jo.options.emplace_back("fault_sd_loss_rate", rateList(spec.faultSdLossRate));
+      jo.options.emplace_back("fault_seed", std::to_string(spec.faultSeed));
+      if (spec.faultLinkStall.active()) {
+        jo.options.emplace_back(
+            "fault_link_stall",
+            std::to_string(spec.faultLinkStall.stage) + "," +
+                std::to_string(spec.faultLinkStall.index) + "," +
+                std::to_string(spec.faultLinkStall.startCycle) + "," +
+                std::to_string(spec.faultLinkStall.lengthCycles));
+      }
+    }
     jo.jobs = cli.jobs;
     jo.deterministic = cli.deterministic;
     std::ofstream out(cli.jsonPath);

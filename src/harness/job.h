@@ -5,9 +5,11 @@
 
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "common/config.h"
+#include "fault/fault_plan.h"
 #include "workloads/workload.h"
 
 namespace dresar::harness {
@@ -37,6 +39,9 @@ struct JobSpec {
   /// applied on top. Lets ablation benches sweep the remaining knobs
   /// (pending-buffer enable, invalidation snooping, retry backoff).
   SwitchDirConfig sdTemplate{};
+  /// Fault-injection plan (scientific jobs only). Default-constructed plans
+  /// are disabled and leave the run byte-identical to a fault-free one.
+  FaultPlan fault{};
   /// When non-empty, used verbatim as the recorded config tag instead of
   /// the derived one (bench binaries keep their historical tags this way).
   std::string tagOverride;
@@ -50,15 +55,31 @@ struct JobSpec {
   }
 
   /// Short config tag; matches the bench convention ("base", "sd-512") and
-  /// appends -aN / -pbN only when they differ from the defaults, so default
-  /// sweeps serialize exactly as the historical bench output did.
+  /// appends -aN / -pbN / fault-rate suffixes only when they differ from the
+  /// defaults, so default sweeps serialize exactly as the historical bench
+  /// output did. Fault suffixes (-fd / -fy / -fl: drop, delay, sd-loss rate)
+  /// apply to "base" as well — a faulty base run is not the base run.
   [[nodiscard]] std::string configTag() const {
     if (!tagOverride.empty()) return tagOverride;
-    if (sdEntries == 0) return "base";
-    std::string t = "sd-" + std::to_string(sdEntries);
-    if (assoc != 4) t += "-a" + std::to_string(assoc);
-    if (pendingBuffer != 16) t += "-pb" + std::to_string(pendingBuffer);
+    std::string t;
+    if (sdEntries == 0) {
+      t = "base";
+    } else {
+      t = "sd-" + std::to_string(sdEntries);
+      if (assoc != 4) t += "-a" + std::to_string(assoc);
+      if (pendingBuffer != 16) t += "-pb" + std::to_string(pendingBuffer);
+    }
+    if (fault.msgDropRate > 0.0) t += "-fd" + rateTag(fault.msgDropRate);
+    if (fault.msgDelayRate > 0.0) t += "-fy" + rateTag(fault.msgDelayRate);
+    if (fault.sdEntryLossRate > 0.0) t += "-fl" + rateTag(fault.sdEntryLossRate);
     return t;
+  }
+
+  /// Shortest round-trip decimal for a fault rate ("0.02", not "0.020000").
+  [[nodiscard]] static std::string rateTag(double r) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", r);
+    return buf;
   }
 
   /// Canonical identity of the config cell this job belongs to (seed

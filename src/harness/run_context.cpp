@@ -8,7 +8,7 @@
 #include "common/rng.h"
 #include "common/txn_trace.h"
 #include "harness/pool.h"
-#include "sim/system.h"
+#include "sim/simulation.h"
 #include "trace/tpc_gen.h"
 
 namespace dresar::harness {
@@ -61,6 +61,18 @@ RunRecord makeSciRecord(const std::string& app, const std::string& config,
   rec.metric("retries", static_cast<double>(m.retriesObserved));
   rec.metric("backoff_cycles", static_cast<double>(m.backoffCycles));
   rec.metric("dirty_fraction", m.dirtyFraction());
+  if (m.faultEnabled) {
+    rec.hasFault = true;
+    rec.faultInjectedDrops = m.faultInjectedDrops;
+    rec.faultInjectedDelays = m.faultInjectedDelays;
+    rec.faultInjectedDelayCycles = m.faultInjectedDelayCycles;
+    rec.faultInjectedSdLosses = m.faultInjectedSdLosses;
+    rec.faultInjectedStallCycles = m.faultInjectedStallCycles;
+    rec.faultInjectedEffective = m.faultInjectedEffective();
+    rec.faultTimeoutReissues = m.faultTimeoutReissues;
+    rec.faultRecovered = m.faultRecovered;
+    rec.faultFallbackHomeLookups = m.faultFallbackHomeLookups;
+  }
   if (m.traceReadTxns + m.traceWriteTxns > 0) {
     rec.hasTrace = true;
     rec.traceReadTxns = m.traceReadTxns;
@@ -110,25 +122,21 @@ JobResult executeScientific(const JobSpec& job, std::uint32_t chromePid) {
   cfg.switchDir.associativity = job.assoc;
   cfg.switchDir.pendingBufferEntries = job.pendingBuffer;
   cfg.txnTrace.enabled = job.traceTxns;
-  System sys(cfg);
-  auto w = makeWorkload(job.app, job.scale);
+  cfg.fault = job.fault;
+  Simulation sim(cfg);
 
   JobResult res;
   res.job = job;
   const auto t0 = std::chrono::steady_clock::now();
-  res.sci = runWorkload(sys, *w);
+  res.sci = sim.run(job.app, job.scale);
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   res.wallSeconds = dt.count();
   if (job.traceTxns) {
-    std::ostringstream os;
-    bool first = true;
-    TxnTracer::writeChromeProcessName(os, chromePid,
-                                      job.displayApp() + " " + job.configTag(), first);
-    sys.txnTracer().appendChromeEvents(os, chromePid, first);
-    res.traceBody = os.str();
+    res.traceBody =
+        sim.chromeTraceFragment(chromePid, job.displayApp() + " " + job.configTag());
   }
   res.record = makeSciRecord(job.displayApp(), job.configTag(), job.sdEntries,
-                             res.wallSeconds, sys.eq().executed(), res.sci);
+                             res.wallSeconds, sim.system().eq().executed(), res.sci);
   if (job.seed > 1) res.record.seed = job.seed;
   return res;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -53,6 +54,25 @@ std::vector<std::uint32_t> parseU32List(const std::string& source, int line,
     const std::uint64_t x = parseUnsigned(source, line, item, UINT32_MAX);
     if (x == 0 && !allowZero) fail(source, line, "value must be positive: '" + item + "'");
     out.push_back(static_cast<std::uint32_t>(x));
+  }
+  if (out.empty()) fail(source, line, "list must not be empty");
+  return out;
+}
+
+/// Comma-separated probabilities, each in [0, 1].
+std::vector<double> parseRateList(const std::string& source, int line, const std::string& v) {
+  std::vector<double> out;
+  for (const std::string& item : splitList(v)) {
+    if (item.empty()) fail(source, line, "empty rate in list");
+    char* end = nullptr;
+    const double x = std::strtod(item.c_str(), &end);
+    if (end != item.c_str() + item.size()) {
+      fail(source, line, "expected a number, got '" + item + "'");
+    }
+    if (!(x >= 0.0 && x <= 1.0)) {
+      fail(source, line, "rate must be in [0, 1], got '" + item + "'");
+    }
+    out.push_back(x);
   }
   if (out.empty()) fail(source, line, "list must not be empty");
   return out;
@@ -111,11 +131,62 @@ SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
     } else if (key == "trace_refs") {
       spec.traceRefs = parseUnsigned(source, line, value, UINT64_MAX);
       if (spec.traceRefs == 0) fail(source, line, "trace_refs must be positive");
+    } else if (key == "fault_drop_rate") {
+      spec.faultDropRate = parseRateList(source, line, value);
+    } else if (key == "fault_delay_rate") {
+      spec.faultDelayRate = parseRateList(source, line, value);
+    } else if (key == "fault_sd_loss_rate") {
+      spec.faultSdLossRate = parseRateList(source, line, value);
+    } else if (key == "fault_seed") {
+      spec.faultSeed = parseUnsigned(source, line, value, UINT64_MAX);
+      if (spec.faultSeed == 0) fail(source, line, "fault_seed must be positive");
+    } else if (key == "fault_link_stall") {
+      try {
+        spec.faultLinkStall = FaultPlan::parseLinkStall(value);
+      } catch (const std::invalid_argument& e) {
+        fail(source, line, e.what());
+      }
     } else {
       fail(source, line, "unknown key '" + key + "'");
     }
   }
+
+  if (spec.hasFaultAxes()) {
+    // Fault injection runs on the execution-driven System only.
+    for (const std::string& w : spec.workloads) {
+      if (isTraceWorkload(w)) {
+        throw std::runtime_error(source + ": fault axes only apply to execution-driven "
+                                          "workloads; remove '" + w + "' or the fault keys");
+      }
+    }
+    // Probe the worst-case fault combination against the full config
+    // validator so geometry errors (e.g. a link-stall port that does not
+    // exist) surface at parse time, not mid-sweep.
+    SystemConfig probe;
+    probe.fault.msgDropRate = *std::max_element(spec.faultDropRate.begin(),
+                                                spec.faultDropRate.end());
+    probe.fault.msgDelayRate = *std::max_element(spec.faultDelayRate.begin(),
+                                                 spec.faultDelayRate.end());
+    probe.fault.sdEntryLossRate = *std::max_element(spec.faultSdLossRate.begin(),
+                                                    spec.faultSdLossRate.end());
+    probe.fault.linkStall = spec.faultLinkStall;
+    probe.fault.seed = spec.faultSeed;
+    const std::vector<std::string> errs = probe.validationErrors();
+    if (!errs.empty()) {
+      std::string msg = source + ": invalid fault configuration:";
+      for (const std::string& e : errs) msg += "\n  - " + e;
+      throw std::runtime_error(msg);
+    }
+  }
   return spec;
+}
+
+bool SweepSpec::hasFaultAxes() const {
+  const auto anyNonZero = [](const std::vector<double>& v) {
+    return std::any_of(v.begin(), v.end(), [](double x) { return x > 0.0; });
+  };
+  return anyNonZero(faultDropRate) || anyNonZero(faultDelayRate) ||
+         anyNonZero(faultSdLossRate) || faultLinkStall.active();
 }
 
 SweepSpec SweepSpec::parseFile(const std::string& path) {
@@ -147,17 +218,30 @@ std::vector<JobSpec> SweepSpec::expand() const {
     for (const std::uint32_t e : entries) {
       for (const std::uint32_t a : assoc) {
         for (const std::uint32_t pb : pendingBuffer) {
-          for (std::uint64_t s = 1; s <= seeds; ++s) {
-            JobSpec j;
-            j.kind = isTraceWorkload(w) ? JobKind::Trace : JobKind::Scientific;
-            j.app = w;
-            j.sdEntries = e;
-            j.assoc = a;
-            j.pendingBuffer = pb;
-            j.seed = s;
-            j.scale = ws;
-            j.traceRefs = traceRefs;
-            jobs.push_back(std::move(j));
+          for (const double fd : faultDropRate) {
+            for (const double fy : faultDelayRate) {
+              for (const double fl : faultSdLossRate) {
+                for (std::uint64_t s = 1; s <= seeds; ++s) {
+                  JobSpec j;
+                  j.kind = isTraceWorkload(w) ? JobKind::Trace : JobKind::Scientific;
+                  j.app = w;
+                  j.sdEntries = e;
+                  j.assoc = a;
+                  j.pendingBuffer = pb;
+                  j.seed = s;
+                  j.scale = ws;
+                  j.traceRefs = traceRefs;
+                  j.fault.msgDropRate = fd;
+                  j.fault.msgDelayRate = fy;
+                  j.fault.sdEntryLossRate = fl;
+                  j.fault.linkStall = faultLinkStall;
+                  // Replicas of one faulted cell draw independent injector
+                  // streams; replica 1 keeps the spec's base seed.
+                  j.fault.seed = faultSeed + (s - 1);
+                  jobs.push_back(std::move(j));
+                }
+              }
+            }
           }
         }
       }

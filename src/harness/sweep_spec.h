@@ -12,9 +12,18 @@
 //   scale = paper                        # tiny | default | paper
 //   trace_refs = 16000000
 //
+// Fault-injection campaigns (execution-driven workloads only) add:
+//
+//   fault_drop_rate = 0, 0.02            # per-eligible-message drop prob.
+//   fault_delay_rate = 0.02              # per-eligible-message delay prob.
+//   fault_sd_loss_rate = 0.1             # switch-dir entry loss per hit
+//   fault_seed = 7                       # injector RNG base seed
+//   fault_link_stall = 0,1,1000,500      # stage,port,startCycle,lenCycles
+//
 // expand() turns this into workload x entries x assoc x pending_buffer x
-// seed JobSpecs. Unknown keys and malformed values are hard errors with the
-// line number, so a typo'd sweep fails before burning hours of simulation.
+// fault-rate x seed JobSpecs. Unknown keys and malformed values are hard
+// errors with the line number, so a typo'd sweep fails before burning hours
+// of simulation.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +44,17 @@ struct SweepSpec {
   std::uint64_t seeds = 1;                       ///< replicas per config cell
   std::string scale = "default";                 ///< tiny | default | paper
   std::uint64_t traceRefs = 1'000'000;
+  /// Fault axes; {0} / inactive keep the sweep fault-free and byte-identical
+  /// to the pre-fault output. Replica k>1 of a faulted cell runs with
+  /// injector seed faultSeed + (k-1).
+  std::vector<double> faultDropRate = {0.0};
+  std::vector<double> faultDelayRate = {0.0};
+  std::vector<double> faultSdLossRate = {0.0};
+  std::uint64_t faultSeed = 1;
+  LinkStallSpec faultLinkStall{};
+
+  /// True when any fault axis can produce an injecting run.
+  [[nodiscard]] bool hasFaultAxes() const;
 
   /// Parse from a stream / file. Throws std::runtime_error with
   /// "<source>:<line>: ..." context on any malformed or unknown input.
@@ -48,6 +68,7 @@ struct SweepSpec {
   /// Total matrix size without materializing it.
   [[nodiscard]] std::size_t jobCount() const {
     return workloads.size() * entries.size() * assoc.size() * pendingBuffer.size() *
+           faultDropRate.size() * faultDelayRate.size() * faultSdLossRate.size() *
            static_cast<std::size_t>(seeds);
   }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "fault/injector.h"
 
 namespace dresar {
 
@@ -35,6 +36,15 @@ FlitNetwork::FlitNetwork(const NetworkConfig& cfg, std::uint32_t numNodes,
 
 void FlitNetwork::setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) {
   endpoints_.at(vertexOf(ep)).deliver = std::move(handler);
+}
+
+void FlitNetwork::setFaultInjector(FaultInjector* fault) {
+  fault_ = fault;
+  faultStallFlat_ = 0xFFFFFFFFu;
+  if (fault_ != nullptr && fault_->linkStall().active()) {
+    const LinkStallSpec& s = fault_->linkStall();
+    faultStallFlat_ = topo_.flat(SwitchId{s.stage, s.index});
+  }
 }
 
 FlitNetwork::Link& FlitNetwork::link(std::uint32_t from, std::uint32_t to) {
@@ -132,11 +142,25 @@ void FlitNetwork::arrive(std::uint32_t atVertex, std::uint32_t fromVertex, Flit 
 
 void FlitNetwork::deliver(std::uint32_t epVertex, const Flit& f) {
   if (!f.tail()) return;  // wormhole per-VC ordering: tail implies complete
-  latency_.add(static_cast<double>(eq_.now() - f.ms->msg.birth));
   --live_;
+  if (fault_ != nullptr && FaultInjector::eligible(f.ms->msg)) {
+    if (fault_->shouldDrop(f.ms->msg)) {
+      DRESAR_LOG_TRACE("flit: fault drop %s", f.ms->msg.describe().c_str());
+      return;
+    }
+    if (const Cycle d = fault_->deliveryDelay(f.ms->msg); d > 0) {
+      eq_.scheduleAfter(d, [this, epVertex, m = f.ms->msg] { deliverMsg(epVertex, m); });
+      return;
+    }
+  }
+  deliverMsg(epVertex, f.ms->msg);
+}
+
+void FlitNetwork::deliverMsg(std::uint32_t epVertex, const Message& m) {
+  latency_.add(static_cast<double>(eq_.now() - m.birth));
   auto& h = endpoints_.at(epVertex).deliver;
   if (!h) throw std::logic_error("FlitNetwork: no delivery handler");
-  h(f.ms->msg);
+  h(m);
 }
 
 bool FlitNetwork::maybeSnoop(std::uint32_t sv, InputVc& in) {
@@ -171,6 +195,10 @@ bool FlitNetwork::maybeSnoop(std::uint32_t sv, InputVc& in) {
 }
 
 void FlitNetwork::tickSwitch(std::uint32_t sv) {
+  // A stalled switch freezes entirely for the window: no snoops, no grants.
+  // Input buffers fill and credit backpressure propagates upstream, exactly
+  // the transient a misbehaving physical switch would cause.
+  if (sv - 2 * numNodes_ == faultStallFlat_ && fault_->stallTickSkipped(eq_.now())) return;
   SwitchState& s = switches_[sv - 2 * numNodes_];
 
   // Pass 1: drain flits of sunk messages and run pending head snoops; then

@@ -43,6 +43,10 @@ class FlitNetwork final : public INetwork {
   [[nodiscard]] const Butterfly& topology() const override { return topo_; }
   void setSnoop(ISwitchSnoop* snoop) override { snoop_ = snoop; }
   void setTracer(TxnTracer* tracer) override { tracer_ = tracer; }
+  /// Install the fault injector: request-leg drop/delay at delivery; a link
+  /// stall freezes the chosen switch's whole grant pass for the window
+  /// (credits provide the backpressure upstream).
+  void setFaultInjector(FaultInjector* fault) override;
   void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) override;
   void send(Message m) override;
   [[nodiscard]] std::uint64_t messagesSent() const override { return sent_; }
@@ -133,6 +137,8 @@ class FlitNetwork final : public INetwork {
   void transmit(std::uint32_t from, std::uint32_t to, const Flit& f, Cycle extraDelay);
   void arrive(std::uint32_t atVertex, std::uint32_t fromVertex, Flit f);
   void deliver(std::uint32_t epVertex, const Flit& f);
+  /// Hand a completed message to the endpoint (post fault filtering).
+  void deliverMsg(std::uint32_t epVertex, const Message& m);
 
   /// Run the snoop for the head flit of `in`'s front message at switch `sv`
   /// if it has not run there yet. Returns false if the message was sunk.
@@ -149,6 +155,9 @@ class FlitNetwork final : public INetwork {
   SamplerHandle latency_;
   ISwitchSnoop* snoop_ = nullptr;
   TxnTracer* tracer_ = nullptr;
+  FaultInjector* fault_ = nullptr;
+  /// Flat id of the switch the fault plan stalls; UINT32_MAX = none.
+  std::uint32_t faultStallFlat_ = 0xFFFFFFFFu;
 
   std::vector<SwitchState> switches_;   // by flat switch id
   std::vector<EndpointNi> endpoints_;   // by vertex (procs + mems)

@@ -17,6 +17,7 @@
 namespace dresar {
 
 class TxnTracer;
+class FaultInjector;
 
 struct SnoopOutcome {
   bool pass = true;      ///< false => message is sunk at this switch
@@ -43,6 +44,9 @@ class INetwork {
   /// Install the transaction tracer (switch-hop events). May be null; the
   /// default ignores it so test doubles need not care.
   virtual void setTracer(TxnTracer*) {}
+  /// Install the fault injector (message drop/delay, link stalls). May be
+  /// null — fault-free runs never construct one — and the default ignores it.
+  virtual void setFaultInjector(FaultInjector*) {}
   virtual void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) = 0;
   virtual void send(Message m) = 0;
   [[nodiscard]] virtual std::uint64_t messagesSent() const = 0;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "fault/injector.h"
 
 namespace dresar {
 
@@ -59,6 +60,15 @@ void Network::setDeliveryHandler(Endpoint ep, std::function<void(const Message&)
   handlers_.at(vertexOf(ep)) = std::move(handler);
 }
 
+void Network::setFaultInjector(FaultInjector* fault) {
+  fault_ = fault;
+  faultStallVertex_ = UINT32_MAX;
+  if (fault_ != nullptr && fault_->linkStall().active()) {
+    const LinkStallSpec& s = fault_->linkStall();
+    faultStallVertex_ = vertexOf(SwitchId{s.stage, s.index});
+  }
+}
+
 Cycle Network::serializationCycles(const Message& m) const {
   const std::uint32_t bytes = m.sizeBytes(cfg_.headerBytes, lineBytes_);
   const std::uint32_t flits = (bytes + cfg_.flitBytes - 1) / cfg_.flitBytes;
@@ -68,7 +78,8 @@ Cycle Network::serializationCycles(const Message& m) const {
 Cycle Network::traverseLink(std::uint32_t from, std::uint32_t to, Cycle ready, const Message& m) {
   const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
   Cycle& free = linkFree_[key];
-  const Cycle start = std::max(ready, free);
+  Cycle start = std::max(ready, free);
+  if (from == faultStallVertex_) start = fault_->stallAdjustedStart(start);
   const Cycle ser = serializationCycles(m);
   free = start + ser;
   linkBusy_ += ser;
@@ -109,10 +120,17 @@ void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::ui
 
   if (hop.kind == Hop::Kind::Deliver) {
     eq_.scheduleAt(arrive, [this, m = std::move(m), ep = hop.ep] {
-      latency_.add(static_cast<double>(eq_.now() - m.birth));
-      auto& h = handlers_.at(vertexOf(ep));
-      if (!h) throw std::logic_error("Network: no delivery handler for " + toString(ep));
-      h(m);
+      if (fault_ != nullptr && FaultInjector::eligible(m)) {
+        if (fault_->shouldDrop(m)) {
+          DRESAR_LOG_TRACE("net: fault drop %s", m.describe().c_str());
+          return;
+        }
+        if (const Cycle d = fault_->deliveryDelay(m); d > 0) {
+          eq_.scheduleAfter(d, [this, m, ep] { deliverNow(m, ep); });
+          return;
+        }
+      }
+      deliverNow(m, ep);
     });
     return;
   }
@@ -145,6 +163,13 @@ void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::ui
     }
     advance(std::move(m), route, hopIdx + 1, vertexOf(sw), eq_.now() + delay);
   });
+}
+
+void Network::deliverNow(const Message& m, Endpoint ep) {
+  latency_.add(static_cast<double>(eq_.now() - m.birth));
+  auto& h = handlers_.at(vertexOf(ep));
+  if (!h) throw std::logic_error("Network: no delivery handler for " + toString(ep));
+  h(m);
 }
 
 }  // namespace dresar

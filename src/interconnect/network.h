@@ -39,6 +39,10 @@ class Network final : public INetwork {
   /// Install the transaction tracer; records a SwitchHop per traversal.
   void setTracer(TxnTracer* tracer) override { tracer_ = tracer; }
 
+  /// Install the fault injector: request-leg drop/delay at delivery, plus the
+  /// deterministic link-stall window on one switch's outgoing links.
+  void setFaultInjector(FaultInjector* fault) override;
+
   /// Register the receiver for messages delivered to `ep`.
   void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) override;
 
@@ -75,6 +79,9 @@ class Network final : public INetwork {
   /// cycle the last flit lands at `to`.
   Cycle traverseLink(std::uint32_t from, std::uint32_t to, Cycle ready, const Message& m);
 
+  /// Hand `m` to the endpoint's registered handler (post fault filtering).
+  void deliverNow(const Message& m, Endpoint ep);
+
   NetworkConfig cfg_;
   std::uint32_t numNodes_;
   std::uint32_t lineBytes_;
@@ -87,6 +94,10 @@ class Network final : public INetwork {
   SamplerHandle latency_;
   ISwitchSnoop* snoop_ = nullptr;
   TxnTracer* tracer_ = nullptr;
+  FaultInjector* fault_ = nullptr;
+  /// Vertex id of the switch whose outgoing links the fault plan stalls;
+  /// UINT32_MAX when no stall is configured.
+  std::uint32_t faultStallVertex_ = UINT32_MAX;
   /// Scratch buffer for snoop-spawned messages; only live inside one hop's
   /// snoop block (the snoop itself never re-enters advance), so it is safe to
   /// reuse across hops instead of allocating per traversal.

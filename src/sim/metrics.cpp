@@ -60,6 +60,18 @@ RunMetrics RunMetrics::collect(const System& sys, const std::string& workload) {
     m.backoffCycles += st.counterValue("cache." + std::to_string(n) + ".backoff_cycles");
   }
 
+  if (sys.faultInjector() != nullptr) {
+    m.faultEnabled = true;
+    m.faultInjectedDrops = st.counterValue("fault.injected_drops");
+    m.faultInjectedDelays = st.counterValue("fault.injected_delays");
+    m.faultInjectedDelayCycles = st.counterValue("fault.injected_delay_cycles");
+    m.faultInjectedSdLosses = st.counterValue("fault.injected_sd_losses");
+    m.faultInjectedStallCycles = st.counterValue("fault.injected_stall_cycles");
+    m.faultTimeoutReissues = st.counterValue("fault.timeout_reissues");
+    m.faultRecovered = st.counterValue("fault.recovered");
+    m.faultFallbackHomeLookups = st.counterValue("fault.fallback_home_lookups");
+  }
+
   const TxnTracer& tr = sys.txnTracer();
   if (tr.enabled()) {
     const TxnTracer::Totals& rt = tr.readTotals();
@@ -104,6 +116,15 @@ void RunMetrics::merge(const RunMetrics& other) {
   netMessages += other.netMessages;
   retriesObserved += other.retriesObserved;
   backoffCycles += other.backoffCycles;
+  faultEnabled = faultEnabled || other.faultEnabled;
+  faultInjectedDrops += other.faultInjectedDrops;
+  faultInjectedDelays += other.faultInjectedDelays;
+  faultInjectedDelayCycles += other.faultInjectedDelayCycles;
+  faultInjectedSdLosses += other.faultInjectedSdLosses;
+  faultInjectedStallCycles += other.faultInjectedStallCycles;
+  faultTimeoutReissues += other.faultTimeoutReissues;
+  faultRecovered += other.faultRecovered;
+  faultFallbackHomeLookups += other.faultFallbackHomeLookups;
   traceReadTxns += other.traceReadTxns;
   traceWriteTxns += other.traceWriteTxns;
   traceReadEndToEnd += other.traceReadEndToEnd;
@@ -121,7 +142,13 @@ void RunMetrics::print(std::ostream& os) const {
      << " dirty%=" << std::fixed << std::setprecision(1) << dirtyFraction() * 100.0
      << " avgReadLat=" << std::setprecision(2) << avgReadLatency
      << " readStall=" << std::setprecision(0) << totalReadStall << " homeCtoC=" << homeCtoC
-     << " sdCtoC=" << sdCtoCInitiated << " retries=" << retriesObserved << "\n";
+     << " sdCtoC=" << sdCtoCInitiated << " retries=" << retriesObserved;
+  if (faultEnabled) {
+    os << " faultDrops=" << faultInjectedDrops << " faultDelays=" << faultInjectedDelays
+       << " faultSdLosses=" << faultInjectedSdLosses
+       << " faultReissues=" << faultTimeoutReissues << " faultRecovered=" << faultRecovered;
+  }
+  os << "\n";
 }
 
 double reductionPct(double base, double with) {

@@ -48,6 +48,19 @@ struct RunMetrics {
   std::uint64_t retriesObserved = 0;
   std::uint64_t backoffCycles = 0;  ///< cycles NAKed requesters spent backing off
 
+  // Fault injection (filled only when the run injected faults).
+  bool faultEnabled = false;
+  std::uint64_t faultInjectedDrops = 0;
+  std::uint64_t faultInjectedDelays = 0;
+  std::uint64_t faultInjectedDelayCycles = 0;
+  std::uint64_t faultInjectedSdLosses = 0;
+  std::uint64_t faultInjectedStallCycles = 0;
+  std::uint64_t faultTimeoutReissues = 0;
+  std::uint64_t faultRecovered = 0;
+  std::uint64_t faultFallbackHomeLookups = 0;
+  /// Faults that strand a transaction and require recovery (drops).
+  [[nodiscard]] std::uint64_t faultInjectedEffective() const { return faultInjectedDrops; }
+
   // Latency attribution (filled only when the run traced transactions).
   std::uint64_t traceReadTxns = 0;
   std::uint64_t traceWriteTxns = 0;

@@ -28,8 +28,12 @@ void RunRecorder::sortCanonical() {
 std::string RunRecorder::toJson() const {
   std::ostringstream os;
   JsonWriter w(os);
+  // Fault-free documents stay byte-identical to the historical v2 output;
+  // only a run that actually injected faults upgrades the schema.
+  const bool anyFault =
+      std::any_of(runs_.begin(), runs_.end(), [](const RunRecord& r) { return r.hasFault; });
   w.beginObject();
-  w.field("schema", "dresar-bench-results/v2");
+  w.field("schema", anyFault ? "dresar-bench-results/v4" : "dresar-bench-results/v2");
   w.field("bench", bench_);
   w.key("options");
   w.beginObject();
@@ -63,6 +67,20 @@ std::string RunRecorder::toJson() const {
     w.beginObject();
     for (const auto& [k, v] : r.metrics) w.field(k, v);
     w.endObject();
+    if (r.hasFault) {
+      w.key("fault");
+      w.beginObject();
+      w.field("injected_drops", r.faultInjectedDrops);
+      w.field("injected_delays", r.faultInjectedDelays);
+      w.field("injected_delay_cycles", r.faultInjectedDelayCycles);
+      w.field("injected_sd_losses", r.faultInjectedSdLosses);
+      w.field("injected_stall_cycles", r.faultInjectedStallCycles);
+      w.field("injected_effective", r.faultInjectedEffective);
+      w.field("timeout_reissues", r.faultTimeoutReissues);
+      w.field("recovered", r.faultRecovered);
+      w.field("fallback_home_lookups", r.faultFallbackHomeLookups);
+      w.endObject();
+    }
     if (r.hasTrace) {
       const auto emitClass = [&w](const char* name, std::uint64_t txns, double endToEnd,
                                   const std::array<double, kTxnStageCount>& stage) {

@@ -34,6 +34,19 @@
 // transaction tracer's per-stage cycle attribution). v1 consumers that
 // ignore unknown keys keep working; the schema string changed because the
 // version is the documented compatibility contract.
+//
+// v2 -> v4: documents with at least one fault-injection run carry schema
+// "dresar-bench-results/v4" and each such run an extra "fault" object:
+//   "fault": {
+//     "injected_drops": <uint>, "injected_delays": <uint>,
+//     "injected_delay_cycles": <uint>, "injected_sd_losses": <uint>,
+//     "injected_stall_cycles": <uint>, "injected_effective": <uint>,
+//     "timeout_reissues": <uint>, "recovered": <uint>,
+//     "fallback_home_lookups": <uint>
+//   }
+// Fault-free documents keep emitting v2 byte-for-byte (v3 is the sweep
+// aggregate schema, see harness/aggregate.h — the version numbers are shared
+// across both document families so "fault" means >= v4 everywhere).
 #pragma once
 
 #include <array>
@@ -55,6 +68,19 @@ struct RunRecord {
   double wallSeconds = 0.0;
   std::uint64_t events = 0;  ///< executed events (scientific) / refs (trace)
   std::vector<std::pair<std::string, double>> metrics;
+
+  /// Fault-injection counters (only serialized when hasFault is set; any
+  /// faulted run upgrades the document schema to v4).
+  bool hasFault = false;
+  std::uint64_t faultInjectedDrops = 0;
+  std::uint64_t faultInjectedDelays = 0;
+  std::uint64_t faultInjectedDelayCycles = 0;
+  std::uint64_t faultInjectedSdLosses = 0;
+  std::uint64_t faultInjectedStallCycles = 0;
+  std::uint64_t faultInjectedEffective = 0;
+  std::uint64_t faultTimeoutReissues = 0;
+  std::uint64_t faultRecovered = 0;
+  std::uint64_t faultFallbackHomeLookups = 0;
 
   /// Latency attribution (only serialized when hasTrace is set).
   bool hasTrace = false;

@@ -1,5 +1,6 @@
 #include "sim/system.h"
 
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -34,6 +35,15 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
     net_->setTracer(tracer);
     dresar_->setTracer(tracer);
   }
+  // Same conditional-construction pattern as the tracer: the injector
+  // registers fault.* counters, so building one only when a fault is
+  // configured keeps fault-free stats output byte-identical.
+  if (cfg_.fault.enabled()) {
+    fault_ = std::make_unique<FaultInjector>(cfg_.fault, stats_);
+    net_->setFaultInjector(fault_.get());
+    dresar_->setFaultInjector(fault_.get());
+    scache_->setFaultInjector(fault_.get());
+  }
   mem_ = std::make_unique<AddressSpace>(cfg_);
 
   caches_.reserve(cfg_.numNodes);
@@ -46,6 +56,7 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
       caches_.back()->setTracer(tracer);
       dirs_.back()->setTracer(tracer);
     }
+    if (fault_ != nullptr) caches_.back()->setFaultInjector(fault_.get());
     ctxs_.push_back(std::make_unique<ThreadContext>(n, cfg_, eq_, *caches_.back()));
     net_->setDeliveryHandler(procEp(n),
                              [c = caches_.back().get()](const Message& m) { c->onMessage(m); });
@@ -62,16 +73,39 @@ Cycle System::run(Cycle limit) {
   for (auto& t : tasks_) t.rethrowIfFailed();
   if (!drained) {
     throw std::runtime_error("System::run: cycle limit " + std::to_string(limit) +
-                             " exceeded with events pending (livelock?)");
+                             " exceeded with events pending (livelock?)" + inFlightReport());
   }
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     if (!tasks_[i].done()) {
       throw std::runtime_error("System::run: deadlock — task " + std::to_string(i) +
                                " suspended with no pending events at cycle " +
-                               std::to_string(eq_.now()));
+                               std::to_string(eq_.now()) + inFlightReport());
     }
   }
   return eq_.now();
+}
+
+std::string System::inFlightReport() const {
+  std::ostringstream os;
+  std::size_t suspended = 0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!tasks_[i].done()) ++suspended;
+  }
+  os << "\nin-flight state: " << suspended << " task(s) suspended";
+  if (suspended > 0) {
+    os << " (";
+    bool first = true;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i].done()) continue;
+      if (!first) os << ", ";
+      os << i;
+      first = false;
+    }
+    os << ")";
+  }
+  for (const auto& c : caches_) c->describeInFlight(os);
+  for (const auto& d : dirs_) d->describeInFlight(os);
+  return os.str();
 }
 
 bool System::quiescent() const {

@@ -15,6 +15,7 @@
 #include "coherence/dir_controller.h"
 #include "cpu/context.h"
 #include "cpu/task.h"
+#include "fault/injector.h"
 #include "interconnect/flit_network.h"
 #include "interconnect/network.h"
 #include "sim/address_space.h"
@@ -44,6 +45,10 @@ class System {
   /// Transaction tracer; records only when cfg.txnTrace.enabled.
   [[nodiscard]] TxnTracer& txnTracer() { return *tracer_; }
   [[nodiscard]] const TxnTracer& txnTracer() const { return *tracer_; }
+  /// Fault injector; nullptr unless cfg.fault.enabled() (fault-free runs
+  /// never construct one, keeping their stats output byte-identical).
+  [[nodiscard]] FaultInjector* faultInjector() { return fault_.get(); }
+  [[nodiscard]] const FaultInjector* faultInjector() const { return fault_.get(); }
 
   [[nodiscard]] CacheController& cache(NodeId n) { return *caches_.at(n); }
   [[nodiscard]] const CacheController& cache(NodeId n) const { return *caches_.at(n); }
@@ -65,10 +70,15 @@ class System {
   [[nodiscard]] bool quiescent() const;
 
  private:
+  /// In-flight state dump (suspended tasks, live MSHRs, busy directory
+  /// entries) appended to livelock/deadlock exception messages.
+  [[nodiscard]] std::string inFlightReport() const;
+
   SystemConfig cfg_;
   EventQueue eq_;
   StatRegistry stats_;
   std::unique_ptr<TxnTracer> tracer_;
+  std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<INetwork> net_;
   std::unique_ptr<DresarManager> dresar_;
   std::unique_ptr<SwitchCacheManager> scache_;

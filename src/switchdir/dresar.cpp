@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "fault/injector.h"
 
 namespace dresar {
 
@@ -96,6 +97,14 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       SDEntry* e = u.cache.find(m.addr);
       if (e == nullptr) return {true, delay};
       if (e->state == SDState::Modified) {
+        if (fault_ != nullptr && fault_->loseSdEntry()) {
+          // Injected entry loss on a would-be hit: the paper's hint property
+          // says this may only cost the trip to the home's full-map
+          // directory, never correctness. TRANSIENT entries are never lost —
+          // they track an in-flight transfer, not a hint.
+          clearEntry(u, *e);
+          return {true, delay};
+        }
         if (e->owner == m.requester) {
           // Stale entry: the "owner" itself is asking again (it lost the
           // line since). Drop the entry and let the home service the read.

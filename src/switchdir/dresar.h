@@ -50,6 +50,10 @@ class DresarManager : public ISwitchSnoop {
   /// Install the transaction tracer (snoop-outcome events). May be null.
   void setTracer(TxnTracer* tracer) { tracer_ = tracer; }
 
+  /// Install the fault injector (spontaneous entry loss on would-be hits).
+  /// May be null — fault-free runs never construct one.
+  void setFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
   [[nodiscard]] const SwitchDirCache& cacheAt(SwitchId sw) const;
   [[nodiscard]] bool enabled() const { return cfg_.enabled(); }
 
@@ -100,6 +104,7 @@ class DresarManager : public ISwitchSnoop {
   std::uint32_t lineBytes_;
   std::uint32_t numNodes_;
   TxnTracer* tracer_ = nullptr;
+  FaultInjector* fault_ = nullptr;
   std::vector<Unit> units_;
 
   std::uint64_t ctocInitiated_ = 0;

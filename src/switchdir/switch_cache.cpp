@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "fault/injector.h"
+
 namespace dresar {
 
 SwitchCacheManager::SwitchCacheManager(const SwitchCacheConfig& cfg, const Butterfly& topo,
@@ -43,6 +45,14 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
       const Cycle delay = u.ports.reserve(now);
       SDEntry* e = u.tags.find(m.addr);
       if (e == nullptr) return {true, delay};
+      if (fault_ != nullptr && fault_->loseSdEntry()) {
+        // Injected entry loss on a would-be serve: the request falls back to
+        // the home, costing one trip but never coherence.
+        u.tags.invalidate(*e);
+        ++invalidates_;
+        ++u.invalidates;
+        return {true, delay};
+      }
       // Serve the read right here and tell the home about the new sharer.
       Message reply;
       reply.type = MsgType::ReadReply;

@@ -35,6 +35,10 @@ class SwitchCacheManager : public ISwitchSnoop {
   SnoopOutcome onMessage(SwitchId sw, Cycle now, Message& m,
                          std::vector<Message>& spawn) override;
 
+  /// Install the fault injector (spontaneous entry loss on would-be serves).
+  /// May be null — fault-free runs never construct one.
+  void setFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
   [[nodiscard]] bool enabled() const { return cfg_.enabled(); }
   [[nodiscard]] std::uint64_t deposits() const { return deposits_; }
   [[nodiscard]] std::uint64_t serves() const { return serves_; }
@@ -54,6 +58,7 @@ class SwitchCacheManager : public ISwitchSnoop {
 
   SwitchCacheConfig cfg_;
   const Butterfly& topo_;
+  FaultInjector* fault_ = nullptr;
   std::vector<Unit> units_;
   std::uint64_t deposits_ = 0;
   std::uint64_t serves_ = 0;

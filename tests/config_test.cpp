@@ -58,6 +58,60 @@ TEST(SystemConfig, ValidationCatchesBadGeometry) {
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
+TEST(SystemConfig, ValidationErrorsCollectsEveryViolation) {
+  SystemConfig c;
+  c.lineBytes = 48;          // not a power of two
+  c.writeBufferEntries = 0;  // independent violation
+  c.mshrEntries = 1;         // and a third
+  const std::vector<std::string> errs = c.validationErrors();
+  EXPECT_GE(errs.size(), 3u);
+  // validate() reports them all in one exception, not just the first.
+  try {
+    c.validate();
+    FAIL() << "validate() must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lineBytes"), std::string::npos) << what;
+    EXPECT_NE(what.find("writeBufferEntries"), std::string::npos) << what;
+    EXPECT_NE(what.find("mshrEntries"), std::string::npos) << what;
+  }
+}
+
+TEST(SystemConfig, ValidationCatchesRadixCapacity) {
+  SystemConfig c;
+  c.numNodes = 64;          // needs (radix/2)^2 >= 64
+  c.net.switchRadix = 8;    // only reaches 16
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SystemConfig, ValidationCatchesCacheSmallerThanOneSet) {
+  SystemConfig c;
+  c.l1Bytes = 0;  // divisible by anything, but holds no set
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = SystemConfig{};
+  c.l2Bytes = c.lineBytes;  // one line, but assoc 4 needs 4
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SystemConfig, ValidationCatchesBadFaultRates) {
+  SystemConfig c;
+  c.fault.msgDropRate = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = SystemConfig{};
+  c.fault.sdEntryLossRate = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = SystemConfig{};
+  c.fault.msgDelayRate = 0.1;
+  c.fault.msgDelayCycles = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = SystemConfig{};
+  c.fault.linkStall = {5, 0, 0, 100};  // stage out of range
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = SystemConfig{};
+  c.fault.msgDropRate = 0.02;  // a sane plan passes
+  EXPECT_NO_THROW(c.validate());
+}
+
 TEST(SystemConfig, DisabledSwitchDirIsBaseSystem) {
   SystemConfig c;
   c.switchDir.entries = 0;

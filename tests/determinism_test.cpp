@@ -8,23 +8,24 @@
 #include <string>
 
 #include "sim/metrics.h"
-#include "sim/system.h"
+#include "sim/simulation.h"
 #include "trace/tpc_gen.h"
 #include "trace/trace_sim.h"
-#include "workloads/workload.h"
 
 namespace dresar {
 namespace {
 
-std::string scientificStatsDump(const std::string& app, std::uint32_t sdEntries) {
+std::string scientificStatsDump(const std::string& app, std::uint32_t sdEntries,
+                                const FaultPlan& fault = {}) {
   SystemConfig cfg;
   cfg.switchDir.entries = sdEntries;
-  System sys(cfg);
-  auto w = makeWorkload(app, WorkloadScale::tiny());
-  (void)runWorkload(sys, *w);
+  cfg.fault = fault;
+  Simulation sim(cfg);
+  (void)sim.run(app, WorkloadScale::tiny());
   std::ostringstream os;
-  sys.stats().dump(os);
-  os << "exec_time=" << sys.eq().now() << " events=" << sys.eq().executed();
+  sim.system().stats().dump(os);
+  os << "exec_time=" << sim.system().eq().now()
+     << " events=" << sim.system().eq().executed();
   return os.str();
 }
 
@@ -37,6 +38,38 @@ TEST(Determinism, ScientificRunsAreReproducible) {
       EXPECT_FALSE(first.empty());
     }
   }
+}
+
+TEST(Determinism, ZeroFaultRatesAreByteIdenticalToFaultFree) {
+  // A FaultPlan with every rate zero is disabled: no injector is built, no
+  // fault.* counters registered, and the whole run — stats dump included —
+  // must match a run with no plan at all byte for byte.
+  FaultPlan zero;
+  zero.seed = 99;  // a seed alone must not enable anything
+  const std::string without = scientificStatsDump("sor", 512);
+  const std::string with = scientificStatsDump("sor", 512, zero);
+  EXPECT_EQ(without, with);
+}
+
+TEST(Determinism, FaultCampaignsAreReproducible) {
+  FaultPlan plan;
+  plan.msgDropRate = 0.01;
+  plan.msgDelayRate = 0.02;
+  plan.sdEntryLossRate = 0.05;
+  plan.seed = 7;
+  const std::string first = scientificStatsDump("sor", 512, plan);
+  const std::string second = scientificStatsDump("sor", 512, plan);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Determinism, FaultCampaignDiffersFromFaultFreeRun) {
+  FaultPlan plan;
+  plan.msgDropRate = 0.02;
+  plan.seed = 7;
+  const std::string faultFree = scientificStatsDump("sor", 512);
+  const std::string faulted = scientificStatsDump("sor", 512, plan);
+  EXPECT_NE(faultFree, faulted) << "injection at a 2% drop rate must perturb the run";
 }
 
 std::string traceStatsDump(bool tpcd, std::uint32_t sdEntries) {

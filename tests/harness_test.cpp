@@ -35,6 +35,16 @@ TEST(JobSpec, ConfigTagsMatchBenchConvention) {
   EXPECT_EQ(j.configTag(), "custom");
 }
 
+TEST(JobSpec, FaultSuffixesApplyToBaseAndSwitchDirTags) {
+  JobSpec j;
+  j.fault.msgDropRate = 0.02;
+  EXPECT_EQ(j.configTag(), "base-fd0.02");
+  j.sdEntries = 512;
+  j.fault.msgDelayRate = 0.1;
+  j.fault.sdEntryLossRate = 0.5;
+  EXPECT_EQ(j.configTag(), "sd-512-fd0.02-fy0.1-fl0.5");
+}
+
 TEST(JobSpec, DisplayApp) {
   JobSpec j;
   j.app = "fft";
@@ -111,6 +121,63 @@ TEST(SweepSpec, ExpandIsWorkloadMajorCrossProduct) {
   EXPECT_EQ(jobs[4].app, "tpcc");
   EXPECT_EQ(jobs[4].kind, JobKind::Trace);
   EXPECT_EQ(jobs[0].kind, JobKind::Scientific);
+}
+
+TEST(SweepSpec, ParsesFaultAxes) {
+  std::istringstream in(
+      "workloads = sor, fft\n"
+      "entries = 0, 512\n"
+      "fault_drop_rate = 0, 0.02\n"
+      "fault_delay_rate = 0.1\n"
+      "fault_sd_loss_rate = 0.5\n"
+      "fault_seed = 7\n"
+      "fault_link_stall = 0,1,1000,500\n");
+  const SweepSpec s = SweepSpec::parse(in, "fault.spec");
+  EXPECT_TRUE(s.hasFaultAxes());
+  EXPECT_EQ(s.faultDropRate, (std::vector<double>{0.0, 0.02}));
+  EXPECT_EQ(s.faultDelayRate, (std::vector<double>{0.1}));
+  EXPECT_EQ(s.faultSdLossRate, (std::vector<double>{0.5}));
+  EXPECT_EQ(s.faultSeed, 7u);
+  EXPECT_EQ(s.faultLinkStall.index, 1u);
+  EXPECT_EQ(s.faultLinkStall.lengthCycles, 500u);
+  EXPECT_EQ(s.jobCount(), 2u * 2u * 2u);  // workloads x entries x drop rates
+}
+
+TEST(SweepSpec, FaultAxesRejectTraceWorkloadsAndBadRates) {
+  const auto parseText = [](const std::string& text) {
+    std::istringstream in(text);
+    return SweepSpec::parse(in, "bad.spec");
+  };
+  // Default workload list includes tpcc/tpcd — incompatible with faults.
+  EXPECT_THROW(parseText("fault_drop_rate = 0.02\n"), std::runtime_error);
+  EXPECT_THROW(parseText("workloads = sor, tpcc\nfault_drop_rate = 0.02\n"),
+               std::runtime_error);
+  EXPECT_THROW(parseText("workloads = sor\nfault_drop_rate = 1.5\n"), std::runtime_error);
+  EXPECT_THROW(parseText("workloads = sor\nfault_drop_rate = nope\n"), std::runtime_error);
+  EXPECT_THROW(parseText("workloads = sor\nfault_link_stall = 1,2,3\n"), std::runtime_error);
+  // Geometry probe: stall port index beyond the stage's switch count.
+  EXPECT_THROW(parseText("workloads = sor\nfault_link_stall = 0,99,0,100\n"),
+               std::runtime_error);
+  // All-zero axes stay fault-free and compatible with trace workloads.
+  EXPECT_NO_THROW(parseText("fault_drop_rate = 0\n"));
+}
+
+TEST(SweepSpec, ExpandThreadsFaultPlanAndDerivesReplicaSeeds) {
+  SweepSpec s;
+  s.workloads = {"sor"};
+  s.entries = {512};
+  s.faultDropRate = {0.0, 0.02};
+  s.faultSeed = 7;
+  s.seeds = 2;
+  const std::vector<JobSpec> jobs = s.expand();
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].fault.msgDropRate, 0.0);
+  EXPECT_FALSE(jobs[0].fault.enabled());
+  EXPECT_EQ(jobs[2].fault.msgDropRate, 0.02);
+  EXPECT_TRUE(jobs[2].fault.enabled());
+  EXPECT_EQ(jobs[2].fault.seed, 7u);   // replica 1 keeps the base seed
+  EXPECT_EQ(jobs[3].fault.seed, 8u);   // replica 2 draws an independent stream
+  EXPECT_EQ(jobs[2].configTag(), "sd-512-fd0.02");
 }
 
 // ------------------------------------------------------- WorkStealingPool --

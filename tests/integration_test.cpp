@@ -4,8 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/metrics.h"
-#include "sim/system.h"
-#include "workloads/workload.h"
+#include "sim/simulation.h"
 
 namespace dresar {
 namespace {
@@ -44,12 +43,11 @@ class WorkloadIntegration : public ::testing::TestWithParam<std::tuple<std::stri
 
 TEST_P(WorkloadIntegration, RunsVerifiesAndHoldsInvariants) {
   const auto& [name, sd] = GetParam();
-  System sys(baseConfig(sd));
-  auto w = makeWorkload(name, WorkloadScale::tiny());
-  const RunMetrics m = runWorkload(sys, *w);
+  Simulation sim(baseConfig(sd));
+  const RunMetrics m = sim.run(name, WorkloadScale::tiny());
   EXPECT_GT(m.execTime, 0u);
   EXPECT_GT(m.reads, 0u);
-  checkInvariants(sys);
+  checkInvariants(sim.system());
   if (sd) {
     // Switch directories must actually capture ownership information.
     EXPECT_GT(m.sdDeposits, 0u);
@@ -70,14 +68,12 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Integration, SwitchDirReducesHomeCtoC) {
   RunMetrics base, with;
   {
-    System sys(baseConfig(false));
-    auto w = makeWorkload("sor", WorkloadScale::tiny());
-    base = runWorkload(sys, *w);
+    Simulation sim(baseConfig(false));
+    base = sim.run("sor", WorkloadScale::tiny());
   }
   {
-    System sys(baseConfig(true));
-    auto w = makeWorkload("sor", WorkloadScale::tiny());
-    with = runWorkload(sys, *w);
+    Simulation sim(baseConfig(true));
+    with = sim.run("sor", WorkloadScale::tiny());
   }
   EXPECT_GT(base.homeCtoC, 0u);
   EXPECT_LT(with.homeCtoC, base.homeCtoC) << "switch directories must offload the home node";
@@ -87,11 +83,9 @@ TEST(Integration, SwitchDirReducesHomeCtoC) {
 TEST(Integration, BaseAndSwitchDirComputeSameResults) {
   // Verification inside runWorkload already checks numerics; this asserts
   // the workload is deterministic across configurations.
-  System a(baseConfig(false)), b(baseConfig(true));
-  auto wa = makeWorkload("fwa", WorkloadScale::tiny());
-  auto wb = makeWorkload("fwa", WorkloadScale::tiny());
-  const RunMetrics ma = runWorkload(a, *wa);
-  const RunMetrics mb = runWorkload(b, *wb);
+  Simulation a(baseConfig(false)), b(baseConfig(true));
+  const RunMetrics ma = a.run("fwa", WorkloadScale::tiny());
+  const RunMetrics mb = b.run("fwa", WorkloadScale::tiny());
   EXPECT_GT(ma.reads, 0u);
   EXPECT_GT(mb.reads, 0u);
 }
@@ -99,11 +93,9 @@ TEST(Integration, BaseAndSwitchDirComputeSameResults) {
 TEST(Integration, ExecutionTimeImprovesOrHolds) {
   // The paper reports up to ~9% execution-time reduction; at minimum the
   // switch-directory system must not be pathologically slower.
-  System a(baseConfig(false)), b(baseConfig(true));
-  auto wa = makeWorkload("sor", WorkloadScale::tiny());
-  auto wb = makeWorkload("sor", WorkloadScale::tiny());
-  const RunMetrics ma = runWorkload(a, *wa);
-  const RunMetrics mb = runWorkload(b, *wb);
+  Simulation a(baseConfig(false)), b(baseConfig(true));
+  const RunMetrics ma = a.run("sor", WorkloadScale::tiny());
+  const RunMetrics mb = b.run("sor", WorkloadScale::tiny());
   EXPECT_LT(static_cast<double>(mb.execTime), static_cast<double>(ma.execTime) * 1.05);
 }
 

@@ -5,8 +5,7 @@
 
 #include "cpu/sync.h"
 #include "sim/metrics.h"
-#include "sim/system.h"
-#include "workloads/workload.h"
+#include "sim/simulation.h"
 
 namespace dresar {
 namespace {
@@ -49,9 +48,8 @@ TEST(SmallSystem, FourNodeProtocolWorks) {
 
 TEST(SmallSystem, WorkloadsRunAtFourNodes) {
   for (const std::uint32_t sd : {0u, 256u}) {
-    System sys(smallConfig(sd));
-    auto w = makeWorkload("sor", WorkloadScale::tiny());
-    const RunMetrics m = runWorkload(sys, *w);
+    Simulation sim(smallConfig(sd));
+    const RunMetrics m = sim.run("sor", WorkloadScale::tiny());
     EXPECT_GT(m.reads, 0u);
   }
 }
@@ -61,11 +59,10 @@ TEST(SmallSystem, EightNodeGeometry) {
   cfg.numNodes = 8;
   cfg.net.switchRadix = 8;
   cfg.switchDir.entries = 512;
-  System sys(cfg);
-  auto w = makeWorkload("tc", WorkloadScale::tiny());
-  const RunMetrics m = runWorkload(sys, *w);
+  Simulation sim(cfg);
+  const RunMetrics m = sim.run("tc", WorkloadScale::tiny());
   EXPECT_GT(m.reads, 0u);
-  EXPECT_TRUE(sys.quiescent());
+  EXPECT_TRUE(sim.system().quiescent());
 }
 
 TEST(SmallSystem, RejectsImpossibleGeometry) {
