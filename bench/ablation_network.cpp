@@ -18,7 +18,7 @@ namespace {
 RunMetrics runWithNet(const Options& o, const char* app, const WorkloadScale& scale,
                       std::uint32_t coreDelay, std::uint32_t linkCycles,
                       std::uint32_t sdEntries) {
-  SystemConfig cfg;
+  SystemConfig cfg = SystemConfig::paperTable2();
   cfg.switchDir.entries = sdEntries;
   cfg.net.coreDelay = coreDelay;
   cfg.net.linkCyclesPerFlit = linkCycles;

@@ -14,7 +14,7 @@ namespace {
 RunMetrics runCombo(const Options& o, const char* app, const char* tag,
                     const WorkloadScale& scale, std::uint32_t dirEntries,
                     std::uint32_t cacheEntries) {
-  SystemConfig cfg;
+  SystemConfig cfg = SystemConfig::paperTable2();
   cfg.switchDir.entries = dirEntries;
   cfg.switchCache.entries = cacheEntries;
   System sys(cfg);

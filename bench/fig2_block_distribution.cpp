@@ -14,7 +14,7 @@ using namespace dresar::bench;
 
 int main(int argc, char** argv) {
   const Options o = Options::parse(argc, argv);
-  TraceConfig cfg;
+  TraceConfig cfg = TraceConfig::paperTable3();
   cfg.switchDir.entries = 0;
   TraceSimulator sim(cfg);
   sim.enableBlockStats();

@@ -78,7 +78,7 @@ void BM_TpcGenerator(benchmark::State& state) {
 BENCHMARK(BM_TpcGenerator);
 
 void BM_TraceSimAccess(benchmark::State& state) {
-  TraceConfig cfg;
+  TraceConfig cfg = TraceConfig::paperTable3();
   cfg.switchDir.entries = static_cast<std::uint32_t>(state.range(0));
   TraceSimulator sim(cfg);
   TpcGenerator gen(TpcParams::tpcc(1ull << 40));

@@ -1,0 +1,75 @@
+// Scaling study: how much of the cache-to-cache read latency do switch
+// directories recover as the machine grows? Sweeps the nodes axis
+// (16/32/64/128, BMIN depth derived per size) for the scientific kernels,
+// Base vs 1K-entry switch directories, and reports the reduction in the
+// average c2c read latency and in the overall average read latency per
+// system size. The paper's argument (Section 5) is that the win grows with
+// distance to the home node, i.e. with network depth.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dresar;
+using namespace dresar::bench;
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+  static const std::vector<std::uint32_t> kNodes = {16, 32, 64, 128};
+  static const char* kApps[] = {"sor", "fft", "tc"};
+  const std::uint32_t sd = 1024;
+  {
+    std::string list;
+    for (const auto n : kNodes) {
+      if (!list.empty()) list += ',';
+      list += std::to_string(n);
+    }
+    o.ctx.recorder.setOption("nodes", list);
+  }
+
+  std::vector<harness::JobSpec> jobs;
+  for (const char* app : kApps) {
+    for (const std::uint32_t n : kNodes) {
+      for (const std::uint32_t e : {0u, sd}) {
+        harness::JobSpec j = sciJob(o, app, e);
+        j.numNodes = n;
+        jobs.push_back(j);
+      }
+    }
+  }
+  const std::vector<harness::JobResult> results = harness::runJobs(o.ctx, jobs, o.jobs);
+
+  const auto c2cLat = [](const RunMetrics& m) {
+    return m.ctocServiced() == 0 ? 0.0
+                                 : m.totalReadLatCtoC / static_cast<double>(m.ctocServiced());
+  };
+
+  std::printf("Scaling: C2C Read-Latency Reduction vs. System Size (Base -> sd-%u)\n", sd);
+  std::printf("  %-8s", "app");
+  for (const auto n : kNodes) std::printf(" %11s", ("n=" + std::to_string(n)).c_str());
+  std::printf("\n");
+  std::size_t idx = 0;
+  for (const char* app : kApps) {
+    std::printf("  %-8s", app);
+    for (std::size_t k = 0; k < kNodes.size(); ++k) {
+      const RunMetrics& base = results[idx].sci;
+      const RunMetrics& with = results[idx + 1].sci;
+      idx += 2;
+      std::printf(" %10.1f%%", reductionPct(c2cLat(base), c2cLat(with)));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n  overall average read latency, same runs:\n");
+  idx = 0;
+  for (const char* app : kApps) {
+    std::printf("  %-8s", app);
+    for (std::size_t k = 0; k < kNodes.size(); ++k) {
+      const RunMetrics& base = results[idx].sci;
+      const RunMetrics& with = results[idx + 1].sci;
+      idx += 2;
+      std::printf(" %10.1f%%", reductionPct(base.avgReadLatency, with.avgReadLatency));
+    }
+    std::printf("\n");
+  }
+  return writeJsonIfRequested(o);
+}

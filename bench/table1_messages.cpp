@@ -12,7 +12,7 @@ using namespace dresar::bench;
 
 int main(int argc, char** argv) {
   const Options o = Options::parse(argc, argv);
-  SystemConfig cfg;
+  SystemConfig cfg = SystemConfig::paperTable2();
   cfg.switchDir.entries = 1024;
   System sys(cfg);
   auto w = makeWorkload("sor", o.scale);

@@ -10,7 +10,7 @@ using namespace dresar::bench;
 
 int main(int argc, char** argv) {
   const Options o = Options::parse(argc, argv);
-  SystemConfig cfg;
+  SystemConfig cfg = SystemConfig::paperTable2();
   std::cout << "Table 2: Execution-Driven Simulation Parameters\n";
   cfg.dump(std::cout);
   const WorkloadScale paper = WorkloadScale::paper();

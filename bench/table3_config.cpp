@@ -10,7 +10,7 @@ using namespace dresar::bench;
 
 int main(int argc, char** argv) {
   const Options o = Options::parse(argc, argv);
-  TraceConfig cfg;
+  TraceConfig cfg = TraceConfig::paperTable3();
   std::cout << "Table 3: Trace-Driven Simulation Parameters\n";
   cfg.dump(std::cout);
   std::cout << "Trace content: " << o.traceRefs << " memory references per workload\n"

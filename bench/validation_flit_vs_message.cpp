@@ -15,7 +15,7 @@ using namespace dresar::bench;
 namespace {
 RunMetrics runModel(const Options& o, const char* app, const WorkloadScale& scale, bool flit,
                     std::uint32_t sdEntries) {
-  SystemConfig cfg;
+  SystemConfig cfg = SystemConfig::paperTable2();
   cfg.net.flitLevel = flit;
   cfg.switchDir.entries = sdEntries;
   System sys(cfg);
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   std::printf("\nBuffer-depth sensitivity under the flit model (paper Section 1 claim):\n");
   std::printf("  %-12s %12s\n", "bufferFlits", "exec (SOR)");
   for (const std::uint32_t buf : {1u, 2u, 4u, 8u, 16u}) {
-    SystemConfig cfg;
+    SystemConfig cfg = SystemConfig::paperTable2();
     cfg.net.flitLevel = true;
     cfg.net.bufferFlits = buf;
     cfg.switchDir.entries = 0;

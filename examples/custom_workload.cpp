@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
   const auto entries = static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 1024);
 
   for (const std::uint32_t e : {0u, entries}) {
-    SystemConfig cfg;
+    SystemConfig cfg = SystemConfig::paperTable2();
     cfg.switchDir.entries = e;
     System sys(cfg);
     RingPipeline w(rounds);

@@ -4,33 +4,39 @@
 // conclusion was that "a directory size of 1K entries seems to be the most
 // reasonable".
 //
-//   ./oltp_sizing [refs]
+//   ./oltp_sizing [refs] [results.json]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
-#include "trace/trace_sim.h"
+#include "harness/run_context.h"
 
 using namespace dresar;
 
 namespace {
-TraceMetrics run(bool tpcd, std::uint32_t entries, std::uint64_t refs) {
-  TraceConfig cfg;
-  cfg.switchDir.entries = entries;
-  TraceSimulator sim(cfg);
-  TpcGenerator gen(tpcd ? TpcParams::tpcd(refs) : TpcParams::tpcc(refs));
-  sim.run(gen);
-  return sim.metrics();
+// Each run goes through the harness: Table 3 defaults, one JobSpec per
+// (workload, size) cell, and the metrics land in the shared RunRecorder
+// document — the same schema the benches and dresar-sweep emit.
+TraceMetrics run(harness::RunContext& ctx, bool tpcd, std::uint32_t entries,
+                 std::uint64_t refs) {
+  harness::JobSpec j;
+  j.kind = harness::JobKind::Trace;
+  j.app = tpcd ? "tpcd" : "tpcc";
+  j.sdEntries = entries;
+  j.traceRefs = refs;
+  return harness::runJobs(ctx, {j}, 1)[0].trace;
 }
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::uint64_t refs = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000;
   const std::vector<std::uint32_t> sizes = {128, 256, 512, 1024, 2048, 4096};
+  harness::RunContext ctx;
+  ctx.recorder.setBench("oltp_sizing");
 
   for (const bool tpcd : {false, true}) {
     const char* name = tpcd ? "TPC-D" : "TPC-C";
-    const TraceMetrics base = run(tpcd, 0, refs);
+    const TraceMetrics base = run(ctx, tpcd, 0, refs);
     std::printf("%s (%llu refs): base homeCtoC=%llu, avg read latency=%.2f\n", name,
                 static_cast<unsigned long long>(refs),
                 static_cast<unsigned long long>(base.homeCtoC), base.avgReadLatency());
@@ -40,7 +46,7 @@ int main(int argc, char** argv) {
     std::uint32_t knee = sizes.front();
     bool kneeFound = false;
     for (const auto e : sizes) {
-      const TraceMetrics m = run(tpcd, e, refs);
+      const TraceMetrics m = run(ctx, tpcd, e, refs);
       const double gain =
           100.0 * (1.0 - m.avgReadLatency() / base.avgReadLatency());
       const double marginal = gain - prevGain;
@@ -57,5 +63,7 @@ int main(int argc, char** argv) {
                 kneeFound ? "" : " (no knee in range)");
   }
   std::printf("Paper conclusion: ~1K entries per switch is the sweet spot.\n");
+  // All runs above accumulated in the recorder; optionally persist them.
+  if (argc > 2 && !ctx.recorder.writeFile(argv[2])) return 1;
   return 0;
 }

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   // 1. Configure the system. Defaults mirror the paper's Table 2; the only
   //    knob we touch here is the switch-directory size (0 = Base system).
-  SystemConfig cfg;
+  SystemConfig cfg = SystemConfig::paperTable2();
   cfg.switchDir.entries = entries;
 
   // 2. Build it: BMIN interconnect, DRESAR modules in every switch, caches,

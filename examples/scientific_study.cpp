@@ -15,7 +15,7 @@ using namespace dresar;
 
 namespace {
 RunMetrics run(const std::string& name, std::uint32_t entries) {
-  SystemConfig cfg;
+  SystemConfig cfg = SystemConfig::paperTable2();
   cfg.switchDir.entries = entries;
   System sys(cfg);
   auto w = makeWorkload(name, WorkloadScale{});

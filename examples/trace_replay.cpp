@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   for (const std::uint32_t entries : {0u, 1024u}) {
     std::ifstream is(path, std::ios::binary);
     TraceReader reader(is);
-    TraceConfig cfg;
+    TraceConfig cfg = TraceConfig::paperTable3();
     cfg.switchDir.entries = entries;
     TraceSimulator sim(cfg);
     TraceRecord r;

@@ -10,7 +10,7 @@
 namespace dresar {
 
 namespace {
-std::uint64_t bit(NodeId n) { return 1ull << n; }
+NodeMask bit(NodeId n) { return nodeBit(n); }
 }  // namespace
 
 CacheController::CacheController(NodeId node, const SystemConfig& cfg, EventQueue& eq,

@@ -9,7 +9,7 @@
 namespace dresar {
 
 namespace {
-std::uint64_t bit(NodeId n) { return 1ull << n; }
+NodeMask bit(NodeId n) { return nodeBit(n); }
 }  // namespace
 
 const char* toString(DirState s) {
@@ -107,7 +107,7 @@ void DirController::describeInFlight(std::ostream& os) const {
        << ", owner " << (e->owner == kInvalidNode ? -1 : static_cast<int>(e->owner))
        << ", pending requester "
        << (e->pendingRequester == kInvalidNode ? -1 : static_cast<int>(e->pendingRequester))
-       << ", acks outstanding " << e->pendingAcks << ", queued " << e->queue.size();
+       << ", acks outstanding " << toHex(e->pendingAcks) << ", queued " << e->queue.size();
   }
 }
 
@@ -163,7 +163,7 @@ void DirController::handle(const Message& m, Entry& e) {
       const NodeId r = m.requester;
       if (e.state == DirState::Shared || e.state == DirState::Uncached) {
         e.state = DirState::Shared;
-        e.sharers |= 1ull << r;
+        e.sharers |= bit(r);
         ++c_.switchCacheSharers;
       } else {
         // The block turned dirty (or is mid-transaction): the served copy is
@@ -269,7 +269,7 @@ void DirController::onWriteRequest(const Message& m, Entry& e) {
       sendWriteReply(w, m.addr, m.txn);
       break;
     case DirState::Shared: {
-      const std::uint64_t others = e.sharers & ~bit(w);
+      const NodeMask others = e.sharers & ~bit(w);
       if (others == 0) {
         e.state = DirState::Modified;
         e.owner = w;

@@ -46,11 +46,11 @@ class DirController {
 
   struct Entry {
     DirState state = DirState::Uncached;
-    std::uint64_t sharers = 0;      ///< bit per node (SHARED)
+    NodeMask sharers = 0;           ///< bit per node (SHARED)
     NodeId owner = kInvalidNode;    ///< valid in MODIFIED / during BUSY
     NodeId pendingRequester = kInvalidNode;
     std::uint64_t pendingTxn = 0;   ///< pendingRequester's traced transaction
-    std::uint64_t pendingAcks = 0;  ///< BUSY_WR: invalidations not yet acked
+    NodeMask pendingAcks = 0;       ///< BUSY_WR: invalidations not yet acked
     std::deque<Message> queue;      ///< requests waiting out a BUSY state
   };
 

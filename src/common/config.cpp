@@ -7,7 +7,36 @@ namespace dresar {
 
 namespace {
 bool isPow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Power-of-two node counts in [4, kMaxNodes] that tile a BMIN of this
+/// radix, rendered for validation messages.
+std::string supportedNodeCounts(std::uint32_t switchRadix) {
+  std::string out;
+  for (std::uint32_t n = 4; n <= kMaxNodes; n *= 2) {
+    if (butterflyStages(n, switchRadix) == 0) continue;
+    if (!out.empty()) out += ", ";
+    out += std::to_string(n);
+  }
+  return out.empty() ? "none" : out;
+}
 }  // namespace
+
+std::uint32_t butterflyStages(std::uint32_t numNodes, std::uint32_t switchRadix) {
+  const std::uint32_t half = switchRadix / 2;
+  if (switchRadix < 2 || switchRadix % 2 != 0 || half == 0) return 0;
+  if (numNodes == 0 || numNodes % half != 0) return 0;
+  const std::uint32_t perStage = numNodes / half;
+  if (half == 1) return perStage == 1 ? 2 : 0;
+  std::uint32_t k = 2;
+  std::uint64_t reach = half;  // half^(k-1)
+  while (reach < perStage) {
+    reach *= half;
+    ++k;
+  }
+  // The top digit has base m = perStage / half^(k-2); it must divide evenly.
+  if (perStage % (reach / half) != 0) return 0;
+  return k;
+}
 
 std::uint32_t SystemConfig::lineOffsetBits() const {
   return static_cast<std::uint32_t>(std::countr_zero(lineBytes));
@@ -38,12 +67,18 @@ std::vector<std::string> SystemConfig::validationErrors() const {
   require(issueWidth >= 1, "issueWidth must be >= 1");
   require(net.switchRadix >= 2 && net.switchRadix % 2 == 0,
           "switchRadix must be an even number >= 2");
+  require(numNodes <= kMaxNodes,
+          "numNodes exceeds 128 (NodeMask sharer bitmaps cap the system size)");
   if (net.switchRadix >= 2 && net.switchRadix % 2 == 0) {
     const std::uint32_t half = net.switchRadix / 2;
-    require(numNodes % half == 0, "numNodes must be a multiple of switchRadix/2");
-    // A 2-stage butterfly of radix-r switches reaches at most (r/2)^2
-    // endpoints (the Butterfly constructor enforces the same bound).
-    require(numNodes / half <= half, "numNodes exceeds (switchRadix/2)^2, needs more stages");
+    if (numNodes % half != 0) {
+      errs.emplace_back("numNodes must be a multiple of switchRadix/2");
+    } else if (net.stagesFor(numNodes) == 0) {
+      errs.emplace_back("numNodes=" + std::to_string(numNodes) + " does not tile a radix-" +
+                        std::to_string(net.switchRadix) +
+                        " BMIN; supported power-of-two node counts for this radix: " +
+                        supportedNodeCounts(net.switchRadix));
+    }
   }
   if (switchDir.enabled()) {
     require(switchDir.associativity != 0 && switchDir.entries % switchDir.associativity == 0,
@@ -64,7 +99,9 @@ std::vector<std::string> SystemConfig::validationErrors() const {
   }
   fault.appendValidationErrors(errs);
   if (fault.linkStall.active() && net.switchRadix >= 2 && net.switchRadix % 2 == 0) {
-    require(fault.linkStall.stage < 2, "fault.linkStall stage out of range (2-stage BMIN)");
+    const std::uint32_t stages = net.stagesFor(numNodes);
+    require(stages == 0 || fault.linkStall.stage < stages,
+            "fault.linkStall stage out of range for the derived BMIN depth");
     require(fault.linkStall.index < numNodes / (net.switchRadix / 2),
             "fault.linkStall port index exceeds switches per stage");
   }
@@ -104,17 +141,45 @@ void SystemConfig::dump(std::ostream& os) const {
   }
 }
 
-void TraceConfig::validate() const {
-  if (!isPow2(numNodes)) throw std::invalid_argument("numNodes must be a power of two");
-  if (!isPow2(lineBytes)) throw std::invalid_argument("lineBytes must be a power of two");
-  if (cacheBytes % (lineBytes * cacheAssoc) != 0)
-    throw std::invalid_argument("cache size not divisible by assoc*line");
-  if (!isPow2(pageBytes) || pageBytes < lineBytes)
-    throw std::invalid_argument("pageBytes must be a power of two >= lineBytes");
-  if (switchDir.enabled()) {
-    if (switchDir.associativity == 0 || switchDir.entries % switchDir.associativity != 0)
-      throw std::invalid_argument("switch directory entries must divide by associativity");
+std::vector<std::string> TraceConfig::validationErrors() const {
+  std::vector<std::string> errs;
+  const auto require = [&errs](bool ok, const char* why) {
+    if (!ok) errs.emplace_back(why);
+  };
+
+  require(isPow2(numNodes), "numNodes must be a power of two");
+  require(numNodes <= kMaxNodes,
+          "numNodes exceeds 128 (NodeMask sharer bitmaps cap the system size)");
+  // The trace simulator models the reference radix-8 BMIN.
+  if (isPow2(numNodes) && butterflyStages(numNodes, 8) == 0) {
+    errs.emplace_back("numNodes=" + std::to_string(numNodes) +
+                      " does not tile the radix-8 BMIN; supported power-of-two node counts: " +
+                      supportedNodeCounts(8));
   }
+  require(isPow2(lineBytes), "lineBytes must be a power of two");
+  require(cacheAssoc >= 1, "cacheAssoc must be >= 1");
+  if (cacheAssoc >= 1 && lineBytes != 0) {
+    require(cacheBytes >= lineBytes * cacheAssoc,
+            "cache smaller than one set (lineBytes * cacheAssoc)");
+    require(cacheBytes % (lineBytes * cacheAssoc) == 0,
+            "cache size not divisible by assoc*line");
+  }
+  require(isPow2(pageBytes) && pageBytes >= lineBytes,
+          "pageBytes must be a power of two >= lineBytes");
+  if (switchDir.enabled()) {
+    require(switchDir.associativity != 0 && switchDir.entries % switchDir.associativity == 0,
+            "switch directory entries must divide by associativity");
+  }
+  return errs;
+}
+
+void TraceConfig::validate() const {
+  const std::vector<std::string> errs = validationErrors();
+  if (errs.empty()) return;
+  std::string msg =
+      "invalid TraceConfig (" + std::to_string(errs.size()) + " violation(s)):";
+  for (const std::string& e : errs) msg += "\n  - " + e;
+  throw std::invalid_argument(msg);
 }
 
 void TraceConfig::dump(std::ostream& os) const {

@@ -42,8 +42,22 @@ struct SwitchCacheConfig {
   [[nodiscard]] bool enabled() const { return entries > 0; }
 };
 
+/// Largest supported system. NodeMask (sharer/ack bitmaps) is 128 bits wide,
+/// so directories can track a full map for up to 128 nodes.
+inline constexpr std::uint32_t kMaxNodes = 128;
+
+/// Stage count k of the bidirectional MIN that connects `numNodes` endpoints
+/// with radix-`switchRadix` switches: the smallest k >= 2 whose (radix/2)-ary
+/// digit ladder covers numNodes/(radix/2) switches per stage. Returns 0 when
+/// the combination does not tile (supported sizes are m*(radix/2)^(k-1) for
+/// 1 <= m <= radix/2). The paper's reference machine (16 nodes, radix 8)
+/// derives k = 2.
+[[nodiscard]] std::uint32_t butterflyStages(std::uint32_t numNodes,
+                                            std::uint32_t switchRadix);
+
 /// Interconnect parameters (paper Table 2, "Network" column). The reference
-/// system is a 2-stage bidirectional MIN of 8x8 switches for 16 nodes.
+/// system is a 2-stage bidirectional MIN of 8x8 switches for 16 nodes;
+/// larger node counts derive deeper networks (see stagesFor).
 struct NetworkConfig {
   std::uint32_t switchRadix = 8;      ///< ports per switch (4 down + 4 up)
   std::uint32_t coreDelay = 4;        ///< cycles through the crossbar core
@@ -55,6 +69,11 @@ struct NetworkConfig {
   /// Select the flit-level wormhole model (paper 4.1 fidelity) instead of
   /// the default message-level timing. Slower; identical protocol behaviour.
   bool flitLevel = false;
+
+  /// Derived BMIN depth for a given node count (0 = does not tile).
+  [[nodiscard]] std::uint32_t stagesFor(std::uint32_t numNodes) const {
+    return butterflyStages(numNodes, switchRadix);
+  }
 };
 
 /// Transaction tracing & latency attribution. Disabled by default: no
@@ -68,6 +87,11 @@ struct TxnTraceConfig {
 
 /// Processor + cache + memory parameters (paper Table 2).
 struct SystemConfig {
+  /// Named preset for the paper's Table 2 reference machine. The defaults
+  /// below ARE Table 2, but benches/examples go through this constructor so
+  /// a future parameter change is one edit and call sites say what they mean.
+  [[nodiscard]] static SystemConfig paperTable2() { return SystemConfig{}; }
+
   std::uint32_t numNodes = 16;
   // Processor.
   std::uint32_t issueWidth = 4;       ///< instructions per cycle (in-order)
@@ -122,6 +146,9 @@ struct SystemConfig {
 
 /// Trace-driven commercial-workload parameters (paper Table 3).
 struct TraceConfig {
+  /// Named preset for the paper's Table 3 latencies (see paperTable2()).
+  [[nodiscard]] static TraceConfig paperTable3() { return TraceConfig{}; }
+
   std::uint32_t numNodes = 16;
   std::uint32_t cacheBytes = 2 * 1024 * 1024;
   std::uint32_t cacheAssoc = 4;
@@ -147,6 +174,10 @@ struct TraceConfig {
   }
 
   void dump(std::ostream& os) const;
+  /// Collect a description of every violated invariant; empty = valid.
+  /// Same all-violations contract as SystemConfig::validationErrors().
+  [[nodiscard]] std::vector<std::string> validationErrors() const;
+  /// Throws std::invalid_argument listing ALL violations at once.
   void validate() const;
 };
 

@@ -30,6 +30,19 @@ std::string toString(Endpoint ep) {
   return (ep.kind == EndpointKind::Proc ? "P" : "M") + std::to_string(ep.node);
 }
 
+std::string toHex(NodeMask mask) {
+  if (mask == 0) return "0x0";
+  char digits[33];
+  int n = 0;
+  while (mask != 0) {
+    digits[n++] = "0123456789abcdef"[static_cast<unsigned>(mask & 0xF)];
+    mask >>= 4;
+  }
+  std::string out = "0x";
+  while (n > 0) out.push_back(digits[--n]);
+  return out;
+}
+
 const char* toString(ReadService s) {
   switch (s) {
     case ReadService::L1Hit: return "L1Hit";

@@ -40,6 +40,16 @@ inline Endpoint memEp(NodeId n) { return {EndpointKind::Mem, n}; }
 
 std::string toString(Endpoint ep);
 
+/// One bit per node, used for directory sharer sets and invalidation-ack
+/// bookkeeping. 128 bits wide so every supported geometry (up to 128 nodes)
+/// fits; kept a plain unsigned type so mask algebra stays idiomatic.
+using NodeMask = unsigned __int128;
+
+inline constexpr NodeMask nodeBit(NodeId n) { return static_cast<NodeMask>(1) << n; }
+
+/// Lowercase hex rendering ("0x..") — __int128 has no ostream operator.
+std::string toHex(NodeMask mask);
+
 /// How a read miss was ultimately serviced. Drives the Figure 1/8/9 metrics.
 enum class ReadService : std::uint8_t {
   L1Hit,

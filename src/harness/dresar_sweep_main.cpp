@@ -174,6 +174,15 @@ int main(int argc, char** argv) {
   ctx.recorder.setOption("scale", spec.scale);
   ctx.recorder.setOption("seeds", std::to_string(spec.seeds));
   ctx.recorder.setOption("trace_refs", std::to_string(spec.traceRefs));
+  if (spec.nodes != std::vector<std::uint32_t>{16}) {
+    // A nodes axis is recorded; default 16-node sweeps stay byte-identical.
+    std::string nlist;
+    for (const std::uint32_t n : spec.nodes) {
+      if (!nlist.empty()) nlist += ',';
+      nlist += std::to_string(n);
+    }
+    ctx.recorder.setOption("nodes", nlist);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<JobResult> results;
@@ -232,6 +241,14 @@ int main(int argc, char** argv) {
     jo.options = {{"scale", spec.scale},
                   {"seeds", std::to_string(spec.seeds)},
                   {"trace_refs", std::to_string(spec.traceRefs)}};
+    if (spec.nodes != std::vector<std::uint32_t>{16}) {
+      std::string nlist;
+      for (const std::uint32_t n : spec.nodes) {
+        if (!nlist.empty()) nlist += ',';
+        nlist += std::to_string(n);
+      }
+      jo.options.emplace_back("nodes", nlist);
+    }
     if (spec.hasFaultAxes()) {
       // Only faulted sweeps carry fault options; fault-free documents stay
       // byte-identical to the pre-fault output.

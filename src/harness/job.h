@@ -27,6 +27,9 @@ struct JobSpec {
   std::uint32_t sdEntries = 0;  ///< 0 = Base system (no switch directories)
   std::uint32_t assoc = 4;
   std::uint32_t pendingBuffer = 16;
+  /// System size; the BMIN depth is derived from it (16 = the paper's
+  /// reference machine, deeper networks at 32/64/128).
+  std::uint32_t numNodes = 16;
   /// Replica index, 1-based. Replica 1 reproduces the historical default
   /// stream; replica k>1 perturbs the trace generator's seed. Scientific
   /// kernels are RNG-free, so their replicas are bit-identical by design —
@@ -55,7 +58,7 @@ struct JobSpec {
   }
 
   /// Short config tag; matches the bench convention ("base", "sd-512") and
-  /// appends -aN / -pbN / fault-rate suffixes only when they differ from the
+  /// appends -aN / -pbN / -nN / fault-rate suffixes only when they differ from the
   /// defaults, so default sweeps serialize exactly as the historical bench
   /// output did. Fault suffixes (-fd / -fy / -fl: drop, delay, sd-loss rate)
   /// apply to "base" as well — a faulty base run is not the base run.
@@ -69,6 +72,7 @@ struct JobSpec {
       if (assoc != 4) t += "-a" + std::to_string(assoc);
       if (pendingBuffer != 16) t += "-pb" + std::to_string(pendingBuffer);
     }
+    if (numNodes != 16) t += "-n" + std::to_string(numNodes);
     if (fault.msgDropRate > 0.0) t += "-fd" + rateTag(fault.msgDropRate);
     if (fault.msgDelayRate > 0.0) t += "-fy" + rateTag(fault.msgDelayRate);
     if (fault.sdEntryLossRate > 0.0) t += "-fl" + rateTag(fault.sdEntryLossRate);

@@ -116,7 +116,8 @@ RunRecord makeTraceRecord(const std::string& app, const std::string& config,
 namespace {
 
 JobResult executeScientific(const JobSpec& job, std::uint32_t chromePid) {
-  SystemConfig cfg;
+  SystemConfig cfg = SystemConfig::paperTable2();
+  cfg.numNodes = job.numNodes;
   cfg.switchDir = job.sdTemplate;
   cfg.switchDir.entries = job.sdEntries;
   cfg.switchDir.associativity = job.assoc;
@@ -128,7 +129,7 @@ JobResult executeScientific(const JobSpec& job, std::uint32_t chromePid) {
   JobResult res;
   res.job = job;
   const auto t0 = std::chrono::steady_clock::now();
-  res.sci = sim.run(job.app, job.scale);
+  res.sci = sim.run({.workload = job.app, .scale = job.scale});
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   res.wallSeconds = dt.count();
   if (job.traceTxns) {
@@ -142,7 +143,8 @@ JobResult executeScientific(const JobSpec& job, std::uint32_t chromePid) {
 }
 
 JobResult executeTrace(const JobSpec& job) {
-  TraceConfig cfg;
+  TraceConfig cfg = TraceConfig::paperTable3();
+  cfg.numNodes = job.numNodes;
   cfg.switchDir = job.sdTemplate;
   cfg.switchDir.entries = job.sdEntries;
   cfg.switchDir.associativity = job.assoc;
@@ -150,6 +152,7 @@ JobResult executeTrace(const JobSpec& job) {
   TraceSimulator sim(cfg);
   TpcParams p = job.app == "tpcd" ? TpcParams::tpcd(job.traceRefs)
                                   : TpcParams::tpcc(job.traceRefs);
+  p.numProcs = job.numNodes;
   if (job.seed > 1) {
     // Replica k draws an independent stream; replica 1 keeps the historical
     // default seed so existing single-run results stay bit-identical.

@@ -120,6 +120,16 @@ SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
       spec.assoc = parseU32List(source, line, value, /*allowZero=*/false);
     } else if (key == "pending_buffer") {
       spec.pendingBuffer = parseU32List(source, line, value, /*allowZero=*/false);
+    } else if (key == "nodes") {
+      spec.nodes = parseU32List(source, line, value, /*allowZero=*/false);
+      for (const std::uint32_t n : spec.nodes) {
+        SystemConfig probe;
+        probe.numNodes = n;
+        if (!probe.validationErrors().empty()) {
+          fail(source, line, "unsupported nodes value " + std::to_string(n) +
+                                 ": " + probe.validationErrors().front());
+        }
+      }
     } else if (key == "seeds") {
       spec.seeds = parseUnsigned(source, line, value, 10'000);
       if (spec.seeds == 0) fail(source, line, "seeds must be positive");
@@ -218,27 +228,30 @@ std::vector<JobSpec> SweepSpec::expand() const {
     for (const std::uint32_t e : entries) {
       for (const std::uint32_t a : assoc) {
         for (const std::uint32_t pb : pendingBuffer) {
-          for (const double fd : faultDropRate) {
-            for (const double fy : faultDelayRate) {
-              for (const double fl : faultSdLossRate) {
-                for (std::uint64_t s = 1; s <= seeds; ++s) {
-                  JobSpec j;
-                  j.kind = isTraceWorkload(w) ? JobKind::Trace : JobKind::Scientific;
-                  j.app = w;
-                  j.sdEntries = e;
-                  j.assoc = a;
-                  j.pendingBuffer = pb;
-                  j.seed = s;
-                  j.scale = ws;
-                  j.traceRefs = traceRefs;
-                  j.fault.msgDropRate = fd;
-                  j.fault.msgDelayRate = fy;
-                  j.fault.sdEntryLossRate = fl;
-                  j.fault.linkStall = faultLinkStall;
-                  // Replicas of one faulted cell draw independent injector
-                  // streams; replica 1 keeps the spec's base seed.
-                  j.fault.seed = faultSeed + (s - 1);
-                  jobs.push_back(std::move(j));
+          for (const std::uint32_t n : nodes) {
+            for (const double fd : faultDropRate) {
+              for (const double fy : faultDelayRate) {
+                for (const double fl : faultSdLossRate) {
+                  for (std::uint64_t s = 1; s <= seeds; ++s) {
+                    JobSpec j;
+                    j.kind = isTraceWorkload(w) ? JobKind::Trace : JobKind::Scientific;
+                    j.app = w;
+                    j.sdEntries = e;
+                    j.assoc = a;
+                    j.pendingBuffer = pb;
+                    j.numNodes = n;
+                    j.seed = s;
+                    j.scale = ws;
+                    j.traceRefs = traceRefs;
+                    j.fault.msgDropRate = fd;
+                    j.fault.msgDelayRate = fy;
+                    j.fault.sdEntryLossRate = fl;
+                    j.fault.linkStall = faultLinkStall;
+                    // Replicas of one faulted cell draw independent injector
+                    // streams; replica 1 keeps the spec's base seed.
+                    j.fault.seed = faultSeed + (s - 1);
+                    jobs.push_back(std::move(j));
+                  }
                 }
               }
             }

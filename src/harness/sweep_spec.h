@@ -8,6 +8,7 @@
 //   entries = 0, 256, 512, 1024, 2048    # 0 = Base system
 //   assoc = 4
 //   pending_buffer = 16
+//   nodes = 16, 32, 64, 128              # system sizes (BMIN depth derived)
 //   seeds = 1                            # replicas per config cell
 //   scale = paper                        # tiny | default | paper
 //   trace_refs = 16000000
@@ -41,6 +42,10 @@ struct SweepSpec {
   std::vector<std::uint32_t> entries = {0, 256, 512, 1024, 2048};
   std::vector<std::uint32_t> assoc = {4};
   std::vector<std::uint32_t> pendingBuffer = {16};
+  /// System sizes (the nodes axis of the scaling study). The BMIN depth is
+  /// derived per size; every value is validated against the radix at parse
+  /// time.
+  std::vector<std::uint32_t> nodes = {16};
   std::uint64_t seeds = 1;                       ///< replicas per config cell
   std::string scale = "default";                 ///< tiny | default | paper
   std::uint64_t traceRefs = 1'000'000;
@@ -62,14 +67,14 @@ struct SweepSpec {
   static SweepSpec parseFile(const std::string& path);
 
   /// The full job matrix, in deterministic spec order (workload-major, then
-  /// entries, assoc, pending buffer, seed).
+  /// entries, assoc, pending buffer, nodes, seed).
   [[nodiscard]] std::vector<JobSpec> expand() const;
 
   /// Total matrix size without materializing it.
   [[nodiscard]] std::size_t jobCount() const {
     return workloads.size() * entries.size() * assoc.size() * pendingBuffer.size() *
-           faultDropRate.size() * faultDelayRate.size() * faultSdLossRate.size() *
-           static_cast<std::size_t>(seeds);
+           nodes.size() * faultDropRate.size() * faultDelayRate.size() *
+           faultSdLossRate.size() * static_cast<std::size_t>(seeds);
   }
 
   /// Problem-size override used by `dresar-sweep --quick` / `--paper`.

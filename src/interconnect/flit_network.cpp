@@ -167,8 +167,20 @@ bool FlitNetwork::maybeSnoop(std::uint32_t sv, InputVc& in) {
   Flit& f = in.fifo.front();
   if (!f.head() || snoop_ == nullptr) return !f.ms->sunk;
   const std::uint32_t flat = sv - 2 * numNodes_;
-  if (f.ms->snoopedMask & (1ull << flat)) return !f.ms->sunk;
-  f.ms->snoopedMask |= 1ull << flat;
+  // Key the mask by this switch's hop index on the route (a route never
+  // revisits a switch), so 64 bits cover any geometry's switch count.
+  std::size_t hopIdx = f.ms->route.size();
+  for (std::size_t i = 0; i < f.ms->route.size(); ++i) {
+    const Hop& h = f.ms->route[i];
+    if (h.kind == Hop::Kind::Switch && vertexOf(h.sw) == sv) {
+      hopIdx = i;
+      break;
+    }
+  }
+  if (hopIdx == f.ms->route.size())
+    throw std::logic_error("FlitNetwork: snooping switch is not on the route");
+  if (f.ms->snoopedMask & (1ull << hopIdx)) return !f.ms->sunk;
+  f.ms->snoopedMask |= 1ull << hopIdx;
   std::vector<Message> spawn;
   const SnoopOutcome out = snoop_->onMessage(switchOf(sv), eq_.now(), f.ms->msg, spawn);
   for (auto& m : spawn) {

@@ -73,7 +73,9 @@ class FlitNetwork final : public INetwork {
     Message msg;
     Route route;
     std::uint32_t totalFlits = 1;
-    std::uint64_t snoopedMask = 0; ///< switches (flat) whose snoop has run
+    std::uint64_t snoopedMask = 0; ///< route hop indices whose snoop has run
+                                   ///< (a route never revisits a switch, so
+                                   ///< this fits any geometry in 64 bits)
     bool sunk = false;
     Cycle birth = 0;               ///< age for arbitration
   };

@@ -41,7 +41,7 @@ std::string Message::describe() const {
      << std::hex << addr << std::dec;
   if (requester != kInvalidNode) os << " req=" << requester;
   if (marked) os << " [marked]";
-  if (carriedSharers != 0) os << " sharers=0x" << std::hex << carriedSharers << std::dec;
+  if (carriedSharers != 0) os << " sharers=" << toHex(carriedSharers);
   return os.str();
 }
 

@@ -28,8 +28,9 @@ Network::Network(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t
   sunkCounter_ = stats.counterHandle("net.sunk");
   latency_ = stats.samplerHandle("net.latency");
 
-  // Precompute every legal route. Undefined pairs (mem->mem, root switch ->
-  // foreign memory) stay empty; nothing on the hot path asks for them.
+  // Precompute every legal route. Undefined pairs (mem->mem, switch -> a
+  // memory outside its subtree) stay empty; nothing on the hot path asks
+  // for them.
   const std::uint32_t epCount = 2 * numNodes_;
   routeTable_.resize(static_cast<std::size_t>(epCount + topo_.totalSwitches()) * epCount);
   for (std::uint32_t d = 0; d < epCount; ++d) {
@@ -41,7 +42,7 @@ Network::Network(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t
     }
     for (std::uint32_t f = 0; f < topo_.totalSwitches(); ++f) {
       const SwitchId sw{f / topo_.switchesPerStage(), f % topo_.switchesPerStage()};
-      if (dst.kind == EndpointKind::Mem && sw.stage == 1 && !(sw == topo_.memSwitch(dst.node))) {
+      if (dst.kind == EndpointKind::Mem && !topo_.canReachMem(sw, dst.node)) {
         continue;
       }
       routeTable_[static_cast<std::size_t>(epCount + f) * epCount + d] =

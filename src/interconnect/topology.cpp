@@ -1,19 +1,59 @@
 #include "interconnect/topology.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace dresar {
+
+std::uint32_t Butterfly::stagesFor(std::uint32_t numNodes, std::uint32_t switchRadix) {
+  return butterflyStages(numNodes, switchRadix);
+}
 
 Butterfly::Butterfly(std::uint32_t numNodes, std::uint32_t switchRadix)
     : numNodes_(numNodes), half_(switchRadix / 2) {
   if (switchRadix < 2 || switchRadix % 2 != 0)
     throw std::invalid_argument("Butterfly: radix must be even and >= 2");
-  if (half_ == 0 || numNodes % half_ != 0)
+  if (half_ == 0 || numNodes == 0 || numNodes % half_ != 0)
     throw std::invalid_argument("Butterfly: numNodes must be a multiple of radix/2");
   perStage_ = numNodes / half_;
-  if (perStage_ > half_)
+  stages_ = stagesFor(numNodes, switchRadix);
+  if (stages_ == 0)
     throw std::invalid_argument(
-        "Butterfly: numNodes exceeds (radix/2)^2; a 2-stage BMIN cannot connect it");
+        "Butterfly: numNodes=" + std::to_string(numNodes) + " with radix " +
+        std::to_string(switchRadix) +
+        " does not tile a k-stage BMIN; supported sizes are m*(radix/2)^(k-1) for k >= 2 and"
+        " 1 <= m <= radix/2 (radix 8: 4, 8, 12, 16, 32, 48, 64, 128, ...)");
+  halfPow_.resize(stages_);
+  halfPow_[0] = 1;
+  for (std::uint32_t e = 1; e < stages_; ++e) halfPow_[e] = halfPow_[e - 1] * half_;
+}
+
+bool Butterfly::canReachMem(SwitchId from, NodeId m) const {
+  return hi(from.stage, from.index) == hi(from.stage, m / half_);
+}
+
+void Butterfly::appendTurnaround(Route& r, std::uint32_t s, std::uint32_t cs,
+                                 std::uint32_t cq) const {
+  // Lowest stage whose preserved low digits already agree: climbing from
+  // stage s rewrites only positions >= k-1-t, so the pair must share
+  // everything below. lo(k-1, .) == 0, so t always exists.
+  std::uint32_t t = s;
+  while (lo(t, cs) != lo(t, cq)) ++t;
+  // Free digits between the fixed high part and the shared low part select
+  // the turnaround switch; the symmetric (cs+cq) spread keeps the choice
+  // deterministic and identical for both directions of a pair.
+  const std::uint32_t w = valuesAbove(t) / valuesAbove(s);
+  const std::uint32_t f = (cs + cq) % w;
+  const std::uint32_t y =
+      hi(s, cs) * pow(stages_ - 1 - s) + f * pow(stages_ - 1 - t) + lo(t, cs);
+  for (std::uint32_t j = s; j <= t; ++j) {
+    const std::uint32_t up = hi(j, y) * pow(stages_ - 1 - j) + lo(j, cs);
+    r.push_back(Hop::atSwitch(SwitchId{j, up}));
+  }
+  for (std::uint32_t j = t; j-- > 0;) {
+    const std::uint32_t down = hi(j, y) * pow(stages_ - 1 - j) + lo(j, cq);
+    r.push_back(Hop::atSwitch(SwitchId{j, down}));
+  }
 }
 
 Route Butterfly::route(Endpoint src, Endpoint dst) const {
@@ -21,27 +61,26 @@ Route Butterfly::route(Endpoint src, Endpoint dst) const {
     throw std::out_of_range("Butterfly::route: node out of range");
   Route r;
   if (src.kind == EndpointKind::Proc && dst.kind == EndpointKind::Mem) {
-    // Forward: leaf switch, then the destination memory's root switch.
-    r.push_back(Hop::atSwitch(procSwitch(src.node)));
-    r.push_back(Hop::atSwitch(memSwitch(dst.node)));
+    // Forward: each stage-j switch takes its high digits from the
+    // destination root and its low digits from the source leaf.
+    const std::uint32_t cs = src.node / half_;
+    const std::uint32_t cd = dst.node / half_;
+    for (std::uint32_t j = 0; j < stages_; ++j) {
+      r.push_back(Hop::atSwitch(
+          SwitchId{j, hi(j, cd) * pow(stages_ - 1 - j) + lo(j, cs)}));
+    }
   } else if (src.kind == EndpointKind::Mem && dst.kind == EndpointKind::Proc) {
     // Backward: mirror of the forward path.
-    r.push_back(Hop::atSwitch(memSwitch(src.node)));
-    r.push_back(Hop::atSwitch(procSwitch(dst.node)));
-  } else if (src.kind == EndpointKind::Proc && dst.kind == EndpointKind::Proc) {
-    const SwitchId s0 = procSwitch(src.node);
-    const SwitchId d0 = procSwitch(dst.node);
-    if (s0 == d0) {
-      // Same cluster: turnaround at the shared leaf switch.
-      r.push_back(Hop::atSwitch(s0));
-    } else {
-      // Up to a root switch, back down. Deterministic and symmetric root
-      // choice so the pair always meets at the same switch.
-      const std::uint32_t root = (s0.index + d0.index) % perStage_;
-      r.push_back(Hop::atSwitch(s0));
-      r.push_back(Hop::atSwitch(SwitchId{1, root}));
-      r.push_back(Hop::atSwitch(d0));
+    const std::uint32_t cs = dst.node / half_;
+    const std::uint32_t cd = src.node / half_;
+    for (std::uint32_t j = stages_; j-- > 0;) {
+      r.push_back(Hop::atSwitch(
+          SwitchId{j, hi(j, cd) * pow(stages_ - 1 - j) + lo(j, cs)}));
     }
+  } else if (src.kind == EndpointKind::Proc && dst.kind == EndpointKind::Proc) {
+    // Up to the lowest common ancestor stage, back down (same cluster:
+    // turnaround at the shared leaf switch).
+    appendTurnaround(r, 0, src.node / half_, dst.node / half_);
   } else {
     throw std::invalid_argument("Butterfly::route: mem->mem traffic is not defined");
   }
@@ -53,23 +92,17 @@ Route Butterfly::routeFromSwitch(SwitchId from, Endpoint dst) const {
   if (dst.node >= numNodes_) throw std::out_of_range("Butterfly::routeFromSwitch: node range");
   Route r;
   if (dst.kind == EndpointKind::Proc) {
-    const SwitchId leaf = procSwitch(dst.node);
-    if (from.stage == 1) {
-      // Root switch: go down through the destination's leaf switch.
-      r.push_back(Hop::atSwitch(leaf));
-    } else if (!(from == leaf)) {
-      // Leaf switch of a different cluster: up to a root, then down.
-      const std::uint32_t root = (from.index + leaf.index) % perStage_;
-      r.push_back(Hop::atSwitch(SwitchId{1, root}));
-      r.push_back(Hop::atSwitch(leaf));
-    }
-    // from == leaf: deliver directly downward.
+    appendTurnaround(r, from.stage, from.index, dst.node / half_);
+    // appendTurnaround includes `from` itself as the first hop; the message
+    // is already there.
+    r.erase(r.begin());
   } else {
-    const SwitchId rootSw = memSwitch(dst.node);
-    if (from.stage == 0) {
-      r.push_back(Hop::atSwitch(rootSw));
-    } else if (!(from == rootSw)) {
-      throw std::invalid_argument("Butterfly: root switch cannot reach a foreign memory");
+    if (!canReachMem(from, dst.node))
+      throw std::invalid_argument("Butterfly: switch cannot reach a foreign memory subtree");
+    const std::uint32_t cd = dst.node / half_;
+    for (std::uint32_t j = from.stage + 1; j < stages_; ++j) {
+      r.push_back(Hop::atSwitch(
+          SwitchId{j, hi(j, cd) * pow(stages_ - 1 - j) + lo(j, from.index)}));
     }
   }
   r.push_back(Hop::deliver(dst));
@@ -77,7 +110,14 @@ Route Butterfly::routeFromSwitch(SwitchId from, Endpoint dst) const {
 }
 
 std::vector<SwitchId> Butterfly::forwardPath(NodeId proc, NodeId mem) const {
-  return {procSwitch(proc), memSwitch(mem)};
+  const std::uint32_t cs = proc / half_;
+  const std::uint32_t cd = mem / half_;
+  std::vector<SwitchId> path;
+  path.reserve(stages_);
+  for (std::uint32_t j = 0; j < stages_; ++j) {
+    path.push_back(SwitchId{j, hi(j, cd) * pow(stages_ - 1 - j) + lo(j, cs)});
+  }
+  return path;
 }
 
 }  // namespace dresar

@@ -1,10 +1,20 @@
-// Dance-hall butterfly BMIN topology (paper Figure 3): processors attach
-// below stage 0, memory/directory modules above stage 1. Every (processor,
-// memory) pair has a unique minimal path that is identical for forward
-// (proc->mem) and backward (mem->proc) traffic — the path-overlap property
-// switch directories rely on (paper 3.1). Processor-to-processor messages
-// (c2c data, switch-generated requests) use turnaround routing at the lowest
-// common stage.
+// Dance-hall butterfly BMIN topology (paper Figure 3), generalized to k
+// stages: processors attach below stage 0, memory/directory modules above
+// stage k-1. Every (processor, memory) pair has a unique minimal path that
+// is identical for forward (proc->mem) and backward (mem->proc) traffic —
+// the path-overlap property switch directories rely on (paper 3.1).
+// Processor-to-processor messages (c2c data, switch-generated requests) use
+// turnaround routing at the lowest common ancestor stage.
+//
+// Switch indices are read as mixed-radix numbers in base half = radix/2:
+// the digit at weight half^j is "position j". The link between stage j and
+// stage j+1 replaces exactly the digit at position k-2-j, so a message
+// climbing from a leaf fixes the destination's digits from the top position
+// down, and descending fixes them bottom-up — the classic butterfly wiring.
+// With P = numNodes/half switches per stage the top digit has base
+// m = P / half^(k-2) (1 <= m <= half), which lets node counts that are not
+// pure powers of half (e.g. 8 or 32 nodes with radix-8 switches) tile
+// exactly. k = 2 reproduces the paper's reference machine bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +25,8 @@
 
 namespace dresar {
 
-/// Identifies a switch: stage 0 is adjacent to processors, stage 1 to memory.
+/// Identifies a switch: stage 0 is adjacent to processors, stage
+/// numStages()-1 to memory.
 struct SwitchId {
   std::uint32_t stage = 0;
   std::uint32_t index = 0;
@@ -35,17 +46,24 @@ struct Hop {
 
 using Route = std::vector<Hop>;
 
-/// Two-stage butterfly of radix-R switches (R/2 down ports, R/2 up ports)
-/// for up to (R/2)^2 nodes. For the paper's reference system: R=8, 16 nodes,
-/// 4 switches per stage.
+/// k-stage butterfly of radix-R switches (R/2 down ports, R/2 up ports).
+/// The stage count is derived: the smallest k >= 2 whose (R/2)-ary digit
+/// ladder covers numNodes/(R/2) switches per stage. For the paper's
+/// reference system: R=8, 16 nodes, k=2, 4 switches per stage.
 class Butterfly {
  public:
   Butterfly(std::uint32_t numNodes, std::uint32_t switchRadix);
 
+  /// Stage count for a (numNodes, radix) pair without constructing: 0 when
+  /// the combination does not tile into a butterfly (used by config
+  /// validation to report every violation instead of throwing on the first).
+  [[nodiscard]] static std::uint32_t stagesFor(std::uint32_t numNodes,
+                                              std::uint32_t switchRadix);
+
   [[nodiscard]] std::uint32_t numNodes() const { return numNodes_; }
   [[nodiscard]] std::uint32_t switchesPerStage() const { return perStage_; }
-  [[nodiscard]] std::uint32_t numStages() const { return 2; }
-  [[nodiscard]] std::uint32_t totalSwitches() const { return perStage_ * 2; }
+  [[nodiscard]] std::uint32_t numStages() const { return stages_; }
+  [[nodiscard]] std::uint32_t totalSwitches() const { return perStage_ * stages_; }
   [[nodiscard]] std::uint32_t half() const { return half_; }
 
   /// Flattened switch index in [0, totalSwitches()).
@@ -54,9 +72,17 @@ class Butterfly {
     return SwitchId{f / perStage_, f % perStage_};
   }
 
-  /// Leaf (stage-0) switch of processor p; root (stage-1) switch of memory m.
+  /// Leaf (stage-0) switch of processor p; root (top-stage) switch of
+  /// memory m.
   [[nodiscard]] SwitchId procSwitch(NodeId p) const { return SwitchId{0, p / half_}; }
-  [[nodiscard]] SwitchId memSwitch(NodeId m) const { return SwitchId{1, m / half_}; }
+  [[nodiscard]] SwitchId memSwitch(NodeId m) const {
+    return SwitchId{stages_ - 1, m / half_};
+  }
+
+  /// True when a message injected at `from` can reach memory m going up:
+  /// climbing from stage s only rewrites digit positions < k-1-s, so the
+  /// high digits of the switch index must already match the memory's root.
+  [[nodiscard]] bool canReachMem(SwitchId from, NodeId m) const;
 
   /// Unique route between two endpoints. Supported pairs: proc->mem (forward),
   /// mem->proc (backward), proc->proc (turnaround).
@@ -72,9 +98,34 @@ class Butterfly {
   [[nodiscard]] std::vector<SwitchId> forwardPath(NodeId proc, NodeId mem) const;
 
  private:
+  /// half^e (e <= stages_-1; precomputed in halfPow_).
+  [[nodiscard]] std::uint32_t pow(std::uint32_t e) const { return halfPow_[e]; }
+  /// Low digits of switch coordinate c below position k-1-j (stage-j view).
+  [[nodiscard]] std::uint32_t lo(std::uint32_t j, std::uint32_t c) const {
+    return c % pow(stages_ - 1 - j);
+  }
+  /// High digits of c at positions >= k-1-j.
+  [[nodiscard]] std::uint32_t hi(std::uint32_t j, std::uint32_t c) const {
+    return c / pow(stages_ - 1 - j);
+  }
+  /// Number of distinct values the digits at positions >= k-1-j can take
+  /// (accounts for the reduced top-digit base).
+  [[nodiscard]] std::uint32_t valuesAbove(std::uint32_t j) const {
+    const std::uint32_t v = perStage_ / pow(stages_ - 1 - j);
+    return v == 0 ? 1 : v;
+  }
+  /// Append the turnaround path from stage-`s` switch index `cs` up to stage
+  /// `t` and back down to the leaf of coordinate `cq`. The turnaround index
+  /// keeps `cs`'s fixed high digits, spreads free digits deterministically
+  /// and symmetrically over the reachable window, and shares its low digits
+  /// with both endpoints (lo(t, cs) == lo(t, cq) is the caller's contract).
+  void appendTurnaround(Route& r, std::uint32_t s, std::uint32_t cs, std::uint32_t cq) const;
+
   std::uint32_t numNodes_;
   std::uint32_t half_;
   std::uint32_t perStage_;
+  std::uint32_t stages_;
+  std::vector<std::uint32_t> halfPow_;  ///< halfPow_[e] = half^e, e in [0, stages_)
 };
 
 }  // namespace dresar

@@ -90,7 +90,7 @@ CheckReport ProtocolChecker::check(const System& sys) {
       if (!quiet) break;
       if (c.state == CacheState::S) {
         if (d == nullptr ||
-            (d->state == DirState::Shared && (d->sharers & (1ull << c.node)) == 0) ||
+            (d->state == DirState::Shared && (d->sharers & nodeBit(c.node)) == 0) ||
             d->state == DirState::Modified || d->state == DirState::Uncached) {
           r.violations.push_back("node " + std::to_string(c.node) + " holds " + hex(block) +
                                  " in S but the home does not record it");

@@ -9,17 +9,16 @@ namespace dresar {
 
 Simulation::Simulation(const SystemConfig& cfg) : sys_(std::make_unique<System>(cfg)) {}
 
-RunMetrics Simulation::run(const std::string& workloadKey, const WorkloadScale& scale,
-                           bool requireVerify) {
-  auto w = makeWorkload(workloadKey, scale);
-  RunMetrics m = runWorkload(*sys_, *w, requireVerify);
+RunMetrics Simulation::run(const RunRequest& req) {
+  auto w = makeWorkload(req.workload, req.scale);
+  RunMetrics m = runWorkload(*sys_, *w, req.requireVerify);
   if (const FaultInjector* fault = sys_->faultInjector(); fault != nullptr) {
     // Close out the campaign: every dropped message must have been recovered
     // (throws otherwise), and the faults must not have corrupted coherence.
     fault->requireBalanced();
     const CheckReport report = ProtocolChecker::check(*sys_);
     if (!report.ok()) {
-      throw std::runtime_error(workloadKey +
+      throw std::runtime_error(req.workload +
                                ": protocol check failed after fault campaign: " +
                                report.summary());
     }

@@ -6,7 +6,7 @@
 //
 //   SystemConfig cfg;             // validated up front, ALL violations listed
 //   Simulation sim(cfg);
-//   RunMetrics m = sim.run("fft", WorkloadScale::tiny());
+//   RunMetrics m = sim.run({.workload = "fft", .scale = WorkloadScale::tiny()});
 //
 // The underlying System stays reachable via system() for tests that poke
 // controllers directly or spawn custom tasks.
@@ -24,6 +24,15 @@
 
 namespace dresar {
 
+/// Everything a single simulation run needs. New run parameters are added
+/// here (with behavior-preserving defaults) instead of growing positional
+/// arguments on Simulation::run.
+struct RunRequest {
+  std::string workload;           ///< kernel key ("fft", "sor", "tc", ...)
+  WorkloadScale scale{};          ///< problem size
+  bool requireVerify = true;      ///< numeric verify after the run
+};
+
 class Simulation {
  public:
   /// Builds the System. Throws std::invalid_argument listing EVERY config
@@ -34,14 +43,20 @@ class Simulation {
   Simulation& operator=(const Simulation&) = delete;
 
   /// Run one scientific kernel to completion: setup -> one coroutine per
-  /// processor -> fence -> numeric verify (unless `requireVerify` is false).
-  /// On a fault-injection run this additionally requires the campaign to
-  /// have closed (every injected fault recovered — see
+  /// processor -> fence -> numeric verify (unless `req.requireVerify` is
+  /// false). On a fault-injection run this additionally requires the
+  /// campaign to have closed (every injected fault recovered — see
   /// FaultInjector::requireBalanced) and the protocol checker to come back
   /// clean; either failing throws. Returns the collected metrics, with the
   /// fault.* counters folded in when injection was enabled.
-  RunMetrics run(const std::string& workloadKey, const WorkloadScale& scale,
-                 bool requireVerify = true);
+  RunMetrics run(const RunRequest& req);
+
+  /// Positional-argument shim kept for source compatibility; forwards to
+  /// run(RunRequest) unchanged.
+  [[deprecated("use run(RunRequest) instead")]] RunMetrics run(
+      const std::string& workloadKey, const WorkloadScale& scale, bool requireVerify = true) {
+    return run(RunRequest{workloadKey, scale, requireVerify});
+  }
 
   /// Protocol invariant check on the (quiescent) system.
   [[nodiscard]] CheckReport check() const;

@@ -8,13 +8,14 @@
 namespace dresar {
 
 namespace {
-std::uint64_t bit(NodeId n) { return 1ull << n; }
+NodeMask bit(NodeId n) { return nodeBit(n); }
 }  // namespace
 
 DresarManager::DresarManager(const SwitchDirConfig& cfg, const Butterfly& topo,
                              std::uint32_t lineBytes, std::uint32_t numNodes, StatRegistry& stats)
     : cfg_(cfg), topo_(topo), lineBytes_(lineBytes), numNodes_(numNodes) {
-  if (numNodes_ > 64) throw std::invalid_argument("DresarManager: sharer masks support <= 64 nodes");
+  if (numNodes_ > 128)
+    throw std::invalid_argument("DresarManager: sharer masks support <= 128 nodes");
   if (cfg_.enabled()) {
     units_.reserve(topo_.totalSwitches());
     for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) {

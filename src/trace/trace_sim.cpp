@@ -3,7 +3,7 @@
 namespace dresar {
 
 namespace {
-std::uint64_t bit(NodeId n) { return 1ull << n; }
+NodeMask bit(NodeId n) { return nodeBit(n); }
 }  // namespace
 
 TraceSimulator::TraceSimulator(const TraceConfig& cfg)

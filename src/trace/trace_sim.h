@@ -90,7 +90,7 @@ class TraceSimulator {
   struct DirEntry {
     TDir state = TDir::Uncached;
     NodeId owner = kInvalidNode;
-    std::uint64_t sharers = 0;
+    NodeMask sharers = 0;
   };
 
   [[nodiscard]] NodeId homeOf(Addr block) const { return cfg_.homeOf(block); }

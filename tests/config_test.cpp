@@ -79,9 +79,29 @@ TEST(SystemConfig, ValidationErrorsCollectsEveryViolation) {
 
 TEST(SystemConfig, ValidationCatchesRadixCapacity) {
   SystemConfig c;
-  c.numNodes = 64;          // needs (radix/2)^2 >= 64
-  c.net.switchRadix = 8;    // only reaches 16
+  c.numNodes = 256;  // beyond the 128-node NodeMask cap
+  c.net.switchRadix = 8;
   EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  // Larger power-of-two sizes now derive deeper networks instead of failing.
+  c = SystemConfig{};
+  c.net.switchRadix = 8;
+  for (const std::uint32_t n : {32u, 64u, 128u}) {
+    c.numNodes = n;
+    EXPECT_NO_THROW(c.validate()) << n;
+  }
+
+  // A non-tiling combination names the supported sizes.
+  c = SystemConfig{};
+  c.numNodes = 8;
+  c.net.switchRadix = 32;  // 8/16 = half a switch per stage
+  try {
+    c.validate();
+    FAIL() << "validate() must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("multiple of switchRadix/2"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(SystemConfig, ValidationCatchesCacheSmallerThanOneSet) {

@@ -21,7 +21,7 @@ std::string scientificStatsDump(const std::string& app, std::uint32_t sdEntries,
   cfg.switchDir.entries = sdEntries;
   cfg.fault = fault;
   Simulation sim(cfg);
-  (void)sim.run(app, WorkloadScale::tiny());
+  (void)sim.run({.workload = app, .scale = WorkloadScale::tiny()});
   std::ostringstream os;
   sim.system().stats().dump(os);
   os << "exec_time=" << sim.system().eq().now()

@@ -74,7 +74,7 @@ TEST(FaultCampaign, DropsAreRecoveredAndRunStaysCoherent) {
   cfg.fault.seed = 7;
   Simulation sim(cfg);
   // run() itself enforces requireBalanced() + a clean protocol check.
-  const RunMetrics m = sim.run("sor", WorkloadScale::tiny());
+  const RunMetrics m = sim.run({.workload = "sor", .scale = WorkloadScale::tiny()});
   ASSERT_TRUE(m.faultEnabled);
   EXPECT_GT(m.faultInjectedDrops, 0u) << "a 2% drop rate must actually drop";
   EXPECT_EQ(m.faultRecovered, m.faultInjectedEffective());
@@ -89,7 +89,7 @@ TEST(FaultCampaign, DelaysPerturbTimingWithoutRecoveryDebt) {
   cfg.fault.msgDelayCycles = 32;
   cfg.fault.seed = 7;
   Simulation sim(cfg);
-  const RunMetrics m = sim.run("sor", WorkloadScale::tiny());
+  const RunMetrics m = sim.run({.workload = "sor", .scale = WorkloadScale::tiny()});
   EXPECT_GT(m.faultInjectedDelays, 0u);
   EXPECT_GT(m.faultInjectedDelayCycles, m.faultInjectedDelays);
   EXPECT_EQ(m.faultInjectedEffective(), 0u);  // delays never strand anything
@@ -101,7 +101,7 @@ TEST(FaultCampaign, TotalSdEntryLossKillsSwitchServesButNotCoherence) {
   cfg.fault.sdEntryLossRate = 1.0;  // every would-be switch serve is lost
   cfg.fault.seed = 7;
   Simulation sim(cfg);
-  const RunMetrics m = sim.run("sor", WorkloadScale::tiny());
+  const RunMetrics m = sim.run({.workload = "sor", .scale = WorkloadScale::tiny()});
   EXPECT_EQ(m.svcCtoCSwitch, 0u);
   EXPECT_GT(m.faultInjectedSdLosses, 0u);
   EXPECT_EQ(m.faultFallbackHomeLookups, m.faultInjectedSdLosses);
@@ -114,7 +114,7 @@ TEST(FaultCampaign, LinkStallCountsStallCyclesOnMessageNetwork) {
   cfg.switchDir.entries = 512;
   cfg.fault.linkStall = {0, 1, 0, 5000};
   Simulation sim(cfg);
-  const RunMetrics m = sim.run("fft", WorkloadScale::tiny());
+  const RunMetrics m = sim.run({.workload = "fft", .scale = WorkloadScale::tiny()});
   EXPECT_GT(m.faultInjectedStallCycles, 0u);
   EXPECT_GT(m.reads, 0u);
 }
@@ -125,7 +125,7 @@ TEST(FaultCampaign, LinkStallCountsStallCyclesOnFlitNetwork) {
   cfg.switchDir.entries = 512;
   cfg.fault.linkStall = {0, 1, 0, 2000};
   Simulation sim(cfg);
-  const RunMetrics m = sim.run("fft", WorkloadScale::tiny());
+  const RunMetrics m = sim.run({.workload = "fft", .scale = WorkloadScale::tiny()});
   EXPECT_GT(m.faultInjectedStallCycles, 0u);
   EXPECT_GT(m.reads, 0u);
 }
@@ -138,7 +138,7 @@ TEST(FaultCampaign, CombinedCampaignOnFlitNetworkRecovers) {
   cfg.fault.sdEntryLossRate = 0.1;
   cfg.fault.seed = 11;
   Simulation sim(cfg);
-  const RunMetrics m = sim.run("fft", WorkloadScale::tiny());
+  const RunMetrics m = sim.run({.workload = "fft", .scale = WorkloadScale::tiny()});
   EXPECT_EQ(m.faultRecovered, m.faultInjectedEffective());
   EXPECT_TRUE(sim.system().quiescent());
 }
@@ -148,7 +148,7 @@ TEST(FaultCampaign, BaseSystemWithoutSwitchDirAlsoRecovers) {
   cfg.fault.msgDropRate = 0.03;
   cfg.fault.seed = 3;
   Simulation sim(cfg);
-  const RunMetrics m = sim.run("sor", WorkloadScale::tiny());
+  const RunMetrics m = sim.run({.workload = "sor", .scale = WorkloadScale::tiny()});
   EXPECT_GT(m.faultInjectedDrops, 0u);
   EXPECT_EQ(m.faultRecovered, m.faultInjectedEffective());
 }

@@ -44,7 +44,7 @@ class WorkloadIntegration : public ::testing::TestWithParam<std::tuple<std::stri
 TEST_P(WorkloadIntegration, RunsVerifiesAndHoldsInvariants) {
   const auto& [name, sd] = GetParam();
   Simulation sim(baseConfig(sd));
-  const RunMetrics m = sim.run(name, WorkloadScale::tiny());
+  const RunMetrics m = sim.run({.workload = name, .scale = WorkloadScale::tiny()});
   EXPECT_GT(m.execTime, 0u);
   EXPECT_GT(m.reads, 0u);
   checkInvariants(sim.system());
@@ -69,11 +69,11 @@ TEST(Integration, SwitchDirReducesHomeCtoC) {
   RunMetrics base, with;
   {
     Simulation sim(baseConfig(false));
-    base = sim.run("sor", WorkloadScale::tiny());
+    base = sim.run({.workload = "sor", .scale = WorkloadScale::tiny()});
   }
   {
     Simulation sim(baseConfig(true));
-    with = sim.run("sor", WorkloadScale::tiny());
+    with = sim.run({.workload = "sor", .scale = WorkloadScale::tiny()});
   }
   EXPECT_GT(base.homeCtoC, 0u);
   EXPECT_LT(with.homeCtoC, base.homeCtoC) << "switch directories must offload the home node";
@@ -84,8 +84,8 @@ TEST(Integration, BaseAndSwitchDirComputeSameResults) {
   // Verification inside runWorkload already checks numerics; this asserts
   // the workload is deterministic across configurations.
   Simulation a(baseConfig(false)), b(baseConfig(true));
-  const RunMetrics ma = a.run("fwa", WorkloadScale::tiny());
-  const RunMetrics mb = b.run("fwa", WorkloadScale::tiny());
+  const RunMetrics ma = a.run({.workload = "fwa", .scale = WorkloadScale::tiny()});
+  const RunMetrics mb = b.run({.workload = "fwa", .scale = WorkloadScale::tiny()});
   EXPECT_GT(ma.reads, 0u);
   EXPECT_GT(mb.reads, 0u);
 }
@@ -94,8 +94,8 @@ TEST(Integration, ExecutionTimeImprovesOrHolds) {
   // The paper reports up to ~9% execution-time reduction; at minimum the
   // switch-directory system must not be pathologically slower.
   Simulation a(baseConfig(false)), b(baseConfig(true));
-  const RunMetrics ma = a.run("sor", WorkloadScale::tiny());
-  const RunMetrics mb = b.run("sor", WorkloadScale::tiny());
+  const RunMetrics ma = a.run({.workload = "sor", .scale = WorkloadScale::tiny()});
+  const RunMetrics mb = b.run({.workload = "sor", .scale = WorkloadScale::tiny()});
   EXPECT_LT(static_cast<double>(mb.execTime), static_cast<double>(ma.execTime) * 1.05);
 }
 

@@ -1,0 +1,242 @@
+// Scaling smoke tests: the k-stage BMIN generalization must produce valid
+// butterfly routes at 32/64/128 nodes, the message- and flit-level models
+// must agree on what the workload did at scale, and repeated runs must stay
+// byte-identical. Also pins the RunRequest API redesign: the deprecated
+// 3-argument Simulation::run shim is bit-identical to the struct form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "interconnect/topology.h"
+#include "sim/metrics.h"
+#include "sim/simulation.h"
+
+namespace dresar {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Route validity properties, checked independently of the implementation's
+// digit helpers.
+
+std::uint32_t ipow(std::uint32_t b, std::uint32_t e) {
+  std::uint32_t v = 1;
+  while (e--) v *= b;
+  return v;
+}
+
+// Low digits of switch coordinate c shared between stage-j neighbours and
+// below: c mod half^(k-1-j).
+std::uint32_t loDigits(const Butterfly& t, std::uint32_t j, std::uint32_t c) {
+  return c % ipow(t.half(), t.numStages() - 1 - j);
+}
+
+// Wiring rule: a stage-j switch a and stage-(j+1) switch b are linked iff
+// they differ at most in the digit at position k-2-j (weight w): the digits
+// below w and the digits above that position must match.
+bool linked(const Butterfly& t, std::uint32_t j, std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t w = ipow(t.half(), t.numStages() - 2 - j);
+  return a % w == b % w && a / (w * t.half()) == b / (w * t.half());
+}
+
+TEST(Scaling, ForwardRoutesAreValidButterflyPaths) {
+  for (const std::uint32_t n : {32u, 64u, 128u}) {
+    const Butterfly t(n, 8);
+    const std::uint32_t k = t.numStages();
+    for (NodeId p = 0; p < n; ++p) {
+      for (NodeId m = 0; m < n; ++m) {
+        const Route r = t.route(procEp(p), memEp(m));
+        ASSERT_EQ(r.size(), k + 1) << n << " " << p << "->" << m;
+        ASSERT_EQ(r[0].sw, t.procSwitch(p));
+        ASSERT_EQ(r[k - 1].sw, t.memSwitch(m));
+        ASSERT_EQ(r[k].kind, Hop::Kind::Deliver);
+        ASSERT_EQ(r[k].ep, memEp(m));
+        for (std::uint32_t j = 0; j + 1 < k; ++j) {
+          ASSERT_EQ(r[j].sw.stage, j);
+          ASSERT_TRUE(linked(t, j, r[j].sw.index, r[j + 1].sw.index))
+              << n << " nodes, " << p << "->" << m << " hop " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(Scaling, BackwardRoutesMirrorForward) {
+  for (const std::uint32_t n : {32u, 128u}) {
+    const Butterfly t(n, 8);
+    const std::uint32_t k = t.numStages();
+    for (NodeId p = 0; p < n; p += 3) {
+      for (NodeId m = 0; m < n; m += 5) {
+        const Route fwd = t.route(procEp(p), memEp(m));
+        const Route bwd = t.route(memEp(m), procEp(p));
+        ASSERT_EQ(bwd.size(), k + 1);
+        for (std::uint32_t j = 0; j < k; ++j) {
+          ASSERT_EQ(bwd[j].sw, fwd[k - 1 - j].sw)
+              << n << " nodes, " << p << "<->" << m << " hop " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(Scaling, TurnaroundStopsAtLowestCommonAncestor) {
+  for (const std::uint32_t n : {32u, 64u, 128u}) {
+    const Butterfly t(n, 8);
+    for (NodeId p = 0; p < n; ++p) {
+      for (NodeId q = 0; q < n; ++q) {
+        if (p == q) continue;
+        const std::uint32_t cs = t.procSwitch(p).index;
+        const std::uint32_t cq = t.procSwitch(q).index;
+        // Lowest common ancestor stage: the smallest j whose shared low
+        // digits already agree (same leaf turns at stage 0).
+        std::uint32_t lca = 0;
+        while (loDigits(t, lca, cs) != loDigits(t, lca, cq)) ++lca;
+        const Route r = t.route(procEp(p), procEp(q));
+        ASSERT_EQ(r.size(), 2u * lca + 2) << n << " " << p << "->" << q;
+        ASSERT_EQ(r[0].sw, t.procSwitch(p));
+        ASSERT_EQ(r[2 * lca].sw, t.procSwitch(q));
+        ASSERT_EQ(r.back().ep, procEp(q));
+        std::uint32_t maxStage = 0;
+        for (std::uint32_t i = 0; i + 1 < r.size(); ++i) {
+          maxStage = std::max(maxStage, r[i].sw.stage);
+          const std::uint32_t lowerStage = std::min(r[i].sw.stage, r[i + 1].sw.stage);
+          if (i + 2 < r.size()) {
+            // Every up and every down hop uses a real butterfly link.
+            const bool up = r[i + 1].sw.stage == r[i].sw.stage + 1;
+            const std::uint32_t a = up ? r[i].sw.index : r[i + 1].sw.index;
+            const std::uint32_t b = up ? r[i + 1].sw.index : r[i].sw.index;
+            ASSERT_TRUE(linked(t, lowerStage, a, b))
+                << n << " nodes, " << p << "->" << q << " hop " << i;
+          }
+        }
+        // Minimality: the route never climbs above the lowest stage where
+        // the two leaves share a subtree.
+        ASSERT_EQ(maxStage, lca) << n << " " << p << "->" << q;
+      }
+    }
+  }
+}
+
+TEST(Scaling, MemReachabilityMatchesSubtreeRule) {
+  const Butterfly t(128, 8);
+  // A leaf switch rewrites every digit above it on the climb, so stage 0
+  // reaches all memories.
+  EXPECT_TRUE(t.canReachMem(SwitchId{0, 0}, 0));
+  EXPECT_TRUE(t.canReachMem(SwitchId{0, 0}, 127));
+  // An intermediate switch is confined to its subtree: stage-2 switch 0
+  // (k = 4) covers memories 0..15 only.
+  EXPECT_TRUE(t.canReachMem(SwitchId{2, 0}, 15));
+  EXPECT_FALSE(t.canReachMem(SwitchId{2, 0}, 16));
+  // Top-stage switches reach exactly their own memories.
+  EXPECT_TRUE(t.canReachMem(t.memSwitch(9), 9));
+  EXPECT_FALSE(t.canReachMem(t.memSwitch(9), 13));
+}
+
+// ---------------------------------------------------------------------------
+// Execution smoke at scale.
+
+RunMetrics runSor(std::uint32_t numNodes, bool flitLevel) {
+  SystemConfig cfg = SystemConfig::paperTable2();
+  cfg.numNodes = numNodes;
+  cfg.net.flitLevel = flitLevel;
+  Simulation sim(cfg);
+  RunMetrics m = sim.run({.workload = "sor", .scale = WorkloadScale::tiny()});
+  EXPECT_TRUE(sim.system().quiescent());
+  return m;
+}
+
+TEST(Scaling, MessageAndFlitModelsAgreeAtScale) {
+  for (const std::uint32_t n : {32u, 64u}) {
+    const RunMetrics msg = runSor(n, false);
+    const RunMetrics flit = runSor(n, true);
+    // The demand access stream is workload-determined, so it must match
+    // exactly between the two network models.
+    EXPECT_EQ(msg.reads, flit.reads) << n;
+    EXPECT_EQ(msg.stores, flit.stores) << n;
+    EXPECT_GT(msg.readMisses, 0u) << n;
+    // Delivered message counts may differ slightly: flit-level timing shifts
+    // which requests race and retry. They must still agree closely.
+    const auto close = [](std::uint64_t a, std::uint64_t b) {
+      const double lo = static_cast<double>(std::min(a, b));
+      const double hi = static_cast<double>(std::max(a, b));
+      return hi <= lo * 1.05;
+    };
+    EXPECT_TRUE(close(msg.netMessages, flit.netMessages))
+        << n << ": " << msg.netMessages << " vs " << flit.netMessages;
+    EXPECT_TRUE(close(msg.readMisses, flit.readMisses))
+        << n << ": " << msg.readMisses << " vs " << flit.readMisses;
+  }
+}
+
+std::string statsDumpAtScale(std::uint32_t numNodes, std::uint64_t faultSeed) {
+  SystemConfig cfg = SystemConfig::paperTable2();
+  cfg.numNodes = numNodes;
+  if (faultSeed != 0) {
+    cfg.fault.msgDropRate = 0.01;
+    cfg.fault.seed = faultSeed;
+  }
+  Simulation sim(cfg);
+  (void)sim.run({.workload = "sor", .scale = WorkloadScale::tiny()});
+  std::ostringstream os;
+  sim.system().stats().dump(os);
+  os << "exec_time=" << sim.system().eq().now()
+     << " events=" << sim.system().eq().executed();
+  return os.str();
+}
+
+TEST(Scaling, RunsAreDeterministicAcrossSeedsAtScale) {
+  for (const std::uint32_t n : {32u, 64u}) {
+    for (const std::uint64_t seed : {0ull, 7ull, 8ull}) {
+      const std::string first = statsDumpAtScale(n, seed);
+      const std::string second = statsDumpAtScale(n, seed);
+      EXPECT_EQ(first, second) << n << " nodes, seed " << seed;
+      EXPECT_FALSE(first.empty());
+    }
+    // Distinct fault seeds perturb the run; the baseline differs from both.
+    EXPECT_NE(statsDumpAtScale(n, 7), statsDumpAtScale(n, 8)) << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RunRequest API redesign: the deprecated shim forwards bit-identically.
+
+std::string dumpAfter(Simulation& sim) {
+  std::ostringstream os;
+  sim.system().stats().dump(os);
+  os << "exec_time=" << sim.system().eq().now()
+     << " events=" << sim.system().eq().executed();
+  return os.str();
+}
+
+TEST(RunRequest, DeprecatedShimIsBitIdenticalToStructForm) {
+  SystemConfig cfg = SystemConfig::paperTable2();
+
+  Simulation viaStruct(cfg);
+  const RunMetrics a =
+      viaStruct.run({.workload = "sor", .scale = WorkloadScale::tiny()});
+  const std::string structDump = dumpAfter(viaStruct);
+
+  Simulation viaShim(cfg);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const RunMetrics b = viaShim.run("sor", WorkloadScale::tiny());
+#pragma GCC diagnostic pop
+  const std::string shimDump = dumpAfter(viaShim);
+
+  EXPECT_EQ(structDump, shimDump);
+  EXPECT_EQ(a.execTime, b.execTime);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.readMisses, b.readMisses);
+  EXPECT_EQ(a.netMessages, b.netMessages);
+}
+
+TEST(RunRequest, RequireVerifyDefaultsOnInBothForms) {
+  RunRequest req;
+  EXPECT_TRUE(req.requireVerify);
+  EXPECT_TRUE(req.workload.empty());
+}
+
+}  // namespace
+}  // namespace dresar

@@ -49,7 +49,7 @@ TEST(SmallSystem, FourNodeProtocolWorks) {
 TEST(SmallSystem, WorkloadsRunAtFourNodes) {
   for (const std::uint32_t sd : {0u, 256u}) {
     Simulation sim(smallConfig(sd));
-    const RunMetrics m = sim.run("sor", WorkloadScale::tiny());
+    const RunMetrics m = sim.run({.workload = "sor", .scale = WorkloadScale::tiny()});
     EXPECT_GT(m.reads, 0u);
   }
 }
@@ -60,15 +60,15 @@ TEST(SmallSystem, EightNodeGeometry) {
   cfg.net.switchRadix = 8;
   cfg.switchDir.entries = 512;
   Simulation sim(cfg);
-  const RunMetrics m = sim.run("tc", WorkloadScale::tiny());
+  const RunMetrics m = sim.run({.workload = "tc", .scale = WorkloadScale::tiny()});
   EXPECT_GT(m.reads, 0u);
   EXPECT_TRUE(sim.system().quiescent());
 }
 
 TEST(SmallSystem, RejectsImpossibleGeometry) {
   SystemConfig cfg;
-  cfg.numNodes = 64;        // needs (radix/2)^2 >= 64
-  cfg.net.switchRadix = 8;  // only reaches 16
+  cfg.numNodes = 256;       // beyond the 128-node NodeMask cap
+  cfg.net.switchRadix = 8;
   EXPECT_THROW(System{cfg}, std::invalid_argument);
 }
 

@@ -15,12 +15,25 @@ TEST(Butterfly, ReferenceGeometry16Nodes) {
   EXPECT_EQ(t.memSwitch(5), (SwitchId{1, 1}));
 }
 
-TEST(Butterfly, RejectsOversubscription) {
-  EXPECT_THROW(Butterfly(32, 8), std::invalid_argument);  // > (8/2)^2 / ... 32 > 16
+TEST(Butterfly, RejectsNonTilingGeometry) {
   EXPECT_THROW(Butterfly(16, 7), std::invalid_argument);  // odd radix
   EXPECT_THROW(Butterfly(15, 8), std::invalid_argument);  // not multiple of 4
+  // 24 nodes over 8x8 switches: 6 switches per stage needs a 3-stage ladder
+  // whose top digit base 6/4 is not integral.
+  EXPECT_THROW(Butterfly(24, 8), std::invalid_argument);
+  EXPECT_EQ(Butterfly::stagesFor(24, 8), 0u);
   EXPECT_NO_THROW(Butterfly(4, 4));
   EXPECT_NO_THROW(Butterfly(8, 8));
+}
+
+TEST(Butterfly, DerivesStageCountFromNodeCount) {
+  EXPECT_EQ(Butterfly::stagesFor(16, 8), 2u);
+  EXPECT_EQ(Butterfly::stagesFor(32, 8), 3u);
+  EXPECT_EQ(Butterfly::stagesFor(64, 8), 3u);
+  EXPECT_EQ(Butterfly::stagesFor(128, 8), 4u);
+  EXPECT_EQ(Butterfly(32, 8).numStages(), 3u);
+  EXPECT_EQ(Butterfly(32, 8).totalSwitches(), 24u);    // 3 stages x 8
+  EXPECT_EQ(Butterfly(128, 8).totalSwitches(), 128u);  // 4 stages x 32
 }
 
 TEST(Butterfly, ForwardRouteProcToMem) {
