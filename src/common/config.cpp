@@ -3,10 +3,28 @@
 #include <bit>
 #include <stdexcept>
 
+#include "switchdir/sd_policy.h"
+
 namespace dresar {
 
 namespace {
 bool isPow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Validate the two policy names of a switch-dir/switch-cache config,
+/// appending one error per unknown name (`what` = "switch directory" /
+/// "switch cache"). Both names are checked so a doubly-misconfigured sweep
+/// surfaces every violation in one round trip.
+void appendPolicyErrors(std::vector<std::string>& errs, const std::string& what,
+                        const std::string& replacement, const std::string& arbitration) {
+  if (!isSdReplacementPolicy(replacement)) {
+    errs.push_back(what + " replacement policy '" + replacement +
+                   "' unknown (valid: " + sdReplacementPolicyList() + ")");
+  }
+  if (!isSdArbitrationPolicy(arbitration)) {
+    errs.push_back(what + " arbitration policy '" + arbitration +
+                   "' unknown (valid: " + sdArbitrationPolicyList() + ")");
+  }
+}
 
 /// Power-of-two node counts in [4, kMaxNodes] that tile a BMIN of this
 /// radix, rendered for validation messages.
@@ -83,11 +101,15 @@ std::vector<std::string> SystemConfig::validationErrors() const {
   if (switchDir.enabled()) {
     require(switchDir.associativity != 0 && switchDir.entries % switchDir.associativity == 0,
             "switch directory entries must divide by associativity");
+    appendPolicyErrors(errs, "switch directory", switchDir.replacementPolicy,
+                       switchDir.arbitrationPolicy);
   }
   if (switchCache.enabled()) {
     require(switchCache.associativity != 0 &&
                 switchCache.entries % switchCache.associativity == 0,
             "switch cache entries must divide by associativity");
+    appendPolicyErrors(errs, "switch cache", switchCache.replacementPolicy,
+                       switchCache.arbitrationPolicy);
   }
   require(writeBufferEntries >= 1, "writeBufferEntries must be >= 1");
   require(mshrEntries >= 2, "mshrEntries must be >= 2");
@@ -134,8 +156,13 @@ void SystemConfig::dump(std::ostream& os) const {
   if (switchDir.enabled()) {
     os << switchDir.entries << " entries, " << switchDir.associativity << "-way, "
        << switchDir.snoopPortsPerCycle << " snoop ports, pending buffer "
-       << (switchDir.usePendingBuffer ? std::to_string(switchDir.pendingBufferEntries) : "off")
-       << "\n";
+       << (switchDir.usePendingBuffer ? std::to_string(switchDir.pendingBufferEntries) : "off");
+    // Non-default policies are called out; the default line stays
+    // byte-identical to the historical dump.
+    if (switchDir.replacementPolicy != "lru" || switchDir.arbitrationPolicy != "fifo") {
+      os << ", policy " << switchDir.replacementPolicy << "/" << switchDir.arbitrationPolicy;
+    }
+    os << "\n";
   } else {
     os << "disabled (Base system)\n";
   }
@@ -169,6 +196,8 @@ std::vector<std::string> TraceConfig::validationErrors() const {
   if (switchDir.enabled()) {
     require(switchDir.associativity != 0 && switchDir.entries % switchDir.associativity == 0,
             "switch directory entries must divide by associativity");
+    appendPolicyErrors(errs, "switch directory", switchDir.replacementPolicy,
+                       switchDir.arbitrationPolicy);
   }
   return errs;
 }

@@ -27,6 +27,12 @@ struct SwitchDirConfig {
   /// first re-issue waits SystemConfig::retryBackoffCycles; each further
   /// retry of the same transaction doubles the wait up to this bound.
   std::uint32_t retryBackoffMaxCycles = 768;
+  /// Victim selection for the per-switch tag arrays: "lru" (the paper's
+  /// fixed default), "fifo", or "random" (see switchdir/sd_policy.h).
+  std::string replacementPolicy = "lru";
+  /// Directory port arbitration: "fifo" (arrival order, the paper's model)
+  /// or "phase" (phase-priority per Li & An).
+  std::string arbitrationPolicy = "fifo";
 
   [[nodiscard]] bool enabled() const { return entries > 0; }
 };
@@ -38,6 +44,10 @@ struct SwitchCacheConfig {
   std::uint32_t entries = 0;
   std::uint32_t associativity = 4;
   std::uint32_t snoopPortsPerCycle = 2;
+  /// Same policy seam as SwitchDirConfig (the switch cache reuses the switch
+  /// tag array and port arbitration).
+  std::string replacementPolicy = "lru";
+  std::string arbitrationPolicy = "fifo";
 
   [[nodiscard]] bool enabled() const { return entries > 0; }
 };

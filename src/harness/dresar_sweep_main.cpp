@@ -4,7 +4,7 @@
 //   dresar-sweep --spec=sweeps/quick.spec --quick --baseline=main.json
 //
 // Expands the spec's job matrix (workload x switch-dir entries x assoc x
-// pending-buffer depth x seed replicas), runs every job on a work-stealing
+// pending-buffer depth x sd policy x seed replicas), runs every job on a work-stealing
 // thread pool (each job is a fully isolated simulation), aggregates
 // per-config statistics over seed replicas into one schema-v3 JSON document,
 // and optionally gates on regressions against a prior document.
@@ -126,6 +126,23 @@ Cli parseCli(int argc, char** argv) {
   return c;
 }
 
+/// Comma-joined canonical sd_policy labels ("lru-fifo,random-phase").
+std::string policyList(const std::vector<SdPolicyChoice>& cells) {
+  std::string s;
+  for (const SdPolicyChoice& c : cells) {
+    if (!s.empty()) s += ',';
+    s += c.label();
+  }
+  return s;
+}
+
+/// True when the spec sweeps anything beyond the default LRU/FIFO cell.
+/// Default sweeps must not record the option: their JSON stays byte-identical
+/// to pre-policy output.
+bool hasPolicyAxis(const SweepSpec& spec) {
+  return spec.sdPolicy != std::vector<SdPolicyChoice>{{}};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,6 +199,9 @@ int main(int argc, char** argv) {
       nlist += std::to_string(n);
     }
     ctx.recorder.setOption("nodes", nlist);
+  }
+  if (hasPolicyAxis(spec)) {
+    ctx.recorder.setOption("sd_policy", policyList(spec.sdPolicy));
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -248,6 +268,9 @@ int main(int argc, char** argv) {
         nlist += std::to_string(n);
       }
       jo.options.emplace_back("nodes", nlist);
+    }
+    if (hasPolicyAxis(spec)) {
+      jo.options.emplace_back("sd_policy", policyList(spec.sdPolicy));
     }
     if (spec.hasFaultAxes()) {
       // Only faulted sweeps carry fault options; fault-free documents stay

@@ -27,6 +27,10 @@ struct JobSpec {
   std::uint32_t sdEntries = 0;  ///< 0 = Base system (no switch directories)
   std::uint32_t assoc = 4;
   std::uint32_t pendingBuffer = 16;
+  /// Switch-directory policy cell (see switchdir/sd_policy.h). The defaults
+  /// are the paper's fixed organization; policy sweeps cross these axes.
+  std::string sdReplacement = "lru";
+  std::string sdArbitration = "fifo";
   /// System size; the BMIN depth is derived from it (16 = the paper's
   /// reference machine, deeper networks at 32/64/128).
   std::uint32_t numNodes = 16;
@@ -58,10 +62,13 @@ struct JobSpec {
   }
 
   /// Short config tag; matches the bench convention ("base", "sd-512") and
-  /// appends -aN / -pbN / -nN / fault-rate suffixes only when they differ from the
-  /// defaults, so default sweeps serialize exactly as the historical bench
-  /// output did. Fault suffixes (-fd / -fy / -fl: drop, delay, sd-loss rate)
-  /// apply to "base" as well — a faulty base run is not the base run.
+  /// appends -aN / -pbN / -nN / policy / fault-rate suffixes only when they
+  /// differ from the defaults, so default sweeps serialize exactly as the
+  /// historical bench output did. Policy suffixes are the bare policy names
+  /// ("sd-1024-random-phase"); replacement and arbitration name sets are
+  /// disjoint, so the tag stays unambiguous. Fault suffixes (-fd / -fy /
+  /// -fl: drop, delay, sd-loss rate) apply to "base" as well — a faulty base
+  /// run is not the base run.
   [[nodiscard]] std::string configTag() const {
     if (!tagOverride.empty()) return tagOverride;
     std::string t;
@@ -71,6 +78,8 @@ struct JobSpec {
       t = "sd-" + std::to_string(sdEntries);
       if (assoc != 4) t += "-a" + std::to_string(assoc);
       if (pendingBuffer != 16) t += "-pb" + std::to_string(pendingBuffer);
+      if (sdReplacement != "lru") t += "-" + sdReplacement;
+      if (sdArbitration != "fifo") t += "-" + sdArbitration;
     }
     if (numNodes != 16) t += "-n" + std::to_string(numNodes);
     if (fault.msgDropRate > 0.0) t += "-fd" + rateTag(fault.msgDropRate);

@@ -122,6 +122,12 @@ JobResult executeScientific(const JobSpec& job, std::uint32_t chromePid) {
   cfg.switchDir.entries = job.sdEntries;
   cfg.switchDir.associativity = job.assoc;
   cfg.switchDir.pendingBufferEntries = job.pendingBuffer;
+  cfg.switchDir.replacementPolicy = job.sdReplacement;
+  cfg.switchDir.arbitrationPolicy = job.sdArbitration;
+  // The switch cache reuses the switch-directory tag organization; a policy
+  // sweep exercises both structures with the same cell.
+  cfg.switchCache.replacementPolicy = job.sdReplacement;
+  cfg.switchCache.arbitrationPolicy = job.sdArbitration;
   cfg.txnTrace.enabled = job.traceTxns;
   cfg.fault = job.fault;
   Simulation sim(cfg);
@@ -149,6 +155,8 @@ JobResult executeTrace(const JobSpec& job) {
   cfg.switchDir.entries = job.sdEntries;
   cfg.switchDir.associativity = job.assoc;
   cfg.switchDir.pendingBufferEntries = job.pendingBuffer;
+  cfg.switchDir.replacementPolicy = job.sdReplacement;
+  cfg.switchDir.arbitrationPolicy = job.sdArbitration;
   TraceSimulator sim(cfg);
   TpcParams p = job.app == "tpcd" ? TpcParams::tpcd(job.traceRefs)
                                   : TpcParams::tpcc(job.traceRefs);

@@ -1,5 +1,7 @@
 #include "harness/sweep_spec.h"
 
+#include "switchdir/sd_policy.h"
+
 #include <algorithm>
 #include <charconv>
 #include <cstdlib>
@@ -80,6 +82,31 @@ std::vector<double> parseRateList(const std::string& source, int line, const std
 
 bool isTraceWorkload(const std::string& w) { return w == "tpcc" || w == "tpcd"; }
 
+/// Parse one sd_policy token: "repl-arb" or a bare replacement name (which
+/// keeps the default fifo arbitration). Both halves are validated against the
+/// policy registries so a typo'd cell dies at parse time with the valid names.
+SdPolicyChoice parsePolicyChoice(const std::string& source, int line, const std::string& item) {
+  SdPolicyChoice c;
+  const std::size_t dash = item.find('-');
+  if (dash == std::string::npos) {
+    c.replacement = item;
+  } else {
+    c.replacement = item.substr(0, dash);
+    c.arbitration = item.substr(dash + 1);
+  }
+  if (!isSdReplacementPolicy(c.replacement)) {
+    fail(source, line, "unknown replacement policy '" + c.replacement +
+                           "' in sd_policy '" + item +
+                           "' (valid: " + sdReplacementPolicyList() + ")");
+  }
+  if (!isSdArbitrationPolicy(c.arbitration)) {
+    fail(source, line, "unknown arbitration policy '" + c.arbitration +
+                           "' in sd_policy '" + item +
+                           "' (valid: " + sdArbitrationPolicyList() + ")");
+  }
+  return c;
+}
+
 }  // namespace
 
 SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
@@ -130,6 +157,17 @@ SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
                                  ": " + probe.validationErrors().front());
         }
       }
+    } else if (key == "sd_policy") {
+      spec.sdPolicy.clear();
+      for (const std::string& item : splitList(value)) {
+        if (item.empty()) fail(source, line, "empty sd_policy cell in list");
+        const SdPolicyChoice c = parsePolicyChoice(source, line, item);
+        if (std::find(spec.sdPolicy.begin(), spec.sdPolicy.end(), c) != spec.sdPolicy.end()) {
+          fail(source, line, "duplicate sd_policy cell '" + c.label() + "'");
+        }
+        spec.sdPolicy.push_back(c);
+      }
+      if (spec.sdPolicy.empty()) fail(source, line, "sd_policy list must not be empty");
     } else if (key == "seeds") {
       spec.seeds = parseUnsigned(source, line, value, 10'000);
       if (spec.seeds == 0) fail(source, line, "seeds must be positive");
@@ -229,28 +267,32 @@ std::vector<JobSpec> SweepSpec::expand() const {
       for (const std::uint32_t a : assoc) {
         for (const std::uint32_t pb : pendingBuffer) {
           for (const std::uint32_t n : nodes) {
-            for (const double fd : faultDropRate) {
-              for (const double fy : faultDelayRate) {
-                for (const double fl : faultSdLossRate) {
-                  for (std::uint64_t s = 1; s <= seeds; ++s) {
-                    JobSpec j;
-                    j.kind = isTraceWorkload(w) ? JobKind::Trace : JobKind::Scientific;
-                    j.app = w;
-                    j.sdEntries = e;
-                    j.assoc = a;
-                    j.pendingBuffer = pb;
-                    j.numNodes = n;
-                    j.seed = s;
-                    j.scale = ws;
-                    j.traceRefs = traceRefs;
-                    j.fault.msgDropRate = fd;
-                    j.fault.msgDelayRate = fy;
-                    j.fault.sdEntryLossRate = fl;
-                    j.fault.linkStall = faultLinkStall;
-                    // Replicas of one faulted cell draw independent injector
-                    // streams; replica 1 keeps the spec's base seed.
-                    j.fault.seed = faultSeed + (s - 1);
-                    jobs.push_back(std::move(j));
+            for (const SdPolicyChoice& pol : sdPolicy) {
+              for (const double fd : faultDropRate) {
+                for (const double fy : faultDelayRate) {
+                  for (const double fl : faultSdLossRate) {
+                    for (std::uint64_t s = 1; s <= seeds; ++s) {
+                      JobSpec j;
+                      j.kind = isTraceWorkload(w) ? JobKind::Trace : JobKind::Scientific;
+                      j.app = w;
+                      j.sdEntries = e;
+                      j.assoc = a;
+                      j.pendingBuffer = pb;
+                      j.sdReplacement = pol.replacement;
+                      j.sdArbitration = pol.arbitration;
+                      j.numNodes = n;
+                      j.seed = s;
+                      j.scale = ws;
+                      j.traceRefs = traceRefs;
+                      j.fault.msgDropRate = fd;
+                      j.fault.msgDelayRate = fy;
+                      j.fault.sdEntryLossRate = fl;
+                      j.fault.linkStall = faultLinkStall;
+                      // Replicas of one faulted cell draw independent injector
+                      // streams; replica 1 keeps the spec's base seed.
+                      j.fault.seed = faultSeed + (s - 1);
+                      jobs.push_back(std::move(j));
+                    }
                   }
                 }
               }

@@ -9,6 +9,7 @@
 //   assoc = 4
 //   pending_buffer = 16
 //   nodes = 16, 32, 64, 128              # system sizes (BMIN depth derived)
+//   sd_policy = lru, random-phase        # replacement[-arbitration] cells
 //   seeds = 1                            # replicas per config cell
 //   scale = paper                        # tiny | default | paper
 //   trace_refs = 16000000
@@ -22,7 +23,7 @@
 //   fault_link_stall = 0,1,1000,500      # stage,port,startCycle,lenCycles
 //
 // expand() turns this into workload x entries x assoc x pending_buffer x
-// fault-rate x seed JobSpecs. Unknown keys and malformed values are hard
+// nodes x sd_policy x fault-rate x seed JobSpecs. Unknown keys and malformed values are hard
 // errors with the line number, so a typo'd sweep fails before burning hours
 // of simulation.
 #pragma once
@@ -36,6 +37,21 @@
 
 namespace dresar::harness {
 
+/// One point on the sd_policy axis: a replacement policy plus an arbitration
+/// policy. Spec syntax is "repl-arb" ("random-phase") or a bare replacement
+/// name ("fifo"), which keeps the default fifo arbitration.
+struct SdPolicyChoice {
+  std::string replacement = "lru";
+  std::string arbitration = "fifo";
+  bool operator==(const SdPolicyChoice&) const = default;
+
+  [[nodiscard]] bool isDefault() const {
+    return replacement == "lru" && arbitration == "fifo";
+  }
+  /// Canonical spelling ("lru-fifo") used in recorder options and errors.
+  [[nodiscard]] std::string label() const { return replacement + "-" + arbitration; }
+};
+
 struct SweepSpec {
   std::string name = "sweep";
   std::vector<std::string> workloads;            ///< fft/tc/sor/fwa/gauss/tpcc/tpcd
@@ -46,6 +62,10 @@ struct SweepSpec {
   /// derived per size; every value is validated against the radix at parse
   /// time.
   std::vector<std::uint32_t> nodes = {16};
+  /// Switch-directory policy cells (replacement x arbitration, see the
+  /// sd_policy key). The default single cell is the paper's fixed LRU/FIFO
+  /// organization and keeps the sweep byte-identical to pre-policy output.
+  std::vector<SdPolicyChoice> sdPolicy = {{}};
   std::uint64_t seeds = 1;                       ///< replicas per config cell
   std::string scale = "default";                 ///< tiny | default | paper
   std::uint64_t traceRefs = 1'000'000;
@@ -67,14 +87,15 @@ struct SweepSpec {
   static SweepSpec parseFile(const std::string& path);
 
   /// The full job matrix, in deterministic spec order (workload-major, then
-  /// entries, assoc, pending buffer, nodes, seed).
+  /// entries, assoc, pending buffer, nodes, sd policy, seed).
   [[nodiscard]] std::vector<JobSpec> expand() const;
 
   /// Total matrix size without materializing it.
   [[nodiscard]] std::size_t jobCount() const {
     return workloads.size() * entries.size() * assoc.size() * pendingBuffer.size() *
-           nodes.size() * faultDropRate.size() * faultDelayRate.size() *
-           faultSdLossRate.size() * static_cast<std::size_t>(seeds);
+           nodes.size() * sdPolicy.size() * faultDropRate.size() *
+           faultDelayRate.size() * faultSdLossRate.size() *
+           static_cast<std::size_t>(seeds);
   }
 
   /// Problem-size override used by `dresar-sweep --quick` / `--paper`.

@@ -51,13 +51,6 @@ class Simulation {
   /// fault.* counters folded in when injection was enabled.
   RunMetrics run(const RunRequest& req);
 
-  /// Positional-argument shim kept for source compatibility; forwards to
-  /// run(RunRequest) unchanged.
-  [[deprecated("use run(RunRequest) instead")]] RunMetrics run(
-      const std::string& workloadKey, const WorkloadScale& scale, bool requireVerify = true) {
-    return run(RunRequest{workloadKey, scale, requireVerify});
-  }
-
   /// Protocol invariant check on the (quiescent) system.
   [[nodiscard]] CheckReport check() const;
 

@@ -17,6 +17,7 @@ DresarManager::DresarManager(const SwitchDirConfig& cfg, const Butterfly& topo,
   if (numNodes_ > 128)
     throw std::invalid_argument("DresarManager: sharer masks support <= 128 nodes");
   if (cfg_.enabled()) {
+    arb_ = makeSdArbitrationPolicy(cfg_.arbitrationPolicy);
     units_.reserve(topo_.totalSwitches());
     for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) {
       Unit& u = units_.emplace_back(cfg_, lineBytes);
@@ -54,14 +55,15 @@ void DresarManager::clearEntry(Unit& u, SDEntry& e) {
   u.cache.invalidate(e);
 }
 
-Cycle DresarManager::reservePorts(Unit& u, Cycle now, bool pendingEligible) {
+Cycle DresarManager::reservePorts(Unit& u, Cycle now, bool pendingEligible,
+                                  SDAccessPhase phase) {
   // Strict <: with N buffer entries, the Nth TRANSIENT entry is the last one
   // that fits, so a full buffer (transientCount == N) falls back to the main
   // directory ports.
   if (cfg_.usePendingBuffer && pendingEligible && u.transientCount < cfg_.pendingBufferEntries) {
-    return u.pendingPorts.reserve(now);
+    return arb_->reserve(u.pendingPorts, now, phase);
   }
-  return u.mainPorts.reserve(now);
+  return arb_->reserve(u.mainPorts, now, phase);
 }
 
 SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
@@ -73,7 +75,8 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
     case MsgType::WriteReply: {
       // Ownership grant flowing home -> writer: deposit/update an entry at
       // every switch on the backward path (paper 3.2 "Write Replies").
-      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/false);
+      const Cycle delay =
+          reservePorts(u, now, /*pendingEligible=*/false, SDAccessPhase::Completion);
       SDEntry* e = u.cache.allocate(m.addr);
       if (e == nullptr) {
         ++u.c.depositSkipped;
@@ -94,7 +97,8 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
     }
 
     case MsgType::ReadRequest: {
-      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/false);
+      const Cycle delay =
+          reservePorts(u, now, /*pendingEligible=*/false, SDAccessPhase::Request);
       SDEntry* e = u.cache.find(m.addr);
       if (e == nullptr) return {true, delay};
       if (e->state == SDState::Modified) {
@@ -157,7 +161,8 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
     }
 
     case MsgType::WriteRequest: {
-      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/false);
+      const Cycle delay =
+          reservePorts(u, now, /*pendingEligible=*/false, SDAccessPhase::Request);
       SDEntry* e = u.cache.find(m.addr);
       if (e == nullptr) return {true, delay};
       if (e->state == SDState::Modified) {
@@ -184,7 +189,8 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
     }
 
     case MsgType::CtoCRequest: {
-      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
+      const Cycle delay =
+          reservePorts(u, now, /*pendingEligible=*/true, SDAccessPhase::Completion);
       SDEntry* e = u.cache.find(m.addr);
       if (e == nullptr) return {true, delay};
       if (e->state == SDState::Modified) {
@@ -203,7 +209,8 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
     }
 
     case MsgType::CopyBack: {
-      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
+      const Cycle delay =
+          reservePorts(u, now, /*pendingEligible=*/true, SDAccessPhase::Completion);
       SDEntry* e = u.cache.find(m.addr);
       if (e == nullptr) return {true, delay};
       if (e->state == SDState::Transient &&
@@ -234,7 +241,8 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
     }
 
     case MsgType::WriteBack: {
-      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
+      const Cycle delay =
+          reservePorts(u, now, /*pendingEligible=*/true, SDAccessPhase::Completion);
       SDEntry* e = u.cache.find(m.addr);
       if (e == nullptr) return {true, delay};
       if (e->state == SDState::Transient) {
@@ -269,7 +277,8 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       // switch directory: they mean "I could not supply the block" and must
       // clear the initiating TRANSIENT entry and bounce its requester.
       if (!m.marked || m.dst.kind != EndpointKind::Mem) return {};
-      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
+      const Cycle delay =
+          reservePorts(u, now, /*pendingEligible=*/true, SDAccessPhase::Completion);
       SDEntry* e = u.cache.find(m.addr);
       if (e == nullptr || e->state != SDState::Transient) return {true, delay};
       if (tracer_ != nullptr && e->txn != 0) {
@@ -295,7 +304,8 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
 
     case MsgType::Invalidation: {
       if (!cfg_.snoopInvalidations) return {};
-      const Cycle delay = reservePorts(u, now, /*pendingEligible=*/true);
+      const Cycle delay =
+          reservePorts(u, now, /*pendingEligible=*/true, SDAccessPhase::Completion);
       SDEntry* e = u.cache.find(m.addr);
       if (e != nullptr && e->state == SDState::Modified) {
         clearEntry(u, *e);

@@ -30,12 +30,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/config.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "interconnect/network.h"
 #include "switchdir/dir_cache.h"
 #include "switchdir/port_schedule.h"
+#include "switchdir/sd_policy.h"
 
 namespace dresar {
 
@@ -86,7 +89,7 @@ class DresarManager : public ISwitchSnoop {
     Counters c;
 
     Unit(const SwitchDirConfig& cfg, std::uint32_t lineBytes)
-        : cache(cfg.entries, cfg.associativity, lineBytes),
+        : cache(cfg.entries, cfg.associativity, lineBytes, cfg.replacementPolicy),
           mainPorts(cfg.snoopPortsPerCycle),
           pendingPorts(cfg.snoopPortsPerCycle * 2) {}
   };
@@ -96,8 +99,11 @@ class DresarManager : public ISwitchSnoop {
   void setTransient(Unit& u, SDEntry& e, NodeId requester, std::uint64_t txn);
   void clearEntry(Unit& u, SDEntry& e);
 
-  /// Reserve directory access ports; returns the contention delay.
-  Cycle reservePorts(Unit& u, Cycle now, bool pendingEligible);
+  /// Reserve directory access ports; returns the contention delay. The
+  /// arbitration policy sees the access's protocol phase; which SRAM is
+  /// probed (main directory vs pending buffer) stays a structural property
+  /// of the message class, per paper 4.3.
+  Cycle reservePorts(Unit& u, Cycle now, bool pendingEligible, SDAccessPhase phase);
 
   SwitchDirConfig cfg_;
   const Butterfly& topo_;
@@ -105,6 +111,8 @@ class DresarManager : public ISwitchSnoop {
   std::uint32_t numNodes_;
   TxnTracer* tracer_ = nullptr;
   FaultInjector* fault_ = nullptr;
+  /// Stateless across switches; one instance arbitrates every unit.
+  std::unique_ptr<SDArbitrationPolicy> arb_;
   std::vector<Unit> units_;
 
   std::uint64_t ctocInitiated_ = 0;

@@ -20,13 +20,20 @@ class PortSchedule {
 
   /// Reserve one port at the earliest cycle >= now; returns the wait (cycles
   /// beyond `now` the access must be delayed by port contention).
-  Cycle reserve(Cycle now) {
+  Cycle reserve(Cycle now) { return reserve(now, ports_); }
+
+  /// Reserve with a reduced per-cycle budget (arbitration policies withhold
+  /// ports from low-priority phases this way). `budget` is clamped to
+  /// [1, portsPerCycle]; an access that finds its budget exhausted waits for
+  /// the next cycle.
+  Cycle reserve(Cycle now, std::uint32_t budget) {
+    budget = std::clamp<std::uint32_t>(budget, 1, ports_);
     if (now > head_) {
       head_ = now;
       used_ = 1;
       return 0;
     }
-    if (used_ < ports_) {
+    if (used_ < budget) {
       ++used_;
       return head_ - now;
     }

@@ -1,0 +1,142 @@
+#include "switchdir/sd_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dresar {
+
+const char* toString(SDAccessPhase p) {
+  switch (p) {
+    case SDAccessPhase::Request: return "Request";
+    case SDAccessPhase::Completion: return "Completion";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Oldest stamp wins. Stamps are unique (every one comes from a distinct
+/// monotonic tick), so the choice is total and deterministic.
+SDEntry* oldestStamp(SDEntry* const* candidates, std::size_t n) {
+  SDEntry* best = candidates[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (candidates[i]->lastUse < best->lastUse) best = candidates[i];
+  }
+  return best;
+}
+
+class LruReplacement final : public SDReplacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "lru"; }
+  [[nodiscard]] bool touchOnHit() const override { return true; }
+  [[nodiscard]] SDEntry* pickVictim(SDEntry* const* candidates, std::size_t n) override {
+    return oldestStamp(candidates, n);
+  }
+};
+
+class FifoReplacement final : public SDReplacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "fifo"; }
+  [[nodiscard]] bool touchOnHit() const override { return false; }
+  [[nodiscard]] SDEntry* pickVictim(SDEntry* const* candidates, std::size_t n) override {
+    // Hits never refresh, so the oldest stamp is the oldest insertion.
+    return oldestStamp(candidates, n);
+  }
+};
+
+class RandomReplacement final : public SDReplacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "random"; }
+  [[nodiscard]] bool touchOnHit() const override { return false; }
+  [[nodiscard]] SDEntry* pickVictim(SDEntry* const* candidates, std::size_t n) override {
+    // xorshift64*: one fixed-seed stream per cache instance. Decisions
+    // depend only on that cache's access sequence, never on thread
+    // scheduling, so parallel sweeps stay byte-identical for any --jobs.
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t draw = state_ * 0x2545F4914F6CDD1Dull;
+    return candidates[draw % n];
+  }
+
+ private:
+  std::uint64_t state_ = 0x9E3779B97F4A7C15ull;
+};
+
+class FifoArbitration final : public SDArbitrationPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "fifo"; }
+  Cycle reserve(PortSchedule& ports, Cycle now, SDAccessPhase /*phase*/) override {
+    return ports.reserve(now);
+  }
+};
+
+/// Phase-priority (Li & An): one port per cycle is held back from fresh
+/// requests so completion-phase traffic always finds capacity. Degenerates
+/// to FIFO on a single-ported SRAM (the reservation would starve requests).
+class PhaseArbitration final : public SDArbitrationPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "phase"; }
+  Cycle reserve(PortSchedule& ports, Cycle now, SDAccessPhase phase) override {
+    if (phase == SDAccessPhase::Completion || ports.portsPerCycle() <= 1) {
+      return ports.reserve(now);
+    }
+    return ports.reserve(now, ports.portsPerCycle() - 1);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SDReplacementPolicy> makeSdReplacementPolicy(const std::string& name) {
+  if (name == "lru") return std::make_unique<LruReplacement>();
+  if (name == "fifo") return std::make_unique<FifoReplacement>();
+  if (name == "random") return std::make_unique<RandomReplacement>();
+  throw std::invalid_argument("unknown switch-directory replacement policy '" + name +
+                              "' (valid: " + sdReplacementPolicyList() + ")");
+}
+
+std::unique_ptr<SDArbitrationPolicy> makeSdArbitrationPolicy(const std::string& name) {
+  if (name == "fifo") return std::make_unique<FifoArbitration>();
+  if (name == "phase") return std::make_unique<PhaseArbitration>();
+  throw std::invalid_argument("unknown switch-directory arbitration policy '" + name +
+                              "' (valid: " + sdArbitrationPolicyList() + ")");
+}
+
+const std::vector<std::string>& sdReplacementPolicyNames() {
+  static const std::vector<std::string> names = {"lru", "fifo", "random"};
+  return names;
+}
+
+const std::vector<std::string>& sdArbitrationPolicyNames() {
+  static const std::vector<std::string> names = {"fifo", "phase"};
+  return names;
+}
+
+namespace {
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+std::string joined(const std::vector<std::string>& v) {
+  std::string out;
+  for (const std::string& s : v) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+}  // namespace
+
+bool isSdReplacementPolicy(const std::string& name) {
+  return contains(sdReplacementPolicyNames(), name);
+}
+
+bool isSdArbitrationPolicy(const std::string& name) {
+  return contains(sdArbitrationPolicyNames(), name);
+}
+
+std::string sdReplacementPolicyList() { return joined(sdReplacementPolicyNames()); }
+
+std::string sdArbitrationPolicyList() { return joined(sdArbitrationPolicyNames()); }
+
+}  // namespace dresar

@@ -1,0 +1,97 @@
+// Pluggable switch-directory policies (ROADMAP "policy lab"). Two seams are
+// extracted from the switch-directory layer so head-to-head studies plug in
+// without touching the protocol engines:
+//
+//   * SDReplacementPolicy — victim selection and touch-on-use bookkeeping for
+//     the per-switch tag arrays (SwitchDirCache). Modeled on Graphite's
+//     DramDirectoryCache replacement-candidate machinery: the cache collects
+//     the evictable ways of a set (valid, not pinned TRANSIENT) and the
+//     policy picks among them. Shipped: "lru" (the paper's fixed default),
+//     "fifo" (insertion order, hits do not refresh), "random" (deterministic
+//     xorshift stream per cache, so sweeps stay byte-identical per --jobs).
+//
+//   * SDArbitrationPolicy — how contending directory accesses share a
+//     switch's multiported SRAM in one cycle. Shipped: "fifo" (arrival
+//     order, the paper's model) and "phase" (phase-priority per Li & An:
+//     completion-phase traffic — replies, copybacks, retries — keeps the
+//     full port budget while fresh requests are throttled to ports-1, so a
+//     transaction nearing completion is never starved by new arrivals).
+//
+// Both factories throw std::invalid_argument on unknown names;
+// SystemConfig::validationErrors() reports the same names earlier with the
+// full valid list so misconfigured sweeps fail before burning simulation
+// hours.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "switchdir/dir_cache.h"
+#include "switchdir/port_schedule.h"
+
+namespace dresar {
+
+/// Protocol phase of a directory access, for phase-priority arbitration.
+/// Request = a fresh request probing the directory (ReadRequest,
+/// WriteRequest); Completion = traffic finishing an in-flight transaction
+/// (WriteReply deposits, CtoCRequest, CopyBack, WriteBack, Retry,
+/// Invalidation).
+enum class SDAccessPhase : std::uint8_t { Request, Completion };
+
+const char* toString(SDAccessPhase p);
+
+/// Victim selection for one set of a switch tag array. The cache keeps the
+/// mechanics (stamps come from its monotonic tick, invalid ways are always
+/// preferred, TRANSIENT ways are never offered) and asks the policy two
+/// questions: does a lookup hit refresh the recency stamp, and which of the
+/// evictable ways dies.
+class SDReplacementPolicy {
+ public:
+  virtual ~SDReplacementPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// True if a lookup hit refreshes the entry's recency stamp (LRU); false
+  /// if only allocation stamps it (FIFO/random keep insertion order).
+  [[nodiscard]] virtual bool touchOnHit() const = 0;
+
+  /// Choose the victim among `n >= 1` evictable ways (valid, unpinned).
+  /// Stateful policies (random) may advance internal state per call.
+  [[nodiscard]] virtual SDEntry* pickVictim(SDEntry* const* candidates, std::size_t n) = 0;
+};
+
+/// Port arbitration for one multiported directory SRAM. The policy decides
+/// how a phase shares the per-cycle port budget; the PortSchedule keeps the
+/// head-of-line bookkeeping.
+class SDArbitrationPolicy {
+ public:
+  virtual ~SDArbitrationPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Reserve one access on `ports` at the earliest cycle >= now; returns the
+  /// contention delay in cycles.
+  virtual Cycle reserve(PortSchedule& ports, Cycle now, SDAccessPhase phase) = 0;
+};
+
+/// Factory + registry. Names are stable spec/config tokens.
+[[nodiscard]] std::unique_ptr<SDReplacementPolicy> makeSdReplacementPolicy(
+    const std::string& name);
+[[nodiscard]] std::unique_ptr<SDArbitrationPolicy> makeSdArbitrationPolicy(
+    const std::string& name);
+
+/// Registered policy names, in deterministic registration order.
+[[nodiscard]] const std::vector<std::string>& sdReplacementPolicyNames();
+[[nodiscard]] const std::vector<std::string>& sdArbitrationPolicyNames();
+
+[[nodiscard]] bool isSdReplacementPolicy(const std::string& name);
+[[nodiscard]] bool isSdArbitrationPolicy(const std::string& name);
+
+/// "lru, fifo, random" — for validation/usage messages.
+[[nodiscard]] std::string sdReplacementPolicyList();
+[[nodiscard]] std::string sdArbitrationPolicyList();
+
+}  // namespace dresar

@@ -10,6 +10,7 @@ SwitchCacheManager::SwitchCacheManager(const SwitchCacheConfig& cfg, const Butte
                                        std::uint32_t lineBytes, StatRegistry& stats)
     : cfg_(cfg), topo_(topo) {
   if (cfg_.enabled()) {
+    arb_ = makeSdArbitrationPolicy(cfg_.arbitrationPolicy);
     units_.reserve(topo_.totalSwitches());
     for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) {
       Unit& u = units_.emplace_back(cfg_, lineBytes);
@@ -31,9 +32,9 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
       // Clean data flowing home -> reader: deposit it. Switch-served replies
       // are not re-deposited (they never crossed the home).
       if (m.viaSwitchCache || m.marked) return {};
-      const Cycle delay = u.ports.reserve(now);
+      const Cycle delay = arb_->reserve(u.ports, now, SDAccessPhase::Completion);
       if (SDEntry* e = u.tags.allocate(m.addr); e != nullptr) {
-        e->state = SDState::Modified;  // "valid data" for the tag array
+        e->state = SDState::Shared;  // clean data captured at the switch
         e->owner = kInvalidNode;
         ++deposits_;
         ++u.deposits;
@@ -42,7 +43,7 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
     }
 
     case MsgType::ReadRequest: {
-      const Cycle delay = u.ports.reserve(now);
+      const Cycle delay = arb_->reserve(u.ports, now, SDAccessPhase::Request);
       SDEntry* e = u.tags.find(m.addr);
       if (e == nullptr) return {true, delay};
       if (fault_ != nullptr && fault_->loseSdEntry()) {
@@ -84,7 +85,7 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
     case MsgType::CtoCRequest:
     case MsgType::CopyBack:
     case MsgType::WriteBack: {
-      const Cycle delay = u.ports.reserve(now);
+      const Cycle delay = arb_->reserve(u.ports, now, SDAccessPhase::Completion);
       if (SDEntry* e = u.tags.find(m.addr); e != nullptr) {
         u.tags.invalidate(*e);
         ++invalidates_;

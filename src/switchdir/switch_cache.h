@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "interconnect/network.h"
 #include "switchdir/dir_cache.h"
 #include "switchdir/port_schedule.h"
+#include "switchdir/sd_policy.h"
 
 namespace dresar {
 
@@ -46,12 +48,13 @@ class SwitchCacheManager : public ISwitchSnoop {
 
  private:
   struct Unit {
-    SwitchDirCache tags;  ///< reuse the tag array; state Modified == "valid data"
+    SwitchDirCache tags;  ///< reuse the tag array; state Shared == "clean data"
     PortSchedule ports;
     /// Per-switch counters ("sc.<flat>.*"), resolved once at construction.
     CounterHandle deposits, serves, invalidates;
     Unit(const SwitchCacheConfig& cfg, std::uint32_t lineBytes)
-        : tags(cfg.entries, cfg.associativity, lineBytes), ports(cfg.snoopPortsPerCycle) {}
+        : tags(cfg.entries, cfg.associativity, lineBytes, cfg.replacementPolicy),
+          ports(cfg.snoopPortsPerCycle) {}
   };
 
   Unit& unit(SwitchId sw) { return units_[topo_.flat(sw)]; }
@@ -59,6 +62,8 @@ class SwitchCacheManager : public ISwitchSnoop {
   SwitchCacheConfig cfg_;
   const Butterfly& topo_;
   FaultInjector* fault_ = nullptr;
+  /// Stateless across switches; one instance arbitrates every unit.
+  std::unique_ptr<SDArbitrationPolicy> arb_;
   std::vector<Unit> units_;
   std::uint64_t deposits_ = 0;
   std::uint64_t serves_ = 0;

@@ -17,7 +17,7 @@ TraceSimulator::TraceSimulator(const TraceConfig& cfg)
     switchDirs_.reserve(topo_.totalSwitches());
     for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) {
       switchDirs_.emplace_back(cfg_.switchDir.entries, cfg_.switchDir.associativity,
-                               cfg_.lineBytes);
+                               cfg_.lineBytes, cfg_.switchDir.replacementPolicy);
     }
   }
   pathTable_.reserve(static_cast<std::size_t>(cfg_.numNodes) * cfg_.numNodes);

@@ -132,6 +132,49 @@ TEST(SystemConfig, ValidationCatchesBadFaultRates) {
   EXPECT_NO_THROW(c.validate());
 }
 
+TEST(SystemConfig, ValidationCatchesUnknownSdPolicies) {
+  SystemConfig c;
+  c.switchDir.replacementPolicy = "plru";
+  c.switchDir.arbitrationPolicy = "lottery";
+  c.switchCache.entries = 1024;  // enable, with its own bad pair
+  c.switchCache.replacementPolicy = "mru";
+  c.switchCache.arbitrationPolicy = "priority";
+  const std::vector<std::string> errs = c.validationErrors();
+  EXPECT_GE(errs.size(), 4u);  // every violation collected, not just the first
+  const auto mentioned = [&](const std::string& name) {
+    for (const std::string& e : errs) {
+      if (e.find("'" + name + "'") != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(mentioned("plru"));
+  EXPECT_TRUE(mentioned("lottery"));
+  EXPECT_TRUE(mentioned("mru"));
+  EXPECT_TRUE(mentioned("priority"));
+  // Each error names the valid alternatives.
+  EXPECT_NE(errs.front().find("valid:"), std::string::npos) << errs.front();
+
+  // A disabled structure's policy strings are never validated (entries=0
+  // means the knobs are inert).
+  c = SystemConfig{};
+  c.switchDir.entries = 0;
+  c.switchDir.replacementPolicy = "plru";
+  EXPECT_TRUE(c.validationErrors().empty());
+}
+
+TEST(SystemConfig, DumpNamesNonDefaultPoliciesOnly) {
+  SystemConfig c;
+  std::ostringstream os;
+  c.dump(os);
+  EXPECT_EQ(os.str().find("policy"), std::string::npos);  // default stays silent
+
+  c.switchDir.replacementPolicy = "random";
+  c.switchDir.arbitrationPolicy = "phase";
+  std::ostringstream os2;
+  c.dump(os2);
+  EXPECT_NE(os2.str().find("random/phase"), std::string::npos) << os2.str();
+}
+
 TEST(SystemConfig, DisabledSwitchDirIsBaseSystem) {
   SystemConfig c;
   c.switchDir.entries = 0;

@@ -45,6 +45,18 @@ TEST(JobSpec, FaultSuffixesApplyToBaseAndSwitchDirTags) {
   EXPECT_EQ(j.configTag(), "sd-512-fd0.02-fy0.1-fl0.5");
 }
 
+TEST(JobSpec, PolicySuffixesApplyOnlyWhenNonDefault) {
+  JobSpec j;
+  j.sdEntries = 1024;
+  EXPECT_EQ(j.configTag(), "sd-1024");  // lru/fifo defaults stay silent
+  j.sdReplacement = "random";
+  EXPECT_EQ(j.configTag(), "sd-1024-random");
+  j.sdArbitration = "phase";
+  EXPECT_EQ(j.configTag(), "sd-1024-random-phase");
+  j.sdReplacement = "lru";
+  EXPECT_EQ(j.configTag(), "sd-1024-phase");
+}
+
 TEST(JobSpec, DisplayApp) {
   JobSpec j;
   j.app = "fft";
@@ -121,6 +133,44 @@ TEST(SweepSpec, ExpandIsWorkloadMajorCrossProduct) {
   EXPECT_EQ(jobs[4].app, "tpcc");
   EXPECT_EQ(jobs[4].kind, JobKind::Trace);
   EXPECT_EQ(jobs[0].kind, JobKind::Scientific);
+}
+
+TEST(SweepSpec, ParsesSdPolicyAxis) {
+  std::istringstream in(
+      "workloads = sor\n"
+      "entries = 1024\n"
+      "sd_policy = lru, fifo-phase, random-phase\n");
+  const SweepSpec s = SweepSpec::parse(in, "policy.spec");
+  ASSERT_EQ(s.sdPolicy.size(), 3u);
+  EXPECT_EQ(s.sdPolicy[0], (SdPolicyChoice{"lru", "fifo"}));  // bare name: default arb
+  EXPECT_EQ(s.sdPolicy[1], (SdPolicyChoice{"fifo", "phase"}));
+  EXPECT_EQ(s.sdPolicy[2], (SdPolicyChoice{"random", "phase"}));
+  EXPECT_EQ(s.jobCount(), 3u);
+  const std::vector<JobSpec> jobs = s.expand();
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].sdReplacement, "lru");
+  EXPECT_EQ(jobs[0].sdArbitration, "fifo");
+  EXPECT_EQ(jobs[2].sdReplacement, "random");
+  EXPECT_EQ(jobs[2].sdArbitration, "phase");
+  EXPECT_EQ(jobs[2].configTag(), "sd-1024-random-phase");
+}
+
+TEST(SweepSpec, SdPolicyAxisRejectsUnknownAndDuplicateCells) {
+  const auto parseText = [](const std::string& text) {
+    std::istringstream in(text);
+    return SweepSpec::parse(in, "bad.spec");
+  };
+  EXPECT_THROW(parseText("sd_policy = plru\n"), std::runtime_error);
+  EXPECT_THROW(parseText("sd_policy = lru-lottery\n"), std::runtime_error);
+  EXPECT_THROW(parseText("sd_policy = lru, lru-fifo\n"), std::runtime_error);  // same cell
+  try {
+    (void)parseText("sd_policy = lru-lottery\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.spec:1"), std::string::npos) << what;
+    EXPECT_NE(what.find("fifo, phase"), std::string::npos) << what;  // valid list named
+  }
 }
 
 TEST(SweepSpec, ParsesFaultAxes) {
