@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/config.h"
 #include "common/event_queue.h"
 #include "common/stats.h"
@@ -146,7 +147,13 @@ class CacheController {
 
   L1Filter l1_;
   CacheArray l2_;
-  std::unordered_map<Addr, Mshr> mshrs_;
+  /// Arena backing the MSHR map's nodes; MSHRs churn on every miss, and the
+  /// arena turns that node traffic into free-list pops. Declared before
+  /// mshrs_ so it outlives the map.
+  Arena mshrArena_;
+  std::unordered_map<Addr, Mshr, std::hash<Addr>, std::equal_to<Addr>,
+                     ArenaAllocator<std::pair<const Addr, Mshr>>>
+      mshrs_{ArenaAllocator<std::pair<const Addr, Mshr>>(mshrArena_)};
   Cycle ctrlFree_ = 0;
 
   std::uint32_t wbOccupancy_ = 0;  ///< write-buffer entries in flight

@@ -6,19 +6,6 @@
 
 namespace dresar {
 
-void EventQueue::scheduleAt(Cycle when, Handler fn) {
-  if (when < now_) throw std::logic_error("EventQueue: scheduling into the past");
-  ++pending_;
-  if (when < windowEnd_) {
-    Bucket& b = bucketOf(when);
-    b.items.push_back(std::move(fn));
-    markOccupied(when);
-    ++nearCount_;
-  } else {
-    far_[when].push_back(std::move(fn));
-  }
-}
-
 Cycle EventQueue::nextEventCycle() const {
   if (nearCount_ > 0) {
     // Circular bitmap scan from the current cycle's ring position; each

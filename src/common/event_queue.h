@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
+#include "common/small_fn.h"
 #include "common/types.h"
 
 namespace dresar {
@@ -25,16 +27,40 @@ namespace dresar {
 /// them to the front of the bucket keeps them ahead of later near appends.
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  /// Event closure. SmallFn's inline buffer is sized for the largest hot
+  /// closure (Network's switch-hop lambda: a 96-byte Message plus route
+  /// state), so scheduling an event performs no heap allocation — the
+  /// single biggest remaining malloc source in the calendar-queue loop.
+  /// Oversized closures still work; they transparently fall back to the
+  /// heap like std::function.
+  using Handler = SmallFn<160>;
 
   /// Current simulated cycle. Valid during and after event execution.
   [[nodiscard]] Cycle now() const { return now_; }
 
-  /// Schedule `fn` to run at absolute cycle `when` (>= now()).
-  void scheduleAt(Cycle when, Handler fn);
+  /// Schedule `fn` to run at absolute cycle `when` (>= now()). Templated so
+  /// the closure is constructed directly in its bucket slot — one payload
+  /// move, not a Handler round trip (hot closures carry ~150-byte captures,
+  /// so an extra relocation per event is measurable).
+  template <typename F>
+  void scheduleAt(Cycle when, F&& fn) {
+    if (when < now_) throw std::logic_error("EventQueue: scheduling into the past");
+    ++pending_;
+    if (when < windowEnd_) {
+      Bucket& b = bucketOf(when);
+      b.items.emplace_back(std::forward<F>(fn));
+      markOccupied(when);
+      ++nearCount_;
+    } else {
+      far_[when].emplace_back(std::forward<F>(fn));
+    }
+  }
 
   /// Schedule `fn` to run `delay` cycles from now.
-  void scheduleAfter(Cycle delay, Handler fn) { scheduleAt(now_ + delay, std::move(fn)); }
+  template <typename F>
+  void scheduleAfter(Cycle delay, F&& fn) {
+    scheduleAt(now_ + delay, std::forward<F>(fn));
+  }
 
   [[nodiscard]] bool empty() const { return pending_ == 0; }
   [[nodiscard]] std::size_t pending() const { return pending_; }

@@ -7,6 +7,15 @@
 namespace dresar {
 
 void Histogram::add(double v) {
+  // Clamp negatives into the first bucket *before* the size_t cast: a
+  // negative quotient cast to size_t wraps to a huge index, which the
+  // overflow clamp would then silently misfile into the overflow bucket.
+  if (v < 0.0) {
+    ++underflows_;
+    ++counts_[0];
+    ++total_;
+    return;
+  }
   std::size_t idx = width_ > 0 ? static_cast<std::size_t>(v / width_) : 0;
   if (idx >= counts_.size()) idx = counts_.size() - 1;
   ++counts_[idx];

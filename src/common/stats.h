@@ -62,6 +62,8 @@ class Histogram {
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
   /// Samples that fell beyond the last bounded bucket.
   [[nodiscard]] std::uint64_t overflowCount() const { return counts_.back(); }
+  /// Negative samples, counted into the first bucket (clamped at zero).
+  [[nodiscard]] std::uint64_t underflowCount() const { return underflows_; }
   /// Upper bound of the bounded range; percentile() never reports beyond it.
   [[nodiscard]] double overflowBound() const {
     return width_ * static_cast<double>(counts_.size() - 1);
@@ -83,6 +85,7 @@ class Histogram {
   double width_ = 1.0;
   std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(11, 0);
   std::uint64_t total_ = 0;
+  std::uint64_t underflows_ = 0;
 };
 
 /// Pre-resolved reference to a registry counter. Cheap to copy; bumping is a

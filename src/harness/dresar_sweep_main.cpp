@@ -9,12 +9,24 @@
 // per-config statistics over seed replicas into one schema-v3 JSON document,
 // and optionally gates on regressions against a prior document.
 //
+// Campaign persistence: with --json=FILE every finished job is also appended
+// to a JSONL job store (FILE.jobs by default, --store overrides), so
+//   - a killed campaign re-run with --resume skips completed cells and
+//     re-emits the canonical document byte-identically (--deterministic);
+//   - --shard=I/N partitions the matrix across machines, and
+//     --merge=A.jobs,B.jobs reassembles the shard stores into the single
+//     document without simulating;
+//   - a job that throws records an error entry, the campaign continues,
+//     and the run exits non-zero after reporting every failure — sibling
+//     results are written, not discarded.
+//
 // Exit codes: 0 ok, 1 I/O or simulation failure, 2 bad usage,
 //             3 baseline regression beyond threshold.
 #include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -22,6 +34,7 @@
 
 #include "harness/aggregate.h"
 #include "harness/baseline.h"
+#include "harness/campaign.h"
 #include "harness/run_context.h"
 #include "harness/sweep_spec.h"
 
@@ -36,6 +49,12 @@ void usage(const char* argv0) {
                "  --spec=FILE       sweep specification (see sweeps/*.spec)\n"
                "  --jobs=N          worker threads (default 1)\n"
                "  --json=FILE       write the aggregated v3 result document\n"
+               "  --store=FILE      job store path (default: <json>.jobs)\n"
+               "  --resume          fold completed jobs in from the store and\n"
+               "                    simulate only what is missing\n"
+               "  --shard=I/N       run only matrix slice I of N (0-based)\n"
+               "  --merge=A,B,...   merge shard job stores into the result\n"
+               "                    document; no simulation\n"
                "  --baseline=FILE   compare against a prior result document;\n"
                "                    exit 3 on watched-metric regressions\n"
                "  --threshold=PCT   regression threshold, percent (default 5)\n"
@@ -60,10 +79,15 @@ bool parseU64(const std::string& s, std::uint64_t& out, std::uint64_t max = UINT
 struct Cli {
   std::string specPath;
   std::string jsonPath;
+  std::string storePath;
+  std::vector<std::string> mergePaths;
   std::string baselinePath;
   double thresholdPct = 5.0;
   unsigned jobs = 1;
   std::uint64_t seedsOverride = 0;
+  std::uint32_t shardIndex = 0;
+  std::uint32_t shardCount = 1;
+  bool resume = false;
   bool quick = false;
   bool paper = false;
   bool deterministic = false;
@@ -96,6 +120,32 @@ Cli parseCli(int argc, char** argv) {
     } else if (a.rfind("--json=", 0) == 0) {
       c.jsonPath = a.substr(7);
       if (c.jsonPath.empty()) fail("--json expects a file path", a);
+    } else if (a.rfind("--store=", 0) == 0) {
+      c.storePath = a.substr(8);
+      if (c.storePath.empty()) fail("--store expects a file path", a);
+    } else if (a == "--resume") {
+      c.resume = true;
+    } else if (a.rfind("--shard=", 0) == 0) {
+      const std::string v = a.substr(8);
+      const std::size_t slash = v.find('/');
+      std::uint64_t idx = 0;
+      std::uint64_t cnt = 0;
+      if (slash == std::string::npos || !parseU64(v.substr(0, slash), idx, 1'000'000) ||
+          !parseU64(v.substr(slash + 1), cnt, 1'000'000) || cnt == 0 || idx >= cnt) {
+        fail("--shard expects I/N with 0 <= I < N", a);
+      }
+      c.shardIndex = static_cast<std::uint32_t>(idx);
+      c.shardCount = static_cast<std::uint32_t>(cnt);
+    } else if (a.rfind("--merge=", 0) == 0) {
+      std::string rest = a.substr(8);
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string piece = rest.substr(0, comma);
+        if (!piece.empty()) c.mergePaths.push_back(piece);
+        if (comma == std::string::npos) break;
+        rest.erase(0, comma + 1);
+      }
+      if (c.mergePaths.empty()) fail("--merge expects a comma-separated store list", a);
     } else if (a.rfind("--baseline=", 0) == 0) {
       c.baselinePath = a.substr(11);
       if (c.baselinePath.empty()) fail("--baseline expects a file path", a);
@@ -123,7 +173,29 @@ Cli parseCli(int argc, char** argv) {
   }
   if (c.specPath.empty()) fail("--spec is required", "(missing)");
   if (c.quick && c.paper) fail("--quick and --paper are mutually exclusive", "(conflict)");
+  if (!c.mergePaths.empty() && (c.resume || c.shardCount != 1)) {
+    fail("--merge cannot be combined with --resume or --shard", "(conflict)");
+  }
+  if (c.resume && c.jsonPath.empty() && c.storePath.empty()) {
+    fail("--resume needs a job store (--json or --store)", "(missing)");
+  }
   return c;
+}
+
+/// Create the parent directory of `path` up front so a campaign fails before
+/// hours of simulation, not at the final write. Returns false after
+/// reporting to stderr.
+bool ensureParentDir(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create output directory '%s': %s\n",
+                 parent.string().c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Comma-joined canonical sd_policy labels ("lru-fifo,random-phase").
@@ -143,10 +215,27 @@ bool hasPolicyAxis(const SweepSpec& spec) {
   return spec.sdPolicy != std::vector<SdPolicyChoice>{{}};
 }
 
+/// Metric value by name from a run record (0.0 when absent). The console
+/// totals read these instead of the in-memory RunMetrics so resumed jobs —
+/// which only have their persisted record — contribute identically.
+double recordMetric(const RunRecord& r, std::string_view name) {
+  for (const auto& [k, v] : r.metrics) {
+    if (k == name) return v;
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli = parseCli(argc, argv);
+
+  // Fail unwritable output locations now, before hours of simulation.
+  if (!cli.jsonPath.empty() && !ensureParentDir(cli.jsonPath)) return 1;
+  const std::string storePath =
+      !cli.storePath.empty() ? cli.storePath
+                             : (cli.jsonPath.empty() ? "" : cli.jsonPath + ".jobs");
+  if (!storePath.empty() && !ensureParentDir(storePath)) return 1;
 
   SweepSpec spec;
   try {
@@ -182,8 +271,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("sweep '%s': %zu job(s) on %u worker(s), scale=%s\n", spec.name.c_str(),
-              jobs.size(), cli.jobs, spec.scale.c_str());
+  const bool merging = !cli.mergePaths.empty();
+  if (merging) {
+    std::printf("sweep '%s': merging %zu store(s), %zu job(s) expected\n", spec.name.c_str(),
+                cli.mergePaths.size(), jobs.size());
+  } else if (cli.shardCount != 1) {
+    std::printf("sweep '%s': %zu job(s), shard %u/%u on %u worker(s), scale=%s\n",
+                spec.name.c_str(), jobs.size(), cli.shardIndex, cli.shardCount, cli.jobs,
+                spec.scale.c_str());
+  } else {
+    std::printf("sweep '%s': %zu job(s) on %u worker(s), scale=%s\n", spec.name.c_str(),
+                jobs.size(), cli.jobs, spec.scale.c_str());
+  }
 
   RunContext ctx;
   ctx.recorder.setBench("dresar-sweep");
@@ -205,14 +304,29 @@ int main(int argc, char** argv) {
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<JobResult> results;
+  CampaignResult campaign;
   try {
-    results = runJobs(ctx, jobs, cli.jobs);
+    if (merging) {
+      campaign = mergeCampaignStores(ctx, jobs, cli.mergePaths);
+    } else {
+      CampaignOptions copts;
+      copts.threads = cli.jobs;
+      copts.storePath = storePath;
+      copts.resume = cli.resume;
+      copts.shardIndex = cli.shardIndex;
+      copts.shardCount = cli.shardCount;
+      campaign = runCampaign(ctx, jobs, copts);
+    }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: sweep job failed: %s\n", e.what());
+    std::fprintf(stderr, "error: sweep failed: %s\n", e.what());
     return 1;
   }
   const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
+
+  if (campaign.resumed > 0) {
+    std::printf("resumed %zu completed job(s) from the store, ran %zu\n", campaign.resumed,
+                campaign.executed);
+  }
 
   const std::vector<ConfigAggregate> configs = aggregate(ctx.recorder.runs());
 
@@ -236,21 +350,26 @@ int main(int argc, char** argv) {
                 execMean, lat, execMean > 0.0 ? execStd / execMean * 100.0 : 0.0);
   }
 
-  // Whole-sweep totals over the scientific runs (RunMetrics::merge).
-  RunMetrics sciTotal;
+  // Whole-sweep totals over the scientific runs, from the persisted record
+  // metrics so freshly-run and resumed jobs contribute identically.
   std::uint64_t sciRuns = 0;
-  for (const JobResult& r : results) {
+  std::uint64_t sciCycles = 0;
+  std::uint64_t sciReads = 0;
+  std::uint64_t sciMisses = 0;
+  for (const JobResult& r : campaign.results) {
     if (r.job.kind == JobKind::Scientific) {
-      sciTotal.merge(r.sci);
+      sciCycles += static_cast<std::uint64_t>(recordMetric(r.record, "exec_time"));
+      sciReads += static_cast<std::uint64_t>(recordMetric(r.record, "reads"));
+      sciMisses += static_cast<std::uint64_t>(recordMetric(r.record, "read_misses"));
       ++sciRuns;
     }
   }
   if (sciRuns > 0) {
     std::printf("\nscientific totals over %llu run(s): cycles=%llu reads=%llu misses=%llu\n",
                 static_cast<unsigned long long>(sciRuns),
-                static_cast<unsigned long long>(sciTotal.execTime),
-                static_cast<unsigned long long>(sciTotal.reads),
-                static_cast<unsigned long long>(sciTotal.readMisses));
+                static_cast<unsigned long long>(sciCycles),
+                static_cast<unsigned long long>(sciReads),
+                static_cast<unsigned long long>(sciMisses));
   }
   std::printf("wall: %.2fs (%zu jobs / %u workers)\n", wall.count(), jobs.size(), cli.jobs);
 
@@ -307,6 +426,18 @@ int main(int argc, char** argv) {
       out << sweepToJson(ctx.recorder, configs, jo);
       if (!out) rc = 1;
     }
+  }
+
+  if (!campaign.failures.empty()) {
+    // Sibling results were aggregated and written above; the failures are
+    // reported job-by-job and the exit is non-zero so CI cannot miss them.
+    std::fprintf(stderr, "\n%zu job(s) failed:\n", campaign.failures.size());
+    for (const CampaignResult::Failure& f : campaign.failures) {
+      std::fprintf(stderr, "  %s %s seed=%llu: %s\n", f.job.displayApp().c_str(),
+                   f.job.configTag().c_str(), static_cast<unsigned long long>(f.job.seed),
+                   f.error.c_str());
+    }
+    return 1;
   }
 
   if (!cli.baselinePath.empty()) {

@@ -1,0 +1,189 @@
+#include "harness/job_store.h"
+
+#include <cstdio>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/json_reader.h"
+#include "sim/json_writer.h"
+
+namespace dresar::harness {
+
+std::string jobKeyOf(const JobSpec& job) {
+  return std::string(job.kind == JobKind::Scientific ? "scientific" : "trace") + "|" +
+         job.displayApp() + "|" + job.configTag() + "|" + std::to_string(job.seed);
+}
+
+JobStore::~JobStore() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+bool JobStore::open(const std::string& path, bool append) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (out_ != nullptr) std::fclose(out_);
+  out_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  return out_ != nullptr;
+}
+
+void JobStore::append(const StoredJob& job) {
+  const std::string line = serializeLine(job) + "\n";
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr) return;
+  // One whole line per write, flushed immediately: a kill between jobs loses
+  // nothing, a kill mid-write leaves at most one torn final line, which the
+  // loader ignores.
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+}
+
+std::string JobStore::serializeLine(const StoredJob& job) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("key", job.key);
+  w.field("ok", job.ok);
+  if (!job.ok) {
+    w.field("error", job.error);
+    w.endObject();
+    return os.str();
+  }
+  w.fieldPrecise("wall_seconds", job.wallSeconds);
+  const RunRecord& r = job.record;
+  w.key("record");
+  w.beginObject();
+  w.field("app", r.app);
+  w.field("config", r.config);
+  w.field("kind", r.kind);
+  w.field("sd_entries", r.sdEntries);
+  w.field("seed", r.seed);
+  w.fieldPrecise("wall_seconds", r.wallSeconds);
+  w.field("events", r.events);
+  w.key("metrics");
+  w.beginObject();
+  for (const auto& [k, v] : r.metrics) w.fieldPrecise(k, v);
+  w.endObject();
+  if (r.hasFault) {
+    w.key("fault");
+    w.beginObject();
+    w.field("injected_drops", r.faultInjectedDrops);
+    w.field("injected_delays", r.faultInjectedDelays);
+    w.field("injected_delay_cycles", r.faultInjectedDelayCycles);
+    w.field("injected_sd_losses", r.faultInjectedSdLosses);
+    w.field("injected_stall_cycles", r.faultInjectedStallCycles);
+    w.field("injected_effective", r.faultInjectedEffective);
+    w.field("timeout_reissues", r.faultTimeoutReissues);
+    w.field("recovered", r.faultRecovered);
+    w.field("fallback_home_lookups", r.faultFallbackHomeLookups);
+    w.endObject();
+  }
+  if (r.hasTrace) {
+    w.key("latency");
+    w.beginObject();
+    w.field("read_txns", r.traceReadTxns);
+    w.field("write_txns", r.traceWriteTxns);
+    w.fieldPrecise("read_end_to_end", r.traceReadEndToEnd);
+    w.fieldPrecise("write_end_to_end", r.traceWriteEndToEnd);
+    w.key("read_stage");
+    w.beginArray();
+    for (const double v : r.traceReadStage) w.valuePrecise(v);
+    w.endArray();
+    w.key("write_stage");
+    w.beginArray();
+    for (const double v : r.traceWriteStage) w.valuePrecise(v);
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();  // record
+  w.endObject();
+  return os.str();
+}
+
+namespace {
+
+std::uint64_t asU64(const JsonValue& v) {
+  return static_cast<std::uint64_t>(v.asNumber());
+}
+
+}  // namespace
+
+StoredJob JobStore::parseLine(const std::string& line) {
+  const JsonValue doc = JsonValue::parse(line);
+  StoredJob j;
+  j.key = doc.at("key").asString();
+  j.ok = doc.at("ok").asBool();
+  if (!j.ok) {
+    if (const JsonValue* e = doc.find("error")) j.error = e->asString();
+    return j;
+  }
+  j.wallSeconds = doc.at("wall_seconds").asNumber();
+  const JsonValue& rec = doc.at("record");
+  RunRecord& r = j.record;
+  r.app = rec.at("app").asString();
+  r.config = rec.at("config").asString();
+  r.kind = rec.at("kind").asString();
+  r.sdEntries = asU64(rec.at("sd_entries"));
+  r.seed = asU64(rec.at("seed"));
+  r.wallSeconds = rec.at("wall_seconds").asNumber();
+  r.events = asU64(rec.at("events"));
+  for (const auto& [k, v] : rec.at("metrics").asObject()) r.metric(k, v.asNumber());
+  if (const JsonValue* f = rec.find("fault")) {
+    r.hasFault = true;
+    r.faultInjectedDrops = asU64(f->at("injected_drops"));
+    r.faultInjectedDelays = asU64(f->at("injected_delays"));
+    r.faultInjectedDelayCycles = asU64(f->at("injected_delay_cycles"));
+    r.faultInjectedSdLosses = asU64(f->at("injected_sd_losses"));
+    r.faultInjectedStallCycles = asU64(f->at("injected_stall_cycles"));
+    r.faultInjectedEffective = asU64(f->at("injected_effective"));
+    r.faultTimeoutReissues = asU64(f->at("timeout_reissues"));
+    r.faultRecovered = asU64(f->at("recovered"));
+    r.faultFallbackHomeLookups = asU64(f->at("fallback_home_lookups"));
+  }
+  if (const JsonValue* t = rec.find("latency")) {
+    r.hasTrace = true;
+    r.traceReadTxns = asU64(t->at("read_txns"));
+    r.traceWriteTxns = asU64(t->at("write_txns"));
+    r.traceReadEndToEnd = t->at("read_end_to_end").asNumber();
+    r.traceWriteEndToEnd = t->at("write_end_to_end").asNumber();
+    const auto readStage = [&](const char* key, auto& dst) {
+      const std::vector<JsonValue>& a = t->at(key).asArray();
+      if (a.size() != dst.size()) {
+        throw std::runtime_error("job store: latency stage arity mismatch");
+      }
+      for (std::size_t i = 0; i < a.size(); ++i) dst[i] = a[i].asNumber();
+    };
+    readStage("read_stage", r.traceReadStage);
+    readStage("write_stage", r.traceWriteStage);
+  }
+  return j;
+}
+
+std::vector<StoredJob> JobStore::loadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("job store: cannot read '" + path + "'");
+  std::vector<StoredJob> out;
+  std::string line;
+  std::string pendingError;   // malformed line, fatal only if more lines follow
+  std::size_t pendingLineNo = 0;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    if (!pendingError.empty()) {
+      throw std::runtime_error("job store '" + path + "' line " +
+                               std::to_string(pendingLineNo) + ": " + pendingError);
+    }
+    try {
+      out.push_back(parseLine(line));
+    } catch (const std::exception& e) {
+      // Tolerated if this turns out to be the final line (torn write from a
+      // killed campaign); fatal if any valid line follows it.
+      pendingError = e.what();
+      pendingLineNo = lineNo;
+    }
+  }
+  return out;
+}
+
+}  // namespace dresar::harness

@@ -1,0 +1,79 @@
+// Persistent sweep-campaign job store: one JSONL record per finished job,
+// appended as each job completes. A campaign killed mid-run (machine loss,
+// ^C, OOM) can be resumed with --resume — completed cells are folded back in
+// from the store instead of being re-simulated — and a sweep can be split
+// across machines with --shard I/N, each shard writing its own store, the
+// stores later re-merged into the one canonical result document.
+//
+// Line format (one complete JSON object per line, no wrapping document):
+//   {"key":"scientific|FFT|sd-512|1","ok":true,"wall_seconds":W,
+//    "record":{...full RunRecord...}}
+//   {"key":"trace|TPC-C|base|2","ok":false,"error":"..."}
+//
+// Doubles inside "record" are serialized with %.17g so the parsed-back value
+// is bit-exact: a resumed campaign re-emits the canonical %.12g result
+// document byte-identically to an uninterrupted run. Appends write one whole
+// line with a single flush; the loader tolerates a torn or malformed final
+// line (the signature of a mid-write kill) and ignores it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/job.h"
+#include "sim/run_recorder.h"
+
+namespace dresar::harness {
+
+/// Canonical identity of one job in a sweep matrix:
+/// "<kind>|<display app>|<config tag>|<seed>". Unique across the matrix —
+/// the config tag encodes every non-default axis value.
+[[nodiscard]] std::string jobKeyOf(const JobSpec& job);
+
+/// One persisted job outcome.
+struct StoredJob {
+  std::string key;          ///< jobKeyOf() of the job
+  bool ok = true;
+  std::string error;        ///< failure message when !ok
+  double wallSeconds = 0.0; ///< job wall time (informational)
+  RunRecord record;         ///< complete result record when ok
+};
+
+/// Append-only JSONL store with a tolerant loader. Thread-safe appends (the
+/// sweep's worker threads call append() directly as jobs finish).
+class JobStore {
+ public:
+  JobStore() = default;
+  ~JobStore();
+  JobStore(const JobStore&) = delete;
+  JobStore& operator=(const JobStore&) = delete;
+
+  /// Open `path` for appending (`append`) or truncating (fresh campaign).
+  /// Returns false on I/O failure.
+  [[nodiscard]] bool open(const std::string& path, bool append);
+  [[nodiscard]] bool isOpen() const { return out_ != nullptr; }
+
+  /// Persist one finished job: serialize, write the whole line, flush.
+  void append(const StoredJob& job);
+
+  /// One store line (no trailing newline). Exposed for tests.
+  [[nodiscard]] static std::string serializeLine(const StoredJob& job);
+  /// Parse one line; throws std::runtime_error on malformed input.
+  [[nodiscard]] static StoredJob parseLine(const std::string& line);
+
+  /// Load every job from a store file, in file order (a key appearing twice
+  /// keeps both entries; callers apply last-wins). A malformed or torn final
+  /// line is ignored — that is what a killed campaign leaves behind — but a
+  /// malformed line with valid lines after it is a corrupt store and throws.
+  /// Throws std::runtime_error if the file cannot be read.
+  [[nodiscard]] static std::vector<StoredJob> loadFile(const std::string& path);
+
+ private:
+  std::mutex mu_;
+  std::FILE* out_ = nullptr;
+};
+
+}  // namespace dresar::harness

@@ -10,9 +10,34 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace dresar::harness {
+
+/// Thrown by WorkStealingPool::forEach when one or more jobs threw. Every
+/// failure is preserved with its job index so the caller can name the job
+/// (config tag, seed) instead of reporting an anonymous first-to-fail error,
+/// and so results of the jobs that *did* complete are never discarded — the
+/// pool always finishes the remaining queue before throwing.
+class PoolError : public std::runtime_error {
+ public:
+  struct Failure {
+    std::size_t job;    ///< index passed to fn
+    std::string what;   ///< the job exception's message
+  };
+
+  explicit PoolError(std::vector<Failure> failures)
+      : std::runtime_error(describe(failures)), failures_(std::move(failures)) {}
+
+  [[nodiscard]] const std::vector<Failure>& failures() const { return failures_; }
+
+ private:
+  static std::string describe(const std::vector<Failure>& fs);
+
+  std::vector<Failure> failures_;
+};
 
 class WorkStealingPool {
  public:
@@ -24,8 +49,9 @@ class WorkStealingPool {
   /// Execute fn(jobIndex, workerIndex) for every jobIndex in [0, n).
   /// workerIndex < threads() identifies the executing worker so callers can
   /// keep per-worker accumulators without locks. Blocks until all jobs
-  /// finished; if any invocation threw, the first exception (in completion
-  /// order) is rethrown after the join.
+  /// finished; a throwing job never cancels its siblings — every remaining
+  /// job still runs, and the failures are reported together as one PoolError
+  /// (ordered by job index) after the join.
   void forEach(std::size_t n, const std::function<void(std::size_t, unsigned)>& fn);
 
  private:

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "common/rng.h"
@@ -190,19 +191,34 @@ JobResult executeJob(const JobSpec& job, std::uint32_t chromePid) {
 }
 
 std::vector<JobResult> runJobs(RunContext& ctx, const std::vector<JobSpec>& jobs,
-                               unsigned threads) {
+                               unsigned threads, const JobDoneFn& onJobDone) {
   std::vector<JobResult> results(jobs.size());
   WorkStealingPool pool(threads);
   // Per-worker recorders: workers never touch shared state while running;
   // the coordinator merges after the join and canonicalizes the order so the
   // serialized document is invariant under scheduling (and under --jobs=N).
   std::vector<RunRecorder> workerRecorders(pool.threads());
+  std::mutex doneMu;
   // Pid block is claimed up front so repeated runJobs() calls against the
   // same context keep allocating distinct, order-stable Chrome pids.
   const std::uint32_t pidBase = ctx.traceExport.nextPid;
   pool.forEach(jobs.size(), [&](std::size_t i, unsigned w) {
-    results[i] = executeJob(jobs[i], pidBase + static_cast<std::uint32_t>(i));
-    workerRecorders[w].add(results[i].record);
+    // A failed job surrenders only its own slot; siblings keep running and
+    // their results are kept. The coordinator (dresar-sweep) names the
+    // job (config tag, seed) in its failure summary and exits non-zero.
+    try {
+      results[i] = executeJob(jobs[i], pidBase + static_cast<std::uint32_t>(i));
+    } catch (const std::exception& e) {
+      results[i] = JobResult{};
+      results[i].job = jobs[i];
+      results[i].ok = false;
+      results[i].error = e.what();
+    }
+    if (results[i].ok) workerRecorders[w].add(results[i].record);
+    if (onJobDone) {
+      const std::lock_guard<std::mutex> lock(doneMu);
+      onJobDone(results[i]);
+    }
   });
   for (RunRecorder& r : workerRecorders) ctx.recorder.merge(std::move(r));
   ctx.recorder.sortCanonical();

@@ -46,6 +46,8 @@ struct RunContext {
 /// Everything a finished job hands back to the coordinator.
 struct JobResult {
   JobSpec job;
+  bool ok = true;         ///< false: the job threw; only `job`/`error` valid
+  std::string error;      ///< exception message when !ok
   RunRecord record;       ///< ready to add() to a recorder
   std::string traceBody;  ///< Chrome event fragment (empty unless traced)
   RunMetrics sci;         ///< valid when job.kind == Scientific
@@ -68,11 +70,20 @@ RunRecord makeTraceRecord(const std::string& app, const std::string& config,
 /// `chromePid` labels this job's slice group when transaction tracing is on.
 JobResult executeJob(const JobSpec& job, std::uint32_t chromePid);
 
+/// Serialized per-job completion hook (sweep persistence). Called from
+/// worker threads under an internal mutex, in completion order — including
+/// for failed jobs (result.ok == false).
+using JobDoneFn = std::function<void(const JobResult&)>;
+
 /// Run `jobs` (with `threads` workers when threads > 1; work-stealing pool),
 /// then fold every result into `ctx` in job order: records into
 /// ctx.recorder, trace fragments into ctx.traceExport. Results are returned
-/// indexed exactly like `jobs`. Propagates the first job exception, if any.
+/// indexed exactly like `jobs`. A throwing job never aborts its siblings:
+/// its slot comes back with ok == false and the exception message in
+/// `error`, and no record is folded for it — callers decide whether partial
+/// results are acceptable. `onJobDone`, when set, observes every completed
+/// job as it finishes (for incremental persistence).
 std::vector<JobResult> runJobs(RunContext& ctx, const std::vector<JobSpec>& jobs,
-                               unsigned threads);
+                               unsigned threads, const JobDoneFn& onJobDone = nullptr);
 
 }  // namespace dresar::harness

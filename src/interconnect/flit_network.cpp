@@ -61,7 +61,7 @@ FlitNetwork::Link& FlitNetwork::link(std::uint32_t from, std::uint32_t to) {
 void FlitNetwork::send(Message m) {
   if (m.id == 0) m.id = nextMsgId_++;
   m.birth = eq_.now();
-  auto ms = std::make_shared<MsgState>();
+  auto ms = std::allocate_shared<MsgState>(SharedArenaAllocator<MsgState>(msgArena_));
   ms->route = topo_.route(m.src, m.dst);
   ms->totalFlits = flitsOf(m);
   ms->birth = eq_.now();
@@ -186,7 +186,7 @@ bool FlitNetwork::maybeSnoop(std::uint32_t sv, InputVc& in) {
   for (auto& m : spawn) {
     if (m.id == 0) m.id = nextMsgId_++;
     m.birth = eq_.now();
-    auto ms = std::make_shared<MsgState>();
+    auto ms = std::allocate_shared<MsgState>(SharedArenaAllocator<MsgState>(msgArena_));
     ms->route = topo_.routeFromSwitch(switchOf(sv), m.dst);
     ms->totalFlits = flitsOf(m);
     ms->birth = eq_.now();

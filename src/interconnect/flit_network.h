@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/config.h"
 #include "common/event_queue.h"
 #include "common/stats.h"
@@ -164,6 +165,12 @@ class FlitNetwork final : public INetwork {
   std::vector<SwitchState> switches_;   // by flat switch id
   std::vector<EndpointNi> endpoints_;   // by vertex (procs + mems)
   std::unordered_map<std::uint64_t, Link> links_;
+
+  /// Arena for MsgState control blocks. shared_ptr-owned because in-flight
+  /// messages can be captured in event-queue closures that drain after the
+  /// network is destroyed (System declares the queue before the network);
+  /// the last surviving MsgPtr keeps the arena alive.
+  std::shared_ptr<Arena> msgArena_ = std::make_shared<Arena>();
 
   bool ticking_ = false;
   std::uint64_t live_ = 0;

@@ -114,6 +114,18 @@ void JsonWriter::value(double d) {
   afterValue();
 }
 
+void JsonWriter::valuePrecise(double d) {
+  beforeValue();
+  if (!std::isfinite(d)) {
+    out_ << "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out_ << buf;
+  }
+  afterValue();
+}
+
 void JsonWriter::value(std::uint64_t u) {
   beforeValue();
   out_ << u;

@@ -1,0 +1,201 @@
+// End-to-end tests for resumable, shardable campaigns: a campaign killed
+// mid-run and resumed must re-emit the deterministic result document
+// byte-identically; shards merged across stores must equal the
+// single-machine document; failures must be isolated, reported, and
+// retryable on resume.
+#include "harness/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/aggregate.h"
+#include "harness/job_store.h"
+#include "harness/run_context.h"
+#include "harness/sweep_spec.h"
+
+namespace dresar::harness {
+namespace {
+
+std::filesystem::path tempPath(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+/// Small but real matrix: 2 workloads x 2 configs x 2 seeds = 8 jobs, mixing
+/// execution-driven and trace-driven kinds.
+std::vector<JobSpec> tinyMatrix() {
+  SweepSpec s;
+  s.name = "campaign-test";
+  s.workloads = {"fft", "tpcc"};
+  s.entries = {0, 512};
+  s.seeds = 2;
+  s.scale = "tiny";
+  s.traceRefs = 20'000;
+  s.overrideScale(s.scale);
+  return s.expand();
+}
+
+/// The deterministic v3 document for whatever `ctx` holds — the bytes the
+/// sweep driver would write with --deterministic.
+std::string docOf(RunContext& ctx) {
+  SweepJsonOptions jo;
+  jo.specName = "campaign-test";
+  jo.deterministic = true;
+  return sweepToJson(ctx.recorder, aggregate(ctx.recorder.runs()), jo);
+}
+
+TEST(Campaign, ResumeFromTornStoreIsByteIdentical) {
+  const auto store = tempPath("dresar_campaign_resume.jobs");
+  std::filesystem::remove(store);
+
+  // Uninterrupted reference run, persisting as it goes.
+  RunContext full;
+  CampaignOptions opts;
+  opts.threads = 2;
+  opts.storePath = store.string();
+  const std::vector<JobSpec> jobs = tinyMatrix();
+  const CampaignResult ref = runCampaign(full, jobs, opts);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_EQ(ref.executed, jobs.size());
+  const std::string refDoc = docOf(full);
+
+  // Simulate a kill: keep 3 whole store lines plus a torn prefix of line 4.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(store);
+    std::string l;
+    while (std::getline(in, l)) lines.push_back(l);
+  }
+  ASSERT_EQ(lines.size(), jobs.size());
+  {
+    std::ofstream out(store, std::ios::trunc);
+    for (int i = 0; i < 3; ++i) out << lines[i] << "\n";
+    out << lines[3].substr(0, lines[3].size() / 2);  // torn mid-write
+  }
+
+  RunContext resumed;
+  opts.resume = true;
+  const CampaignResult res = runCampaign(resumed, jobs, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.resumed, 3u);
+  EXPECT_EQ(res.executed, jobs.size() - 3u);
+  EXPECT_EQ(docOf(resumed), refDoc);
+
+  // The store is now complete again: resuming once more runs nothing.
+  RunContext again;
+  const CampaignResult res2 = runCampaign(again, jobs, opts);
+  EXPECT_EQ(res2.resumed, jobs.size());
+  EXPECT_EQ(res2.executed, 0u);
+  EXPECT_EQ(docOf(again), refDoc);
+  std::filesystem::remove(store);
+}
+
+TEST(Campaign, ShardsMergeToTheSingleMachineDocument) {
+  const auto s0 = tempPath("dresar_campaign_shard0.jobs");
+  const auto s1 = tempPath("dresar_campaign_shard1.jobs");
+  const std::vector<JobSpec> jobs = tinyMatrix();
+
+  RunContext whole;
+  const CampaignResult ref = runCampaign(whole, jobs, {});
+  ASSERT_TRUE(ref.ok());
+  const std::string refDoc = docOf(whole);
+
+  CampaignOptions opts;
+  opts.shardCount = 2;
+  opts.storePath = s0.string();
+  RunContext ctx0;
+  const CampaignResult r0 = runCampaign(ctx0, jobs, opts);
+  opts.shardIndex = 1;
+  opts.storePath = s1.string();
+  RunContext ctx1;
+  const CampaignResult r1 = runCampaign(ctx1, jobs, opts);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r0.executed + r1.executed, jobs.size());
+  EXPECT_EQ(r0.shardSkipped, r1.executed);
+
+  RunContext merged;
+  const CampaignResult m = mergeCampaignStores(merged, jobs, {s0.string(), s1.string()});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.resumed, jobs.size());
+  EXPECT_EQ(docOf(merged), refDoc);
+  std::filesystem::remove(s0);
+  std::filesystem::remove(s1);
+}
+
+TEST(Campaign, MergeNamesJobsMissingFromEveryStore) {
+  const auto s0 = tempPath("dresar_campaign_missing.jobs");
+  const std::vector<JobSpec> jobs = tinyMatrix();
+
+  CampaignOptions opts;
+  opts.shardCount = 2;  // only half the matrix lands in the store
+  opts.storePath = s0.string();
+  RunContext ctx0;
+  ASSERT_TRUE(runCampaign(ctx0, jobs, opts).ok());
+
+  RunContext merged;
+  const CampaignResult m = mergeCampaignStores(merged, jobs, {s0.string()});
+  EXPECT_EQ(m.resumed + m.failures.size(), jobs.size());
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.failures.size(), jobs.size() / 2);
+  EXPECT_EQ(m.failures[0].error, "not found in any store");
+  std::filesystem::remove(s0);
+}
+
+TEST(Campaign, ResumeRetriesStoredFailuresAndKeepsStoredSuccesses) {
+  const auto store = tempPath("dresar_campaign_retry.jobs");
+  const std::vector<JobSpec> jobs = tinyMatrix();
+
+  // Seed the store with a full run, then rewrite one job as a failure and
+  // append a duplicate error entry for another (ok must win over error).
+  RunContext full;
+  CampaignOptions opts;
+  opts.storePath = store.string();
+  ASSERT_TRUE(runCampaign(full, jobs, opts).ok());
+  const std::string refDoc = docOf(full);
+
+  std::vector<StoredJob> entries = JobStore::loadFile(store.string());
+  ASSERT_EQ(entries.size(), jobs.size());
+  {
+    std::ofstream out(store, std::ios::trunc);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i == 2) {
+        StoredJob fail;
+        fail.key = entries[i].key;
+        fail.ok = false;
+        fail.error = "machine fell over";
+        out << JobStore::serializeLine(fail) << "\n";  // replaces the success
+      } else {
+        out << JobStore::serializeLine(entries[i]) << "\n";
+      }
+    }
+    StoredJob lateError;  // stale duplicate AFTER a success: must not displace it
+    lateError.key = entries[4].key;
+    lateError.ok = false;
+    lateError.error = "stale failure from an older shard";
+    out << JobStore::serializeLine(lateError) << "\n";
+  }
+
+  RunContext resumed;
+  opts.resume = true;
+  const CampaignResult res = runCampaign(resumed, jobs, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.executed, 1u);  // only the failed cell re-ran
+  EXPECT_EQ(res.resumed, jobs.size() - 1u);
+  EXPECT_EQ(docOf(resumed), refDoc);
+  std::filesystem::remove(store);
+}
+
+TEST(Campaign, RejectsOutOfRangeShard) {
+  RunContext ctx;
+  CampaignOptions opts;
+  opts.shardIndex = 2;
+  opts.shardCount = 2;
+  EXPECT_THROW((void)runCampaign(ctx, tinyMatrix(), opts), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dresar::harness

@@ -252,13 +252,55 @@ TEST(WorkStealingPool, SingleThreadRunsInline) {
   });
 }
 
-TEST(WorkStealingPool, PropagatesFirstException) {
+TEST(WorkStealingPool, PropagatesFailureAsRuntimeError) {
+  // PoolError derives from std::runtime_error, so callers that only catch
+  // the base still see the failure.
   WorkStealingPool pool(4);
   EXPECT_THROW(pool.forEach(64,
                             [&](std::size_t i, unsigned) {
                               if (i == 13) throw std::runtime_error("job 13 failed");
                             }),
                std::runtime_error);
+}
+
+TEST(WorkStealingPool, AggregatesAllFailuresAndFinishesSiblings) {
+  WorkStealingPool pool(4);
+  constexpr std::size_t kJobs = 64;
+  std::vector<std::atomic<int>> hits(kJobs);
+  try {
+    pool.forEach(kJobs, [&](std::size_t i, unsigned) {
+      hits[i].fetch_add(1);
+      if (i == 13 || i == 40) throw std::runtime_error("job " + std::to_string(i) + " died");
+    });
+    FAIL() << "expected PoolError";
+  } catch (const PoolError& e) {
+    // Every failure preserved, ordered by job index, all named in what().
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].job, 13u);
+    EXPECT_EQ(e.failures()[1].job, 40u);
+    EXPECT_EQ(e.failures()[1].what, "job 40 died");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 job(s) failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("job 13 died"), std::string::npos) << what;
+  }
+  // A failing job never cancels siblings: every job still ran exactly once.
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkStealingPool, SingleThreadAlsoFinishesSiblingsAfterFailure) {
+  WorkStealingPool pool(1);
+  std::vector<int> hits(8, 0);
+  try {
+    pool.forEach(8, [&](std::size_t i, unsigned) {
+      ++hits[i];
+      if (i == 2) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected PoolError";
+  } catch (const PoolError& e) {
+    ASSERT_EQ(e.failures().size(), 1u);
+    EXPECT_EQ(e.failures()[0].job, 2u);
+  }
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(hits[i], 1) << i;
 }
 
 // --------------------------------------------- parallel determinism (E2E) --

@@ -1,0 +1,134 @@
+// Tests for the JSONL campaign job store: the job-key scheme, the
+// serialize/parse round trip (which must be bit-exact for doubles — resume
+// byte-identity depends on it), append/load file I/O, and the torn-line
+// tolerance that a mid-write kill relies on.
+#include "harness/job_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dresar::harness {
+namespace {
+
+std::filesystem::path tempStorePath(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+StoredJob sampleOk() {
+  StoredJob s;
+  s.key = "scientific|FFT|sd-512|2";
+  s.ok = true;
+  s.wallSeconds = 0.1 + 0.2;  // 0.30000000000000004 — needs all 17 digits
+  s.record.app = "FFT";
+  s.record.config = "sd-512";
+  s.record.kind = "scientific";
+  s.record.sdEntries = 512;
+  s.record.seed = 2;
+  s.record.wallSeconds = s.wallSeconds;
+  s.record.events = 26880;
+  s.record.metric("exec_time", 20325.0);
+  s.record.metric("avg_read_latency", 100.0 / 3.0);  // non-terminating binary
+  return s;
+}
+
+TEST(JobKey, EncodesKindAppConfigAndSeed) {
+  JobSpec j;
+  j.app = "fft";
+  j.sdEntries = 512;
+  j.seed = 3;
+  EXPECT_EQ(jobKeyOf(j), "scientific|FFT|sd-512|3");
+  j.kind = JobKind::Trace;
+  j.app = "tpcc";
+  j.sdEntries = 0;
+  j.seed = 1;
+  EXPECT_EQ(jobKeyOf(j), "trace|TPC-C|base|1");
+}
+
+TEST(JobStore, SerializeParseRoundTripIsBitExact) {
+  const StoredJob s = sampleOk();
+  const std::string line = JobStore::serializeLine(s);
+  const StoredJob back = JobStore::parseLine(line);
+  EXPECT_EQ(back.key, s.key);
+  EXPECT_TRUE(back.ok);
+  // Bit-exact doubles: re-serializing the parsed entry reproduces the line.
+  EXPECT_EQ(JobStore::serializeLine(back), line);
+  EXPECT_EQ(back.wallSeconds, s.wallSeconds);
+  ASSERT_EQ(back.record.metrics.size(), s.record.metrics.size());
+  EXPECT_EQ(back.record.metrics[1].second, 100.0 / 3.0);
+}
+
+TEST(JobStore, SerializeParseRoundTripErrorEntry) {
+  StoredJob s;
+  s.key = "trace|TPC-C|base|1";
+  s.ok = false;
+  s.error = "pending buffer \"wedged\" at cycle 42";
+  const std::string line = JobStore::serializeLine(s);
+  const StoredJob back = JobStore::parseLine(line);
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.key, s.key);
+  EXPECT_EQ(back.error, s.error);
+  EXPECT_EQ(JobStore::serializeLine(back), line);
+}
+
+TEST(JobStore, ParseLineRejectsGarbage) {
+  EXPECT_THROW((void)JobStore::parseLine("not json"), std::runtime_error);
+  EXPECT_THROW((void)JobStore::parseLine("{\"ok\":true}"), std::runtime_error);
+}
+
+TEST(JobStore, AppendThenLoadPreservesOrder) {
+  const auto path = tempStorePath("dresar_job_store_test.jobs");
+  std::filesystem::remove(path);
+  {
+    JobStore store;
+    ASSERT_TRUE(store.open(path.string(), /*append=*/false));
+    ASSERT_TRUE(store.isOpen());
+    StoredJob a = sampleOk();
+    StoredJob b = sampleOk();
+    b.key = "scientific|FFT|sd-512|3";
+    store.append(a);
+    store.append(b);
+  }
+  const std::vector<StoredJob> loaded = JobStore::loadFile(path.string());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].key, "scientific|FFT|sd-512|2");
+  EXPECT_EQ(loaded[1].key, "scientific|FFT|sd-512|3");
+  std::filesystem::remove(path);
+}
+
+TEST(JobStore, LoadToleratesTornFinalLine) {
+  const auto path = tempStorePath("dresar_job_store_torn.jobs");
+  {
+    std::ofstream out(path);
+    out << JobStore::serializeLine(sampleOk()) << "\n";
+    // A mid-write kill leaves a prefix of the next line, no newline.
+    out << JobStore::serializeLine(sampleOk()).substr(0, 40);
+  }
+  const std::vector<StoredJob> loaded = JobStore::loadFile(path.string());
+  ASSERT_EQ(loaded.size(), 1u);  // torn tail ignored
+  EXPECT_EQ(loaded[0].key, "scientific|FFT|sd-512|2");
+  std::filesystem::remove(path);
+}
+
+TEST(JobStore, LoadThrowsOnCorruptMiddleLine) {
+  const auto path = tempStorePath("dresar_job_store_corrupt.jobs");
+  {
+    std::ofstream out(path);
+    out << JobStore::serializeLine(sampleOk()) << "\n";
+    out << "garbage in the middle\n";
+    out << JobStore::serializeLine(sampleOk()) << "\n";
+  }
+  EXPECT_THROW((void)JobStore::loadFile(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(JobStore, LoadThrowsOnMissingFile) {
+  EXPECT_THROW((void)JobStore::loadFile("/nonexistent/dresar.jobs"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dresar::harness

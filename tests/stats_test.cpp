@@ -48,6 +48,19 @@ TEST(Histogram, BucketsAndOverflow) {
   EXPECT_EQ(h.buckets()[4], 1u);
 }
 
+TEST(Histogram, NegativeSamplesClampToBucketZero) {
+  // Regression: a negative sample used to wrap through the size_t cast and
+  // land in the overflow bucket (or index memory far past it).
+  Histogram h(10.0, 4);
+  h.add(-1.0);
+  h.add(-1e18);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.buckets()[0], 3u);      // negatives clamp into the first bucket
+  EXPECT_EQ(h.buckets()[4], 0u);      // and never masquerade as overflow
+  EXPECT_EQ(h.underflowCount(), 2u);  // but the clamping is observable
+}
+
 TEST(Histogram, Percentile) {
   Histogram h(1.0, 100);
   for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
