@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "trace/tpc_gen.h"
 
 using namespace dresar;
 using namespace dresar::bench;

@@ -8,6 +8,7 @@
 #include "interconnect/topology.h"
 #include "switchdir/dir_cache.h"
 #include "switchdir/port_schedule.h"
+#include "trace/tpc_gen.h"
 #include "trace/trace_sim.h"
 
 namespace dresar {

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "trace/tpc_gen.h"
 
 using namespace dresar;
 using namespace dresar::bench;

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "trace/trace_file.h"
+#include "trace/tpc_gen.h"
 #include "trace/trace_sim.h"
 
 using namespace dresar;

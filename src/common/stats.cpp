@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <stdexcept>
 
 namespace dresar {
 
@@ -16,10 +17,28 @@ void Histogram::add(double v) {
     ++total_;
     return;
   }
-  std::size_t idx = width_ > 0 ? static_cast<std::size_t>(v / width_) : 0;
+  std::size_t idx = 0;
+  if (logSpaced_) {
+    // Bucket 0 is [0, firstBound); bucket i>0 is [firstBound*2^(i-1),
+    // firstBound*2^i). ilogb gives the binade in one instruction-ish step.
+    if (width_ > 0 && v >= width_) {
+      idx = static_cast<std::size_t>(std::ilogb(v / width_)) + 1;
+    }
+  } else if (width_ > 0) {
+    idx = static_cast<std::size_t>(v / width_);
+  }
   if (idx >= counts_.size()) idx = counts_.size() - 1;
   ++counts_[idx];
   ++total_;
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (logSpaced_ != o.logSpaced_ || width_ != o.width_ || counts_.size() != o.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+  underflows_ += o.underflows_;
 }
 
 std::size_t Histogram::percentileBucket(double fraction) const {
@@ -39,7 +58,7 @@ double Histogram::percentile(double fraction) const {
   const std::size_t idx = percentileBucket(fraction);
   if (idx == std::size_t(-1)) return 0.0;
   if (idx == counts_.size() - 1) return overflowBound();  // clamped, not exact
-  return width_ * static_cast<double>(idx + 1);
+  return bucketBound(idx);
 }
 
 bool Histogram::percentileOverflowed(double fraction) const {

@@ -9,6 +9,7 @@
 // dump(), counterValue() and sumByPrefix().
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -49,25 +50,49 @@ class Sampler {
   double max_ = 0.0;
 };
 
-/// Fixed-bucket histogram (linear buckets plus overflow).
+/// Fixed-bucket histogram: linear buckets (default) or log2-spaced buckets,
+/// both plus one overflow bucket.
+///
+/// Linear buckets clamp heavy-tailed percentiles: p99/p99.9 of a latency
+/// distribution spanning 8..100k cycles lands in the overflow bucket unless
+/// the linear range is absurdly wide. The log2 geometry covers the same span
+/// in a few dozen buckets with bounded relative error (each bucket's upper
+/// bound is 2x its lower bound), which is what the traffic tail metrics use.
 class Histogram {
  public:
+  /// Log2 geometry selector: bucket 0 covers [0, firstBound), bucket i>0
+  /// covers [firstBound*2^(i-1), firstBound*2^i).
+  struct LogSpaced {
+    double firstBound = 1.0;
+    std::size_t buckets = 32;
+  };
+
   Histogram() = default;
   Histogram(double bucketWidth, std::size_t buckets)
       : width_(bucketWidth), counts_(buckets + 1, 0) {}
+  explicit Histogram(LogSpaced g)
+      : width_(g.firstBound), logSpaced_(true), counts_(g.buckets + 1, 0) {}
 
   void add(double v);
+  /// Fold another histogram's counts in. The geometries must be identical
+  /// (same spacing mode, width/firstBound and bucket count); throws
+  /// std::invalid_argument otherwise.
+  void merge(const Histogram& o);
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] double bucketWidth() const { return width_; }
+  [[nodiscard]] bool isLogSpaced() const { return logSpaced_; }
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
   /// Samples that fell beyond the last bounded bucket.
   [[nodiscard]] std::uint64_t overflowCount() const { return counts_.back(); }
   /// Negative samples, counted into the first bucket (clamped at zero).
   [[nodiscard]] std::uint64_t underflowCount() const { return underflows_; }
-  /// Upper bound of the bounded range; percentile() never reports beyond it.
-  [[nodiscard]] double overflowBound() const {
-    return width_ * static_cast<double>(counts_.size() - 1);
+  /// Upper bound of bounded bucket `i` (defined for i < buckets().size()-1).
+  [[nodiscard]] double bucketBound(std::size_t i) const {
+    if (!logSpaced_) return width_ * static_cast<double>(i + 1);
+    return std::ldexp(width_, static_cast<int>(i));
   }
+  /// Upper bound of the bounded range; percentile() never reports beyond it.
+  [[nodiscard]] double overflowBound() const { return bucketBound(counts_.size() - 2); }
   /// Value below which `fraction` (in [0,1]) of samples fall (bucket upper
   /// bound approximation). fraction == 0 returns 0.0; a percentile landing in
   /// the overflow bucket is clamped to overflowBound() — callers can detect
@@ -82,7 +107,8 @@ class Histogram {
   /// "no samples / fraction == 0".
   [[nodiscard]] std::size_t percentileBucket(double fraction) const;
 
-  double width_ = 1.0;
+  double width_ = 1.0;  ///< linear bucket width, or the log firstBound
+  bool logSpaced_ = false;
   std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(11, 0);
   std::uint64_t total_ = 0;
   std::uint64_t underflows_ = 0;

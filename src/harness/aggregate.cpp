@@ -87,11 +87,16 @@ std::string sweepToJson(const RunRecorder& merged, const std::vector<ConfigAggre
   std::ostringstream os;
   JsonWriter w(os);
   const std::vector<RunRecord>& allRuns = merged.runs();
-  // Fault-free sweeps stay byte-identical to the historical v3 output.
+  // Traffic-free, fault-free sweeps stay byte-identical to the historical v3
+  // output (precedence: traffic > fault > v3).
   const bool anyFault = std::any_of(allRuns.begin(), allRuns.end(),
                                     [](const RunRecord& r) { return r.hasFault; });
+  const bool anyTraffic = std::any_of(allRuns.begin(), allRuns.end(),
+                                      [](const RunRecord& r) { return r.hasTraffic; });
   w.beginObject();
-  w.field("schema", anyFault ? kSweepSchemaFault : kSweepSchema);
+  w.field("schema", anyTraffic ? kSweepSchemaTraffic
+                  : anyFault   ? kSweepSchemaFault
+                               : kSweepSchema);
   w.field("bench", "dresar-sweep");
   w.field("spec", opts.specName);
   w.key("options");
@@ -137,6 +142,7 @@ std::string sweepToJson(const RunRecorder& merged, const std::vector<ConfigAggre
       w.field("fallback_home_lookups", r.faultFallbackHomeLookups);
       w.endObject();
     }
+    if (r.hasTraffic) writeTrafficJson(w, r);
     w.endObject();
   }
   w.endArray();

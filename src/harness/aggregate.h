@@ -28,6 +28,11 @@
 // "dresar-bench-results/v4" and each such run an extra "fault" object (same
 // shape as the bench-document v4, see sim/run_recorder.h). Fault-free
 // sweeps keep emitting v3 byte-for-byte.
+//
+// v4 -> v5: a sweep with at least one multi-tenant traffic run ("oltp"/"kv")
+// carries schema "dresar-bench-results/v5" and each such run an extra
+// "traffic" object (same shape as the bench-document v5, see
+// sim/run_recorder.h). Precedence: traffic > fault > v3.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +46,7 @@ namespace dresar::harness {
 
 inline constexpr const char* kSweepSchema = "dresar-bench-results/v3";
 inline constexpr const char* kSweepSchemaFault = "dresar-bench-results/v4";
+inline constexpr const char* kSweepSchemaTraffic = "dresar-bench-results/v5";
 
 struct MetricSummary {
   std::uint64_t count = 0;

@@ -12,7 +12,8 @@ namespace dresar::harness {
 
 const std::vector<std::string>& watchedMetrics() {
   static const std::vector<std::string> watched = {
-      "exec_time", "avg_read_latency", "total_read_stall",
+      "exec_time",        "avg_read_latency",  "total_read_stall",
+      "p99_read_latency", "p999_read_latency",
   };
   return watched;
 }

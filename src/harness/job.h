@@ -17,12 +17,13 @@ namespace dresar::harness {
 enum class JobKind : std::uint8_t {
   Scientific,  ///< execution-driven kernel on the cycle-level System
   Trace,       ///< trace-driven commercial workload (synthetic TPC stream)
+  Traffic,     ///< trace-driven multi-tenant traffic model ("oltp"/"kv")
 };
 
 struct JobSpec {
   JobKind kind = JobKind::Scientific;
-  /// Workload key: "fft"/"tc"/"sor"/"fwa"/"gauss" (scientific) or
-  /// "tpcc"/"tpcd" (trace).
+  /// Workload key: "fft"/"tc"/"sor"/"fwa"/"gauss" (scientific),
+  /// "tpcc"/"tpcd" (trace) or "oltp"/"kv" (traffic).
   std::string app;
   std::uint32_t sdEntries = 0;  ///< 0 = Base system (no switch directories)
   std::uint32_t assoc = 4;
@@ -40,8 +41,16 @@ struct JobSpec {
   /// a per-config stddev > 0 in the aggregate is itself a determinism bug.
   std::uint64_t seed = 1;
   WorkloadScale scale;            ///< scientific problem sizes
-  std::uint64_t traceRefs = 1'000'000;  ///< trace length (trace jobs)
+  std::uint64_t traceRefs = 1'000'000;  ///< stream length (trace/traffic jobs)
   bool traceTxns = false;         ///< record per-transaction latency events
+  /// Traffic-model overrides (traffic jobs only). Sentinel defaults mean
+  /// "keep the profile's value" — oltp and kv carry different baseline
+  /// tenancy/skew, so 0 / -1 / 0 / "readmostly" leaves each profile intact
+  /// and keeps default jobs tag-identical across the axes.
+  std::uint32_t trafficTenants = 0;          ///< 0 = profile default
+  double trafficSkew = -1.0;                 ///< < 0 = profile default
+  double trafficBurst = 0.0;                 ///< 0 = profile default (1 = flat)
+  std::string trafficMix = "readmostly";     ///< readmostly | writeheavy
   /// Base switch-directory template; entries/assoc/pendingBuffer above are
   /// applied on top. Lets ablation benches sweep the remaining knobs
   /// (pending-buffer enable, invalidation snooping, retry backoff).
@@ -53,7 +62,7 @@ struct JobSpec {
   /// the derived one (bench binaries keep their historical tags this way).
   std::string tagOverride;
 
-  /// Display name in the paper's style ("FFT", "TPC-C", ...).
+  /// Display name in the paper's style ("FFT", "TPC-C", "OLTP", ...).
   [[nodiscard]] std::string displayApp() const {
     if (kind == JobKind::Trace) return app == "tpcd" ? "TPC-D" : "TPC-C";
     std::string up = app;
@@ -82,6 +91,12 @@ struct JobSpec {
       if (sdArbitration != "fifo") t += "-" + sdArbitration;
     }
     if (numNodes != 16) t += "-n" + std::to_string(numNodes);
+    // Traffic axes (same only-when-non-default discipline): -tN tenants,
+    // -z<skew>, -b<burst multiplier>, -wh write-heavy mix.
+    if (trafficTenants != 0) t += "-t" + std::to_string(trafficTenants);
+    if (trafficSkew >= 0.0) t += "-z" + rateTag(trafficSkew);
+    if (trafficBurst > 0.0) t += "-b" + rateTag(trafficBurst);
+    if (trafficMix == "writeheavy") t += "-wh";
     if (fault.msgDropRate > 0.0) t += "-fd" + rateTag(fault.msgDropRate);
     if (fault.msgDelayRate > 0.0) t += "-fy" + rateTag(fault.msgDelayRate);
     if (fault.sdEntryLossRate > 0.0) t += "-fl" + rateTag(fault.sdEntryLossRate);

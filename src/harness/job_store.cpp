@@ -12,8 +12,11 @@
 namespace dresar::harness {
 
 std::string jobKeyOf(const JobSpec& job) {
-  return std::string(job.kind == JobKind::Scientific ? "scientific" : "trace") + "|" +
-         job.displayApp() + "|" + job.configTag() + "|" + std::to_string(job.seed);
+  const char* kind = job.kind == JobKind::Scientific ? "scientific"
+                     : job.kind == JobKind::Traffic  ? "traffic"
+                                                     : "trace";
+  return std::string(kind) + "|" + job.displayApp() + "|" + job.configTag() + "|" +
+         std::to_string(job.seed);
 }
 
 JobStore::~JobStore() {
@@ -78,6 +81,31 @@ std::string JobStore::serializeLine(const StoredJob& job) {
     w.field("fallback_home_lookups", r.faultFallbackHomeLookups);
     w.endObject();
   }
+  if (r.hasTraffic) {
+    w.key("traffic");
+    w.beginObject();
+    w.field("tenants", r.trafficTenantCount);
+    w.fieldPrecise("p99_read_latency", r.trafficP99Read);
+    w.fieldPrecise("p999_read_latency", r.trafficP999Read);
+    w.field("p99_overflowed", r.trafficP99Overflowed);
+    w.field("p999_overflowed", r.trafficP999Overflowed);
+    w.fieldPrecise("burst_occupancy", r.trafficBurstOccupancy);
+    w.fieldPrecise("steady_occupancy", r.trafficSteadyOccupancy);
+    w.field("burst_cycles", r.trafficBurstCycles);
+    w.field("steady_cycles", r.trafficSteadyCycles);
+    w.key("per_tenant");
+    w.beginArray();
+    for (const RunRecord::TrafficTenant& t : r.trafficPerTenant) {
+      w.beginObject();
+      w.field("reads", t.reads);
+      w.field("writes", t.writes);
+      w.fieldPrecise("mean_read_latency", t.meanReadLatency);
+      w.fieldPrecise("max_read_latency", t.maxReadLatency);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
   if (r.hasTrace) {
     w.key("latency");
     w.beginObject();
@@ -139,6 +167,26 @@ StoredJob JobStore::parseLine(const std::string& line) {
     r.faultTimeoutReissues = asU64(f->at("timeout_reissues"));
     r.faultRecovered = asU64(f->at("recovered"));
     r.faultFallbackHomeLookups = asU64(f->at("fallback_home_lookups"));
+  }
+  if (const JsonValue* tr = rec.find("traffic")) {
+    r.hasTraffic = true;
+    r.trafficTenantCount = asU64(tr->at("tenants"));
+    r.trafficP99Read = tr->at("p99_read_latency").asNumber();
+    r.trafficP999Read = tr->at("p999_read_latency").asNumber();
+    r.trafficP99Overflowed = tr->at("p99_overflowed").asBool();
+    r.trafficP999Overflowed = tr->at("p999_overflowed").asBool();
+    r.trafficBurstOccupancy = tr->at("burst_occupancy").asNumber();
+    r.trafficSteadyOccupancy = tr->at("steady_occupancy").asNumber();
+    r.trafficBurstCycles = asU64(tr->at("burst_cycles"));
+    r.trafficSteadyCycles = asU64(tr->at("steady_cycles"));
+    for (const JsonValue& row : tr->at("per_tenant").asArray()) {
+      RunRecord::TrafficTenant t;
+      t.reads = asU64(row.at("reads"));
+      t.writes = asU64(row.at("writes"));
+      t.meanReadLatency = row.at("mean_read_latency").asNumber();
+      t.maxReadLatency = row.at("max_read_latency").asNumber();
+      r.trafficPerTenant.push_back(t);
+    }
   }
   if (const JsonValue* t = rec.find("latency")) {
     r.hasTrace = true;

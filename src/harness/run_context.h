@@ -15,6 +15,7 @@
 #include "sim/metrics.h"
 #include "sim/run_recorder.h"
 #include "trace/trace_sim.h"
+#include "traffic/traffic_stats.h"
 
 namespace dresar::harness {
 
@@ -51,7 +52,7 @@ struct JobResult {
   RunRecord record;       ///< ready to add() to a recorder
   std::string traceBody;  ///< Chrome event fragment (empty unless traced)
   RunMetrics sci;         ///< valid when job.kind == Scientific
-  TraceMetrics trace;     ///< valid when job.kind == Trace
+  TraceMetrics trace;     ///< valid when job.kind == Trace or Traffic
   double wallSeconds = 0.0;
 };
 
@@ -64,6 +65,16 @@ RunRecord makeSciRecord(const std::string& app, const std::string& config,
 /// Trace-run counterpart of makeSciRecord().
 RunRecord makeTraceRecord(const std::string& app, const std::string& config,
                           std::uint64_t sdEntries, double wallSeconds, const TraceMetrics& m);
+
+/// Traffic-run record: the trace metrics plus per-tenant counters, tail
+/// percentiles (p99 / p99.9 read latency from the log-spaced histograms) and
+/// per-phase controller occupancy. `burstElapsed` / `steadyElapsed` are the
+/// model's arrival-clock cycles per phase; `numProcs` sizes the occupancy
+/// denominator.
+RunRecord makeTrafficRecord(const std::string& app, const std::string& config,
+                            std::uint64_t sdEntries, double wallSeconds, const TraceMetrics& m,
+                            const TrafficStats& stats, std::uint64_t burstElapsed,
+                            std::uint64_t steadyElapsed, std::uint32_t numProcs);
 
 /// Execute one job in complete isolation: fresh simulator state, no global
 /// reads or writes. Thread-safe against concurrent executeJob() calls.

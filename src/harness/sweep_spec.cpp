@@ -1,6 +1,7 @@
 #include "harness/sweep_spec.h"
 
 #include "switchdir/sd_policy.h"
+#include "traffic/traffic_model.h"
 
 #include <algorithm>
 #include <charconv>
@@ -82,6 +83,28 @@ std::vector<double> parseRateList(const std::string& source, int line, const std
 
 bool isTraceWorkload(const std::string& w) { return w == "tpcc" || w == "tpcd"; }
 
+/// Comma-separated doubles, each >= `min`.
+std::vector<double> parseDoubleList(const std::string& source, int line, const std::string& v,
+                                    double min, const char* what) {
+  std::vector<double> out;
+  for (const std::string& item : splitList(v)) {
+    if (item.empty()) fail(source, line, std::string("empty ") + what + " in list");
+    char* end = nullptr;
+    const double x = std::strtod(item.c_str(), &end);
+    if (end != item.c_str() + item.size()) {
+      fail(source, line, "expected a number, got '" + item + "'");
+    }
+    if (!(x >= min)) {
+      std::ostringstream os;
+      os << what << " must be >= " << min << ", got '" << item << "'";
+      fail(source, line, os.str());
+    }
+    out.push_back(x);
+  }
+  if (out.empty()) fail(source, line, "list must not be empty");
+  return out;
+}
+
 /// Parse one sd_policy token: "repl-arb" or a bare replacement name (which
 /// keeps the default fifo arbitration). Both halves are validated against the
 /// policy registries so a typo'd cell dies at parse time with the valid names.
@@ -113,8 +136,8 @@ SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
   SweepSpec spec;
   spec.workloads = {"fft", "tc", "sor", "fwa", "gauss", "tpcc", "tpcd"};
 
-  static const std::set<std::string> knownWorkloads = {"fft", "tc",   "sor", "fwa",
-                                                       "gauss", "tpcc", "tpcd"};
+  static const std::set<std::string> knownWorkloads = {"fft",  "tc",   "sor",  "fwa", "gauss",
+                                                       "tpcc", "tpcd", "oltp", "kv"};
   std::set<std::string> seenKeys;
   std::string raw;
   int line = 0;
@@ -194,15 +217,67 @@ SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
       } catch (const std::invalid_argument& e) {
         fail(source, line, e.what());
       }
+    } else if (key == "tenants") {
+      spec.trafficTenants = parseU32List(source, line, value, /*allowZero=*/false);
+    } else if (key == "skew") {
+      spec.trafficSkew = parseDoubleList(source, line, value, 0.0, "skew");
+    } else if (key == "burst") {
+      spec.trafficBurst = parseDoubleList(source, line, value, 0.0, "burst");
+      for (const double b : spec.trafficBurst) {
+        if (b <= 0.0) fail(source, line, "burst multiplier must be > 0");
+      }
+    } else if (key == "mix") {
+      spec.trafficMix = splitList(value);
+      for (const std::string& m : spec.trafficMix) {
+        if (!isTrafficMix(m)) {
+          fail(source, line, "unknown mix '" + m + "' (valid: readmostly, writeheavy)");
+        }
+      }
+      if (spec.trafficMix.empty()) fail(source, line, "mix list must not be empty");
     } else {
       fail(source, line, "unknown key '" + key + "'");
+    }
+  }
+
+  if (spec.hasTrafficAxes()) {
+    // Traffic axes parameterize the traffic models only; on any other
+    // workload they would be silently ignored — reject instead.
+    for (const std::string& w : spec.workloads) {
+      if (!isTrafficWorkload(w)) {
+        throw std::runtime_error(source + ": traffic axes (tenants/skew/burst/mix) only "
+                                          "apply to traffic workloads; remove '" + w +
+                                          "' or the traffic keys");
+      }
+    }
+    // Probe every traffic cell against the model validator so a bad
+    // combination dies at parse time, not mid-sweep.
+    for (const std::string& w : spec.workloads) {
+      for (const std::uint32_t tn : spec.trafficTenants) {
+        for (const double z : spec.trafficSkew) {
+          for (const double b : spec.trafficBurst) {
+            for (const std::string& m : spec.trafficMix) {
+              TrafficConfig probe = TrafficConfig::byName(w, 1);
+              if (tn != 0) probe.tenants = tn;
+              if (z >= 0.0) probe.skew = z;
+              if (b > 0.0) probe.burstMultiplier = b;
+              probe.applyMix(m);
+              const std::vector<std::string> errs = probe.validationErrors();
+              if (!errs.empty()) {
+                std::string msg = source + ": invalid traffic configuration:";
+                for (const std::string& e : errs) msg += "\n  - " + e;
+                throw std::runtime_error(msg);
+              }
+            }
+          }
+        }
+      }
     }
   }
 
   if (spec.hasFaultAxes()) {
     // Fault injection runs on the execution-driven System only.
     for (const std::string& w : spec.workloads) {
-      if (isTraceWorkload(w)) {
+      if (isTraceWorkload(w) || isTrafficWorkload(w)) {
         throw std::runtime_error(source + ": fault axes only apply to execution-driven "
                                           "workloads; remove '" + w + "' or the fault keys");
       }
@@ -235,6 +310,14 @@ bool SweepSpec::hasFaultAxes() const {
   };
   return anyNonZero(faultDropRate) || anyNonZero(faultDelayRate) ||
          anyNonZero(faultSdLossRate) || faultLinkStall.active();
+}
+
+bool SweepSpec::hasTrafficAxes() const {
+  const bool defaultTenants = trafficTenants.size() == 1 && trafficTenants[0] == 0;
+  const bool defaultSkew = trafficSkew.size() == 1 && trafficSkew[0] < 0.0;
+  const bool defaultBurst = trafficBurst.size() == 1 && trafficBurst[0] == 0.0;
+  const bool defaultMix = trafficMix.size() == 1 && trafficMix[0] == "readmostly";
+  return !(defaultTenants && defaultSkew && defaultBurst && defaultMix);
 }
 
 SweepSpec SweepSpec::parseFile(const std::string& path) {
@@ -271,27 +354,41 @@ std::vector<JobSpec> SweepSpec::expand() const {
               for (const double fd : faultDropRate) {
                 for (const double fy : faultDelayRate) {
                   for (const double fl : faultSdLossRate) {
-                    for (std::uint64_t s = 1; s <= seeds; ++s) {
-                      JobSpec j;
-                      j.kind = isTraceWorkload(w) ? JobKind::Trace : JobKind::Scientific;
-                      j.app = w;
-                      j.sdEntries = e;
-                      j.assoc = a;
-                      j.pendingBuffer = pb;
-                      j.sdReplacement = pol.replacement;
-                      j.sdArbitration = pol.arbitration;
-                      j.numNodes = n;
-                      j.seed = s;
-                      j.scale = ws;
-                      j.traceRefs = traceRefs;
-                      j.fault.msgDropRate = fd;
-                      j.fault.msgDelayRate = fy;
-                      j.fault.sdEntryLossRate = fl;
-                      j.fault.linkStall = faultLinkStall;
-                      // Replicas of one faulted cell draw independent injector
-                      // streams; replica 1 keeps the spec's base seed.
-                      j.fault.seed = faultSeed + (s - 1);
-                      jobs.push_back(std::move(j));
+                    for (const std::uint32_t tn : trafficTenants) {
+                      for (const double z : trafficSkew) {
+                        for (const double b : trafficBurst) {
+                          for (const std::string& mx : trafficMix) {
+                            for (std::uint64_t s = 1; s <= seeds; ++s) {
+                              JobSpec j;
+                              j.kind = isTrafficWorkload(w) ? JobKind::Traffic
+                                       : isTraceWorkload(w) ? JobKind::Trace
+                                                            : JobKind::Scientific;
+                              j.app = w;
+                              j.sdEntries = e;
+                              j.assoc = a;
+                              j.pendingBuffer = pb;
+                              j.sdReplacement = pol.replacement;
+                              j.sdArbitration = pol.arbitration;
+                              j.numNodes = n;
+                              j.seed = s;
+                              j.scale = ws;
+                              j.traceRefs = traceRefs;
+                              j.fault.msgDropRate = fd;
+                              j.fault.msgDelayRate = fy;
+                              j.fault.sdEntryLossRate = fl;
+                              j.fault.linkStall = faultLinkStall;
+                              // Replicas of one faulted cell draw independent
+                              // injector streams; replica 1 keeps the base seed.
+                              j.fault.seed = faultSeed + (s - 1);
+                              j.trafficTenants = tn;
+                              j.trafficSkew = z;
+                              j.trafficBurst = b;
+                              j.trafficMix = mx;
+                              jobs.push_back(std::move(j));
+                            }
+                          }
+                        }
+                      }
                     }
                   }
                 }

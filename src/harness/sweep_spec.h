@@ -22,10 +22,18 @@
 //   fault_seed = 7                       # injector RNG base seed
 //   fault_link_stall = 0,1,1000,500      # stage,port,startCycle,lenCycles
 //
+// Traffic campaigns (workloads oltp / kv, the multi-tenant traffic models)
+// add axes over the model's tenancy and load shape:
+//
+//   tenants = 2, 4, 8                    # tenant count per model
+//   skew = 0.6, 0.9, 1.2                 # per-tenant key Zipf exponent
+//   burst = 1, 4, 8                      # burst-window load multiplier
+//   mix = readmostly, writeheavy         # write-fraction cell
+//
 // expand() turns this into workload x entries x assoc x pending_buffer x
-// nodes x sd_policy x fault-rate x seed JobSpecs. Unknown keys and malformed values are hard
-// errors with the line number, so a typo'd sweep fails before burning hours
-// of simulation.
+// nodes x sd_policy x fault-rate x traffic x seed JobSpecs. Unknown keys and
+// malformed values are hard errors with the line number, so a typo'd sweep
+// fails before burning hours of simulation.
 #pragma once
 
 #include <cstdint>
@@ -54,7 +62,7 @@ struct SdPolicyChoice {
 
 struct SweepSpec {
   std::string name = "sweep";
-  std::vector<std::string> workloads;            ///< fft/tc/sor/fwa/gauss/tpcc/tpcd
+  std::vector<std::string> workloads;  ///< fft/tc/sor/fwa/gauss/tpcc/tpcd/oltp/kv
   std::vector<std::uint32_t> entries = {0, 256, 512, 1024, 2048};
   std::vector<std::uint32_t> assoc = {4};
   std::vector<std::uint32_t> pendingBuffer = {16};
@@ -77,9 +85,18 @@ struct SweepSpec {
   std::vector<double> faultSdLossRate = {0.0};
   std::uint64_t faultSeed = 1;
   LinkStallSpec faultLinkStall{};
+  /// Traffic axes (traffic workloads only). The sentinel single-cell
+  /// defaults mean "profile default" and keep non-traffic sweeps exactly as
+  /// before; any explicit value restricts the sweep to oltp/kv workloads.
+  std::vector<std::uint32_t> trafficTenants = {0};
+  std::vector<double> trafficSkew = {-1.0};
+  std::vector<double> trafficBurst = {0.0};
+  std::vector<std::string> trafficMix = {"readmostly"};
 
   /// True when any fault axis can produce an injecting run.
   [[nodiscard]] bool hasFaultAxes() const;
+  /// True when any traffic axis was explicitly set (non-sentinel cell).
+  [[nodiscard]] bool hasTrafficAxes() const;
 
   /// Parse from a stream / file. Throws std::runtime_error with
   /// "<source>:<line>: ..." context on any malformed or unknown input.
@@ -87,14 +104,16 @@ struct SweepSpec {
   static SweepSpec parseFile(const std::string& path);
 
   /// The full job matrix, in deterministic spec order (workload-major, then
-  /// entries, assoc, pending buffer, nodes, sd policy, seed).
+  /// entries, assoc, pending buffer, nodes, sd policy, fault rates, traffic
+  /// axes, seed).
   [[nodiscard]] std::vector<JobSpec> expand() const;
 
   /// Total matrix size without materializing it.
   [[nodiscard]] std::size_t jobCount() const {
     return workloads.size() * entries.size() * assoc.size() * pendingBuffer.size() *
            nodes.size() * sdPolicy.size() * faultDropRate.size() *
-           faultDelayRate.size() * faultSdLossRate.size() *
+           faultDelayRate.size() * faultSdLossRate.size() * trafficTenants.size() *
+           trafficSkew.size() * trafficBurst.size() * trafficMix.size() *
            static_cast<std::size_t>(seeds);
   }
 

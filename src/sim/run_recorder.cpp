@@ -25,15 +25,46 @@ void RunRecorder::sortCanonical() {
   });
 }
 
+void writeTrafficJson(JsonWriter& w, const RunRecord& r) {
+  w.key("traffic");
+  w.beginObject();
+  w.field("tenants", r.trafficTenantCount);
+  w.field("p99_read_latency", r.trafficP99Read);
+  w.field("p999_read_latency", r.trafficP999Read);
+  w.field("p99_overflowed", r.trafficP99Overflowed);
+  w.field("p999_overflowed", r.trafficP999Overflowed);
+  w.field("burst_occupancy", r.trafficBurstOccupancy);
+  w.field("steady_occupancy", r.trafficSteadyOccupancy);
+  w.field("burst_cycles", r.trafficBurstCycles);
+  w.field("steady_cycles", r.trafficSteadyCycles);
+  w.key("per_tenant");
+  w.beginArray();
+  for (const RunRecord::TrafficTenant& t : r.trafficPerTenant) {
+    w.beginObject();
+    w.field("reads", t.reads);
+    w.field("writes", t.writes);
+    w.field("mean_read_latency", t.meanReadLatency);
+    w.field("max_read_latency", t.maxReadLatency);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+}
+
 std::string RunRecorder::toJson() const {
   std::ostringstream os;
   JsonWriter w(os);
-  // Fault-free documents stay byte-identical to the historical v2 output;
-  // only a run that actually injected faults upgrades the schema.
+  // Traffic-free, fault-free documents stay byte-identical to the historical
+  // v2 output; only a run that actually carries the new blocks upgrades the
+  // schema (traffic > fault > v2).
   const bool anyFault =
       std::any_of(runs_.begin(), runs_.end(), [](const RunRecord& r) { return r.hasFault; });
+  const bool anyTraffic =
+      std::any_of(runs_.begin(), runs_.end(), [](const RunRecord& r) { return r.hasTraffic; });
   w.beginObject();
-  w.field("schema", anyFault ? "dresar-bench-results/v4" : "dresar-bench-results/v2");
+  w.field("schema", anyTraffic ? "dresar-bench-results/v5"
+                  : anyFault   ? "dresar-bench-results/v4"
+                               : "dresar-bench-results/v2");
   w.field("bench", bench_);
   w.key("options");
   w.beginObject();
@@ -81,6 +112,7 @@ std::string RunRecorder::toJson() const {
       w.field("fallback_home_lookups", r.faultFallbackHomeLookups);
       w.endObject();
     }
+    if (r.hasTraffic) writeTrafficJson(w, r);
     if (r.hasTrace) {
       const auto emitClass = [&w](const char* name, std::uint64_t txns, double endToEnd,
                                   const std::array<double, kTxnStageCount>& stage) {

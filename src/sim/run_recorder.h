@@ -47,6 +47,25 @@
 // Fault-free documents keep emitting v2 byte-for-byte (v3 is the sweep
 // aggregate schema, see harness/aggregate.h — the version numbers are shared
 // across both document families so "fault" means >= v4 everywhere).
+//
+// v4 -> v5: documents with at least one multi-tenant traffic run (workloads
+// "oltp"/"kv") carry schema "dresar-bench-results/v5" and each such run an
+// extra "traffic" object:
+//   "traffic": {
+//     "tenants": <uint>,
+//     "p99_read_latency": <double>, "p999_read_latency": <double>,
+//     "p99_overflowed": <bool>, "p999_overflowed": <bool>,   // clamp flags
+//     "burst_occupancy": <double>, "steady_occupancy": <double>,
+//     "burst_cycles": <uint>, "steady_cycles": <uint>,
+//     "per_tenant": [
+//       { "reads": <uint>, "writes": <uint>,
+//         "mean_read_latency": <double>, "max_read_latency": <double> }, ...
+//     ]
+//   }
+// Percentiles come from log2-spaced histograms (common/stats.h), so a true
+// tail value is reported up to the histogram bound; the *_overflowed flags
+// record when the value was clamped instead. Traffic-free documents keep
+// their previous schema byte-for-byte; precedence is traffic > fault > v2.
 #pragma once
 
 #include <array>
@@ -82,6 +101,28 @@ struct RunRecord {
   std::uint64_t faultRecovered = 0;
   std::uint64_t faultFallbackHomeLookups = 0;
 
+  /// Per-tenant row of a traffic run's "traffic" block.
+  struct TrafficTenant {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    double meanReadLatency = 0.0;
+    double maxReadLatency = 0.0;
+  };
+
+  /// Multi-tenant traffic metrics (only serialized when hasTraffic is set;
+  /// any traffic run upgrades the document schema to v5).
+  bool hasTraffic = false;
+  std::uint64_t trafficTenantCount = 0;
+  double trafficP99Read = 0.0;
+  double trafficP999Read = 0.0;
+  bool trafficP99Overflowed = false;
+  bool trafficP999Overflowed = false;
+  double trafficBurstOccupancy = 0.0;
+  double trafficSteadyOccupancy = 0.0;
+  std::uint64_t trafficBurstCycles = 0;
+  std::uint64_t trafficSteadyCycles = 0;
+  std::vector<TrafficTenant> trafficPerTenant;
+
   /// Latency attribution (only serialized when hasTrace is set).
   bool hasTrace = false;
   std::uint64_t traceReadTxns = 0;
@@ -93,6 +134,13 @@ struct RunRecord {
 
   void metric(std::string name, double v) { metrics.emplace_back(std::move(name), v); }
 };
+
+class JsonWriter;
+
+/// Emit `r`'s "traffic" key + object. Caller must be inside the run's object
+/// scope and have checked r.hasTraffic. Shared by the bench serializer and
+/// the sweep serializer (harness/aggregate.cpp) so the block cannot drift.
+void writeTrafficJson(JsonWriter& w, const RunRecord& r);
 
 /// Accumulates RunRecords across a bench binary's runs and serializes them.
 ///

@@ -1,0 +1,35 @@
+// The one pull-based interface every trace-driven consumer reads from.
+//
+// A reference stream produces (processor, address, read/write) records one at
+// a time; nothing is ever materialized, so a stream of billions of references
+// (millions of simulated users) costs O(1) memory. Producers: the synthetic
+// TPC generators (trace/tpc_gen.h), trace files (trace/trace_file.h) and the
+// multi-tenant traffic models (traffic/traffic_model.h). Consumers: the
+// trace-driven simulator (TraceSimulator::run) and anything else that wants
+// to walk a reference stream.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dresar {
+
+struct TraceRecord {
+  NodeId pid = 0;
+  Addr addr = 0;
+  bool write = false;
+};
+
+/// Deterministic pull iterator: call next() until it returns false. A stream
+/// is single-pass; construct a fresh one (same parameters, same seed) to
+/// replay the identical sequence.
+class RefStream {
+ public:
+  virtual ~RefStream() = default;
+
+  /// Produces the next record; false when the stream is exhausted.
+  virtual bool next(TraceRecord& out) = 0;
+};
+
+}  // namespace dresar

@@ -20,14 +20,9 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "trace/ref_stream.h"
 
 namespace dresar {
-
-struct TraceRecord {
-  NodeId pid = 0;
-  Addr addr = 0;
-  bool write = false;
-};
 
 struct TpcParams {
   const char* name = "TPC-C";
@@ -54,12 +49,14 @@ struct TpcParams {
 };
 
 /// Deterministic pull-based generator: call next() until it returns false.
-class TpcGenerator {
+/// Implements RefStream, so it plugs into every trace-driven consumer
+/// without materializing a single record.
+class TpcGenerator final : public RefStream {
  public:
   explicit TpcGenerator(const TpcParams& p);
 
   /// Produces the next record; false when `refs` records have been emitted.
-  bool next(TraceRecord& out);
+  bool next(TraceRecord& out) override;
 
   [[nodiscard]] const TpcParams& params() const { return p_; }
   [[nodiscard]] std::uint64_t emitted() const { return emitted_; }

@@ -107,7 +107,7 @@ bool TraceReader::next(TraceRecord& out) {
   return false;
 }
 
-void dumpTrace(TpcGenerator& gen, std::ostream& os, bool binary) {
+void dumpTrace(RefStream& gen, std::ostream& os, bool binary) {
   TraceWriter w(os, binary);
   TraceRecord r;
   while (gen.next(r)) w.write(r);

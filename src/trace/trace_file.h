@@ -34,13 +34,15 @@ class TraceWriter {
   std::uint64_t count_ = 0;
 };
 
-class TraceReader {
+/// Implements RefStream: a trace file replays through TraceSimulator::run
+/// (or any other stream consumer) without loading it into memory.
+class TraceReader final : public RefStream {
  public:
   /// Auto-detects text vs. binary from the stream head.
   explicit TraceReader(std::istream& is);
   /// Returns false at end of trace. Throws std::runtime_error on malformed
   /// input (with the offending line number for the text format).
-  bool next(TraceRecord& out);
+  bool next(TraceRecord& out) override;
   [[nodiscard]] std::uint64_t consumed() const { return count_; }
 
  private:
@@ -50,8 +52,9 @@ class TraceReader {
   std::uint64_t line_ = 0;
 };
 
-/// Convenience: materialize a generator into a file and read it back.
-void dumpTrace(TpcGenerator& gen, std::ostream& os, bool binary = false);
+/// Convenience: stream a generator into a file and read a file back into a
+/// vector (tests / small traces only — large traces should stay streams).
+void dumpTrace(RefStream& gen, std::ostream& os, bool binary = false);
 std::vector<TraceRecord> loadTrace(std::istream& is);
 
 }  // namespace dresar

@@ -74,7 +74,7 @@ void TraceSimulator::fill(NodeId pid, Addr block, CacheState state) {
   line->state = state;
 }
 
-void TraceSimulator::doRead(NodeId pid, Addr block) {
+Cycle TraceSimulator::doRead(NodeId pid, Addr block) {
   ++m_.reads;
   Cycle lat = cfg_.cacheAccess;
   if (caches_[pid].find(block) != nullptr) {
@@ -149,15 +149,16 @@ void TraceSimulator::doRead(NodeId pid, Addr block) {
   }
   m_.totalReadLatency += static_cast<double>(lat);
   procCycles_[pid] += lat;
+  return lat;
 }
 
-void TraceSimulator::doWrite(NodeId pid, Addr block) {
+Cycle TraceSimulator::doWrite(NodeId pid, Addr block) {
   ++m_.writes;
   // Release consistency: write latency is hidden (paper: "all write requests
   // are cache hits"), but the coherence actions still happen.
   procCycles_[pid] += 1;
   CacheLine* line = caches_[pid].find(block);
-  if (line != nullptr && line->state == CacheState::M) return;
+  if (line != nullptr && line->state == CacheState::M) return 1;
 
   DirEntry& d = dir(block);
   switch (d.state) {
@@ -190,19 +191,16 @@ void TraceSimulator::doWrite(NodeId pid, Addr block) {
   }
   // The WriteReply deposits fresh ownership info on its backward path.
   depositEntries(pid, block);
+  return 1;
 }
 
-void TraceSimulator::access(NodeId pid, Addr addr, bool write) {
+Cycle TraceSimulator::access(NodeId pid, Addr addr, bool write) {
   const Addr block = cfg_.blockOf(addr);
   ++m_.refs;
-  if (write) {
-    doWrite(pid, block);
-  } else {
-    doRead(pid, block);
-  }
+  return write ? doWrite(pid, block) : doRead(pid, block);
 }
 
-void TraceSimulator::run(TpcGenerator& gen) {
+void TraceSimulator::run(RefStream& gen) {
   TraceRecord r;
   while (gen.next(r)) access(r);
   finalize();

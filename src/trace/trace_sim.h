@@ -23,7 +23,7 @@
 #include "coherence/cache_array.h"
 #include "interconnect/topology.h"
 #include "switchdir/dir_cache.h"
-#include "trace/tpc_gen.h"
+#include "trace/ref_stream.h"
 
 namespace dresar {
 
@@ -65,12 +65,15 @@ class TraceSimulator {
  public:
   explicit TraceSimulator(const TraceConfig& cfg);
 
-  /// Process one trace record.
-  void access(NodeId pid, Addr addr, bool write);
-  void access(const TraceRecord& r) { access(r.pid, r.addr, r.write); }
+  /// Process one trace record; returns the cycles charged to `pid` for it
+  /// (the read service latency, or 1 for a release-consistency write), so
+  /// streaming drivers can sample per-reference tail latency.
+  Cycle access(NodeId pid, Addr addr, bool write);
+  Cycle access(const TraceRecord& r) { return access(r.pid, r.addr, r.write); }
 
-  /// Drive an entire generator through the simulator (calls finalize()).
-  void run(TpcGenerator& gen);
+  /// Drive an entire reference stream through the simulator (calls
+  /// finalize()). Works for TPC generators, trace files and traffic models.
+  void run(RefStream& gen);
 
   /// Recompute execTime from the per-processor cycle totals; call after
   /// feeding records via access() directly.
@@ -109,8 +112,8 @@ class TraceSimulator {
   /// the WriteReply snoop).
   void depositEntries(NodeId owner, Addr block);
 
-  void doRead(NodeId pid, Addr block);
-  void doWrite(NodeId pid, Addr block);
+  Cycle doRead(NodeId pid, Addr block);
+  Cycle doWrite(NodeId pid, Addr block);
   /// Install `block` in pid's cache with `state`, handling dirty victims.
   void fill(NodeId pid, Addr block, CacheState state);
 

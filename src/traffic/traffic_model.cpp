@@ -1,0 +1,269 @@
+#include "traffic/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dresar {
+
+namespace {
+// Region bases sit above the TPC generators' arenas (tpc_gen.cpp tops out at
+// 1<<35 + strides) so mixed traces could never alias.
+constexpr Addr kTenantBase = Addr{1} << 36;
+constexpr Addr kTenantStride = Addr{1} << 28;  // per-tenant arena
+constexpr Addr kSharedBase = Addr{1} << 38;
+
+/// Seed material for stream `streamId` of run seed `seed`: one SplitMix64
+/// draw from a state that mixes the id in with an odd constant, so streams
+/// 0..N are mutually independent and stream 0 != Rng(seed) (the harness uses
+/// raw Rng(seed) for its own perturbations).
+std::uint64_t streamSeed(std::uint64_t seed, std::uint32_t streamId) {
+  Rng mix(seed + 0x632BE59BD9B4E019ull * (std::uint64_t{streamId} + 1));
+  return mix.next();
+}
+}  // namespace
+
+TrafficLayout TrafficLayout::fixed(std::uint32_t tenants) {
+  TrafficLayout l;
+  l.tenantBases.reserve(tenants);
+  for (std::uint32_t t = 0; t < tenants; ++t) l.tenantBases.push_back(kTenantBase + t * kTenantStride);
+  l.sharedBase = kSharedBase;
+  return l;
+}
+
+TrafficConfig TrafficConfig::oltp(std::uint64_t refs) {
+  TrafficConfig c;  // the member defaults ARE the OLTP profile
+  c.refs = refs;
+  // Hot rows drift a few times per run regardless of length, so short smoke
+  // runs and billion-reference campaigns both exercise migration.
+  c.migrationPeriodRefs = std::max<std::uint64_t>(refs / 4, 1);
+  return c;
+}
+
+TrafficConfig TrafficConfig::kv(std::uint64_t refs) {
+  TrafficConfig c;
+  c.name = "kv";
+  c.refs = refs;
+  c.tenants = 8;
+  c.keysPerTenant = 60'000;
+  c.skew = 1.1;       // KV caches see stronger key skew than row stores
+  c.tenantSkew = 0.8;
+  c.writeFrac = 0.02;
+  c.sharedFrac = 0.01;
+  c.sharedBlocks = 1'000;
+  c.localityFrac = 0.1;
+  c.localityWindow = 32;
+  c.meanGapCycles = 25;
+  c.migrationPeriodRefs = std::max<std::uint64_t>(refs / 2, 1);
+  return c;
+}
+
+TrafficConfig TrafficConfig::byName(const std::string& name, std::uint64_t refs) {
+  if (name == "oltp") return oltp(refs);
+  if (name == "kv") return kv(refs);
+  throw std::invalid_argument("traffic: unknown profile '" + name + "' (want oltp or kv)");
+}
+
+void TrafficConfig::applyMix(const std::string& mix) {
+  if (mix == "readmostly") return;  // every profile is read-mostly out of the box
+  if (mix == "writeheavy") {
+    writeFrac = 0.4;
+    return;
+  }
+  throw std::invalid_argument("traffic: unknown mix '" + mix + "' (want readmostly or writeheavy)");
+}
+
+bool isTrafficWorkload(const std::string& name) { return name == "oltp" || name == "kv"; }
+
+bool isTrafficMix(const std::string& mix) { return mix == "readmostly" || mix == "writeheavy"; }
+
+std::vector<std::string> TrafficConfig::validationErrors() const {
+  std::vector<std::string> errs;
+  auto frac = [&errs](double v, const char* what) {
+    if (v < 0.0 || v > 1.0) {
+      std::ostringstream os;
+      os << what << " must be in [0,1], got " << v;
+      errs.push_back(os.str());
+    }
+  };
+  if (refs == 0) errs.emplace_back("refs must be > 0");
+  if (numProcs == 0 || numProcs > 128) errs.emplace_back("numProcs must be in [1,128]");
+  if (lineBytes == 0) errs.emplace_back("lineBytes must be > 0");
+  if (tenants == 0) errs.emplace_back("tenants must be > 0");
+  if (keysPerTenant == 0) errs.emplace_back("keysPerTenant must be > 0");
+  if (skew < 0.0) errs.emplace_back("skew must be >= 0");
+  if (tenantSkew < 0.0) errs.emplace_back("tenantSkew must be >= 0");
+  frac(writeFrac, "writeFrac");
+  frac(sharedFrac, "sharedFrac");
+  frac(localityFrac, "localityFrac");
+  if (sharedFrac > 0.0 && sharedBlocks == 0) errs.emplace_back("sharedBlocks must be > 0 when sharedFrac > 0");
+  if (localityFrac > 0.0 && localityWindow == 0) errs.emplace_back("localityWindow must be > 0 when localityFrac > 0");
+  if (meanGapCycles == 0) errs.emplace_back("meanGapCycles must be > 0");
+  if (pinnedPid >= 0 && static_cast<std::uint32_t>(pinnedPid) >= numProcs) {
+    errs.emplace_back("pinnedPid must be < numProcs");
+  }
+  if (burstMultiplier <= 0.0) errs.emplace_back("burstMultiplier must be > 0");
+  if (steadyCycles == 0) errs.emplace_back("steadyCycles must be > 0");
+  return errs;
+}
+
+void TrafficConfig::validate() const {
+  const std::vector<std::string> errs = validationErrors();
+  if (errs.empty()) return;
+  std::string msg = "invalid TrafficConfig:";
+  for (const std::string& e : errs) msg += "\n  - " + e;
+  throw std::invalid_argument(msg);
+}
+
+TrafficModel::TrafficModel(const TrafficConfig& cfg)
+    : TrafficModel(cfg, TrafficLayout::fixed(cfg.tenants)) {}
+
+TrafficModel::TrafficModel(const TrafficConfig& cfg, TrafficLayout layout)
+    : cfg_(cfg),
+      layout_(std::move(layout)),
+      rng_(streamSeed(cfg.seed, cfg.streamId)),
+      tenantZipf_(cfg.tenants, cfg.tenantSkew),
+      keyZipf_(cfg.keysPerTenant, cfg.skew),
+      sharedZipf_(std::max<std::uint32_t>(cfg.sharedBlocks, 1), cfg.sharedSkew),
+      sharedOwner_(std::max<std::uint32_t>(cfg.sharedBlocks, 1), kInvalidNode),
+      recent_(cfg.numProcs),
+      recentHead_(cfg.numProcs, 0) {
+  cfg_.validate();
+  if (layout_.tenantBases.size() < cfg_.tenants) {
+    throw std::invalid_argument("traffic: layout has fewer tenant bases than tenants");
+  }
+  pending_.reserve(4);
+}
+
+Addr TrafficModel::tenantAddr(std::uint32_t tenant, std::uint32_t key) const {
+  return layout_.tenantBases[tenant] + static_cast<Addr>(key) * cfg_.lineBytes;
+}
+
+Addr TrafficModel::sharedAddr(std::uint32_t block) const {
+  return layout_.sharedBase + static_cast<Addr>(block) * cfg_.lineBytes;
+}
+
+bool TrafficModel::inBurst(std::uint64_t cycle) const {
+  if (cfg_.burstCycles == 0) return false;
+  const std::uint64_t period = cfg_.steadyCycles + cfg_.burstCycles;
+  return cycle % period >= cfg_.steadyCycles;
+}
+
+std::uint64_t TrafficModel::advanceClock() {
+  // Exponential interarrival with the phase's mean (burst windows run at
+  // burstMultiplier x the steady arrival rate, i.e. 1/mult the gap).
+  double mean = cfg_.meanGapCycles;
+  if (inBurst(clock_)) mean /= cfg_.burstMultiplier;
+  const std::uint64_t gap =
+      static_cast<std::uint64_t>(-mean * std::log1p(-rng_.uniform())) + 1;
+  // Charge the gap to the phases it actually spans: occupancy denominators
+  // need exact per-phase elapsed time, and a gap can straddle a boundary.
+  const std::uint64_t period = cfg_.steadyCycles + cfg_.burstCycles;
+  std::uint64_t pos = clock_ % period;
+  for (std::uint64_t remaining = gap; remaining > 0;) {
+    const bool burst = pos >= cfg_.steadyCycles;
+    const std::uint64_t phaseEnd = burst ? period : cfg_.steadyCycles;
+    const std::uint64_t step = std::min(remaining, phaseEnd - pos);
+    (burst ? burstElapsed_ : steadyElapsed_) += step;
+    pos = (pos + step) % period;
+    remaining -= step;
+  }
+  clock_ += gap;
+  return clock_;
+}
+
+std::uint64_t TrafficModel::driftEpoch() const {
+  return cfg_.migrationPeriodRefs == 0 ? 0 : emitted_ / cfg_.migrationPeriodRefs;
+}
+
+std::uint32_t TrafficModel::pickTenant() {
+  // The Zipf rank ladder rotates across tenants each drift epoch: the hot
+  // tenant moves, modeling load shifting between customers over the day.
+  const auto rank = static_cast<std::uint32_t>(tenantZipf_.sample(rng_));
+  return static_cast<std::uint32_t>((rank + driftEpoch()) % cfg_.tenants);
+}
+
+std::uint32_t TrafficModel::pickKey(std::uint32_t tenant) {
+  // Rotate the rank ladder by a large co-primish slice per epoch (hot keys
+  // migrate within the tenant) and by a per-tenant offset (tenants do not
+  // share a hot-rank layout even when their arenas are symmetric).
+  const auto rank = static_cast<std::uint64_t>(keyZipf_.sample(rng_));
+  const std::uint64_t slice = cfg_.keysPerTenant / 5 + 1;
+  return static_cast<std::uint32_t>(
+      (rank + driftEpoch() * slice + std::uint64_t{tenant} * 7919) % cfg_.keysPerTenant);
+}
+
+void TrafficModel::rememberKey(NodeId pid, Addr addr, std::uint32_t tenant) {
+  std::vector<RecentEntry>& ring = recent_[pid];
+  if (ring.size() < cfg_.localityWindow) {
+    ring.push_back({addr, tenant});
+    recentHead_[pid] = static_cast<std::uint32_t>(ring.size() % cfg_.localityWindow);
+    return;
+  }
+  ring[recentHead_[pid]] = {addr, tenant};
+  recentHead_[pid] = (recentHead_[pid] + 1) % cfg_.localityWindow;
+}
+
+void TrafficModel::synthesizeStep() {
+  pending_.clear();
+  pendingIdx_ = 0;
+  const auto pid = cfg_.pinnedPid >= 0 ? static_cast<NodeId>(cfg_.pinnedPid)
+                                       : static_cast<NodeId>(rng_.below(cfg_.numProcs));
+  const std::uint64_t arrival = advanceClock();
+  const bool burst = inBurst(arrival);
+
+  if (rng_.chance(cfg_.sharedFrac)) {
+    // Sharing-intensive step (Durbhakula): read the shared block — a c2c
+    // transfer from its previous writer — then update it, handing dirty
+    // ownership to this node. Prefer a non-owner so the block keeps moving
+    // (on a pinned stream the handoff happens across node streams instead:
+    // every node's model touches the same shared segment).
+    auto block = static_cast<std::uint32_t>(sharedZipf_.sample(rng_));
+    NodeId actor = pid;
+    if (cfg_.pinnedPid < 0 && sharedOwner_[block] == actor) actor = (actor + 1) % cfg_.numProcs;
+    // Shared traffic is attributed to the tenant that issued it.
+    const std::uint32_t tenant = pickTenant();
+    pending_.push_back({{actor, sharedAddr(block), false}, tenant, arrival, burst});
+    pending_.push_back({{actor, sharedAddr(block), true}, tenant, arrival, burst});
+    sharedOwner_[block] = actor;
+    return;
+  }
+
+  // Jain-style temporal locality: with localityFrac, re-reference a block
+  // from this node's recent window at a geometrically distributed stack
+  // distance (distance 0 = most recent, halving mass per step back).
+  if (!recent_[pid].empty() && rng_.chance(cfg_.localityFrac)) {
+    const std::vector<RecentEntry>& ring = recent_[pid];
+    std::uint32_t dist = 0;
+    while (dist + 1 < ring.size() && rng_.chance(0.5)) ++dist;
+    const std::uint32_t head = recentHead_[pid];
+    const auto size = static_cast<std::uint32_t>(ring.size());
+    const RecentEntry& e = ring[(head + size - 1 - dist) % size];
+    pending_.push_back({{pid, e.addr, rng_.chance(cfg_.writeFrac)}, e.tenant, arrival, burst});
+    return;
+  }
+
+  const std::uint32_t tenant = pickTenant();
+  const std::uint32_t key = pickKey(tenant);
+  const Addr addr = tenantAddr(tenant, key);
+  rememberKey(pid, addr, tenant);
+  pending_.push_back({{pid, addr, rng_.chance(cfg_.writeFrac)}, tenant, arrival, burst});
+}
+
+bool TrafficModel::nextRef(TrafficRef& out) {
+  if (emitted_ >= cfg_.refs) return false;
+  while (pendingIdx_ >= pending_.size()) synthesizeStep();
+  out = pending_[pendingIdx_++];
+  ++emitted_;
+  return true;
+}
+
+bool TrafficModel::next(TraceRecord& out) {
+  TrafficRef r;
+  if (!nextRef(r)) return false;
+  out = r.rec;
+  return true;
+}
+
+}  // namespace dresar

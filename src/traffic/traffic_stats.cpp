@@ -1,0 +1,64 @@
+#include "traffic/traffic_stats.h"
+
+namespace dresar {
+
+namespace {
+// Read latencies span ~1 cycle (cache hit) to ~1e5+ (stale-retry chains under
+// burst); firstBound 1 with 40 log2 buckets bounds the top at 2^39 cycles —
+// far beyond any reachable service time, so p99/p99.9 never clamp.
+Histogram makeLatencyHist() { return Histogram(Histogram::LogSpaced{1.0, 40}); }
+}  // namespace
+
+TrafficStats::TrafficStats(std::uint32_t tenants)
+    : tenants_(tenants),
+      readLat_(makeLatencyHist()),
+      burstLat_(makeLatencyHist()),
+      steadyLat_(makeLatencyHist()) {}
+
+void TrafficStats::record(const TrafficRef& ref, Cycle latency) {
+  TenantCounters& t = tenants_[ref.tenant];
+  if (ref.rec.write) {
+    ++t.writes;
+    ++writes_;
+    return;  // release consistency hides write latency; tails are read tails
+  }
+  ++t.reads;
+  ++reads_;
+  const auto lat = static_cast<double>(latency);
+  t.readLatency.add(lat);
+  readLat_.add(lat);
+  if (ref.burst) {
+    burstLat_.add(lat);
+    burstLatSum_ += lat;
+  } else {
+    steadyLat_.add(lat);
+    steadyLatSum_ += lat;
+  }
+}
+
+void TrafficStats::merge(const TrafficStats& o) {
+  for (std::size_t t = 0; t < tenants_.size() && t < o.tenants_.size(); ++t) {
+    tenants_[t].reads += o.tenants_[t].reads;
+    tenants_[t].writes += o.tenants_[t].writes;
+    tenants_[t].readLatency.merge(o.tenants_[t].readLatency);
+  }
+  readLat_.merge(o.readLat_);
+  burstLat_.merge(o.burstLat_);
+  steadyLat_.merge(o.steadyLat_);
+  reads_ += o.reads_;
+  writes_ += o.writes_;
+  burstLatSum_ += o.burstLatSum_;
+  steadyLatSum_ += o.steadyLatSum_;
+}
+
+double TrafficStats::burstOccupancy(std::uint64_t burstElapsed, std::uint32_t numProcs) const {
+  if (burstElapsed == 0 || numProcs == 0) return 0.0;
+  return burstLatSum_ / (static_cast<double>(burstElapsed) * numProcs);
+}
+
+double TrafficStats::steadyOccupancy(std::uint64_t steadyElapsed, std::uint32_t numProcs) const {
+  if (steadyElapsed == 0 || numProcs == 0) return 0.0;
+  return steadyLatSum_ / (static_cast<double>(steadyElapsed) * numProcs);
+}
+
+}  // namespace dresar

@@ -1,0 +1,109 @@
+#include "traffic/traffic_workload.h"
+
+#include <sstream>
+
+#include "sim/address_space.h"
+
+namespace dresar {
+
+TrafficWorkload::TrafficWorkload(std::string profile, std::uint64_t refsPerNode)
+    : profile_(std::move(profile)), refsPerNode_(refsPerNode) {
+  TrafficConfig::byName(profile_, 1);  // fail fast on unknown profiles
+}
+
+std::string TrafficWorkload::name() const { return profile_ == "kv" ? "KV" : "OLTP"; }
+
+void TrafficWorkload::setup(System& sys) {
+  const SystemConfig& cfg = sys.config();
+  TrafficConfig base = TrafficConfig::byName(profile_, refsPerNode_);
+  base.numProcs = cfg.numNodes;
+  base.lineBytes = cfg.lineBytes;
+  tenants_ = base.tenants;
+
+  // Tenant arenas and the shared segment live in the run's page-interleaved
+  // arena, so homes spread across all memories like any other workload's data.
+  TrafficLayout layout;
+  layout.tenantBases.reserve(base.tenants);
+  for (std::uint32_t t = 0; t < base.tenants; ++t) {
+    layout.tenantBases.push_back(
+        sys.mem().alloc(static_cast<std::size_t>(base.keysPerTenant) * base.lineBytes));
+  }
+  layout.sharedBase =
+      sys.mem().alloc(static_cast<std::size_t>(base.sharedBlocks) * base.lineBytes);
+
+  models_.clear();
+  stats_.clear();
+  for (NodeId p = 0; p < cfg.numNodes; ++p) {
+    TrafficConfig c = base;
+    c.streamId = p + 1;  // per-node stream (traffic_model.h discipline)
+    c.pinnedPid = static_cast<std::int32_t>(p);
+    models_.push_back(std::make_unique<TrafficModel>(c, layout));
+    stats_.emplace_back(base.tenants);
+  }
+}
+
+SimTask TrafficWorkload::body(System&, ThreadContext& ctx) {
+  TrafficModel& model = *models_[ctx.id()];
+  TrafficStats& shard = stats_[ctx.id()];
+  std::uint64_t lastArrival = 0;
+  TrafficRef ref;
+  while (model.nextRef(ref)) {
+    if (ref.arrivalCycle > lastArrival) {
+      co_await ctx.delay(ref.arrivalCycle - lastArrival);
+      lastArrival = ref.arrivalCycle;
+    }
+    if (ref.rec.write) {
+      co_await ctx.store(ref.rec.addr);
+      shard.record(ref, 1);  // release consistency: retire latency only
+    } else {
+      const ReadResult r = co_await ctx.load(ref.rec.addr);
+      shard.record(ref, r.latency);
+    }
+  }
+  co_await ctx.fence();
+}
+
+WorkloadResult TrafficWorkload::verify(System& sys) {
+  const std::uint64_t want = refsPerNode_ * sys.config().numNodes;
+  std::uint64_t emitted = 0;
+  for (const auto& m : models_) emitted += m->emitted();
+  const TrafficStats merged = stats();
+  if (emitted != want) {
+    return {false, "traffic stream under-ran: emitted " + std::to_string(emitted) + " of " +
+                       std::to_string(want)};
+  }
+  if (merged.reads() + merged.writes() != want) {
+    return {false, "traffic accounting mismatch: recorded " +
+                       std::to_string(merged.reads() + merged.writes()) + " of " +
+                       std::to_string(want)};
+  }
+  std::ostringstream os;
+  os << want << " refs, read p99 " << merged.readLatency().percentile(0.99) << " cycles";
+  return {true, os.str()};
+}
+
+TrafficStats TrafficWorkload::stats() const {
+  TrafficStats merged(tenants_);
+  for (const TrafficStats& s : stats_) merged.merge(s);
+  return merged;
+}
+
+std::uint64_t TrafficWorkload::burstCyclesElapsed() const {
+  std::uint64_t c = 0;
+  for (const auto& m : models_) c += m->burstCyclesElapsed();
+  return c;
+}
+
+std::uint64_t TrafficWorkload::steadyCyclesElapsed() const {
+  std::uint64_t c = 0;
+  for (const auto& m : models_) c += m->steadyCyclesElapsed();
+  return c;
+}
+
+namespace workloads {
+std::unique_ptr<Workload> makeTraffic(const std::string& profile, std::uint64_t refsPerNode) {
+  return std::make_unique<TrafficWorkload>(profile, refsPerNode);
+}
+}  // namespace workloads
+
+}  // namespace dresar

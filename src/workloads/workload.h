@@ -27,6 +27,8 @@ struct WorkloadScale {
   std::size_t tcN = 48;             ///< paper: 128
   std::size_t fwaN = 48;            ///< paper: 128
   std::size_t gaussN = 48;          ///< paper: 128
+  /// References each node issues for the traffic workloads ("oltp", "kv").
+  std::size_t trafficRefsPerNode = 20000;
 
   static WorkloadScale paper() {
     WorkloadScale s;
@@ -36,6 +38,7 @@ struct WorkloadScale {
     s.tcN = 128;
     s.fwaN = 128;
     s.gaussN = 128;
+    s.trafficRefsPerNode = 100000;
     return s;
   }
   static WorkloadScale tiny() {
@@ -46,6 +49,7 @@ struct WorkloadScale {
     s.tcN = 16;
     s.fwaN = 16;
     s.gaussN = 16;
+    s.trafficRefsPerNode = 2000;
     return s;
   }
 };

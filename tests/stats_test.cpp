@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 namespace dresar {
 namespace {
@@ -91,6 +92,87 @@ TEST(Histogram, PercentileOverflowClampsAndFlags) {
   EXPECT_DOUBLE_EQ(h.percentile(0.99), h.overflowBound());
   EXPECT_TRUE(h.percentileOverflowed(0.99));
   EXPECT_FALSE(h.percentileOverflowed(0.5));
+}
+
+TEST(HistogramLog, BucketBoundsDouble) {
+  // Log2 geometry: bucket 0 = [0, fb), bucket i = [fb*2^(i-1), fb*2^i).
+  Histogram h(Histogram::LogSpaced{4.0, 8});
+  EXPECT_TRUE(h.isLogSpaced());
+  EXPECT_DOUBLE_EQ(h.bucketBound(0), 4.0);
+  EXPECT_DOUBLE_EQ(h.bucketBound(1), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucketBound(7), 512.0);
+  EXPECT_DOUBLE_EQ(h.overflowBound(), 512.0);
+}
+
+TEST(HistogramLog, AddRoutesByLog2) {
+  Histogram h(Histogram::LogSpaced{1.0, 6});
+  h.add(0.5);   // bucket 0: [0, 1)
+  h.add(1.0);   // bucket 1: [1, 2)
+  h.add(1.99);  // bucket 1
+  h.add(2.0);   // bucket 2: [2, 4)
+  h.add(31.9);  // bucket 5: [16, 32) — last bounded bucket
+  h.add(32.0);  // overflow: beyond overflowBound()
+  EXPECT_DOUBLE_EQ(h.overflowBound(), 32.0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[5], 1u);
+  EXPECT_EQ(h.overflowCount(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(HistogramLog, WideRangeInFewBuckets) {
+  // The motivating case: latencies spanning 8..100k cycles fit in 40 log
+  // buckets with a non-clamped p99.9, where an equal-width histogram of the
+  // same bucket count would clamp.
+  Histogram log2h(Histogram::LogSpaced{1.0, 40});
+  Histogram lin(1.0, 40);
+  for (int i = 0; i < 1000; ++i) log2h.add(8.0), lin.add(8.0);
+  for (int i = 0; i < 5; ++i) log2h.add(100'000.0), lin.add(100'000.0);
+  EXPECT_FALSE(log2h.percentileOverflowed(0.999));
+  EXPECT_GE(log2h.percentile(0.999), 100'000.0);   // bucket upper bound
+  EXPECT_LE(log2h.percentile(0.999), 200'000.0);   // bounded relative error
+  EXPECT_TRUE(lin.percentileOverflowed(0.999));
+}
+
+TEST(HistogramLog, PercentileOverflowSemanticsMatchLinear) {
+  Histogram h(Histogram::LogSpaced{1.0, 4});  // bounded range [0, 8)
+  for (int i = 0; i < 9; ++i) h.add(3.0);
+  h.add(1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), h.overflowBound());
+  EXPECT_TRUE(h.percentileOverflowed(0.99));
+  EXPECT_FALSE(h.percentileOverflowed(0.5));
+}
+
+TEST(HistogramLog, NegativeSamplesClampToBucketZero) {
+  Histogram h(Histogram::LogSpaced{1.0, 4});
+  h.add(-2.0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.underflowCount(), 1u);
+  EXPECT_EQ(h.overflowCount(), 0u);
+}
+
+TEST(HistogramMerge, FoldsCounts) {
+  Histogram a(Histogram::LogSpaced{1.0, 6});
+  Histogram b(Histogram::LogSpaced{1.0, 6});
+  a.add(1.0);
+  b.add(1.0);
+  b.add(100.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.buckets()[1], 2u);
+  EXPECT_EQ(a.overflowCount(), 1u);
+}
+
+TEST(HistogramMerge, GeometryMismatchThrows) {
+  Histogram logA(Histogram::LogSpaced{1.0, 6});
+  Histogram logB(Histogram::LogSpaced{2.0, 6});   // different firstBound
+  Histogram logC(Histogram::LogSpaced{1.0, 8});   // different bucket count
+  Histogram lin(1.0, 6);                          // different spacing mode
+  EXPECT_THROW(logA.merge(logB), std::invalid_argument);
+  EXPECT_THROW(logA.merge(logC), std::invalid_argument);
+  EXPECT_THROW(logA.merge(lin), std::invalid_argument);
+  EXPECT_THROW(lin.merge(logA), std::invalid_argument);
 }
 
 TEST(StatRegistry, CountersCreateOnDemand) {

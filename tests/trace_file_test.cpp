@@ -1,3 +1,4 @@
+#include "trace/tpc_gen.h"
 #include "trace/trace_file.h"
 
 #include <gtest/gtest.h>

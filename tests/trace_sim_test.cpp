@@ -1,5 +1,6 @@
 // Unit tests for the trace-driven simulator: service classification and
 // latencies (Table 3), directory bookkeeping, and switch-directory capture.
+#include "trace/tpc_gen.h"
 #include "trace/trace_sim.h"
 
 #include <gtest/gtest.h>
