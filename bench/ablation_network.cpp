@@ -29,7 +29,7 @@ RunMetrics runWithNet(const Options& o, const char* app, const WorkloadScale& sc
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   const std::string tag = "core" + std::to_string(coreDelay) + "-link" +
                           std::to_string(linkCycles) + "-" + configTag(sdEntries);
-  o.ctx.recorder.add(makeSciRecord(app, tag, sdEntries, dt.count(), sys.eq().executed(), m));
+  o.ctx.recorder.add(makeSciRecord(app, tag, sdEntries, dt.count(), sys.kernel().executedEvents(), m));
   return m;
 }
 }  // namespace

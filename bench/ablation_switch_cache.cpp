@@ -22,7 +22,7 @@ RunMetrics runCombo(const Options& o, const char* app, const char* tag,
   const auto t0 = std::chrono::steady_clock::now();
   const RunMetrics m = runWorkload(sys, *w);
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-  o.ctx.recorder.add(makeSciRecord(app, tag, dirEntries, dt.count(), sys.eq().executed(), m));
+  o.ctx.recorder.add(makeSciRecord(app, tag, dirEntries, dt.count(), sys.kernel().executedEvents(), m));
   return m;
 }
 }  // namespace

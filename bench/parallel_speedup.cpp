@@ -1,0 +1,84 @@
+// Parallel-kernel speedup smoke: the 64-node scaling configuration run on
+// the sequential kernel (simThreads=1) and on the sharded kernel (2 and 4
+// worker threads), reporting wall-clock speedup, events/sec, and the
+// aggregate-equivalence deltas the sharded kernel is gated on (work counts
+// exact, timing-adjacent aggregates within the bounded-lag window).
+//
+// Wall-clock speedup is machine-dependent — a box with fewer cores than
+// threads runs oversubscribed and reports < 1x — so this bench never fails
+// on the ratio; BENCH_parallel.json trajectory-gates the *simulation*
+// metrics, which are deterministic for every thread count.
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.h"
+
+using namespace dresar;
+using namespace dresar::bench;
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+  static const char* kApps[] = {"sor", "fft", "tc"};
+  static const std::uint32_t kThreads[] = {1, 2, 4};
+  const std::uint32_t nodes = 64;
+  const std::uint32_t sd = 1024;
+  o.ctx.recorder.setOption("nodes", std::to_string(nodes));
+  o.ctx.recorder.setOption("sim_threads", "1,2,4");
+
+  std::vector<harness::JobSpec> jobs;
+  for (const char* app : kApps) {
+    for (const std::uint32_t st : kThreads) {
+      harness::JobSpec j = sciJob(o, app, sd);
+      j.numNodes = nodes;
+      j.simThreads = st;
+      jobs.push_back(j);
+    }
+  }
+  // Serial execution: each run owns the whole machine so the wall-clock
+  // ratio actually measures the sharded kernel, not pool contention.
+  const std::vector<harness::JobResult> results = harness::runJobs(o.ctx, jobs, 1);
+
+  std::printf("Parallel kernel speedup, %u-node scaling config (sd-%u)\n", nodes, sd);
+  std::printf("  %-8s %10s %10s %10s %12s\n", "app", "st", "wall (s)", "speedup", "events/sec");
+  std::size_t idx = 0;
+  bool aggregatesOk = true;
+  for (const char* app : kApps) {
+    const harness::JobResult& seq = results[idx];
+    for (const std::uint32_t st : kThreads) {
+      const harness::JobResult& r = results[idx++];
+      const double speedup = r.wallSeconds > 0.0 ? seq.wallSeconds / r.wallSeconds : 0.0;
+      const double eps = r.wallSeconds > 0.0
+                             ? static_cast<double>(r.record.events) / r.wallSeconds
+                             : 0.0;
+      std::printf("  %-8s %10u %10.3f %9.2fx %12.0f\n", app, st, r.wallSeconds, speedup, eps);
+      // Aggregate equivalence against the sequential run of the same app:
+      // protocol work must be exact, service mix within the bounded-lag gate.
+      if (r.sci.reads != seq.sci.reads || r.sci.stores != seq.sci.stores) {
+        std::printf("           ^ FAIL: work counts diverged (reads %llu vs %llu)\n",
+                    static_cast<unsigned long long>(r.sci.reads),
+                    static_cast<unsigned long long>(seq.sci.reads));
+        aggregatesOk = false;
+      }
+      const auto rel = [](double a, double b) {
+        const double hi = a > b ? a : b;
+        return hi == 0.0 ? 0.0 : (hi - (a < b ? a : b)) / hi;
+      };
+      const double c2c = rel(static_cast<double>(r.sci.ctocServiced()),
+                             static_cast<double>(seq.sci.ctocServiced()));
+      if (c2c > 0.10) {
+        std::printf("           ^ FAIL: c2c services diverged %.1f%% from sequential\n",
+                    c2c * 100.0);
+        aggregatesOk = false;
+      }
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("\n  hardware_concurrency=%u%s\n", hw,
+              hw != 0 && hw < 4 ? " (thread counts above that ran oversubscribed)" : "");
+  if (!aggregatesOk) {
+    std::fprintf(stderr, "parallel_speedup: aggregate equivalence gate failed\n");
+    return 1;
+  }
+  return writeJsonIfRequested(o);
+}

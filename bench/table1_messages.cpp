@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   };
   std::printf("Table 1: Messages Relevant to the Switch Directory (SOR reference run)\n");
   std::printf("  %-14s %10s  %s\n", "message", "count", "description");
-  RunRecord rec = makeSciRecord("sor", "sd-1024", 1024, wall.count(), sys.eq().executed(), m);
+  RunRecord rec = makeSciRecord("sor", "sd-1024", 1024, wall.count(), sys.kernel().executedEvents(), m);
   for (const auto& r : rows) {
     const auto count = sys.stats().counterValue(std::string("net.msgs.") + toString(r.t));
     std::printf("  %-14s %10llu  %s\n", toString(r.t), static_cast<unsigned long long>(count),

@@ -24,7 +24,7 @@ RunMetrics runModel(const Options& o, const char* app, const WorkloadScale& scal
   const RunMetrics m = runWorkload(sys, *w);
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   const std::string tag = std::string(flit ? "flit-" : "msg-") + configTag(sdEntries);
-  o.ctx.recorder.add(makeSciRecord(app, tag, sdEntries, dt.count(), sys.eq().executed(), m));
+  o.ctx.recorder.add(makeSciRecord(app, tag, sdEntries, dt.count(), sys.kernel().executedEvents(), m));
   return m;
 }
 }  // namespace
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     const RunMetrics m = runWorkload(sys, *w);
     const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
     o.ctx.recorder.add(makeSciRecord("sor", "flit-buf" + std::to_string(buf), 0, dt.count(),
-                                     sys.eq().executed(), m));
+                                     sys.kernel().executedEvents(), m));
     std::printf("  %-12u %12llu\n", buf, static_cast<unsigned long long>(m.execTime));
   }
   std::printf("(beyond a few flits of buffering, performance is flat — the SRAM is\n"

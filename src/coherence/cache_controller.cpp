@@ -13,11 +13,11 @@ namespace {
 NodeMask bit(NodeId n) { return nodeBit(n); }
 }  // namespace
 
-CacheController::CacheController(NodeId node, const SystemConfig& cfg, EventQueue& eq,
+CacheController::CacheController(NodeId node, const SystemConfig& cfg, Scheduler& sched,
                                  INetwork& net, StatRegistry& stats)
     : node_(node),
       cfg_(cfg),
-      eq_(eq),
+      sched_(sched),
       net_(net),
       l1_(cfg.l1Bytes, cfg.l1Assoc, cfg.lineBytes),
       l2_(cfg.l2Bytes, cfg.l2Assoc, cfg.lineBytes) {
@@ -57,9 +57,9 @@ CacheController::CacheController(NodeId node, const SystemConfig& cfg, EventQueu
 }
 
 Cycle CacheController::acquireCtrl(Cycle busy) {
-  const Cycle start = std::max(eq_.now(), ctrlFree_);
+  const Cycle start = std::max(sched_.now(), ctrlFree_);
   ctrlFree_ = start + busy;
-  return start - eq_.now();
+  return start - sched_.now();
 }
 
 Cycle CacheController::backoffDelay(std::uint32_t attempt) const {
@@ -75,24 +75,24 @@ Cycle CacheController::backoffDelay(std::uint32_t attempt) const {
 
 void CacheController::cpuRead(Addr a, ReadCallback done) {
   const Addr block = blockOf(a);
-  const Cycle start = eq_.now();
+  const Cycle start = sched_.now();
   ++c_.reads;
-  eq_.scheduleAfter(cfg_.l1AccessCycles, [this, block, start, done = std::move(done)]() mutable {
+  sched_.scheduleIn(cfg_.l1AccessCycles, [this, block, start, done = std::move(done)]() mutable {
     if (l1_.contains(block)) {
-      latAll_.add(static_cast<double>(eq_.now() - start));
-      latClean_.add(static_cast<double>(eq_.now() - start));
+      latAll_.add(static_cast<double>(sched_.now() - start));
+      latClean_.add(static_cast<double>(sched_.now() - start));
       ++c_.l1Hits;
-      done(ReadResult{ReadService::L1Hit, eq_.now() - start, 0});
+      done(ReadResult{ReadService::L1Hit, sched_.now() - start, 0});
       return;
     }
-    eq_.scheduleAfter(cfg_.l2AccessCycles, [this, block, start, done = std::move(done)]() mutable {
+    sched_.scheduleIn(cfg_.l2AccessCycles, [this, block, start, done = std::move(done)]() mutable {
       CacheLine* line = l2_.find(block);
       if (line != nullptr) {
         l1_.insert(block);
-        latAll_.add(static_cast<double>(eq_.now() - start));
-        latClean_.add(static_cast<double>(eq_.now() - start));
+        latAll_.add(static_cast<double>(sched_.now() - start));
+        latClean_.add(static_cast<double>(sched_.now() - start));
         ++c_.l2Hits;
-        done(ReadResult{ReadService::L2Hit, eq_.now() - start, 0});
+        done(ReadResult{ReadService::L2Hit, sched_.now() - start, 0});
         return;
       }
       startReadMiss(block, std::move(done), start);
@@ -111,14 +111,14 @@ void CacheController::startReadMiss(Addr block, ReadCallback done, Cycle start) 
   }
   if (mshrs_.size() >= cfg_.mshrEntries) {
     ++c_.mshrFullStalls;
-    eq_.scheduleAfter(cfg_.l2AccessCycles,
+    sched_.scheduleIn(cfg_.l2AccessCycles,
                       [this, block, start, done = std::move(done)]() mutable {
                         startReadMiss(block, std::move(done), start);
                       });
     return;
   }
   Mshr& m = mshrs_[block];
-  m.firstIssue = eq_.now();
+  m.firstIssue = sched_.now();
   if (tracer_ != nullptr) {
     m.txn = tracer_->begin(block, node_, /*write=*/false, start);
   }
@@ -126,14 +126,14 @@ void CacheController::startReadMiss(Addr block, ReadCallback done, Cycle start) 
   ++c_.readMisses;
   sendRequest(block, m);
   if (tracer_ != nullptr && m.txn != 0) {
-    tracer_->record(m.txn, TxnEvent::Issue, TxnLeg::Request, txnAtProc(node_), eq_.now());
+    tracer_->record(m.txn, TxnEvent::Issue, TxnLeg::Request, txnAtProc(node_), sched_.now());
   }
 }
 
 void CacheController::cpuWrite(Addr a, DoneCallback accepted) {
   const Addr block = blockOf(a);
   ++c_.writes;
-  eq_.scheduleAfter(cfg_.l1AccessCycles, [this, block, accepted = std::move(accepted)]() mutable {
+  sched_.scheduleIn(cfg_.l1AccessCycles, [this, block, accepted = std::move(accepted)]() mutable {
     if (wbOccupancy_ >= cfg_.writeBufferEntries) {
       ++c_.wbFullStalls;
       stalledStores_.emplace_back(block, std::move(accepted));
@@ -152,7 +152,7 @@ void CacheController::cpuWrite(Addr a, DoneCallback accepted) {
 void CacheController::cpuRmw(Addr a, DoneCallback done) {
   const Addr block = blockOf(a);
   ++c_.rmws;
-  eq_.scheduleAfter(cfg_.l1AccessCycles + cfg_.l2AccessCycles,
+  sched_.scheduleIn(cfg_.l1AccessCycles + cfg_.l2AccessCycles,
                     [this, block, done = std::move(done)]() mutable {
                       startWriteMiss(block, std::move(done), /*isRmw=*/true);
                     });
@@ -179,23 +179,23 @@ void CacheController::startWriteMiss(Addr block, DoneCallback retire, bool isRmw
   }
   if (mshrs_.size() >= cfg_.mshrEntries) {
     ++c_.mshrFullStalls;
-    eq_.scheduleAfter(cfg_.l2AccessCycles,
+    sched_.scheduleIn(cfg_.l2AccessCycles,
                       [this, block, retire = std::move(retire), isRmw]() mutable {
                         startWriteMiss(block, std::move(retire), isRmw);
                       });
     return;
   }
   Mshr& m = mshrs_[block];
-  m.firstIssue = eq_.now();
+  m.firstIssue = sched_.now();
   m.wantWrite = true;
   if (tracer_ != nullptr) {
-    m.txn = tracer_->begin(block, node_, /*write=*/true, eq_.now());
+    m.txn = tracer_->begin(block, node_, /*write=*/true, sched_.now());
   }
   m.writers.push_back(std::move(retire));
   ++(line != nullptr ? c_.writeUpgrades : c_.writeMisses);
   sendRequest(block, m);
   if (tracer_ != nullptr && m.txn != 0) {
-    tracer_->record(m.txn, TxnEvent::Issue, TxnLeg::Request, txnAtProc(node_), eq_.now());
+    tracer_->record(m.txn, TxnEvent::Issue, TxnLeg::Request, txnAtProc(node_), sched_.now());
   }
 }
 
@@ -217,7 +217,7 @@ void CacheController::sendRequest(Addr block, Mshr& m) {
 }
 
 void CacheController::armRequestTimeout(Addr block, std::uint64_t serial) {
-  eq_.scheduleAfter(fault_->requestTimeoutCycles(), [this, block, serial] {
+  sched_.scheduleIn(fault_->requestTimeoutCycles(), [this, block, serial] {
     auto it = mshrs_.find(block);
     if (it == mshrs_.end()) return;  // transaction completed meanwhile
     Mshr& mshr = it->second;
@@ -235,7 +235,7 @@ void CacheController::armRequestTimeout(Addr block, std::uint64_t serial) {
     fault_->noteTimeoutReissue();
     fault_->consumeStranded(node_, block);
     if (tracer_ != nullptr && mshr.txn != 0) {
-      tracer_->record(mshr.txn, TxnEvent::Reissue, TxnLeg::None, txnAtProc(node_), eq_.now());
+      tracer_->record(mshr.txn, TxnEvent::Reissue, TxnLeg::None, txnAtProc(node_), sched_.now());
     }
     sendRequest(block, mshr);
   });
@@ -254,7 +254,7 @@ void CacheController::describeInFlight(std::ostream& os) const {
     os << "\n    block 0x" << std::hex << block << std::dec
        << (m.wantWrite ? " write" : " read")
        << (m.requestOutstanding ? ", request outstanding" : ", awaiting reissue")
-       << ", retries " << m.retries << ", age " << eq_.now() - m.firstIssue << " cycles";
+       << ", retries " << m.retries << ", age " << sched_.now() - m.firstIssue << " cycles";
   }
 }
 
@@ -293,7 +293,7 @@ void CacheController::maybeFireDrainWaiters() {
 
 void CacheController::onMessage(const Message& m) {
   const Cycle delay = acquireCtrl(cfg_.cacheCtrlOccupancyCycles);
-  eq_.scheduleAfter(delay, [this, m] {
+  sched_.scheduleIn(delay, [this, m] {
     switch (m.type) {
       case MsgType::ReadReply:
       case MsgType::CtoCReply:
@@ -370,14 +370,14 @@ void CacheController::handleFill(const Message& m) {
     Mshr done = std::move(mshr);
     mshrs_.erase(it);
     if (tracer_ != nullptr && done.txn != 0) {
-      tracer_->record(done.txn, TxnEvent::Fill, TxnLeg::Return, txnAtProc(node_), eq_.now());
+      tracer_->record(done.txn, TxnEvent::Fill, TxnLeg::Return, txnAtProc(node_), sched_.now());
       tracer_->complete(done.txn);
     }
     for (auto& r : done.readers) {
-      latAll_.add(static_cast<double>(eq_.now() - r.start));
-      latClean_.add(static_cast<double>(eq_.now() - r.start));
+      latAll_.add(static_cast<double>(sched_.now() - r.start));
+      latClean_.add(static_cast<double>(sched_.now() - r.start));
       ++svc_[static_cast<std::size_t>(ReadService::CleanMemory)];
-      r.cb(ReadResult{ReadService::CleanMemory, eq_.now() - r.start, done.retries});
+      r.cb(ReadResult{ReadService::CleanMemory, sched_.now() - r.start, done.retries});
     }
     for (auto& w : done.writers) w();
     return;
@@ -398,15 +398,15 @@ void CacheController::handleFill(const Message& m) {
   const bool isCtoC = service == ReadService::CtoCHome || service == ReadService::CtoCSwitchDir ||
                       service == ReadService::SwitchWriteBack;
   for (auto& r : readers) {
-    const auto lat = static_cast<double>(eq_.now() - r.start);
+    const auto lat = static_cast<double>(sched_.now() - r.start);
     latAll_.add(lat);
     (isCtoC ? latCtoC_ : latClean_).add(lat);
     if (!isCtoC) latCleanMiss_.add(lat);
     ++svc_[static_cast<std::size_t>(service)];
-    r.cb(ReadResult{service, eq_.now() - r.start, retries});
+    r.cb(ReadResult{service, sched_.now() - r.start, retries});
   }
   if (tracer_ != nullptr && mshr.txn != 0) {
-    tracer_->record(mshr.txn, TxnEvent::Fill, TxnLeg::Return, txnAtProc(node_), eq_.now());
+    tracer_->record(mshr.txn, TxnEvent::Fill, TxnLeg::Return, txnAtProc(node_), sched_.now());
     tracer_->complete(mshr.txn);
     mshr.txn = 0;
   }
@@ -416,11 +416,11 @@ void CacheController::handleFill(const Message& m) {
     mshr.requestOutstanding = false;
     mshr.retries = 0;
     if (tracer_ != nullptr) {
-      mshr.txn = tracer_->begin(m.addr, node_, /*write=*/true, eq_.now());
+      mshr.txn = tracer_->begin(m.addr, node_, /*write=*/true, sched_.now());
     }
     sendRequest(m.addr, mshr);
     if (tracer_ != nullptr && mshr.txn != 0) {
-      tracer_->record(mshr.txn, TxnEvent::Issue, TxnLeg::Request, txnAtProc(node_), eq_.now());
+      tracer_->record(mshr.txn, TxnEvent::Issue, TxnLeg::Request, txnAtProc(node_), sched_.now());
     }
   } else {
     mshrs_.erase(it);
@@ -429,9 +429,9 @@ void CacheController::handleFill(const Message& m) {
 
 void CacheController::handleCtoCRequest(const Message& m) {
   if (tracer_ != nullptr && m.txn != 0) {
-    tracer_->record(m.txn, TxnEvent::OwnerArrive, TxnLeg::Forward, txnAtProc(node_), eq_.now());
+    tracer_->record(m.txn, TxnEvent::OwnerArrive, TxnLeg::Forward, txnAtProc(node_), sched_.now());
   }
-  eq_.scheduleAfter(cfg_.l2AccessCycles, [this, m] {
+  sched_.scheduleIn(cfg_.l2AccessCycles, [this, m] {
     CacheLine* line = l2_.find(m.addr);
     if (line == nullptr) {
       if (m.marked) {
@@ -447,7 +447,7 @@ void CacheController::handleCtoCRequest(const Message& m) {
         retry.txn = m.txn;
         if (tracer_ != nullptr && m.txn != 0) {
           tracer_->record(m.txn, TxnEvent::OwnerInject, TxnLeg::Retry, txnAtProc(node_),
-                          eq_.now());
+                          sched_.now());
         }
         net_.send(retry);
         ++c_.ctocCannotSupply;
@@ -469,7 +469,7 @@ void CacheController::handleCtoCRequest(const Message& m) {
     reply.viaSwitchDir = m.marked;
     reply.txn = m.txn;
     if (tracer_ != nullptr && m.txn != 0) {
-      tracer_->record(m.txn, TxnEvent::OwnerInject, TxnLeg::Return, txnAtProc(node_), eq_.now());
+      tracer_->record(m.txn, TxnEvent::OwnerInject, TxnLeg::Return, txnAtProc(node_), sched_.now());
     }
     net_.send(reply);
 
@@ -488,7 +488,7 @@ void CacheController::handleCtoCRequest(const Message& m) {
 }
 
 void CacheController::handleInvalidation(const Message& m) {
-  eq_.scheduleAfter(cfg_.l2AccessCycles, [this, m] {
+  sched_.scheduleIn(cfg_.l2AccessCycles, [this, m] {
     CacheLine* line = l2_.find(m.addr);
     if (m.marked) {
       // Ack-free cleanup invalidation (switch-cache stale-serve path).
@@ -556,17 +556,17 @@ void CacheController::handleRetry(const Message& m) {
     throw std::runtime_error("CacheController: retry livelock on " + m.describe());
   }
   if (tracer_ != nullptr && mshr.txn != 0) {
-    tracer_->record(mshr.txn, TxnEvent::RetryArrive, TxnLeg::Retry, txnAtProc(node_), eq_.now());
+    tracer_->record(mshr.txn, TxnEvent::RetryArrive, TxnLeg::Retry, txnAtProc(node_), sched_.now());
   }
   const Addr block = m.addr;
   const Cycle delay = backoffDelay(mshr.retries);
   c_.backoffCycles += delay;
-  eq_.scheduleAfter(delay, [this, block] {
+  sched_.scheduleIn(delay, [this, block] {
     auto it2 = mshrs_.find(block);
     if (it2 == mshrs_.end() || it2->second.requestOutstanding) return;
     Mshr& mshr2 = it2->second;
     if (tracer_ != nullptr && mshr2.txn != 0) {
-      tracer_->record(mshr2.txn, TxnEvent::Reissue, TxnLeg::None, txnAtProc(node_), eq_.now());
+      tracer_->record(mshr2.txn, TxnEvent::Reissue, TxnLeg::None, txnAtProc(node_), sched_.now());
     }
     sendRequest(block, mshr2);
   });

@@ -23,9 +23,9 @@ const char* toString(DirState s) {
   return "?";
 }
 
-DirController::DirController(NodeId node, const SystemConfig& cfg, EventQueue& eq, INetwork& net,
+DirController::DirController(NodeId node, const SystemConfig& cfg, Scheduler& sched, INetwork& net,
                              StatRegistry& stats)
-    : node_(node), cfg_(cfg), eq_(eq), net_(net) {
+    : node_(node), cfg_(cfg), sched_(sched), net_(net) {
   const std::string pfx = "dir." + std::to_string(node) + ".";
   c_.pendingServed = stats.counterHandle(pfx + "pending_served");
   c_.requests = stats.counterHandle(pfx + "requests");
@@ -61,21 +61,21 @@ DirController::DirController(NodeId node, const SystemConfig& cfg, EventQueue& e
 
 void DirController::sendOrdered(Message m, Cycle delay) {
   Cycle& horizon = lastInjectTo_.at(m.dst.node);
-  const Cycle when = std::max(eq_.now() + delay, horizon);
+  const Cycle when = std::max(sched_.now() + delay, horizon);
   horizon = when;
-  eq_.scheduleAt(when, [this, m = std::move(m)] {
+  sched_.scheduleAt(when, [this, m = std::move(m)] {
     if (tracer_ != nullptr && m.txn != 0) {
       tracer_->record(m.txn, TxnEvent::HomeInject, txnLegOf(m.type),
-                      txnAtMem(node_), eq_.now());
+                      txnAtMem(node_), sched_.now());
     }
     net_.send(m);
   });
 }
 
 Cycle DirController::acquireCtrl() {
-  const Cycle start = std::max(eq_.now(), ctrlFree_);
+  const Cycle start = std::max(sched_.now(), ctrlFree_);
   ctrlFree_ = start + cfg_.dirOccupancyCycles;
-  return start - eq_.now();
+  return start - sched_.now();
 }
 
 const DirController::Entry* DirController::peek(Addr block) const {
@@ -115,11 +115,11 @@ void DirController::onMessage(const Message& m) {
   if (tracer_ != nullptr && m.txn != 0 &&
       (m.type == MsgType::ReadRequest || m.type == MsgType::WriteRequest)) {
     tracer_->record(m.txn, TxnEvent::HomeArrive, TxnLeg::Request, txnAtMem(node_),
-                    eq_.now());
+                    sched_.now());
   }
   // Controller occupancy, then the slow DRAM directory lookup.
   const Cycle delay = acquireCtrl() + cfg_.dirLookupCycles;
-  eq_.scheduleAfter(delay, [this, m] { process(m); });
+  sched_.scheduleIn(delay, [this, m] { process(m); });
 }
 
 void DirController::process(const Message& m) {
@@ -144,7 +144,7 @@ void DirController::handle(const Message& m, Entry& e) {
     // Recorded again when a queued request is re-handled after a BUSY state
     // resolves; both intervals are home-directory time.
     tracer_->record(m.txn, TxnEvent::HomeService, TxnLeg::Request, txnAtMem(node_),
-                    eq_.now());
+                    sched_.now());
   }
   switch (m.type) {
     case MsgType::ReadRequest: onReadRequest(m, e); break;

@@ -1,0 +1,184 @@
+#include "common/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace dresar {
+
+SimKernel::SimKernel(ShardId shards, Cycle windowCycles)
+    : window_(windowCycles == 0 ? 1 : windowCycles) {
+  if (shards == 0) throw std::invalid_argument("SimKernel: shards must be >= 1");
+  shards_.reserve(shards);
+  nextCycle_.assign(shards, kNoCycle);
+  for (ShardId s = 0; s < shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->sched = std::make_unique<Scheduler>(*this, s, sh->q);
+    sh->outbox.resize(shards);
+    sh->outSeq.assign(shards, 0);
+    shards_.push_back(std::move(sh));
+  }
+  barrier_ = std::make_unique<Barrier>(shards);
+}
+
+void SimKernel::postCross(ShardId src, ShardId dst, Cycle when, EventQueue::Handler fn) {
+  Shard& from = *shards_[src];
+  from.outbox[dst].push_back(Posted{when, src, from.outSeq[dst]++, std::move(fn)});
+}
+
+Cycle SimKernel::now() const {
+  Cycle t = 0;
+  for (const auto& sh : shards_) t = std::max(t, sh->q.now());
+  return t;
+}
+
+std::uint64_t SimKernel::executedEvents() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->q.executed();
+  return n;
+}
+
+std::size_t SimKernel::pendingEvents() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    n += sh->q.pending();
+    for (const auto& box : sh->outbox) n += box.size();
+  }
+  return n;
+}
+
+void SimKernel::foldStats() {
+  for (ShardId s = 1; s < shardCount(); ++s) {
+    shards_[0]->stats.mergeFrom(shards_[s]->stats);
+    shards_[s]->stats.reset();
+  }
+}
+
+bool SimKernel::run(Cycle limit) {
+  if (!parallel()) return shards_[0]->q.run(limit);
+  return runParallel(limit);
+}
+
+bool SimKernel::runWhile(const std::function<bool()>& keepGoing, Cycle limit) {
+  if (parallel()) throw std::logic_error("SimKernel: runWhile requires simThreads=1");
+  return shards_[0]->q.runWhile(keepGoing, limit);
+}
+
+void SimKernel::drainInbox(ShardId s) {
+  Shard& me = *shards_[s];
+  // Gather this shard's inbox from every source's outbox. Each outbox slot
+  // is written only by its source thread during the window and read only
+  // here, after the barrier — no locking needed.
+  std::vector<Posted> inbox;
+  for (auto& src : shards_) {
+    auto& box = src->outbox[s];
+    if (box.empty()) continue;
+    inbox.insert(inbox.end(), std::make_move_iterator(box.begin()),
+                 std::make_move_iterator(box.end()));
+    box.clear();
+  }
+  if (inbox.empty()) return;
+  // Deterministic total order regardless of thread interleaving: cycle
+  // first, then static src-shard priority, then per-link FIFO sequence.
+  std::stable_sort(inbox.begin(), inbox.end(), [](const Posted& a, const Posted& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  const Cycle floor = me.q.now();
+  for (auto& p : inbox) {
+    // Bounded-lag clamp: a message stamped inside the window this shard just
+    // executed fires at the shard clock instead (ordering preserved — the
+    // sort above is by original stamp, and scheduleAt is FIFO per cycle).
+    me.q.scheduleAt(p.when < floor ? floor : p.when, std::move(p.fn));
+  }
+}
+
+void SimKernel::planNextWindow() {
+  if (failed_.load(std::memory_order_relaxed)) {
+    done_ = true;
+    return;
+  }
+  Cycle s = kNoCycle;
+  for (Cycle c : nextCycle_) s = std::min(s, c);
+  if (s == kNoCycle) {
+    done_ = true;
+    drained_ = true;
+    return;
+  }
+  if (s > limit_) {
+    done_ = true;  // hit the cycle limit with work still pending
+    return;
+  }
+  // Window jumping: start the next window at the global minimum pending
+  // cycle, so idle stretches cost one barrier round instead of many.
+  Cycle end = s > kNoCycle - window_ ? kNoCycle : s + window_;
+  if (limit_ != kNoCycle && end > limit_ + 1) end = limit_ + 1;
+  windowEnd_ = end;
+}
+
+void SimKernel::workerLoop(ShardId s) {
+  Shard& me = *shards_[s];
+  for (;;) {
+    try {
+      me.q.runUntil(windowEnd_);
+    } catch (...) {
+      me.error = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+    // Round 1: everyone's outboxes are final for this window.
+    barrier_->arriveAndWait({});
+    drainInbox(s);
+    nextCycle_[s] = me.q.nextCycle();
+    // Round 2: inboxes drained, next cycles published; last arriver plans
+    // the next window (or ends the run).
+    barrier_->arriveAndWait([this] { planNextWindow(); });
+    if (done_) return;
+  }
+}
+
+bool SimKernel::runParallel(Cycle limit) {
+  limit_ = limit;
+  done_ = false;
+  drained_ = false;
+  failed_.store(false, std::memory_order_relaxed);
+  for (ShardId s = 0; s < shardCount(); ++s) nextCycle_[s] = shards_[s]->q.nextCycle();
+  planNextWindow();
+  if (!done_) {
+    std::vector<std::thread> workers;
+    workers.reserve(shardCount());
+    for (ShardId s = 0; s < shardCount(); ++s)
+      workers.emplace_back([this, s] { workerLoop(s); });
+    for (auto& w : workers) w.join();
+  }
+  for (auto& sh : shards_) {
+    if (sh->error) {
+      auto err = std::exchange(sh->error, nullptr);
+      std::rethrow_exception(err);
+    }
+  }
+  return drained_;
+}
+
+void SimKernel::Barrier::arriveAndWait(const std::function<void()>& completion) {
+  const std::uint32_t gen = generation_.load(std::memory_order_acquire);
+  if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+    if (completion) completion();
+    count_.store(0, std::memory_order_relaxed);
+    generation_.store(gen + 1, std::memory_order_release);
+    generation_.notify_all();
+    return;
+  }
+  // Spin briefly (windows are short), then park on the futex-backed wait.
+  for (int i = 0; i < 4096; ++i) {
+    if (generation_.load(std::memory_order_acquire) != gen) return;
+  }
+  std::uint32_t g = generation_.load(std::memory_order_acquire);
+  while (g == gen) {
+    generation_.wait(gen, std::memory_order_acquire);
+    g = generation_.load(std::memory_order_acquire);
+  }
+}
+
+}  // namespace dresar

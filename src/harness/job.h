@@ -58,6 +58,9 @@ struct JobSpec {
   /// Fault-injection plan (scientific jobs only). Default-constructed plans
   /// are disabled and leave the run byte-identical to a fault-free one.
   FaultPlan fault{};
+  /// Simulation worker threads (scientific jobs only; the trace/traffic
+  /// simulators have no event kernel to shard). 1 = sequential kernel.
+  std::uint32_t simThreads = 1;
   /// When non-empty, used verbatim as the recorded config tag instead of
   /// the derived one (bench binaries keep their historical tags this way).
   std::string tagOverride;
@@ -100,6 +103,9 @@ struct JobSpec {
     if (fault.msgDropRate > 0.0) t += "-fd" + rateTag(fault.msgDropRate);
     if (fault.msgDelayRate > 0.0) t += "-fy" + rateTag(fault.msgDelayRate);
     if (fault.sdEntryLossRate > 0.0) t += "-fl" + rateTag(fault.sdEntryLossRate);
+    // Kernel sharding axis; -stN only when parallel, so a sequential sweep's
+    // tags stay byte-identical to every previous release.
+    if (simThreads != 1) t += "-st" + std::to_string(simThreads);
     return t;
   }
 

@@ -226,6 +226,22 @@ SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
       for (const double b : spec.trafficBurst) {
         if (b <= 0.0) fail(source, line, "burst multiplier must be > 0");
       }
+    } else if (key == "sim_threads") {
+      spec.simThreads = parseU32List(source, line, value, /*allowZero=*/false);
+      for (const std::uint32_t st : spec.simThreads) {
+        // Probe the config validator so a structurally bad thread count dies
+        // at parse time with the same wording a direct run would produce.
+        // Specs are authored on one machine and run on many (CI included),
+        // so the local core count is not a parse-time constraint.
+        SystemConfig probe;
+        probe.simAllowOversubscription = true;
+        probe.simThreads = st;
+        const std::vector<std::string> errs = probe.validationErrors();
+        if (!errs.empty()) {
+          fail(source, line,
+               "unsupported sim_threads value " + std::to_string(st) + ": " + errs.front());
+        }
+      }
     } else if (key == "mix") {
       spec.trafficMix = splitList(value);
       for (const std::string& m : spec.trafficMix) {
@@ -271,6 +287,25 @@ SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
           }
         }
       }
+    }
+  }
+
+  if (spec.simThreads.size() > 1 || spec.simThreads[0] != 1) {
+    // The sharded kernel exists only in the execution-driven System; the
+    // trace/traffic simulators are reference-stream loops with no event
+    // kernel, so a sim_threads axis there would be silently meaningless.
+    for (const std::string& w : spec.workloads) {
+      if (isTraceWorkload(w) || isTrafficWorkload(w)) {
+        throw std::runtime_error(source + ": sim_threads only applies to execution-driven "
+                                          "workloads; remove '" + w + "' or the sim_threads key");
+      }
+    }
+    if (spec.hasFaultAxes()) {
+      // SystemConfig::validate would reject every expanded job anyway; fail
+      // the spec up front with the axis-level reason.
+      throw std::runtime_error(source +
+                               ": fault injection requires simThreads=1; remove the "
+                               "sim_threads key or the fault axes");
     }
   }
 
@@ -358,6 +393,7 @@ std::vector<JobSpec> SweepSpec::expand() const {
                       for (const double z : trafficSkew) {
                         for (const double b : trafficBurst) {
                           for (const std::string& mx : trafficMix) {
+                            for (const std::uint32_t st : simThreads) {
                             for (std::uint64_t s = 1; s <= seeds; ++s) {
                               JobSpec j;
                               j.kind = isTrafficWorkload(w) ? JobKind::Traffic
@@ -384,7 +420,9 @@ std::vector<JobSpec> SweepSpec::expand() const {
                               j.trafficSkew = z;
                               j.trafficBurst = b;
                               j.trafficMix = mx;
+                              j.simThreads = st;
                               jobs.push_back(std::move(j));
+                            }
                             }
                           }
                         }

@@ -30,6 +30,10 @@
 //   burst = 1, 4, 8                      # burst-window load multiplier
 //   mix = readmostly, writeheavy         # write-fraction cell
 //
+// Execution-driven sweeps may also shard the event kernel:
+//
+//   sim_threads = 1, 4                   # sim worker threads per job
+//
 // expand() turns this into workload x entries x assoc x pending_buffer x
 // nodes x sd_policy x fault-rate x traffic x seed JobSpecs. Unknown keys and
 // malformed values are hard errors with the line number, so a typo'd sweep
@@ -92,6 +96,10 @@ struct SweepSpec {
   std::vector<double> trafficSkew = {-1.0};
   std::vector<double> trafficBurst = {0.0};
   std::vector<std::string> trafficMix = {"readmostly"};
+  /// Simulation-kernel worker threads per job (execution-driven workloads
+  /// only). The default single cell {1} is the sequential kernel and keeps
+  /// sweeps byte-identical to pre-sharding output.
+  std::vector<std::uint32_t> simThreads = {1};
 
   /// True when any fault axis can produce an injecting run.
   [[nodiscard]] bool hasFaultAxes() const;
@@ -105,7 +113,7 @@ struct SweepSpec {
 
   /// The full job matrix, in deterministic spec order (workload-major, then
   /// entries, assoc, pending buffer, nodes, sd policy, fault rates, traffic
-  /// axes, seed).
+  /// axes, sim threads, seed).
   [[nodiscard]] std::vector<JobSpec> expand() const;
 
   /// Total matrix size without materializing it.
@@ -114,7 +122,7 @@ struct SweepSpec {
            nodes.size() * sdPolicy.size() * faultDropRate.size() *
            faultDelayRate.size() * faultSdLossRate.size() * trafficTenants.size() *
            trafficSkew.size() * trafficBurst.size() * trafficMix.size() *
-           static_cast<std::size_t>(seeds);
+           simThreads.size() * static_cast<std::size_t>(seeds);
   }
 
   /// Problem-size override used by `dresar-sweep --quick` / `--paper`.

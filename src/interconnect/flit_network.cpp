@@ -15,12 +15,17 @@ constexpr std::uint32_t kInjectUpstream = 0xFFFFFFu;
 }  // namespace
 
 FlitNetwork::FlitNetwork(const NetworkConfig& cfg, std::uint32_t numNodes,
-                         std::uint32_t lineBytes, EventQueue& eq, StatRegistry& stats)
+                         std::uint32_t lineBytes, SimKernel& kernel)
     : cfg_(cfg),
       numNodes_(numNodes),
       lineBytes_(lineBytes),
-      eq_(eq),
+      sched_(kernel.scheduler(0)),
       topo_(numNodes, cfg.switchRadix) {
+  // The flit model steps a global per-cycle tick, so it cannot shard;
+  // SystemConfig::validate rejects flitLevel with simThreads > 1.
+  if (kernel.parallel())
+    throw std::invalid_argument("FlitNetwork: flit-level model requires simThreads=1");
+  StatRegistry& stats = kernel.registry(0);
   switches_.resize(topo_.totalSwitches());
   endpoints_.resize(2ull * numNodes_);
   for (std::size_t t = 0; t < kMsgTypeCount; ++t) {
@@ -60,11 +65,11 @@ FlitNetwork::Link& FlitNetwork::link(std::uint32_t from, std::uint32_t to) {
 
 void FlitNetwork::send(Message m) {
   if (m.id == 0) m.id = nextMsgId_++;
-  m.birth = eq_.now();
+  m.birth = sched_.now();
   auto ms = std::allocate_shared<MsgState>(SharedArenaAllocator<MsgState>(msgArena_));
   ms->route = topo_.route(m.src, m.dst);
   ms->totalFlits = flitsOf(m);
-  ms->birth = eq_.now();
+  ms->birth = sched_.now();
   const std::uint32_t srcVertex = vertexOf(m.src);
   ms->msg = std::move(m);
   ++sent_;
@@ -77,7 +82,7 @@ void FlitNetwork::send(Message m) {
 void FlitNetwork::ensureTicking() {
   if (ticking_) return;
   ticking_ = true;
-  eq_.scheduleAfter(1, [this] { tick(); });
+  sched_.scheduleIn(1, [this] { tick(); });
 }
 
 void FlitNetwork::tick() {
@@ -85,7 +90,7 @@ void FlitNetwork::tick() {
   for (std::uint32_t v = 0; v < endpoints_.size(); ++v) tickSourceNi(v);
   for (std::uint32_t s = 0; s < switches_.size(); ++s) tickSwitch(2 * numNodes_ + s);
   if (live_ > 0) {
-    eq_.scheduleAfter(1, [this] { tick(); });
+    sched_.scheduleIn(1, [this] { tick(); });
   } else {
     ticking_ = false;
   }
@@ -101,7 +106,7 @@ void FlitNetwork::tickSourceNi(std::uint32_t ev) {
   }();
   Link& l = link(ev, to);
   const std::uint32_t vc = vcOf(ms->msg);
-  if (l.nextFree > eq_.now() || l.credits[vc] == 0) return;
+  if (l.nextFree > sched_.now() || l.credits[vc] == 0) return;
   Flit f{ms, ni.flitsSent};
   transmit(ev, to, f, /*extraDelay=*/0);
   ++ni.flitsSent;
@@ -114,14 +119,14 @@ void FlitNetwork::tickSourceNi(std::uint32_t ev) {
 void FlitNetwork::transmit(std::uint32_t from, std::uint32_t to, const Flit& f,
                            Cycle extraDelay) {
   Link& l = link(from, to);
-  l.nextFree = eq_.now() + cfg_.linkCyclesPerFlit;
+  l.nextFree = sched_.now() + cfg_.linkCyclesPerFlit;
   const std::uint32_t vc = vcOf(f.ms->msg);
   if (isSwitchVertex(to)) {
     if (l.credits[vc] == 0) throw std::logic_error("FlitNetwork: transmit without credit");
     --l.credits[vc];
   }
   ++flitsTransmitted_;
-  eq_.scheduleAfter(cfg_.linkCyclesPerFlit + extraDelay,
+  sched_.scheduleIn(cfg_.linkCyclesPerFlit + extraDelay,
                     [this, to, from, f] { arrive(to, from, f); });
 }
 
@@ -134,7 +139,7 @@ void FlitNetwork::arrive(std::uint32_t atVertex, std::uint32_t fromVertex, Flit 
   // The head flit reaches each switch exactly once; that is the hop event.
   if (tracer_ != nullptr && f.head() && f.ms->msg.txn != 0) {
     tracer_->record(f.ms->msg.txn, TxnEvent::SwitchHop, txnLegOf(f.ms->msg.type),
-                    txnAtSwitch(atVertex - 2 * numNodes_), eq_.now());
+                    txnAtSwitch(atVertex - 2 * numNodes_), sched_.now());
   }
   const std::uint32_t vc = vcOf(f.ms->msg);
   s.inputs[inKey(fromVertex, vc)].fifo.push_back(std::move(f));
@@ -149,7 +154,7 @@ void FlitNetwork::deliver(std::uint32_t epVertex, const Flit& f) {
       return;
     }
     if (const Cycle d = fault_->deliveryDelay(f.ms->msg); d > 0) {
-      eq_.scheduleAfter(d, [this, epVertex, m = f.ms->msg] { deliverMsg(epVertex, m); });
+      sched_.scheduleIn(d, [this, epVertex, m = f.ms->msg] { deliverMsg(epVertex, m); });
       return;
     }
   }
@@ -157,7 +162,7 @@ void FlitNetwork::deliver(std::uint32_t epVertex, const Flit& f) {
 }
 
 void FlitNetwork::deliverMsg(std::uint32_t epVertex, const Message& m) {
-  latency_.add(static_cast<double>(eq_.now() - m.birth));
+  latency_.add(static_cast<double>(sched_.now() - m.birth));
   auto& h = endpoints_.at(epVertex).deliver;
   if (!h) throw std::logic_error("FlitNetwork: no delivery handler");
   h(m);
@@ -182,14 +187,14 @@ bool FlitNetwork::maybeSnoop(std::uint32_t sv, InputVc& in) {
   if (f.ms->snoopedMask & (1ull << hopIdx)) return !f.ms->sunk;
   f.ms->snoopedMask |= 1ull << hopIdx;
   std::vector<Message> spawn;
-  const SnoopOutcome out = snoop_->onMessage(switchOf(sv), eq_.now(), f.ms->msg, spawn);
+  const SnoopOutcome out = snoop_->onMessage(switchOf(sv), sched_.now(), f.ms->msg, spawn);
   for (auto& m : spawn) {
     if (m.id == 0) m.id = nextMsgId_++;
-    m.birth = eq_.now();
+    m.birth = sched_.now();
     auto ms = std::allocate_shared<MsgState>(SharedArenaAllocator<MsgState>(msgArena_));
     ms->route = topo_.routeFromSwitch(switchOf(sv), m.dst);
     ms->totalFlits = flitsOf(m);
-    ms->birth = eq_.now();
+    ms->birth = sched_.now();
     ms->msg = std::move(m);
     ++sent_;
     ++live_;
@@ -210,7 +215,7 @@ void FlitNetwork::tickSwitch(std::uint32_t sv) {
   // A stalled switch freezes entirely for the window: no snoops, no grants.
   // Input buffers fill and credit backpressure propagates upstream, exactly
   // the transient a misbehaving physical switch would cause.
-  if (sv - 2 * numNodes_ == faultStallFlat_ && fault_->stallTickSkipped(eq_.now())) return;
+  if (sv - 2 * numNodes_ == faultStallFlat_ && fault_->stallTickSkipped(sched_.now())) return;
   SwitchState& s = switches_[sv - 2 * numNodes_];
 
   // Pass 1: drain flits of sunk messages and run pending head snoops; then
@@ -284,7 +289,7 @@ void FlitNetwork::tickSwitch(std::uint32_t sv) {
     if (granted >= 4) break;
     // Link and credit availability.
     Link& l = link(sv, output);
-    if (l.nextFree > eq_.now()) continue;
+    if (l.nextFree > sched_.now()) continue;
 
     if (cand.fromInject) {
       MsgPtr ms = s.injectQueue.front();

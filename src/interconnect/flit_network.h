@@ -27,7 +27,7 @@
 
 #include "common/arena.h"
 #include "common/config.h"
-#include "common/event_queue.h"
+#include "common/scheduler.h"
 #include "common/stats.h"
 #include "interconnect/inetwork.h"
 
@@ -36,12 +36,13 @@ namespace dresar {
 class FlitNetwork final : public INetwork {
  public:
   FlitNetwork(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t lineBytes,
-              EventQueue& eq, StatRegistry& stats);
+              SimKernel& kernel);
 
   FlitNetwork(const FlitNetwork&) = delete;
   FlitNetwork& operator=(const FlitNetwork&) = delete;
 
   [[nodiscard]] const Butterfly& topology() const override { return topo_; }
+  [[nodiscard]] const ShardMap& shardMap() const override { return map_; }
   void setSnoop(ISwitchSnoop* snoop) override { snoop_ = snoop; }
   void setTracer(TxnTracer* tracer) override { tracer_ = tracer; }
   /// Install the fault injector: request-leg drop/delay at delivery; a link
@@ -150,7 +151,8 @@ class FlitNetwork final : public INetwork {
   NetworkConfig cfg_;
   std::uint32_t numNodes_;
   std::uint32_t lineBytes_;
-  EventQueue& eq_;
+  Scheduler& sched_;
+  ShardMap map_;  ///< default map: the flit model is single-shard (cfg-gated)
   Butterfly topo_;
   /// Hot-path counters, resolved once at construction.
   std::array<CounterHandle, kMsgTypeCount> msgCounters_;  ///< "net.msgs.<type>"

@@ -12,6 +12,7 @@
 
 #include "common/types.h"
 #include "interconnect/message.h"
+#include "interconnect/shard_map.h"
 #include "interconnect/topology.h"
 
 namespace dresar {
@@ -40,6 +41,9 @@ class INetwork {
   virtual ~INetwork() = default;
 
   [[nodiscard]] virtual const Butterfly& topology() const = 0;
+  /// Vertex -> kernel-shard ownership map. Single-shard implementations
+  /// (FlitNetwork, test doubles) return the default everything-on-0 map.
+  [[nodiscard]] virtual const ShardMap& shardMap() const = 0;
   virtual void setSnoop(ISwitchSnoop* snoop) = 0;
   /// Install the transaction tracer (switch-hop events). May be null; the
   /// default ignores it so test doubles need not care.

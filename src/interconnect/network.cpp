@@ -8,25 +8,36 @@
 namespace dresar {
 
 Network::Network(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t lineBytes,
-                 EventQueue& eq, StatRegistry& stats)
+                 SimKernel& kernel)
     : cfg_(cfg),
       numNodes_(numNodes),
       lineBytes_(lineBytes),
-      eq_(eq),
-      topo_(numNodes, cfg.switchRadix) {
+      topo_(numNodes, cfg.switchRadix),
+      map_(numNodes, topo_.switchesPerStage(), topo_.half(), kernel.shardCount()) {
   handlers_.resize(2ull * numNodes_ + topo_.totalSwitches());
-  for (std::size_t t = 0; t < kMsgTypeCount; ++t) {
-    msgCounters_[t] =
-        stats.counterHandle(std::string("net.msgs.") + toString(static_cast<MsgType>(t)));
+  shards_.reserve(kernel.shardCount());
+  for (ShardId s = 0; s < kernel.shardCount(); ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->sched = &kernel.scheduler(s);
+    StatRegistry& reg = kernel.registry(s);
+    for (std::size_t t = 0; t < kMsgTypeCount; ++t) {
+      sh->msgCounters[t] =
+          reg.counterHandle(std::string("net.msgs.") + toString(static_cast<MsgType>(t)));
+    }
+    sh->linkBusy = reg.counterHandle("net.link.busy_cycles");
+    sh->switchInjected = reg.counterHandle("net.switch_injected");
+    sh->sunkCounter = reg.counterHandle("net.sunk");
+    sh->latency = reg.samplerHandle("net.latency");
+    sh->nextMsgId = (static_cast<std::uint64_t>(s) << 56) | 1;
+    shards_.push_back(std::move(sh));
   }
+  // Each switch's traversal counter registers in its owning shard's registry
+  // so the bump in the hop closure (which executes there) is race-free.
   traversals_.reserve(topo_.totalSwitches());
   for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) {
-    traversals_.push_back(stats.counterHandle("switch." + std::to_string(i) + ".traversals"));
+    traversals_.push_back(
+        kernel.registry(map_.ofSwitch(i)).counterHandle("switch." + std::to_string(i) + ".traversals"));
   }
-  linkBusy_ = stats.counterHandle("net.link.busy_cycles");
-  switchInjected_ = stats.counterHandle("net.switch_injected");
-  sunkCounter_ = stats.counterHandle("net.sunk");
-  latency_ = stats.samplerHandle("net.latency");
 
   // Precompute every legal route. Undefined pairs (mem->mem, switch -> a
   // memory outside its subtree) stay empty; nothing on the hot path asks
@@ -70,6 +81,18 @@ void Network::setFaultInjector(FaultInjector* fault) {
   }
 }
 
+std::uint64_t Network::messagesSent() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->sent;
+  return n;
+}
+
+std::uint64_t Network::messagesSunk() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->sunk;
+  return n;
+}
+
 Cycle Network::serializationCycles(const Message& m) const {
   const std::uint32_t bytes = m.sizeBytes(cfg_.headerBytes, lineBytes_);
   const std::uint32_t flits = (bytes + cfg_.flitBytes - 1) / cfg_.flitBytes;
@@ -77,38 +100,42 @@ Cycle Network::serializationCycles(const Message& m) const {
 }
 
 Cycle Network::traverseLink(std::uint32_t from, std::uint32_t to, Cycle ready, const Message& m) {
+  Shard& sh = *shards_[map_.ofVertex(from)];
   const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
-  Cycle& free = linkFree_[key];
+  Cycle& free = sh.linkFree[key];
   Cycle start = std::max(ready, free);
   if (from == faultStallVertex_) start = fault_->stallAdjustedStart(start);
   const Cycle ser = serializationCycles(m);
   free = start + ser;
-  linkBusy_ += ser;
+  sh.linkBusy += ser;
   return start + ser;
 }
 
+void Network::onInject(Shard& sh, Message& m) {
+  if (m.id == 0) m.id = sh.nextMsgId++;
+  m.birth = sh.sched->now();
+  ++sh.sent;
+  ++sh.msgCounters[static_cast<std::size_t>(m.type)];
+}
+
 void Network::send(Message m) {
-  if (m.id == 0) m.id = nextMsgId_++;
-  m.birth = eq_.now();
-  ++sent_;
-  ++msgCounters_[static_cast<std::size_t>(m.type)];
   const std::uint32_t srcVertex = vertexOf(m.src);
+  Shard& sh = *shards_[map_.ofVertex(srcVertex)];
+  onInject(sh, m);
   const Route& route = routeFor(srcVertex, vertexOf(m.dst));
-  DRESAR_LOG_TRACE("net: @%llu inject %s", static_cast<unsigned long long>(eq_.now()),
+  DRESAR_LOG_TRACE("net: @%llu inject %s", static_cast<unsigned long long>(sh.sched->now()),
                    m.describe().c_str());
-  advance(std::move(m), &route, 0, srcVertex, eq_.now());
+  advance(std::move(m), &route, 0, srcVertex, sh.sched->now());
 }
 
 void Network::sendFromSwitch(SwitchId from, Message m) {
-  if (m.id == 0) m.id = nextMsgId_++;
-  m.birth = eq_.now();
-  ++sent_;
-  ++msgCounters_[static_cast<std::size_t>(m.type)];
-  ++switchInjected_;
   const std::uint32_t srcVertex = vertexOf(from);
+  Shard& sh = *shards_[map_.ofVertex(srcVertex)];
+  onInject(sh, m);
+  ++sh.switchInjected;
   const Route& route = routeFor(srcVertex, vertexOf(m.dst));
   DRESAR_LOG_TRACE("net: switch(%u,%u) inject %s", from.stage, from.index, m.describe().c_str());
-  advance(std::move(m), &route, 0, srcVertex, eq_.now());
+  advance(std::move(m), &route, 0, srcVertex, sh.sched->now());
 }
 
 void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::uint32_t fromVertex,
@@ -118,16 +145,19 @@ void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::ui
   const std::uint32_t toVertex =
       hop.kind == Hop::Kind::Switch ? vertexOf(hop.sw) : vertexOf(hop.ep);
   const Cycle arrive = traverseLink(fromVertex, toVertex, when, m);
+  Scheduler& from = *shards_[map_.ofVertex(fromVertex)]->sched;
+  const ShardId dstShard = map_.ofVertex(toVertex);
 
   if (hop.kind == Hop::Kind::Deliver) {
-    eq_.scheduleAt(arrive, [this, m = std::move(m), ep = hop.ep] {
+    from.post(dstShard, arrive, [this, m = std::move(m), ep = hop.ep] {
       if (fault_ != nullptr && FaultInjector::eligible(m)) {
         if (fault_->shouldDrop(m)) {
           DRESAR_LOG_TRACE("net: fault drop %s", m.describe().c_str());
           return;
         }
         if (const Cycle d = fault_->deliveryDelay(m); d > 0) {
-          eq_.scheduleAfter(d, [this, m, ep] { deliverNow(m, ep); });
+          Shard& at = *shards_[map_.ofVertex(vertexOf(ep))];
+          at.sched->scheduleIn(d, [this, m, ep] { deliverNow(m, ep); });
           return;
         }
       }
@@ -136,38 +166,40 @@ void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::ui
     return;
   }
 
-  eq_.scheduleAt(arrive, [this, m = std::move(m), route, hopIdx, sw = hop.sw]() mutable {
+  from.post(dstShard, arrive, [this, m = std::move(m), route, hopIdx, sw = hop.sw]() mutable {
+    Shard& at = *shards_[map_.ofSwitch(topo_.flat(sw))];
     ++traversals_[topo_.flat(sw)];
     if (tracer_ != nullptr && m.txn != 0) {
       tracer_->record(m.txn, TxnEvent::SwitchHop, txnLegOf(m.type),
-                      txnAtSwitch(topo_.flat(sw)), eq_.now());
+                      txnAtSwitch(topo_.flat(sw)), at.sched->now());
     }
     Cycle delay = cfg_.coreDelay;
     if (snoop_ != nullptr) {
-      std::vector<Message>& spawn = snoopScratch_;
+      std::vector<Message>& spawn = at.snoopScratch;
       spawn.clear();
-      const SnoopOutcome out = snoop_->onMessage(sw, eq_.now(), m, spawn);
+      const SnoopOutcome out = snoop_->onMessage(sw, at.sched->now(), m, spawn);
       delay += out.extraDelay;
       for (auto& s : spawn) {
         // Switch-generated messages leave after the directory decision.
-        eq_.scheduleAfter(delay, [this, sw, s = std::move(s)]() mutable {
+        at.sched->scheduleIn(delay, [this, sw, s = std::move(s)]() mutable {
           sendFromSwitch(sw, std::move(s));
         });
       }
       if (!out.pass) {
-        ++sunk_;
-        ++sunkCounter_;
+        ++at.sunk;
+        ++at.sunkCounter;
         DRESAR_LOG_TRACE("net: %s sunk at switch(%u,%u)", m.describe().c_str(), sw.stage,
                          sw.index);
         return;
       }
     }
-    advance(std::move(m), route, hopIdx + 1, vertexOf(sw), eq_.now() + delay);
+    advance(std::move(m), route, hopIdx + 1, vertexOf(sw), at.sched->now() + delay);
   });
 }
 
 void Network::deliverNow(const Message& m, Endpoint ep) {
-  latency_.add(static_cast<double>(eq_.now() - m.birth));
+  Shard& at = *shards_[map_.ofVertex(vertexOf(ep))];
+  at.latency.add(static_cast<double>(at.sched->now() - m.birth));
   auto& h = handlers_.at(vertexOf(ep));
   if (!h) throw std::logic_error("Network: no delivery handler for " + toString(ep));
   h(m);

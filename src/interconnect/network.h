@@ -5,20 +5,32 @@
 // output links, so contention and message-length effects are modeled.
 // Every switch exposes a snoop hook; the DRESAR switch-directory module
 // observes (and may sink, annotate, or respond to) every traversing message.
+//
+// Sharded execution: every vertex (endpoint or switch) is owned by one
+// kernel shard (ShardMap), each hop executes on the shard owning the vertex
+// where the message sits, and the handoff to the next vertex goes through
+// Scheduler::post — a plain local schedule when both vertices share a shard
+// (always true at simThreads=1, which keeps that path byte-identical), a
+// mailbox crossing otherwise. All mutable per-hop state (link reservations,
+// message-id stamps, stat handles, snoop scratch) is per-shard: links belong
+// to the shard of their source vertex, ids embed the allocating shard in the
+// top byte, and counters register in the owning shard's registry.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
-#include "common/event_queue.h"
+#include "common/scheduler.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "interconnect/inetwork.h"
 #include "interconnect/message.h"
+#include "interconnect/shard_map.h"
 #include "interconnect/topology.h"
 
 namespace dresar {
@@ -26,12 +38,13 @@ namespace dresar {
 class Network final : public INetwork {
  public:
   Network(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t lineBytes,
-          EventQueue& eq, StatRegistry& stats);
+          SimKernel& kernel);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   [[nodiscard]] const Butterfly& topology() const override { return topo_; }
+  [[nodiscard]] const ShardMap& shardMap() const override { return map_; }
 
   /// Install the snoop observer (typically the DresarManager). May be null.
   void setSnoop(ISwitchSnoop* snoop) override { snoop_ = snoop; }
@@ -46,25 +59,50 @@ class Network final : public INetwork {
   /// Register the receiver for messages delivered to `ep`.
   void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) override;
 
-  /// Inject a message from its `src` endpoint at the current cycle.
+  /// Inject a message from its `src` endpoint at the current cycle. Must be
+  /// called on the shard owning `src`.
   void send(Message m) override;
 
   /// Inject a message from inside switch `from` (switch-directory traffic).
+  /// Must be called on the shard owning `from`.
   void sendFromSwitch(SwitchId from, Message m);
 
-  [[nodiscard]] std::uint64_t messagesSent() const override { return sent_; }
-  [[nodiscard]] std::uint64_t messagesSunk() const override { return sunk_; }
+  [[nodiscard]] std::uint64_t messagesSent() const override;
+  [[nodiscard]] std::uint64_t messagesSunk() const override;
 
  private:
+  /// Mutable hot state owned by one kernel shard: only events executing on
+  /// that shard touch it, so parallel windows never race. The stat handles
+  /// resolve the same dotted names in every shard's registry; the post-run
+  /// fold adds them back together.
+  struct Shard {
+    Scheduler* sched = nullptr;
+    std::array<CounterHandle, kMsgTypeCount> msgCounters;  ///< "net.msgs.<type>"
+    CounterHandle linkBusy, switchInjected, sunkCounter;
+    SamplerHandle latency;
+    /// Scratch buffer for snoop-spawned messages; only live inside one hop's
+    /// snoop block (the snoop itself never re-enters advance), so it is safe
+    /// to reuse across hops instead of allocating per traversal.
+    std::vector<Message> snoopScratch;
+    std::unordered_map<std::uint64_t, Cycle> linkFree;  ///< (from<<32|to) -> next free cycle
+    std::uint64_t nextMsgId = 1;  ///< (shard << 56) | seq; shard 0 matches the unsharded ids
+    std::uint64_t sent = 0;
+    std::uint64_t sunk = 0;
+  };
+
   // Vertex ids: procs [0,N), mems [N,2N), switches [2N, 2N + totalSwitches).
   [[nodiscard]] std::uint32_t vertexOf(Endpoint ep) const;
   [[nodiscard]] std::uint32_t vertexOf(SwitchId sw) const;
 
   [[nodiscard]] Cycle serializationCycles(const Message& m) const;
 
+  /// Stamp + count an injected message on its injecting shard.
+  void onInject(Shard& sh, Message& m);
+
   /// Advance `m` along `route` starting at `hopIdx`; `fromVertex` is where the
-  /// message currently sits, `when` the cycle it becomes ready to move. The
-  /// route must point into routeTable_ (stable for the network's lifetime).
+  /// message currently sits (its owning shard must be executing), `when` the
+  /// cycle it becomes ready to move. The route must point into routeTable_
+  /// (stable for the network's lifetime).
   void advance(Message m, const Route* route, std::size_t hopIdx, std::uint32_t fromVertex,
                Cycle when);
 
@@ -76,7 +114,8 @@ class Network final : public INetwork {
   }
 
   /// Reserve the (from,to) link starting no earlier than `ready`; returns the
-  /// cycle the last flit lands at `to`.
+  /// cycle the last flit lands at `to`. The reservation lives on `from`'s
+  /// owning shard.
   Cycle traverseLink(std::uint32_t from, std::uint32_t to, Cycle ready, const Message& m);
 
   /// Hand `m` to the endpoint's registered handler (post fault filtering).
@@ -85,29 +124,18 @@ class Network final : public INetwork {
   NetworkConfig cfg_;
   std::uint32_t numNodes_;
   std::uint32_t lineBytes_;
-  EventQueue& eq_;
   Butterfly topo_;
-  /// Hot-path counters, resolved once at construction.
-  std::array<CounterHandle, kMsgTypeCount> msgCounters_;  ///< "net.msgs.<type>"
-  std::vector<CounterHandle> traversals_;                 ///< "switch.<flat>.traversals"
-  CounterHandle linkBusy_, switchInjected_, sunkCounter_;
-  SamplerHandle latency_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<CounterHandle> traversals_;  ///< "switch.<flat>.traversals", in the owner's registry
   ISwitchSnoop* snoop_ = nullptr;
   TxnTracer* tracer_ = nullptr;
   FaultInjector* fault_ = nullptr;
   /// Vertex id of the switch whose outgoing links the fault plan stalls;
   /// UINT32_MAX when no stall is configured.
   std::uint32_t faultStallVertex_ = UINT32_MAX;
-  /// Scratch buffer for snoop-spawned messages; only live inside one hop's
-  /// snoop block (the snoop itself never re-enters advance), so it is safe to
-  /// reuse across hops instead of allocating per traversal.
-  std::vector<Message> snoopScratch_;
   std::vector<Route> routeTable_;  ///< by fromVertex * 2N + dstVertex; see routeFor()
   std::vector<std::function<void(const Message&)>> handlers_;  // indexed by vertex
-  std::unordered_map<std::uint64_t, Cycle> linkFree_;          // (from<<32|to) -> next free cycle
-  std::uint64_t nextMsgId_ = 1;
-  std::uint64_t sent_ = 0;
-  std::uint64_t sunk_ = 0;
 };
 
 }  // namespace dresar

@@ -1,0 +1,62 @@
+// Static ownership partition of simulation entities onto kernel shards.
+//
+// Nodes are split into contiguous blocks (node n -> shard n*T/N), and a
+// switch is owned by the shard of the first processor under its leaf-stage
+// column (switch index i serves procs [i*half, (i+1)*half)), so a node, its
+// cache/directory controllers, its network endpoints, and its ingress switch
+// usually land on the same shard — most coherence hops stay shard-local.
+// The map is pure arithmetic on construction-time constants, so every
+// component derives identical ownership without coordination.
+#pragma once
+
+#include <cstdint>
+
+#include "common/scheduler.h"
+#include "common/types.h"
+
+namespace dresar {
+
+class ShardMap {
+ public:
+  /// Single-shard map (everything on shard 0).
+  ShardMap() = default;
+
+  /// `nodesPerLeafSwitch` is Butterfly::half(): the processors under one
+  /// leaf-stage switch column. `shards` must be in [1, numNodes].
+  ShardMap(std::uint32_t numNodes, std::uint32_t switchesPerStage,
+           std::uint32_t nodesPerLeafSwitch, ShardId shards)
+      : numNodes_(numNodes),
+        perStage_(switchesPerStage),
+        half_(nodesPerLeafSwitch),
+        shards_(shards) {}
+
+  [[nodiscard]] ShardId count() const { return shards_; }
+
+  [[nodiscard]] ShardId ofNode(NodeId n) const {
+    // Single-shard maps (including the default one, whose numNodes_ may not
+    // match the caller's node count) own everything on shard 0.
+    if (shards_ == 1) return 0;
+    return static_cast<ShardId>(static_cast<std::uint64_t>(n) * shards_ / numNodes_);
+  }
+
+  /// Shard of flattened switch `flat` (all stages of one column co-locate
+  /// with the column's leaf processors).
+  [[nodiscard]] ShardId ofSwitch(std::uint32_t flat) const {
+    return ofNode((flat % perStage_) * half_);
+  }
+
+  /// Shard of a network vertex (procs [0,N), mems [N,2N), switches beyond).
+  [[nodiscard]] ShardId ofVertex(std::uint32_t v) const {
+    if (v < numNodes_) return ofNode(v);
+    if (v < 2 * numNodes_) return ofNode(v - numNodes_);
+    return ofSwitch(v - 2 * numNodes_);
+  }
+
+ private:
+  std::uint32_t numNodes_ = 1;
+  std::uint32_t perStage_ = 1;
+  std::uint32_t half_ = 1;
+  ShardId shards_ = 1;
+};
+
+}  // namespace dresar

@@ -1,5 +1,6 @@
 #include "sim/system.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -8,6 +9,10 @@ namespace dresar {
 
 System::System(const SystemConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
+  // A shard needs at least one node to own; more threads than nodes would
+  // only spin on barriers.
+  const ShardId shards = static_cast<ShardId>(std::min(cfg_.simThreads, cfg_.numNodes));
+  kernel_ = std::make_unique<SimKernel>(shards, cfg_.simWindowCycles);
   tracer_ = std::make_unique<TxnTracer>(
       cfg_.txnTrace.enabled,
       TxnTracer::Config{cfg_.txnTrace.ringEvents, cfg_.txnTrace.maxEventsPerTxn});
@@ -15,14 +20,15 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   // pays nothing but a null check and stays bit-identical.
   TxnTracer* tracer = cfg_.txnTrace.enabled ? tracer_.get() : nullptr;
   if (cfg_.net.flitLevel) {
-    net_ = std::make_unique<FlitNetwork>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, eq_, stats_);
+    net_ = std::make_unique<FlitNetwork>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, *kernel_);
   } else {
-    net_ = std::make_unique<Network>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, eq_, stats_);
+    net_ = std::make_unique<Network>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, *kernel_);
   }
+  const ShardMap& map = net_->shardMap();
   dresar_ = std::make_unique<DresarManager>(cfg_.switchDir, net_->topology(), cfg_.lineBytes,
-                                            cfg_.numNodes, stats_);
+                                            cfg_.numNodes, *kernel_, map);
   scache_ = std::make_unique<SwitchCacheManager>(cfg_.switchCache, net_->topology(),
-                                                 cfg_.lineBytes, stats_);
+                                                 cfg_.lineBytes, *kernel_, map);
   if (dresar_->enabled() && scache_->enabled()) {
     snoopChain_ = std::make_unique<SnoopChain>(dresar_.get(), scache_.get());
     net_->setSnoop(snoopChain_.get());
@@ -37,9 +43,10 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   }
   // Same conditional-construction pattern as the tracer: the injector
   // registers fault.* counters, so building one only when a fault is
-  // configured keeps fault-free stats output byte-identical.
+  // configured keeps fault-free stats output byte-identical. Fault plans
+  // are single-shard (validation-gated), so registry 0 is the only one.
   if (cfg_.fault.enabled()) {
-    fault_ = std::make_unique<FaultInjector>(cfg_.fault, stats_);
+    fault_ = std::make_unique<FaultInjector>(cfg_.fault, kernel_->registry(0));
     net_->setFaultInjector(fault_.get());
     dresar_->setFaultInjector(fault_.get());
     scache_->setFaultInjector(fault_.get());
@@ -50,14 +57,18 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   dirs_.reserve(cfg_.numNodes);
   ctxs_.reserve(cfg_.numNodes);
   for (NodeId n = 0; n < cfg_.numNodes; ++n) {
-    caches_.push_back(std::make_unique<CacheController>(n, cfg_, eq_, *net_, stats_));
-    dirs_.push_back(std::make_unique<DirController>(n, cfg_, eq_, *net_, stats_));
+    // Everything belonging to node n — cache, directory, context, both
+    // network endpoints — schedules and counts on n's shard.
+    Scheduler& sched = kernel_->scheduler(map.ofNode(n));
+    StatRegistry& reg = kernel_->registry(map.ofNode(n));
+    caches_.push_back(std::make_unique<CacheController>(n, cfg_, sched, *net_, reg));
+    dirs_.push_back(std::make_unique<DirController>(n, cfg_, sched, *net_, reg));
     if (tracer != nullptr) {
       caches_.back()->setTracer(tracer);
       dirs_.back()->setTracer(tracer);
     }
     if (fault_ != nullptr) caches_.back()->setFaultInjector(fault_.get());
-    ctxs_.push_back(std::make_unique<ThreadContext>(n, cfg_, eq_, *caches_.back()));
+    ctxs_.push_back(std::make_unique<ThreadContext>(n, cfg_, sched, *caches_.back()));
     net_->setDeliveryHandler(procEp(n),
                              [c = caches_.back().get()](const Message& m) { c->onMessage(m); });
     net_->setDeliveryHandler(memEp(n),
@@ -65,38 +76,53 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   }
 }
 
-void System::spawn(SimTask task) { tasks_.push_back(std::move(task)); }
+void System::spawn(NodeId owner, SimTask task) {
+  tasks_.push_back(Spawned{std::move(task), owner});
+}
 
 Cycle System::run(Cycle limit) {
-  for (auto& t : tasks_) t.start();
-  const bool drained = eq_.run(limit);
-  for (auto& t : tasks_) t.rethrowIfFailed();
+  if (!kernel_->parallel()) {
+    // Root-shard path, identical to the pre-shard kernel: start tasks
+    // synchronously at cycle 0 in spawn order, then drain the queue.
+    for (auto& t : tasks_) t.task.start();
+  } else {
+    // Each task's first step must already execute on its owner's shard (its
+    // coroutine resumes wherever its cache controller schedules them), so
+    // starts are cycle-0 events on the owning shards.
+    for (auto& t : tasks_) {
+      kernel_->scheduler(0).post(net_->shardMap().ofNode(t.owner), 0,
+                                 [task = &t.task] { task->start(); });
+    }
+  }
+  const bool drained = kernel_->run(limit);
+  kernel_->foldStats();
+  for (auto& t : tasks_) t.task.rethrowIfFailed();
   if (!drained) {
     throw std::runtime_error("System::run: cycle limit " + std::to_string(limit) +
                              " exceeded with events pending (livelock?)" + inFlightReport());
   }
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    if (!tasks_[i].done()) {
+    if (!tasks_[i].task.done()) {
       throw std::runtime_error("System::run: deadlock — task " + std::to_string(i) +
                                " suspended with no pending events at cycle " +
-                               std::to_string(eq_.now()) + inFlightReport());
+                               std::to_string(kernel_->now()) + inFlightReport());
     }
   }
-  return eq_.now();
+  return kernel_->now();
 }
 
 std::string System::inFlightReport() const {
   std::ostringstream os;
   std::size_t suspended = 0;
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    if (!tasks_[i].done()) ++suspended;
+    if (!tasks_[i].task.done()) ++suspended;
   }
   os << "\nin-flight state: " << suspended << " task(s) suspended";
   if (suspended > 0) {
     os << " (";
     bool first = true;
     for (std::size_t i = 0; i < tasks_.size(); ++i) {
-      if (tasks_[i].done()) continue;
+      if (tasks_[i].task.done()) continue;
       if (!first) os << ", ";
       os << i;
       first = false;

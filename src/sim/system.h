@@ -1,15 +1,20 @@
-// Assembles a complete CC-NUMA multiprocessor: event queue, BMIN network
-// with DRESAR switch directories, one cache controller + thread context per
-// processor, one directory controller per memory module, and a shared
-// address space. Runs workload coroutines to completion with a deadlock
-// watchdog and exposes everything the metrics layer and tests need.
+// Assembles a complete CC-NUMA multiprocessor: sharded event kernel, BMIN
+// network with DRESAR switch directories, one cache controller + thread
+// context per processor, one directory controller per memory module, and a
+// shared address space. Runs workload coroutines to completion with a
+// deadlock watchdog and exposes everything the metrics layer and tests need.
+//
+// Scheduling API: components receive a Scheduler bound to their owning
+// kernel shard (ShardMap); the raw EventQueue is a kernel implementation
+// detail and is no longer reachable from here — see the retired eq() guard.
 #pragma once
 
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/config.h"
-#include "common/event_queue.h"
+#include "common/scheduler.h"
 #include "common/stats.h"
 #include "coherence/cache_controller.h"
 #include "coherence/dir_controller.h"
@@ -32,9 +37,30 @@ class System {
   System& operator=(const System&) = delete;
 
   [[nodiscard]] const SystemConfig& config() const { return cfg_; }
-  [[nodiscard]] EventQueue& eq() { return eq_; }
-  [[nodiscard]] StatRegistry& stats() { return stats_; }
-  [[nodiscard]] const StatRegistry& stats() const { return stats_; }
+
+  /// The simulation kernel (shard clocks, executed-event counts, runWhile
+  /// for single-shard test drivers).
+  [[nodiscard]] SimKernel& kernel() { return *kernel_; }
+  [[nodiscard]] const SimKernel& kernel() const { return *kernel_; }
+  /// Root-shard scheduler: what System-level code (workload setup, benches,
+  /// examples) schedules through. Per-node components use their own shard's
+  /// scheduler, reachable via ctx(n).sched().
+  [[nodiscard]] Scheduler& sched() { return kernel_->scheduler(0); }
+
+  /// Retired accessor: the EventQueue is a kernel implementation detail now
+  /// that events are sharded. Schedule through sched()/ctx(n).sched(), drive
+  /// with kernel().runWhile, read clocks via now()/kernel().executedEvents().
+  template <typename T = void>
+  void eq() {
+    static_assert(!std::is_same_v<T, T>,
+                  "System::eq() was removed by the Scheduler API redesign; use sched(), "
+                  "kernel(), or ctx(n).sched() instead");
+  }
+
+  /// Post-run stats live in the root shard's registry (SimKernel::foldStats
+  /// merges the other shards after run()).
+  [[nodiscard]] StatRegistry& stats() { return kernel_->registry(0); }
+  [[nodiscard]] const StatRegistry& stats() const { return kernel_->registry(0); }
   [[nodiscard]] INetwork& net() { return *net_; }
   [[nodiscard]] const INetwork& net() const { return *net_; }
   [[nodiscard]] AddressSpace& mem() { return *mem_; }
@@ -57,13 +83,21 @@ class System {
   [[nodiscard]] ThreadContext& ctx(NodeId n) { return *ctxs_.at(n); }
   [[nodiscard]] const ThreadContext& ctx(NodeId n) const { return *ctxs_.at(n); }
 
-  /// Register a top-level task (one per processor, typically).
-  void spawn(SimTask task);
+  /// Register a top-level task owned by processor `owner`: it starts (and
+  /// all its resumes execute) on that node's shard.
+  void spawn(NodeId owner, SimTask task);
+  /// Register a task on processor 0's shard (single-task tests/examples).
+  void spawn(SimTask task) { spawn(0, std::move(task)); }
 
-  /// Start every spawned task and run the event loop until it drains.
+  /// Start every spawned task and run the kernel until it drains.
   /// Returns the final cycle. Throws on deadlock (events exhausted while a
   /// task is still suspended) or if a task failed with an exception.
+  /// With simThreads>1 this runs the window-barrier worker loop and folds
+  /// per-shard stats into stats() before returning.
   Cycle run(Cycle limit = kNoCycle);
+
+  /// Simulated clock after (or during single-shard) run.
+  [[nodiscard]] Cycle now() const { return kernel_->now(); }
 
   /// True when every controller has no in-flight transaction — the state in
   /// which the protocol invariant checker may run.
@@ -74,9 +108,13 @@ class System {
   /// entries) appended to livelock/deadlock exception messages.
   [[nodiscard]] std::string inFlightReport() const;
 
+  struct Spawned {
+    SimTask task;
+    NodeId owner = 0;
+  };
+
   SystemConfig cfg_;
-  EventQueue eq_;
-  StatRegistry stats_;
+  std::unique_ptr<SimKernel> kernel_;
   std::unique_ptr<TxnTracer> tracer_;
   std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<INetwork> net_;
@@ -87,7 +125,7 @@ class System {
   std::vector<std::unique_ptr<CacheController>> caches_;
   std::vector<std::unique_ptr<DirController>> dirs_;
   std::vector<std::unique_ptr<ThreadContext>> ctxs_;
-  std::vector<SimTask> tasks_;
+  std::vector<Spawned> tasks_;
 };
 
 }  // namespace dresar

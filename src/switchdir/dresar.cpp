@@ -12,7 +12,8 @@ NodeMask bit(NodeId n) { return nodeBit(n); }
 }  // namespace
 
 DresarManager::DresarManager(const SwitchDirConfig& cfg, const Butterfly& topo,
-                             std::uint32_t lineBytes, std::uint32_t numNodes, StatRegistry& stats)
+                             std::uint32_t lineBytes, std::uint32_t numNodes, SimKernel& kernel,
+                             const ShardMap& map)
     : cfg_(cfg), topo_(topo), lineBytes_(lineBytes), numNodes_(numNodes) {
   if (numNodes_ > 128)
     throw std::invalid_argument("DresarManager: sharer masks support <= 128 nodes");
@@ -21,6 +22,7 @@ DresarManager::DresarManager(const SwitchDirConfig& cfg, const Butterfly& topo,
     units_.reserve(topo_.totalSwitches());
     for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) {
       Unit& u = units_.emplace_back(cfg_, lineBytes);
+      StatRegistry& stats = kernel.registry(map.ofSwitch(i));
       const std::string pfx = "sd." + std::to_string(i) + ".";
       u.c.depositSkipped = stats.counterHandle(pfx + "deposit_skipped");
       u.c.writereplyOnTransient = stats.counterHandle(pfx + "writereply_on_transient");
@@ -91,7 +93,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       e->state = SDState::Modified;
       e->owner = m.dst.node;
       e->requester = kInvalidNode;
-      ++deposits_;
+      ++u.deposits;
       ++u.c.deposits;
       return {true, delay};
     }
@@ -113,7 +115,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         if (e->owner == m.requester) {
           // Stale entry: the "owner" itself is asking again (it lost the
           // line since). Drop the entry and let the home service the read.
-          ++staleSelf_;
+          ++u.staleSelf;
           ++u.c.staleSelf;
           clearEntry(u, *e);
           return {true, delay};
@@ -136,7 +138,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         ctoc.viaSwitchDir = true;
         ctoc.txn = m.txn;
         spawn.push_back(ctoc);
-        ++ctocInitiated_;
+        ++u.ctocInitiated;
         ++u.c.ctocInitiated;
         return {false, delay};
       }
@@ -155,7 +157,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       retry.marked = true;
       retry.txn = m.txn;
       spawn.push_back(retry);
-      ++readRetries_;
+      ++u.readRetries;
       ++u.c.readRetries;
       return {false, delay};
     }
@@ -183,7 +185,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
       retry.marked = true;
       retry.txn = m.txn;
       spawn.push_back(retry);
-      ++writeRetries_;
+      ++u.writeRetries;
       ++u.c.writeRetries;
       return {false, delay};
     }
@@ -233,7 +235,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         spawn.push_back(reply);
         m.carriedSharers |= bit(e->requester);
         m.marked = true;
-        ++cbServes_;
+        ++u.cbServes;
         ++u.c.copybackServes;
       }
       clearEntry(u, *e);
@@ -265,7 +267,7 @@ SnoopOutcome DresarManager::onMessage(SwitchId sw, Cycle now, Message& m,
         spawn.push_back(reply);
         m.carriedSharers |= bit(e->requester);
         m.marked = true;
-        ++wbServes_;
+        ++u.wbServes;
         ++u.c.writebackServes;
       }
       clearEntry(u, *e);

@@ -7,13 +7,15 @@
 namespace dresar {
 
 SwitchCacheManager::SwitchCacheManager(const SwitchCacheConfig& cfg, const Butterfly& topo,
-                                       std::uint32_t lineBytes, StatRegistry& stats)
+                                       std::uint32_t lineBytes, SimKernel& kernel,
+                                       const ShardMap& map)
     : cfg_(cfg), topo_(topo) {
   if (cfg_.enabled()) {
     arb_ = makeSdArbitrationPolicy(cfg_.arbitrationPolicy);
     units_.reserve(topo_.totalSwitches());
     for (std::uint32_t i = 0; i < topo_.totalSwitches(); ++i) {
       Unit& u = units_.emplace_back(cfg_, lineBytes);
+      StatRegistry& stats = kernel.registry(map.ofSwitch(i));
       const std::string pfx = "sc." + std::to_string(i) + ".";
       u.deposits = stats.counterHandle(pfx + "deposits");
       u.serves = stats.counterHandle(pfx + "serves");
@@ -36,7 +38,7 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
       if (SDEntry* e = u.tags.allocate(m.addr); e != nullptr) {
         e->state = SDState::Shared;  // clean data captured at the switch
         e->owner = kInvalidNode;
-        ++deposits_;
+        ++u.nDeposits;
         ++u.deposits;
       }
       return {true, delay};
@@ -50,7 +52,7 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
         // Injected entry loss on a would-be serve: the request falls back to
         // the home, costing one trip but never coherence.
         u.tags.invalidate(*e);
-        ++invalidates_;
+        ++u.nInvalidates;
         ++u.invalidates;
         return {true, delay};
       }
@@ -73,7 +75,7 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
       notify.requester = m.requester;
       spawn.push_back(notify);
 
-      ++serves_;
+      ++u.nServes;
       ++u.serves;
       return {false, delay};
     }
@@ -88,7 +90,7 @@ SnoopOutcome SwitchCacheManager::onMessage(SwitchId sw, Cycle now, Message& m,
       const Cycle delay = arb_->reserve(u.ports, now, SDAccessPhase::Completion);
       if (SDEntry* e = u.tags.find(m.addr); e != nullptr) {
         u.tags.invalidate(*e);
-        ++invalidates_;
+        ++u.nInvalidates;
         ++u.invalidates;
       }
       return {true, delay};

@@ -117,10 +117,13 @@ class FftWorkload final : public Workload {
         co_await ctx.compute(20);
       }
       co_await ctx.fence();
-      co_await barrier_->arrive();
+      co_await barrier_->arrive(ctx);
       src = dst;
     }
-    result_ = src;
+    // Every proc computes the same final buffer index, but on the sharded
+    // kernel they finish on different threads; a single writer keeps the
+    // (value-identical) store race-free.
+    if (ctx.id() == 0) result_ = src;
   }
 
   [[nodiscard]] WorkloadResult verify(System&) override {

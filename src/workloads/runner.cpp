@@ -8,14 +8,14 @@ namespace {
 SimTask procWrapper(Workload& w, System& sys, ThreadContext& ctx) {
   co_await w.body(sys, ctx);
   co_await ctx.fence();  // release consistency: retire every store
-  ctx.markDone(ctx.eq().now());
+  ctx.markDone(ctx.now());
 }
 }  // namespace
 
 RunMetrics runWorkload(System& sys, Workload& w, bool requireVerify) {
   w.setup(sys);
   for (NodeId n = 0; n < sys.config().numNodes; ++n) {
-    sys.spawn(procWrapper(w, sys, sys.ctx(n)));
+    sys.spawn(n, procWrapper(w, sys, sys.ctx(n)));
   }
   sys.run();
   if (!sys.quiescent()) {

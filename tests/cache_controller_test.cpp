@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "common/config.h"
-#include "common/event_queue.h"
+#include "common/scheduler.h"
 #include "common/stats.h"
 #include "interconnect/network.h"
 
@@ -19,8 +19,8 @@ namespace {
 class CacheCtrlTest : public ::testing::Test {
  protected:
   CacheCtrlTest()
-      : net_(cfg_.net, cfg_.numNodes, cfg_.lineBytes, eq_, stats_),
-        ctrl_(0, cfg_, eq_, net_, stats_) {
+      : net_(cfg_.net, cfg_.numNodes, cfg_.lineBytes, kernel_),
+        ctrl_(0, cfg_, kernel_.scheduler(0), net_, kernel_.registry(0)) {
     net_.setDeliveryHandler(procEp(0), [this](const Message& m) { ctrl_.onMessage(m); });
     for (NodeId n = 1; n < cfg_.numNodes; ++n) {
       net_.setDeliveryHandler(procEp(n), [this](const Message& m) { toProcs_.push_back(m); });
@@ -53,10 +53,10 @@ class CacheCtrlTest : public ::testing::Test {
   }
 
   SystemConfig cfg_;
-  EventQueue eq_;
-  StatRegistry stats_;
+  SimKernel kernel_{1};
   Network net_;
   CacheController ctrl_;
+  StatRegistry& stats_ = kernel_.registry(0);
   std::vector<Message> toHome_;
   std::vector<Message> toProcs_;
 };
@@ -65,11 +65,11 @@ TEST_F(CacheCtrlTest, ReadMissSendsReadRequestAndFillsShared) {
   const Addr a = remoteAddr();
   std::optional<ReadResult> result;
   ctrl_.cpuRead(a, [&](const ReadResult& r) { result = r; });
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(lastHomeMsg(MsgType::ReadRequest).has_value());
   EXPECT_FALSE(result.has_value());  // blocked until the reply
   reply(MsgType::ReadReply, a);
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->service, ReadService::CleanMemory);
   EXPECT_GT(result->latency, 0u);
@@ -80,12 +80,12 @@ TEST_F(CacheCtrlTest, ReadMissSendsReadRequestAndFillsShared) {
 TEST_F(CacheCtrlTest, SecondReadIsAHit) {
   const Addr a = remoteAddr();
   ctrl_.cpuRead(a, [](const ReadResult&) {});
-  eq_.run();
+  kernel_.run();
   reply(MsgType::ReadReply, a);
-  eq_.run();
+  kernel_.run();
   std::optional<ReadResult> r2;
   ctrl_.cpuRead(a, [&](const ReadResult& r) { r2 = r; });
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(r2.has_value());
   EXPECT_EQ(r2->service, ReadService::L1Hit);
   EXPECT_EQ(r2->latency, cfg_.l1AccessCycles);
@@ -95,9 +95,9 @@ TEST_F(CacheCtrlTest, CtoCReplyClassifiesByOrigin) {
   const Addr a = remoteAddr();
   std::optional<ReadResult> result;
   ctrl_.cpuRead(a, [&](const ReadResult& r) { result = r; });
-  eq_.run();
+  kernel_.run();
   reply(MsgType::CtoCReply, a, /*marked=*/false, /*viaSwitchDir=*/true);
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->service, ReadService::CtoCSwitchDir);
 }
@@ -106,9 +106,9 @@ TEST_F(CacheCtrlTest, MarkedReadReplyIsSwitchWriteBackService) {
   const Addr a = remoteAddr();
   std::optional<ReadResult> result;
   ctrl_.cpuRead(a, [&](const ReadResult& r) { result = r; });
-  eq_.run();
+  kernel_.run();
   reply(MsgType::ReadReply, a, /*marked=*/true);
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->service, ReadService::SwitchWriteBack);
 }
@@ -117,12 +117,12 @@ TEST_F(CacheCtrlTest, StoreRetiresImmediatelyOwnershipInBackground) {
   const Addr a = remoteAddr();
   bool retired = false;
   ctrl_.cpuWrite(a, [&] { retired = true; });
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(retired);  // release consistency: the core never waited
   ASSERT_TRUE(lastHomeMsg(MsgType::WriteRequest).has_value());
   EXPECT_FALSE(ctrl_.quiescent());
   reply(MsgType::WriteReply, a);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(ctrl_.l2().peek(a)->state, CacheState::M);
   EXPECT_TRUE(ctrl_.quiescent());
 }
@@ -131,11 +131,11 @@ TEST_F(CacheCtrlTest, DrainWaitsForOutstandingStores) {
   const Addr a = remoteAddr();
   ctrl_.cpuWrite(a, [] {});
   bool drained = false;
-  eq_.run();
+  kernel_.run();
   ctrl_.drainWrites([&] { drained = true; });
   EXPECT_FALSE(drained);
   reply(MsgType::WriteReply, a);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(drained);
 }
 
@@ -145,22 +145,22 @@ TEST_F(CacheCtrlTest, WriteBufferFullStallsExtraStores) {
   for (std::uint32_t i = 0; i <= cfg_.writeBufferEntries; ++i) {
     ctrl_.cpuWrite(remoteAddr(i), [&] { ++accepted; });
   }
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(accepted, cfg_.writeBufferEntries);
   EXPECT_GT(stats_.counterValue("cache.0.wb_full_stalls"), 0u);
   // Completing one store releases the stalled one.
   reply(MsgType::WriteReply, remoteAddr(0));
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(accepted, cfg_.writeBufferEntries + 1);
 }
 
 TEST_F(CacheCtrlTest, LoadMergesIntoPendingStoreMshr) {
   const Addr a = remoteAddr();
   ctrl_.cpuWrite(a, [] {});
-  eq_.run();
+  kernel_.run();
   std::optional<ReadResult> result;
   ctrl_.cpuRead(a, [&](const ReadResult& r) { result = r; });
-  eq_.run();
+  kernel_.run();
   // Only one request went to the home.
   std::size_t requests = 0;
   for (const auto& m : toHome_) {
@@ -168,37 +168,37 @@ TEST_F(CacheCtrlTest, LoadMergesIntoPendingStoreMshr) {
   }
   EXPECT_EQ(requests, 1u);
   reply(MsgType::WriteReply, a);
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(result.has_value());
 }
 
 TEST_F(CacheCtrlTest, StoreAfterReadUpgradesViaSecondRequest) {
   const Addr a = remoteAddr();
   ctrl_.cpuRead(a, [](const ReadResult&) {});
-  eq_.run();
+  kernel_.run();
   reply(MsgType::ReadReply, a);
-  eq_.run();
+  kernel_.run();
   ctrl_.cpuWrite(a, [] {});
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(lastHomeMsg(MsgType::WriteRequest).has_value());
   reply(MsgType::WriteReply, a);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(ctrl_.l2().peek(a)->state, CacheState::M);
 }
 
 TEST_F(CacheCtrlTest, InvalidationOfSharedLineAcks) {
   const Addr a = remoteAddr();
   ctrl_.cpuRead(a, [](const ReadResult&) {});
-  eq_.run();
+  kernel_.run();
   reply(MsgType::ReadReply, a);
-  eq_.run();
+  kernel_.run();
   Message inv;
   inv.type = MsgType::Invalidation;
   inv.src = memEp(1);
   inv.dst = procEp(0);
   inv.addr = a;
   net_.send(inv);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(lastHomeMsg(MsgType::InvalAck).has_value());
   EXPECT_EQ(ctrl_.l2().peek(a), nullptr);
 }
@@ -206,9 +206,9 @@ TEST_F(CacheCtrlTest, InvalidationOfSharedLineAcks) {
 TEST_F(CacheCtrlTest, RecallOfDirtyLineCopiesBack) {
   const Addr a = remoteAddr();
   ctrl_.cpuWrite(a, [] {});
-  eq_.run();
+  kernel_.run();
   reply(MsgType::WriteReply, a);
-  eq_.run();
+  kernel_.run();
   Message inv;
   inv.type = MsgType::Invalidation;
   inv.src = memEp(1);
@@ -216,7 +216,7 @@ TEST_F(CacheCtrlTest, RecallOfDirtyLineCopiesBack) {
   inv.addr = a;
   inv.recall = true;
   net_.send(inv);
-  eq_.run();
+  kernel_.run();
   const auto cb = lastHomeMsg(MsgType::CopyBack);
   ASSERT_TRUE(cb.has_value());
   EXPECT_TRUE(cb->recall);
@@ -231,7 +231,7 @@ TEST_F(CacheCtrlTest, RecallWithUngratedWriteAcksImmediately) {
   // home, whose queue holds our request).
   const Addr a = remoteAddr();
   ctrl_.cpuWrite(a, [] {});
-  eq_.run();  // WriteRequest out, MSHR waiting
+  kernel_.run();  // WriteRequest out, MSHR waiting
   Message inv;
   inv.type = MsgType::Invalidation;
   inv.src = memEp(1);
@@ -239,10 +239,10 @@ TEST_F(CacheCtrlTest, RecallWithUngratedWriteAcksImmediately) {
   inv.addr = a;
   inv.recall = true;
   net_.send(inv);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(lastHomeMsg(MsgType::InvalAck).has_value());
   reply(MsgType::WriteReply, a);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(ctrl_.l2().peek(a)->state, CacheState::M);
   EXPECT_TRUE(ctrl_.quiescent());
 }
@@ -250,9 +250,9 @@ TEST_F(CacheCtrlTest, RecallWithUngratedWriteAcksImmediately) {
 TEST_F(CacheCtrlTest, CtoCRequestSuppliesDataAndCopiesBack) {
   const Addr a = remoteAddr();
   ctrl_.cpuWrite(a, [] {});
-  eq_.run();
+  kernel_.run();
   reply(MsgType::WriteReply, a);
-  eq_.run();
+  kernel_.run();
   Message req;
   req.type = MsgType::CtoCRequest;
   req.src = memEp(1);
@@ -260,7 +260,7 @@ TEST_F(CacheCtrlTest, CtoCRequestSuppliesDataAndCopiesBack) {
   req.addr = a;
   req.requester = 5;
   net_.send(req);
-  eq_.run();
+  kernel_.run();
   ASSERT_FALSE(toProcs_.empty());
   EXPECT_EQ(toProcs_.back().type, MsgType::CtoCReply);
   EXPECT_EQ(toProcs_.back().dst, procEp(5));
@@ -279,7 +279,7 @@ TEST_F(CacheCtrlTest, MarkedCtoCOnMissingLineRetriesTowardHome) {
   req.requester = 5;
   req.marked = true;
   net_.send(req);
-  eq_.run();
+  kernel_.run();
   const auto rt = lastHomeMsg(MsgType::Retry);
   ASSERT_TRUE(rt.has_value());
   EXPECT_TRUE(rt->marked);
@@ -295,7 +295,7 @@ TEST_F(CacheCtrlTest, UnmarkedCtoCOnMissingLineIsDropped) {
   req.addr = remoteAddr();
   req.requester = 5;
   net_.send(req);
-  eq_.run();
+  kernel_.run();
   EXPECT_FALSE(lastHomeMsg(MsgType::Retry).has_value());
   EXPECT_GT(stats_.counterValue("cache.0.ctoc_dropped_wb_race"), 0u);
 }
@@ -303,7 +303,7 @@ TEST_F(CacheCtrlTest, UnmarkedCtoCOnMissingLineIsDropped) {
 TEST_F(CacheCtrlTest, RetryReissuesAfterBackoff) {
   const Addr a = remoteAddr();
   ctrl_.cpuRead(a, [](const ReadResult&) {});
-  eq_.run();
+  kernel_.run();
   const std::size_t before = toHome_.size();
   Message rt;
   rt.type = MsgType::Retry;
@@ -313,12 +313,12 @@ TEST_F(CacheCtrlTest, RetryReissuesAfterBackoff) {
   rt.requester = 0;
   rt.marked = true;
   net_.send(rt);
-  eq_.run();
+  kernel_.run();
   EXPECT_GT(toHome_.size(), before);  // re-issued ReadRequest
   EXPECT_EQ(toHome_.back().type, MsgType::ReadRequest);
   EXPECT_EQ(stats_.counterValue("cache.0.retries"), 1u);
   reply(MsgType::ReadReply, a);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(ctrl_.quiescent());
 }
 
@@ -330,10 +330,10 @@ TEST_F(CacheCtrlTest, SpuriousRetryAndFillAreCounted) {
   rt.addr = remoteAddr();
   rt.requester = 0;
   net_.send(rt);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(stats_.counterValue("cache.0.spurious_retries"), 1u);
   reply(MsgType::ReadReply, remoteAddr());
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(stats_.counterValue("cache.0.spurious_fills"), 1u);
 }
 
@@ -341,7 +341,7 @@ TEST_F(CacheCtrlTest, FillThenInvalidateDeliversDataButKillsLine) {
   const Addr a = remoteAddr();
   std::optional<ReadResult> result;
   ctrl_.cpuRead(a, [&](const ReadResult& r) { result = r; });
-  eq_.run();
+  kernel_.run();
   // Invalidation for the in-flight fill (write serialized after our read).
   Message inv;
   inv.type = MsgType::Invalidation;
@@ -349,10 +349,10 @@ TEST_F(CacheCtrlTest, FillThenInvalidateDeliversDataButKillsLine) {
   inv.dst = procEp(0);
   inv.addr = a;
   net_.send(inv);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(lastHomeMsg(MsgType::InvalAck).has_value());
   reply(MsgType::ReadReply, a);
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(result.has_value());        // the load completed...
   EXPECT_EQ(ctrl_.l2().peek(a), nullptr); // ...but the line is dead
 }
@@ -364,9 +364,9 @@ TEST_F(CacheCtrlTest, DirtyEvictionEmitsWriteBack) {
   for (std::uint32_t i = 0; i <= cfg_.l2Assoc; ++i) {
     const Addr a = cfg_.pageBytes + i * stride;
     ctrl_.cpuWrite(a, [] {});
-    eq_.run();
+    kernel_.run();
     reply(MsgType::WriteReply, a);
-    eq_.run();
+    kernel_.run();
   }
   EXPECT_TRUE(lastHomeMsg(MsgType::WriteBack).has_value());
   EXPECT_GT(stats_.counterValue("cache.0.writebacks"), 0u);
@@ -376,10 +376,10 @@ TEST_F(CacheCtrlTest, RmwCompletesHoldingOwnership) {
   const Addr a = remoteAddr();
   bool done = false;
   ctrl_.cpuRmw(a, [&] { done = true; });
-  eq_.run();
+  kernel_.run();
   EXPECT_FALSE(done);
   reply(MsgType::WriteReply, a);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(done);
   EXPECT_EQ(ctrl_.l2().peek(a)->state, CacheState::M);
 }

@@ -47,7 +47,7 @@ TEST(ProtocolChecker, NonQuiescentSystemStillRunsSafeChecks) {
   // Kick off one read miss and stop the simulation the moment the MSHR makes
   // the system non-quiescent (mid-transaction).
   sys.cache(0).cpuRead(0x4000, [](const ReadResult&) {});
-  sys.eq().runWhile([&] { return sys.quiescent(); });
+  sys.kernel().runWhile([&] { return sys.quiescent(); });
   ASSERT_FALSE(sys.quiescent());
 
   const CheckReport r = ProtocolChecker::check(sys);

@@ -5,7 +5,6 @@
 
 #include <stdexcept>
 
-#include "common/event_queue.h"
 #include "cpu/sync.h"
 #include "cpu/task.h"
 #include "sim/system.h"
@@ -73,7 +72,7 @@ TEST(SimTask, ChildExceptionPropagatesToParent) {
 
 SimTask delayer(ThreadContext& ctx, Cycle d, Cycle& when) {
   co_await ctx.delay(d);
-  when = ctx.eq().now();
+  when = ctx.now();
 }
 
 TEST(ThreadContext, DelayResumesAtSimulatedTime) {
@@ -87,7 +86,7 @@ TEST(ThreadContext, DelayResumesAtSimulatedTime) {
 
 SimTask computeTask(ThreadContext& ctx, Cycle& when) {
   co_await ctx.compute(8);  // 8 instructions at 4-issue = 2 cycles
-  when = ctx.eq().now();
+  when = ctx.now();
 }
 
 TEST(ThreadContext, ComputeScalesWithIssueWidth) {
@@ -108,7 +107,7 @@ SimTask loadStore(System& sys, ThreadContext& ctx) {
   co_await ctx.fence();
   const ReadResult r2 = co_await ctx.load(a);
   EXPECT_EQ(r2.service, ReadService::L1Hit);
-  ctx.markDone(ctx.eq().now());
+  ctx.markDone(ctx.now());
 }
 
 TEST(ThreadContext, LoadStoreFenceRoundTrip) {
@@ -125,9 +124,9 @@ TEST(ThreadContext, LoadStoreFenceRoundTrip) {
 TEST(System, DeadlockIsDetected) {
   SystemConfig cfg;
   System sys(cfg);
-  HwBarrier barrier(sys.eq(), 2, 10);  // 2 participants, only 1 arrives
-  auto waiter = [](HwBarrier& b) -> SimTask { co_await b.arrive(); };
-  sys.spawn(waiter(barrier));
+  HwBarrier barrier(sys.sched(), 2, 10);  // 2 participants, only 1 arrives
+  auto waiter = [](HwBarrier& b, ThreadContext& ctx) -> SimTask { co_await b.arrive(ctx); };
+  sys.spawn(waiter(barrier, sys.ctx(0)));
   EXPECT_THROW(sys.run(), std::runtime_error);
 }
 

@@ -24,8 +24,8 @@ std::string scientificStatsDump(const std::string& app, std::uint32_t sdEntries,
   (void)sim.run({.workload = app, .scale = WorkloadScale::tiny()});
   std::ostringstream os;
   sim.system().stats().dump(os);
-  os << "exec_time=" << sim.system().eq().now()
-     << " events=" << sim.system().eq().executed();
+  os << "exec_time=" << sim.system().now()
+     << " events=" << sim.system().kernel().executedEvents();
   return os.str();
 }
 

@@ -8,7 +8,7 @@
 #include <optional>
 #include <vector>
 
-#include "common/event_queue.h"
+#include "common/scheduler.h"
 #include "common/stats.h"
 #include "interconnect/network.h"
 
@@ -18,8 +18,8 @@ namespace {
 class DirCtrlTest : public ::testing::Test {
  protected:
   DirCtrlTest()
-      : net_(cfg_.net, cfg_.numNodes, cfg_.lineBytes, eq_, stats_),
-        home_(0, cfg_, eq_, net_, stats_) {
+      : net_(cfg_.net, cfg_.numNodes, cfg_.lineBytes, kernel_),
+        home_(0, cfg_, kernel_.scheduler(0), net_, kernel_.registry(0)) {
     net_.setDeliveryHandler(memEp(0), [this](const Message& m) { home_.onMessage(m); });
     for (NodeId n = 1; n < cfg_.numNodes; ++n) {
       net_.setDeliveryHandler(memEp(n), [](const Message&) {});
@@ -56,16 +56,16 @@ class DirCtrlTest : public ::testing::Test {
   }
 
   SystemConfig cfg_;
-  EventQueue eq_;
-  StatRegistry stats_;
+  SimKernel kernel_{1};
   Network net_;
   DirController home_;
+  StatRegistry& stats_ = kernel_.registry(0);
   std::vector<Message> toProc_[16];
 };
 
 TEST_F(DirCtrlTest, ReadOfUncachedBlockRepliesAndShares) {
   send(MsgType::ReadRequest, 2);
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(lastTo(2, MsgType::ReadReply).has_value());
   const auto* e = home_.peek(kBlock);
   ASSERT_NE(e, nullptr);
@@ -75,7 +75,7 @@ TEST_F(DirCtrlTest, ReadOfUncachedBlockRepliesAndShares) {
 
 TEST_F(DirCtrlTest, WriteOfUncachedBlockGrantsOwnership) {
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(lastTo(3, MsgType::WriteReply).has_value());
   EXPECT_EQ(home_.peek(kBlock)->state, DirState::Modified);
   EXPECT_EQ(home_.peek(kBlock)->owner, 3u);
@@ -83,9 +83,9 @@ TEST_F(DirCtrlTest, WriteOfUncachedBlockGrantsOwnership) {
 
 TEST_F(DirCtrlTest, SoleSharerUpgradesWithoutInvalidations) {
   send(MsgType::ReadRequest, 3);
-  eq_.run();
+  kernel_.run();
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(lastTo(3, MsgType::WriteReply).has_value());
   for (NodeId n = 0; n < 16; ++n) {
     EXPECT_FALSE(lastTo(n, MsgType::Invalidation).has_value());
@@ -96,18 +96,18 @@ TEST_F(DirCtrlTest, SoleSharerUpgradesWithoutInvalidations) {
 TEST_F(DirCtrlTest, WriteToSharedInvalidatesOthersThenGrants) {
   send(MsgType::ReadRequest, 2);
   send(MsgType::ReadRequest, 4);
-  eq_.run();
+  kernel_.run();
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   // Invalidations went to 2 and 4; grant withheld until both ack.
   ASSERT_TRUE(lastTo(2, MsgType::Invalidation).has_value());
   ASSERT_TRUE(lastTo(4, MsgType::Invalidation).has_value());
   EXPECT_FALSE(lastTo(3, MsgType::WriteReply).has_value());
   send(MsgType::InvalAck, 2);
-  eq_.run();
+  kernel_.run();
   EXPECT_FALSE(lastTo(3, MsgType::WriteReply).has_value());
   send(MsgType::InvalAck, 4);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(lastTo(3, MsgType::WriteReply).has_value());
   EXPECT_EQ(home_.peek(kBlock)->state, DirState::Modified);
   EXPECT_TRUE(home_.quiescent());
@@ -115,9 +115,9 @@ TEST_F(DirCtrlTest, WriteToSharedInvalidatesOthersThenGrants) {
 
 TEST_F(DirCtrlTest, ReadOfModifiedBlockForwardsCtoC) {
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   send(MsgType::ReadRequest, 5);
-  eq_.run();
+  kernel_.run();
   const auto fwd = lastTo(3, MsgType::CtoCRequest);
   ASSERT_TRUE(fwd.has_value());
   EXPECT_EQ(fwd->requester, 5u);
@@ -126,7 +126,7 @@ TEST_F(DirCtrlTest, ReadOfModifiedBlockForwardsCtoC) {
   EXPECT_EQ(home_.peek(kBlock)->state, DirState::BusyRead);
   // The owner's copyback (carrying the served requester) completes it.
   send(MsgType::CopyBack, 3, kBlock, 5, /*carried=*/1ull << 5);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(home_.peek(kBlock)->state, DirState::Shared);
   EXPECT_EQ(home_.peek(kBlock)->sharers, (1ull << 3) | (1ull << 5));
   // Requester got its data from the owner, not the home.
@@ -135,13 +135,13 @@ TEST_F(DirCtrlTest, ReadOfModifiedBlockForwardsCtoC) {
 
 TEST_F(DirCtrlTest, CopyBackServingSomeoneElseMakesHomeServeRequester) {
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   send(MsgType::ReadRequest, 5);
-  eq_.run();
+  kernel_.run();
   // A switch-initiated transfer served proc 7 instead; its marked copyback
   // arrives at the busy home.
   send(MsgType::CopyBack, 3, kBlock, 7, /*carried=*/1ull << 7, /*marked=*/true);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(lastTo(5, MsgType::ReadReply).has_value());  // home serves 5 itself
   EXPECT_EQ(home_.peek(kBlock)->sharers, (1ull << 3) | (1ull << 5) | (1ull << 7));
   EXPECT_TRUE(home_.quiescent());
@@ -149,15 +149,15 @@ TEST_F(DirCtrlTest, CopyBackServingSomeoneElseMakesHomeServeRequester) {
 
 TEST_F(DirCtrlTest, QueuedRequestsDrainAfterBusy) {
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   send(MsgType::ReadRequest, 5);
-  eq_.run();
+  kernel_.run();
   send(MsgType::ReadRequest, 6);  // queued behind BusyRead
   send(MsgType::ReadRequest, 7);
-  eq_.run();
+  kernel_.run();
   EXPECT_GT(stats_.counterValue("dir.0.queued"), 0u);
   send(MsgType::CopyBack, 3, kBlock, 5, 1ull << 5);
-  eq_.run();
+  kernel_.run();
   // Queue drained: 6 and 7 served clean from the now-shared block.
   EXPECT_TRUE(lastTo(6, MsgType::ReadReply).has_value());
   EXPECT_TRUE(lastTo(7, MsgType::ReadReply).has_value());
@@ -166,44 +166,44 @@ TEST_F(DirCtrlTest, QueuedRequestsDrainAfterBusy) {
 
 TEST_F(DirCtrlTest, WriteToModifiedRecallsOwner) {
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   send(MsgType::WriteRequest, 4);
-  eq_.run();
+  kernel_.run();
   const auto inv = lastTo(3, MsgType::Invalidation);
   ASSERT_TRUE(inv.has_value());
   EXPECT_TRUE(inv->recall);
   send(MsgType::CopyBack, 3, kBlock, kInvalidNode, 0, false, /*recall=*/true);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(lastTo(4, MsgType::WriteReply).has_value());
   EXPECT_EQ(home_.peek(kBlock)->owner, 4u);
 }
 
 TEST_F(DirCtrlTest, WriteBackFromOwnerUncachesBlock) {
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   send(MsgType::WriteBack, 3);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(home_.peek(kBlock)->state, DirState::Uncached);
 }
 
 TEST_F(DirCtrlTest, MarkedWriteBackLeavesSwitchServedSharers) {
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   // The victim writeback was annotated at a switch: proc 9 was served.
   send(MsgType::WriteBack, 3, kBlock, kInvalidNode, 1ull << 9, /*marked=*/true);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(home_.peek(kBlock)->state, DirState::Shared);
   EXPECT_EQ(home_.peek(kBlock)->sharers, 1ull << 9);
 }
 
 TEST_F(DirCtrlTest, WriteBackResolvesBusyRead) {
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   send(MsgType::ReadRequest, 5);
-  eq_.run();
+  kernel_.run();
   // Owner evicted the block before the forwarded request arrived.
   send(MsgType::WriteBack, 3);
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(lastTo(5, MsgType::ReadReply).has_value());
   EXPECT_EQ(home_.peek(kBlock)->state, DirState::Shared);
   EXPECT_TRUE(home_.quiescent());
@@ -211,31 +211,31 @@ TEST_F(DirCtrlTest, WriteBackResolvesBusyRead) {
 
 TEST_F(DirCtrlTest, MarkedCopyBackInModifiedTransitionsToShared) {
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   // A switch-initiated transfer completed with no home involvement: the
   // "minor modification" of paper 3.2.
   send(MsgType::CopyBack, 3, kBlock, 6, 1ull << 6, /*marked=*/true);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(home_.peek(kBlock)->state, DirState::Shared);
   EXPECT_EQ(home_.peek(kBlock)->sharers, (1ull << 3) | (1ull << 6));
 }
 
 TEST_F(DirCtrlTest, CarriedSharersDuringWriteGetInvalidated) {
   send(MsgType::WriteRequest, 3);
-  eq_.run();
+  kernel_.run();
   send(MsgType::WriteRequest, 4);  // recall in flight to 3
-  eq_.run();
+  kernel_.run();
   // Before acking, the owner served a switch transfer for proc 8; its marked
   // copyback reaches the busy home, so 8 must now be invalidated too.
   send(MsgType::CopyBack, 3, kBlock, 8, 1ull << 8, /*marked=*/true);
-  eq_.run();
+  kernel_.run();
   ASSERT_TRUE(lastTo(8, MsgType::Invalidation).has_value());
   EXPECT_FALSE(lastTo(4, MsgType::WriteReply).has_value());
   send(MsgType::InvalAck, 8);
-  eq_.run();
+  kernel_.run();
   EXPECT_FALSE(lastTo(4, MsgType::WriteReply).has_value());  // still awaiting 3
   send(MsgType::InvalAck, 3);  // owner had downgraded to S, acks plain
-  eq_.run();
+  kernel_.run();
   EXPECT_TRUE(lastTo(4, MsgType::WriteReply).has_value());
   EXPECT_EQ(home_.peek(kBlock)->owner, 4u);
   EXPECT_TRUE(home_.quiescent());
@@ -243,7 +243,7 @@ TEST_F(DirCtrlTest, CarriedSharersDuringWriteGetInvalidated) {
 
 TEST_F(DirCtrlTest, MarkedRetryIsDropped) {
   send(MsgType::Retry, 3, kBlock, 5, 0, /*marked=*/true);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(stats_.counterValue("dir.0.retry_dropped"), 1u);
 }
 
@@ -251,11 +251,11 @@ TEST_F(DirCtrlTest, PerDestinationFifo) {
   // A grant (delayed by the memory access) followed by a recall to the same
   // node must arrive in order: WriteReply first.
   send(MsgType::ReadRequest, 3);
-  eq_.run();
+  kernel_.run();
   toProc_[3].clear();
   send(MsgType::WriteRequest, 3);  // upgrade: grant scheduled +memAccess
   send(MsgType::WriteRequest, 4);  // queued; recall to 3 follows the grant
-  eq_.run();
+  kernel_.run();
   ASSERT_GE(toProc_[3].size(), 2u);
   EXPECT_EQ(toProc_[3][0].type, MsgType::WriteReply);
   EXPECT_EQ(toProc_[3][1].type, MsgType::Invalidation);
@@ -265,17 +265,17 @@ TEST_F(DirCtrlTest, PerDestinationFifo) {
 TEST_F(DirCtrlTest, DistinctBlocksAreIndependent) {
   send(MsgType::WriteRequest, 3, kBlock);
   send(MsgType::WriteRequest, 4, kBlock + cfg_.lineBytes);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(home_.peek(kBlock)->owner, 3u);
   EXPECT_EQ(home_.peek(kBlock + cfg_.lineBytes)->owner, 4u);
 }
 
 TEST_F(DirCtrlTest, AnomaliesAreCountedNotFatal) {
   send(MsgType::CopyBack, 3, kBlock, kInvalidNode, 0, false, /*recall=*/true);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(stats_.counterValue("dir.0.anomaly.recall_copyback"), 1u);
   send(MsgType::InvalAck, 5);
-  eq_.run();
+  kernel_.run();
   EXPECT_EQ(stats_.counterValue("dir.0.anomaly.spurious_inval_ack"), 1u);
 }
 

@@ -7,7 +7,7 @@
 
 #include <vector>
 
-#include "common/event_queue.h"
+#include "common/scheduler.h"
 #include "common/stats.h"
 #include "sim/metrics.h"
 #include "sim/system.h"
@@ -17,12 +17,15 @@ namespace dresar {
 namespace {
 
 struct Fixture {
-  EventQueue eq;
-  StatRegistry stats;
+  SimKernel kernel{1};
   NetworkConfig cfg;
   FlitNetwork net;
+  StatRegistry& stats = kernel.registry(0);
 
-  Fixture() : net(cfg, 16, 32, eq, stats) {}
+  Fixture() : net(cfg, 16, 32, kernel) {}
+
+  void run() { kernel.run(); }
+  [[nodiscard]] Cycle now() const { return kernel.now(); }
 };
 
 Message mkMsg(MsgType t, Endpoint src, Endpoint dst, Addr a = 0x100) {
@@ -40,10 +43,10 @@ TEST(FlitNetwork, DeliversHeaderMessage) {
   Cycle arrival = kNoCycle;
   f.net.setDeliveryHandler(memEp(9), [&](const Message& m) {
     EXPECT_EQ(m.addr, 0x100u);
-    arrival = f.eq.now();
+    arrival = f.now();
   });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   EXPECT_NE(arrival, kNoCycle);
   // 3 link traversals of 4 cycles + 2 core delays of 4, plus pipeline slack.
   EXPECT_GE(arrival, 20u);
@@ -55,12 +58,12 @@ TEST(FlitNetwork, DataMessagePipelinesFlits) {
   Fixture f;
   Cycle headerArrival = 0, dataArrival = 0;
   f.net.setDeliveryHandler(memEp(9), [&](const Message& m) {
-    (carriesData(m.type) ? dataArrival : headerArrival) = f.eq.now();
+    (carriesData(m.type) ? dataArrival : headerArrival) = f.now();
   });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   // Wormhole pipelining: 5 flits cost 4 extra link cycles per flit on the
   // last link only (cut-through), far less than store-and-forward.
   const Cycle dataLatency = dataArrival - headerArrival;
@@ -75,7 +78,7 @@ TEST(FlitNetwork, PerPathOrderingHolds) {
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9), 0xA));
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9), 0xB));
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9), 0xC));
-  f.eq.run();
+  f.run();
   ASSERT_EQ(order.size(), 3u);
   EXPECT_EQ(order[0], 0xAu);
   EXPECT_EQ(order[1], 0xBu);
@@ -89,24 +92,23 @@ TEST(FlitNetwork, ManyToOneContentionDeliversEverything) {
   for (NodeId p = 0; p < 16; ++p) {
     f.net.send(mkMsg(MsgType::WriteBack, procEp(p), memEp(0), 0x100 + 0x40ull * p));
   }
-  f.eq.run();
+  f.run();
   EXPECT_EQ(delivered, 16);
   EXPECT_EQ(f.net.inFlight(), 0u);
 }
 
 TEST(FlitNetwork, TinyBuffersStillDrainViaCredits) {
-  EventQueue eq;
-  StatRegistry stats;
+  SimKernel kernel{1};
   NetworkConfig cfg;
   cfg.bufferFlits = 1;  // most aggressive backpressure
-  FlitNetwork net(cfg, 16, 32, eq, stats);
+  FlitNetwork net(cfg, 16, 32, kernel);
   int delivered = 0;
   net.setDeliveryHandler(memEp(3), [&](const Message&) { ++delivered; });
   for (int i = 0; i < 8; ++i) {
     Message m = mkMsg(MsgType::WriteBack, procEp(1), memEp(3), 0x40ull * i);
     net.send(m);
   }
-  eq.run();
+  kernel.run();
   EXPECT_EQ(delivered, 8);
   EXPECT_EQ(net.inFlight(), 0u);
 }
@@ -141,7 +143,7 @@ TEST(FlitNetwork, SnoopRunsOncePerSwitch) {
   f.net.setSnoop(&snoop);
   f.net.setDeliveryHandler(memEp(9), [](const Message&) {});
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9)));  // 5 flits
-  f.eq.run();
+  f.run();
   EXPECT_EQ(snoop.seen, 2);  // once per switch despite 5 flits
 }
 
@@ -153,7 +155,7 @@ TEST(FlitNetwork, SunkMessageIsDrainedCompletely) {
   bool delivered = false;
   f.net.setDeliveryHandler(memEp(9), [&](const Message&) { delivered = true; });
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   EXPECT_FALSE(delivered);
   EXPECT_EQ(f.net.messagesSunk(), 1u);
   EXPECT_EQ(f.net.inFlight(), 0u);  // every flit drained, credits restored
@@ -171,7 +173,7 @@ TEST(FlitNetwork, SpawnedMessageUsesInjectionPort) {
     retryArrived = m.type == MsgType::Retry;
   });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   EXPECT_TRUE(retryArrived);
   EXPECT_GT(f.stats.counterValue("net.switch_injected"), 0u);
 }

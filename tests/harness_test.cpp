@@ -57,6 +57,16 @@ TEST(JobSpec, PolicySuffixesApplyOnlyWhenNonDefault) {
   EXPECT_EQ(j.configTag(), "sd-1024-phase");
 }
 
+TEST(JobSpec, SimThreadsSuffixOnlyWhenSharded) {
+  JobSpec j;
+  j.sdEntries = 512;
+  EXPECT_EQ(j.configTag(), "sd-512");  // st1 default stays silent (byte-identity)
+  j.simThreads = 4;
+  EXPECT_EQ(j.configTag(), "sd-512-st4");
+  j.fault.msgDropRate = 0.02;
+  EXPECT_EQ(j.configTag(), "sd-512-fd0.02-st4");
+}
+
 TEST(JobSpec, DisplayApp) {
   JobSpec j;
   j.app = "fft";
@@ -228,6 +238,40 @@ TEST(SweepSpec, ExpandThreadsFaultPlanAndDerivesReplicaSeeds) {
   EXPECT_EQ(jobs[2].fault.seed, 7u);   // replica 1 keeps the base seed
   EXPECT_EQ(jobs[3].fault.seed, 8u);   // replica 2 draws an independent stream
   EXPECT_EQ(jobs[2].configTag(), "sd-512-fd0.02");
+}
+
+TEST(SweepSpec, ParsesSimThreadsAxis) {
+  std::istringstream in(
+      "workloads = sor\n"
+      "entries = 512\n"
+      "sim_threads = 1, 4\n");
+  const SweepSpec s = SweepSpec::parse(in, "st.spec");
+  EXPECT_EQ(s.simThreads, (std::vector<std::uint32_t>{1, 4}));
+  EXPECT_EQ(s.jobCount(), 2u);
+  const std::vector<JobSpec> jobs = s.expand();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].simThreads, 1u);
+  EXPECT_EQ(jobs[0].configTag(), "sd-512");
+  EXPECT_EQ(jobs[1].simThreads, 4u);
+  EXPECT_EQ(jobs[1].configTag(), "sd-512-st4");
+}
+
+TEST(SweepSpec, SimThreadsAxisRejectsBadValuesAndIncompatibleWorkloads) {
+  const auto parseText = [](const std::string& text) {
+    std::istringstream in(text);
+    return SweepSpec::parse(in, "bad.spec");
+  };
+  EXPECT_THROW(parseText("workloads = sor\nsim_threads = 0\n"), std::runtime_error);
+  EXPECT_THROW(parseText("workloads = sor\nsim_threads = nope\n"), std::runtime_error);
+  // Trace-driven and traffic workloads keep process-global state the sharded
+  // kernel cannot partition.
+  EXPECT_THROW(parseText("workloads = sor, tpcc\nsim_threads = 2\n"), std::runtime_error);
+  EXPECT_THROW(parseText("workloads = oltp\nsim_threads = 2\n"), std::runtime_error);
+  // A sharded axis on top of fault injection must also die at parse time.
+  EXPECT_THROW(parseText("workloads = sor\nsim_threads = 2\nfault_drop_rate = 0.02\n"),
+               std::runtime_error);
+  // The degenerate single cell stays compatible with everything.
+  EXPECT_NO_THROW(parseText("sim_threads = 1\n"));
 }
 
 // ------------------------------------------------------- WorkStealingPool --

@@ -4,19 +4,23 @@
 
 #include <vector>
 
-#include "common/event_queue.h"
+#include "common/scheduler.h"
 #include "common/stats.h"
 
 namespace dresar {
 namespace {
 
 struct Fixture {
-  EventQueue eq;
-  StatRegistry stats;
+  SimKernel kernel{1};
   NetworkConfig cfg;
   Network net;
+  StatRegistry& stats = kernel.registry(0);
 
-  Fixture() : net(cfg, 16, 32, eq, stats) {}
+  Fixture() : net(cfg, 16, 32, kernel) {}
+
+  // Single-shard drivers the old raw-EventQueue fixture exposed.
+  void run() { kernel.run(); }
+  [[nodiscard]] Cycle now() const { return kernel.now(); }
 };
 
 Message mkMsg(MsgType t, Endpoint src, Endpoint dst, Addr a = 0x100) {
@@ -32,9 +36,9 @@ Message mkMsg(MsgType t, Endpoint src, Endpoint dst, Addr a = 0x100) {
 TEST(Network, DeliversWithExpectedLatency) {
   Fixture f;
   Cycle arrival = kNoCycle;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrival = f.eq.now(); });
+  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrival = f.now(); });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   // Header-only message: 1 flit = 4 link cycles per hop, 3 link traversals
   // (inject, stage0->stage1, stage1->mem) + 2 switch core delays of 4.
   EXPECT_EQ(arrival, 3u * 4 + 2u * 4);
@@ -44,12 +48,12 @@ TEST(Network, DataMessagesSerializeLonger) {
   Fixture f;
   Cycle headerArrival = 0, dataArrival = 0;
   f.net.setDeliveryHandler(memEp(9), [&](const Message& m) {
-    (carriesData(m.type) ? dataArrival : headerArrival) = f.eq.now();
+    (carriesData(m.type) ? dataArrival : headerArrival) = f.now();
   });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   // 8B header + 32B line = 5 flits = 20 link cycles per hop.
   EXPECT_EQ(dataArrival - headerArrival, (3u * 20 + 2u * 4));
 }
@@ -57,11 +61,11 @@ TEST(Network, DataMessagesSerializeLonger) {
 TEST(Network, ContentionQueuesOnSharedLink) {
   Fixture f;
   std::vector<Cycle> arrivals;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrivals.push_back(f.eq.now()); });
+  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrivals.push_back(f.now()); });
   // Two messages from the same source serialize on the injection link.
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9), 0x100));
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9), 0x200));
-  f.eq.run();
+  f.run();
   ASSERT_EQ(arrivals.size(), 2u);
   EXPECT_EQ(arrivals[1] - arrivals[0], 4u);  // pipelined one flit apart
 }
@@ -74,7 +78,7 @@ TEST(Network, PerPathFifoOrdering) {
   // be overtaken (store-and-forward per-link reservation).
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9), 0xA));
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9), 0xB));
-  f.eq.run();
+  f.run();
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], 0xAu);
   EXPECT_EQ(order[1], 0xBu);
@@ -113,7 +117,7 @@ TEST(Network, SnoopSeesEverySwitchOnPath) {
   f.net.setSnoop(&snoop);
   f.net.setDeliveryHandler(memEp(9), [](const Message&) {});
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   EXPECT_EQ(snoop.seen, 2);  // leaf + root
 }
 
@@ -125,7 +129,7 @@ TEST(Network, SnoopCanSinkMessages) {
   bool delivered = false;
   f.net.setDeliveryHandler(memEp(9), [&](const Message&) { delivered = true; });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   EXPECT_FALSE(delivered);
   EXPECT_EQ(f.net.messagesSunk(), 1u);
 }
@@ -142,7 +146,7 @@ TEST(Network, SnoopSpawnedMessageIsRoutedFromSwitch) {
     retryArrived = m.type == MsgType::Retry && m.marked;
   });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   EXPECT_TRUE(retryArrived);
 }
 
@@ -150,20 +154,20 @@ TEST(Network, SnoopExtraDelaySlowsDelivery) {
   Fixture f;
   Cycle base = 0, delayed = 0;
   f.net.setDeliveryHandler(memEp(9), [&](const Message&) {
-    if (base == 0) base = f.eq.now();
-    else delayed = f.eq.now() - base;
+    if (base == 0) base = f.now();
+    else delayed = f.now() - base;
   });
   SinkSnoop snoop;
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.eq.run();
-  base = f.eq.now();
-  Cycle t0 = f.eq.now();
+  f.run();
+  base = f.now();
+  Cycle t0 = f.now();
   snoop.extraDelay = 10;
   f.net.setSnoop(&snoop);
   Cycle arrive2 = 0;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrive2 = f.eq.now(); });
+  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrive2 = f.now(); });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.eq.run();
+  f.run();
   EXPECT_EQ(arrive2 - t0, 3u * 4 + 2u * 4 + 2u * 10);
 }
 
@@ -172,7 +176,7 @@ TEST(Network, CountsMessagesByType) {
   f.net.setDeliveryHandler(memEp(0), [](const Message&) {});
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(1), memEp(0)));
   f.net.send(mkMsg(MsgType::WriteRequest, procEp(2), memEp(0)));
-  f.eq.run();
+  f.run();
   EXPECT_EQ(f.stats.counterValue("net.msgs.ReadRequest"), 1u);
   EXPECT_EQ(f.stats.counterValue("net.msgs.WriteRequest"), 1u);
   EXPECT_EQ(f.net.messagesSent(), 2u);
@@ -181,7 +185,7 @@ TEST(Network, CountsMessagesByType) {
 TEST(Network, MissingHandlerThrows) {
   Fixture f;
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(1), memEp(0)));
-  EXPECT_THROW(f.eq.run(), std::logic_error);
+  EXPECT_THROW(f.run(), std::logic_error);
 }
 
 TEST(Network, ProcToProcSameClusterTurnaround) {
@@ -189,10 +193,10 @@ TEST(Network, ProcToProcSameClusterTurnaround) {
   Cycle arrival = kNoCycle;
   f.net.setDeliveryHandler(procEp(6), [&](const Message& m) {
     EXPECT_EQ(m.type, MsgType::CtoCReply);
-    arrival = f.eq.now();
+    arrival = f.now();
   });
   f.net.send(mkMsg(MsgType::CtoCReply, procEp(4), procEp(6)));
-  f.eq.run();
+  f.run();
   // One switch (turnaround at the shared leaf): 2 link traversals of a
   // 5-flit data message + 1 core delay.
   EXPECT_EQ(arrival, 2u * 20 + 4);
@@ -205,7 +209,7 @@ TEST(Network, ProcToProcCrossClusterTraversesThreeSwitches) {
   bool arrived = false;
   f.net.setDeliveryHandler(procEp(14), [&](const Message&) { arrived = true; });
   f.net.send(mkMsg(MsgType::CtoCReply, procEp(1), procEp(14)));
-  f.eq.run();
+  f.run();
   EXPECT_TRUE(arrived);
   EXPECT_EQ(snoop.seen, 3);  // leaf, root, leaf
 }
@@ -221,7 +225,7 @@ TEST(Network, AllPairsDeliver) {
       f.net.send(mkMsg(MsgType::ReadRequest, procEp(p), memEp(m), 0x40ull * (p * 16 + m)));
     }
   }
-  f.eq.run();
+  f.run();
   EXPECT_EQ(count, 256);
 }
 

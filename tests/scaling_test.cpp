@@ -181,8 +181,8 @@ std::string statsDumpAtScale(std::uint32_t numNodes, std::uint64_t faultSeed) {
   (void)sim.run({.workload = "sor", .scale = WorkloadScale::tiny()});
   std::ostringstream os;
   sim.system().stats().dump(os);
-  os << "exec_time=" << sim.system().eq().now()
-     << " events=" << sim.system().eq().executed();
+  os << "exec_time=" << sim.system().now()
+     << " events=" << sim.system().kernel().executedEvents();
   return os.str();
 }
 

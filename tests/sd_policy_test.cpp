@@ -114,7 +114,7 @@ TEST(SdArbitration, PhasePriorityDegeneratesToFifoOnOnePort) {
 std::string statsDump(Simulation& sim) {
   std::ostringstream os;
   sim.system().stats().dump(os);
-  os << "exec_time=" << sim.system().eq().now();
+  os << "exec_time=" << sim.system().now();
   return os.str();
 }
 

@@ -24,15 +24,15 @@ SimTask pingPong(System& sys, ThreadContext& ctx, Addr a, int rounds, HwBarrier&
       co_await ctx.store(a);
       co_await ctx.fence();
     }
-    co_await barrier.arrive();
+    co_await barrier.arrive(ctx);
     co_await ctx.load(a);
-    co_await barrier.arrive();
+    co_await barrier.arrive(ctx);
   }
 }
 
 TEST(SmallSystem, FourNodeProtocolWorks) {
   System sys(smallConfig(256));
-  HwBarrier barrier(sys.eq(), 4, 16);
+  HwBarrier barrier(sys.sched(), 4, 16);
   const Addr a = sys.mem().alloc(32);
   for (NodeId n = 0; n < 4; ++n) {
     sys.spawn(pingPong(sys, sys.ctx(n), a, 12, barrier));

@@ -30,10 +30,10 @@ SimTask broadcastReaders(System& sys, ThreadContext& ctx, Addr a, HwBarrier& bar
     co_await ctx.store(a);
     co_await ctx.fence();
   }
-  co_await barrier.arrive();
+  co_await barrier.arrive(ctx);
   for (int round = 0; round < 3; ++round) {
     co_await ctx.load(a);
-    co_await barrier.arrive();
+    co_await barrier.arrive(ctx);
     // Evict-free re-read pattern: drop via a conflicting read? Keep simple:
     // the first read per proc misses, later ones hit locally.
   }
@@ -46,14 +46,14 @@ TEST(SwitchCache, ServesRepeatedRemoteReads) {
   // reader misses once; the first miss deposits, later readers hit at the
   // home-root switch.
   System sys(configWith(0, 1024));
-  HwBarrier barrier(sys.eq(), 16, 32);
+  HwBarrier barrier(sys.sched(), 16, 32);
   const Addr a = sys.mem().alloc(32);
   auto body = [&](ThreadContext& ctx) -> SimTask {
     // Stagger so reader 1 misses first (deposits), then 2..15 hit the
     // switch cache at the shared root switch.
     co_await ctx.delay(1 + 200ull * ctx.id());
     co_await ctx.load(a);
-    co_await barrier.arrive();
+    co_await barrier.arrive(ctx);
   };
   for (NodeId n = 0; n < 16; ++n) sys.spawn(body(sys.ctx(n)));
   sys.run();
@@ -66,11 +66,11 @@ TEST(SwitchCache, ServesRepeatedRemoteReads) {
 TEST(SwitchCache, HomeDirectoryTracksSwitchServedSharers) {
   System sys(configWith(0, 1024));
   const Addr a = sys.mem().alloc(32);
-  HwBarrier barrier(sys.eq(), 3, 16);
+  HwBarrier barrier(sys.sched(), 3, 16);
   auto body = [&](ThreadContext& ctx) -> SimTask {
     co_await ctx.delay(1 + 300ull * ctx.id());
     co_await ctx.load(a);
-    co_await barrier.arrive();
+    co_await barrier.arrive(ctx);
   };
   for (NodeId n = 0; n < 3; ++n) sys.spawn(body(sys.ctx(n)));
   sys.run();
@@ -86,18 +86,18 @@ TEST(SwitchCache, HomeDirectoryTracksSwitchServedSharers) {
 TEST(SwitchCache, WritesInvalidateCachedCopiesEverywhere) {
   System sys(configWith(0, 1024));
   const Addr a = sys.mem().alloc(32);
-  HwBarrier barrier(sys.eq(), 16, 32);
+  HwBarrier barrier(sys.sched(), 16, 32);
   auto body = [&](ThreadContext& ctx) -> SimTask {
     co_await ctx.delay(1 + 100ull * ctx.id());
     co_await ctx.load(a);
-    co_await barrier.arrive();
+    co_await barrier.arrive(ctx);
     if (ctx.id() == 7) {
       co_await ctx.store(a);
       co_await ctx.fence();
     }
-    co_await barrier.arrive();
+    co_await barrier.arrive(ctx);
     co_await ctx.load(a);  // must see the protocol, not a stale switch copy
-    co_await barrier.arrive();
+    co_await barrier.arrive(ctx);
   };
   for (NodeId n = 0; n < 16; ++n) sys.spawn(body(sys.ctx(n)));
   sys.run();

@@ -15,12 +15,12 @@ namespace {
 TEST(HwBarrier, ReleasesAllAtLastArrivalPlusLatency) {
   SystemConfig cfg;
   System sys(cfg);
-  HwBarrier barrier(sys.eq(), 3, 10);
+  HwBarrier barrier(sys.sched(), 3, 10);
   std::vector<Cycle> released;
   auto body = [&](ThreadContext& ctx, Cycle arriveAt) -> SimTask {
     co_await ctx.delay(arriveAt);
-    co_await barrier.arrive();
-    released.push_back(ctx.eq().now());
+    co_await barrier.arrive(ctx);
+    released.push_back(ctx.now());
   };
   sys.spawn(body(sys.ctx(0), 5));
   sys.spawn(body(sys.ctx(1), 20));
@@ -34,12 +34,12 @@ TEST(HwBarrier, ReleasesAllAtLastArrivalPlusLatency) {
 TEST(HwBarrier, MultipleEpisodes) {
   SystemConfig cfg;
   System sys(cfg);
-  HwBarrier barrier(sys.eq(), 2, 4);
+  HwBarrier barrier(sys.sched(), 2, 4);
   int rounds = 0;
   auto body = [&](ThreadContext& ctx) -> SimTask {
     for (int i = 0; i < 5; ++i) {
       co_await ctx.delay(1 + ctx.id());
-      co_await barrier.arrive();
+      co_await barrier.arrive(ctx);
     }
     if (ctx.id() == 0) rounds = 5;
   };

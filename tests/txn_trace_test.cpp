@@ -207,7 +207,7 @@ std::string statsDump(const std::string& app, bool traced) {
   const RunMetrics m = runWorkload(sys, *w);
   std::ostringstream os;
   sys.stats().dump(os);
-  os << "exec=" << m.execTime << " events=" << sys.eq().executed();
+  os << "exec=" << m.execTime << " events=" << sys.kernel().executedEvents();
   return os.str();
 }
 
