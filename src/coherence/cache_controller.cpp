@@ -355,9 +355,32 @@ void CacheController::handleFill(const Message& m) {
     // A transaction can be answered twice when a copyback served the
     // requester at a switch while the owner also replied; drop the extra.
     ++c_.spuriousFills;
+    if (m.type == MsgType::WriteReply) {
+      // The home's serialization point made this node the owner (a duplicate
+      // WriteRequest can be granted after the first grant was satisfied and
+      // the line surrendered). Discarding the grant would orphan the home's
+      // Modified entry and deadlock any request it later forwards here —
+      // accept ownership so a forward or writeback re-converges the
+      // directory.
+      CacheLine* line = l2_.find(m.addr);
+      if (line == nullptr) {
+        installLine(m.addr, CacheState::M);
+      } else {
+        line->state = CacheState::M;
+      }
+    }
     return;
   }
   Mshr& mshr = it->second;
+  if (m.type != MsgType::WriteReply && mshr.curRequestIsWrite) {
+    // A read-type fill cannot answer an ownership request; it is a stale
+    // duplicate of an already-completed read (e.g. the home resolved a
+    // BusyRead off an unrelated copyback after the owner had replied to the
+    // requester directly). Falling through would re-run the ownership chase
+    // and issue a second WriteRequest while the first is still in flight.
+    ++c_.spuriousFills;
+    return;
+  }
   // A fill can rescue a dropped issue (e.g. the original request crawled in
   // after a timeout-reissue was itself dropped); settle the strand here so
   // the recovery accounting balances even when the MSHR dies with a stale

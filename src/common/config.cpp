@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "interconnect/routing.h"
 #include "switchdir/sd_policy.h"
 
 namespace dresar {
@@ -57,6 +58,26 @@ std::uint32_t butterflyStages(std::uint32_t numNodes, std::uint32_t switchRadix)
   return k;
 }
 
+std::vector<std::string> NetworkConfig::validationErrors() const {
+  std::vector<std::string> errs;
+  const auto require = [&errs](bool ok, const char* why) {
+    if (!ok) errs.emplace_back(why);
+  };
+  require(virtualChannels >= 1, "virtualChannels must be >= 1");
+  // FlitNetwork::inKey packs the VC into 8 bits; a larger count would
+  // silently alias input buffers.
+  require(virtualChannels <= 256,
+          "virtualChannels must be <= 256 (flit model packs the VC into 8 bits)");
+  require(bufferFlits >= 1, "bufferFlits must be >= 1");
+  require(flitBytes >= 1, "flitBytes must be >= 1");
+  require(linkCyclesPerFlit >= 1, "linkCyclesPerFlit must be >= 1");
+  if (!isRoutingPolicy(routing)) {
+    errs.push_back("routing policy '" + routing +
+                   "' unknown (valid: " + routingPolicyList() + ")");
+  }
+  return errs;
+}
+
 std::uint32_t SystemConfig::lineOffsetBits() const {
   return static_cast<std::uint32_t>(std::countr_zero(lineBytes));
 }
@@ -84,6 +105,7 @@ std::vector<std::string> SystemConfig::validationErrors() const {
     require(l2Bytes % (lineBytes * l2Assoc) == 0, "L2 size not divisible by assoc*line");
   }
   require(issueWidth >= 1, "issueWidth must be >= 1");
+  for (std::string& e : net.validationErrors()) errs.push_back(std::move(e));
   require(net.switchRadix >= 2 && net.switchRadix % 2 == 0,
           "switchRadix must be an even number >= 2");
   require(numNodes <= kMaxNodes,
@@ -133,6 +155,9 @@ std::vector<std::string> SystemConfig::validationErrors() const {
     // shared trace ring, shared RNG streams) that the sharded kernel cannot
     // partition; collect the conflicts instead of failing deep in a run.
     require(!net.flitLevel, "flit-level network model requires simThreads=1");
+    require(net.routing == "lca",
+            "non-default routing policy requires simThreads=1 (adaptive costs read "
+            "cross-shard link state)");
     require(!txnTrace.enabled, "transaction tracing requires simThreads=1");
     require(!fault.enabled(), "fault injection requires simThreads=1");
   }
@@ -168,7 +193,11 @@ void SystemConfig::dump(std::ostream& os) const {
      << "  Network     switch " << net.switchRadix << "x" << net.switchRadix << ", core delay "
      << net.coreDelay << ", link 16 bits @200MHz, flit " << net.flitBytes << "B ("
      << net.linkCyclesPerFlit << " link cycles), VCs " << net.virtualChannels << ", buf "
-     << net.bufferFlits << " flits\n"
+     << net.bufferFlits << " flits";
+  // Non-default routing is called out; the default line stays byte-identical
+  // to the historical dump.
+  if (net.routing != "lca") os << ", routing " << net.routing;
+  os << "\n"
      << "  SwitchDir   ";
   if (switchDir.enabled()) {
     os << switchDir.entries << " entries, " << switchDir.associativity << "-way, "

@@ -79,11 +79,21 @@ struct NetworkConfig {
   /// Select the flit-level wormhole model (paper 4.1 fidelity) instead of
   /// the default message-level timing. Slower; identical protocol behaviour.
   bool flitLevel = false;
+  /// Turnaround routing policy for paths with a free digit (proc->proc c2c
+  /// data, switch-generated traffic): "lca" (the paper's deterministic
+  /// baseline) or "adaptive" (credit/occupancy-guided, deterministically
+  /// seeded). See interconnect/routing.h.
+  std::string routing = "lca";
 
   /// Derived BMIN depth for a given node count (0 = does not tile).
   [[nodiscard]] std::uint32_t stagesFor(std::uint32_t numNodes) const {
     return butterflyStages(numNodes, switchRadix);
   }
+
+  /// Network-local invariant violations (routing policy name, VC count vs
+  /// the flit model's 8-bit VC field, ...). SystemConfig::validationErrors()
+  /// folds these in; empty = valid.
+  [[nodiscard]] std::vector<std::string> validationErrors() const;
 };
 
 /// Transaction tracing & latency attribution. Disabled by default: no

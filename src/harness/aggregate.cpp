@@ -88,15 +88,18 @@ std::string sweepToJson(const RunRecorder& merged, const std::vector<ConfigAggre
   JsonWriter w(os);
   const std::vector<RunRecord>& allRuns = merged.runs();
   // Traffic-free, fault-free sweeps stay byte-identical to the historical v3
-  // output (precedence: traffic > fault > v3).
+  // output (precedence: congestion > traffic > fault > v3).
   const bool anyFault = std::any_of(allRuns.begin(), allRuns.end(),
                                     [](const RunRecord& r) { return r.hasFault; });
   const bool anyTraffic = std::any_of(allRuns.begin(), allRuns.end(),
                                       [](const RunRecord& r) { return r.hasTraffic; });
+  const bool anyCongestion = std::any_of(allRuns.begin(), allRuns.end(),
+                                         [](const RunRecord& r) { return r.hasCongestion; });
   w.beginObject();
-  w.field("schema", anyTraffic ? kSweepSchemaTraffic
-                  : anyFault   ? kSweepSchemaFault
-                               : kSweepSchema);
+  w.field("schema", anyCongestion ? kSweepSchemaCongestion
+                  : anyTraffic    ? kSweepSchemaTraffic
+                  : anyFault      ? kSweepSchemaFault
+                                  : kSweepSchema);
   w.field("bench", "dresar-sweep");
   w.field("spec", opts.specName);
   w.key("options");
@@ -143,6 +146,7 @@ std::string sweepToJson(const RunRecorder& merged, const std::vector<ConfigAggre
       w.endObject();
     }
     if (r.hasTraffic) writeTrafficJson(w, r);
+    if (r.hasCongestion) writeCongestionJson(w, r);
     w.endObject();
   }
   w.endArray();

@@ -33,6 +33,12 @@
 // carries schema "dresar-bench-results/v5" and each such run an extra
 // "traffic" object (same shape as the bench-document v5, see
 // sim/run_recorder.h). Precedence: traffic > fault > v3.
+//
+// v5 -> v6: a sweep with at least one congestion-lab run ("hotspot"/"incast"
+// profiles or the flit-level network) carries schema
+// "dresar-bench-results/v6" and each such run an extra "congestion" object
+// (same shape as the bench-document v6, see sim/run_recorder.h).
+// Precedence: congestion > traffic > fault > v3.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +53,7 @@ namespace dresar::harness {
 inline constexpr const char* kSweepSchema = "dresar-bench-results/v3";
 inline constexpr const char* kSweepSchemaFault = "dresar-bench-results/v4";
 inline constexpr const char* kSweepSchemaTraffic = "dresar-bench-results/v5";
+inline constexpr const char* kSweepSchemaCongestion = "dresar-bench-results/v6";
 
 struct MetricSummary {
   std::uint64_t count = 0;

@@ -215,6 +215,48 @@ bool hasPolicyAxis(const SweepSpec& spec) {
   return spec.sdPolicy != std::vector<SdPolicyChoice>{{}};
 }
 
+std::string joinCsv(const std::vector<std::string>& v) {
+  std::string s;
+  for (const std::string& x : v) {
+    if (!s.empty()) s += ',';
+    s += x;
+  }
+  return s;
+}
+
+std::string rateCsv(const std::vector<double>& v) {
+  std::string s;
+  for (const double x : v) {
+    if (!s.empty()) s += ',';
+    s += JobSpec::rateTag(x);
+  }
+  return s;
+}
+
+std::string u32Csv(const std::vector<std::uint32_t>& v) {
+  std::string s;
+  for (const std::uint32_t x : v) {
+    if (!s.empty()) s += ',';
+    s += std::to_string(x);
+  }
+  return s;
+}
+
+/// Congestion-axis options, recorded only when swept off the defaults so
+/// every existing sweep document stays byte-identical.
+void appendCongestionOptions(const SweepSpec& spec,
+                             std::vector<std::pair<std::string, std::string>>& opts) {
+  if (spec.routing != std::vector<std::string>{"lca"}) {
+    opts.emplace_back("routing", joinCsv(spec.routing));
+  }
+  if (spec.offeredLoad != std::vector<double>{0.0}) {
+    opts.emplace_back("offered_load", rateCsv(spec.offeredLoad));
+  }
+  if (spec.flitLevel != std::vector<std::uint32_t>{0}) {
+    opts.emplace_back("flit_level", u32Csv(spec.flitLevel));
+  }
+}
+
 /// Metric value by name from a run record (0.0 when absent). The console
 /// totals read these instead of the in-memory RunMetrics so resumed jobs —
 /// which only have their persisted record — contribute identically.
@@ -301,6 +343,11 @@ int main(int argc, char** argv) {
   }
   if (hasPolicyAxis(spec)) {
     ctx.recorder.setOption("sd_policy", policyList(spec.sdPolicy));
+  }
+  {
+    std::vector<std::pair<std::string, std::string>> copts;
+    appendCongestionOptions(spec, copts);
+    for (const auto& [k, v] : copts) ctx.recorder.setOption(k, v);
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -391,6 +438,7 @@ int main(int argc, char** argv) {
     if (hasPolicyAxis(spec)) {
       jo.options.emplace_back("sd_policy", policyList(spec.sdPolicy));
     }
+    appendCongestionOptions(spec, jo.options);
     if (spec.hasFaultAxes()) {
       // Only faulted sweeps carry fault options; fault-free documents stay
       // byte-identical to the pre-fault output.

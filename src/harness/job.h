@@ -61,6 +61,17 @@ struct JobSpec {
   /// Simulation worker threads (scientific jobs only; the trace/traffic
   /// simulators have no event kernel to shard). 1 = sequential kernel.
   std::uint32_t simThreads = 1;
+  /// Routing policy for the interconnect ("lca" = deterministic baseline,
+  /// "adaptive" = credit/occupancy-aware turnaround choice). Non-default
+  /// policies require simThreads == 1 (see NetworkConfig::validationErrors).
+  std::string routing = "lca";
+  /// Offered-load multiplier for the congestion traffic profiles
+  /// ("hotspot"/"incast"): scales the arrival rate, the x-axis of a
+  /// saturation curve. Sentinel 0 = profile nominal rate (no tag).
+  double offeredLoad = 0.0;
+  /// Route through the flit-level wormhole network instead of the
+  /// message-level one (per-switch congestion telemetry; simThreads == 1).
+  bool flitLevel = false;
   /// When non-empty, used verbatim as the recorded config tag instead of
   /// the derived one (bench binaries keep their historical tags this way).
   std::string tagOverride;
@@ -106,6 +117,11 @@ struct JobSpec {
     // Kernel sharding axis; -stN only when parallel, so a sequential sweep's
     // tags stay byte-identical to every previous release.
     if (simThreads != 1) t += "-st" + std::to_string(simThreads);
+    // Congestion-lab axes: routing policy by name, offered load, flit-level
+    // network. All default-off so historical tags are untouched.
+    if (routing != "lca") t += "-" + routing;
+    if (offeredLoad > 0.0) t += "-ol" + rateTag(offeredLoad);
+    if (flitLevel) t += "-flit";
     return t;
   }
 

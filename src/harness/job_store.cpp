@@ -106,6 +106,45 @@ std::string JobStore::serializeLine(const StoredJob& job) {
     w.endArray();
     w.endObject();
   }
+  if (r.hasCongestion) {
+    w.key("congestion");
+    w.beginObject();
+    w.fieldPrecise("offered_rate", r.congOfferedRate);
+    w.fieldPrecise("accepted_rate", r.congAcceptedRate);
+    w.field("runs", r.congRuns);
+    w.field("credit_stall_cycles", r.congCreditStallCycles);
+    w.field("link_busy_skips", r.congLinkBusySkips);
+    w.field("source_credit_stalls", r.congSourceCreditStalls);
+    w.key("per_switch_credit_stalls");
+    w.beginArray();
+    for (const std::uint64_t v : r.congPerSwitchCreditStalls) w.value(v);
+    w.endArray();
+    w.key("stage_occupancy");
+    w.beginArray();
+    for (const RunRecord::CongestionStage& s : r.congStageOccupancy) {
+      w.beginObject();
+      w.fieldPrecise("mean", s.mean);
+      w.fieldPrecise("max", s.max);
+      w.field("samples", s.samples);
+      w.key("hist");
+      w.beginArray();
+      for (const std::uint64_t v : s.hist) w.value(v);
+      w.endArray();
+      w.endObject();
+    }
+    w.endArray();
+    w.key("lock_hold");
+    w.beginObject();
+    w.fieldPrecise("mean", r.congLockHoldMean);
+    w.fieldPrecise("max", r.congLockHoldMax);
+    w.field("count", r.congLockHoldCount);
+    w.key("hist");
+    w.beginArray();
+    for (const std::uint64_t v : r.congLockHoldHist) w.value(v);
+    w.endArray();
+    w.endObject();
+    w.endObject();
+  }
   if (r.hasTrace) {
     w.key("latency");
     w.beginObject();
@@ -187,6 +226,31 @@ StoredJob JobStore::parseLine(const std::string& line) {
       t.maxReadLatency = row.at("max_read_latency").asNumber();
       r.trafficPerTenant.push_back(t);
     }
+  }
+  if (const JsonValue* c = rec.find("congestion")) {
+    r.hasCongestion = true;
+    r.congOfferedRate = c->at("offered_rate").asNumber();
+    r.congAcceptedRate = c->at("accepted_rate").asNumber();
+    r.congRuns = asU64(c->at("runs"));
+    r.congCreditStallCycles = asU64(c->at("credit_stall_cycles"));
+    r.congLinkBusySkips = asU64(c->at("link_busy_skips"));
+    r.congSourceCreditStalls = asU64(c->at("source_credit_stalls"));
+    for (const JsonValue& v : c->at("per_switch_credit_stalls").asArray()) {
+      r.congPerSwitchCreditStalls.push_back(asU64(v));
+    }
+    for (const JsonValue& row : c->at("stage_occupancy").asArray()) {
+      RunRecord::CongestionStage s;
+      s.mean = row.at("mean").asNumber();
+      s.max = row.at("max").asNumber();
+      s.samples = asU64(row.at("samples"));
+      for (const JsonValue& v : row.at("hist").asArray()) s.hist.push_back(asU64(v));
+      r.congStageOccupancy.push_back(std::move(s));
+    }
+    const JsonValue& lh = c->at("lock_hold");
+    r.congLockHoldMean = lh.at("mean").asNumber();
+    r.congLockHoldMax = lh.at("max").asNumber();
+    r.congLockHoldCount = asU64(lh.at("count"));
+    for (const JsonValue& v : lh.at("hist").asArray()) r.congLockHoldHist.push_back(asU64(v));
   }
   if (const JsonValue* t = rec.find("latency")) {
     r.hasTrace = true;

@@ -75,6 +75,35 @@ RunRecord makeSciRecord(const std::string& app, const std::string& config,
     rec.faultRecovered = m.faultRecovered;
     rec.faultFallbackHomeLookups = m.faultFallbackHomeLookups;
   }
+  if (m.congestionEnabled) {
+    // Saturation scalars land in the flat metrics map too so config
+    // aggregation and the trajectory gate see them without extra plumbing.
+    rec.metric("offered_rate", m.congOfferedRate);
+    rec.metric("accepted_rate", m.congAcceptedRate);
+    rec.metric("credit_stall_cycles", static_cast<double>(m.congestion.creditStallCycles));
+    rec.hasCongestion = true;
+    rec.congOfferedRate = m.congOfferedRate;
+    rec.congAcceptedRate = m.congAcceptedRate;
+    rec.congRuns = m.congRuns;
+    rec.congCreditStallCycles = m.congestion.creditStallCycles;
+    rec.congLinkBusySkips = m.congestion.linkBusySkips;
+    rec.congSourceCreditStalls = m.congestion.sourceCreditStalls;
+    rec.congPerSwitchCreditStalls = m.congestion.perSwitchCreditStalls;
+    for (std::size_t s = 0; s < m.congestion.stageOccupancy.size(); ++s) {
+      RunRecord::CongestionStage row;
+      row.mean = m.congestion.stageOccupancy[s].mean();
+      row.max = m.congestion.stageOccupancy[s].max();
+      row.samples = m.congestion.stageOccupancy[s].count();
+      if (s < m.congestion.stageOccupancyHist.size()) {
+        row.hist = m.congestion.stageOccupancyHist[s].buckets();
+      }
+      rec.congStageOccupancy.push_back(std::move(row));
+    }
+    rec.congLockHoldMean = m.congestion.lockHold.mean();
+    rec.congLockHoldMax = m.congestion.lockHold.max();
+    rec.congLockHoldCount = m.congestion.lockHold.count();
+    rec.congLockHoldHist = m.congestion.lockHoldHist.buckets();
+  }
   if (m.traceReadTxns + m.traceWriteTxns > 0) {
     rec.hasTrace = true;
     rec.traceReadTxns = m.traceReadTxns;
@@ -166,6 +195,11 @@ JobResult executeScientific(const JobSpec& job, std::uint32_t chromePid) {
   cfg.txnTrace.enabled = job.traceTxns;
   cfg.fault = job.fault;
   cfg.simThreads = job.simThreads;
+  // Congestion-lab axes: routing policy, flit-level network, offered load.
+  cfg.net.routing = job.routing;
+  cfg.net.flitLevel = job.flitLevel;
+  WorkloadScale scale = job.scale;
+  if (job.offeredLoad > 0.0) scale.offeredLoad = job.offeredLoad;
   // The sweep scheduler already owns process-level parallelism (--jobs), so
   // a sim_threads axis value above the local core count runs oversubscribed
   // instead of failing a whole campaign on a smaller machine.
@@ -175,7 +209,7 @@ JobResult executeScientific(const JobSpec& job, std::uint32_t chromePid) {
   JobResult res;
   res.job = job;
   const auto t0 = std::chrono::steady_clock::now();
-  res.sci = sim.run({.workload = job.app, .scale = job.scale, .simThreads = job.simThreads});
+  res.sci = sim.run({.workload = job.app, .scale = scale, .simThreads = job.simThreads});
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   res.wallSeconds = dt.count();
   if (job.traceTxns) {

@@ -1,5 +1,6 @@
 #include "harness/sweep_spec.h"
 
+#include "interconnect/routing.h"
 #include "switchdir/sd_policy.h"
 #include "traffic/traffic_model.h"
 
@@ -83,6 +84,10 @@ std::vector<double> parseRateList(const std::string& source, int line, const std
 
 bool isTraceWorkload(const std::string& w) { return w == "tpcc" || w == "tpcd"; }
 
+/// Event-driven congestion profiles: the only workloads where offered_load
+/// has meaning (their traffic models expose an arrival-rate multiplier).
+bool isCongestionProfile(const std::string& w) { return w == "hotspot" || w == "incast"; }
+
 /// Comma-separated doubles, each >= `min`.
 std::vector<double> parseDoubleList(const std::string& source, int line, const std::string& v,
                                     double min, const char* what) {
@@ -136,8 +141,9 @@ SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
   SweepSpec spec;
   spec.workloads = {"fft", "tc", "sor", "fwa", "gauss", "tpcc", "tpcd"};
 
-  static const std::set<std::string> knownWorkloads = {"fft",  "tc",   "sor",  "fwa", "gauss",
-                                                       "tpcc", "tpcd", "oltp", "kv"};
+  static const std::set<std::string> knownWorkloads = {"fft",  "tc",   "sor",     "fwa",
+                                                       "gauss", "tpcc", "tpcd",    "oltp",
+                                                       "kv",    "hotspot", "incast"};
   std::set<std::string> seenKeys;
   std::string raw;
   int line = 0;
@@ -242,6 +248,29 @@ SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
                "unsupported sim_threads value " + std::to_string(st) + ": " + errs.front());
         }
       }
+    } else if (key == "routing") {
+      spec.routing.clear();
+      for (const std::string& item : splitList(value)) {
+        if (!isRoutingPolicy(item)) {
+          fail(source, line,
+               "unknown routing policy '" + item + "' (valid: " + routingPolicyList() + ")");
+        }
+        if (std::find(spec.routing.begin(), spec.routing.end(), item) != spec.routing.end()) {
+          fail(source, line, "duplicate routing cell '" + item + "'");
+        }
+        spec.routing.push_back(item);
+      }
+      if (spec.routing.empty()) fail(source, line, "routing list must not be empty");
+    } else if (key == "offered_load") {
+      spec.offeredLoad = parseDoubleList(source, line, value, 0.0, "offered_load");
+      for (const double ol : spec.offeredLoad) {
+        if (ol <= 0.0) fail(source, line, "offered_load must be > 0");
+      }
+    } else if (key == "flit_level") {
+      spec.flitLevel = parseU32List(source, line, value, /*allowZero=*/true);
+      for (const std::uint32_t fl : spec.flitLevel) {
+        if (fl > 1) fail(source, line, "flit_level cells must be 0 or 1");
+      }
     } else if (key == "mix") {
       spec.trafficMix = splitList(value);
       for (const std::string& m : spec.trafficMix) {
@@ -306,6 +335,56 @@ SweepSpec SweepSpec::parse(std::istream& in, const std::string& source) {
       throw std::runtime_error(source +
                                ": fault injection requires simThreads=1; remove the "
                                "sim_threads key or the fault axes");
+    }
+  }
+
+  const bool routingAxis = spec.routing.size() > 1 || spec.routing[0] != "lca";
+  const bool flitAxis = spec.flitLevel.size() > 1 || spec.flitLevel[0] != 0;
+  const bool offeredAxis = spec.offeredLoad.size() > 1 || spec.offeredLoad[0] != 0.0;
+  if (routingAxis || flitAxis) {
+    // Only the execution-driven System owns an interconnect network; the
+    // trace/traffic simulators model service classes, not routes.
+    for (const std::string& w : spec.workloads) {
+      if (isTraceWorkload(w) || isTrafficWorkload(w)) {
+        throw std::runtime_error(source + ": routing/flit_level only apply to "
+                                          "execution-driven workloads; remove '" + w +
+                                          "' or the congestion keys");
+      }
+    }
+    const bool nonLca = std::any_of(spec.routing.begin(), spec.routing.end(),
+                                    [](const std::string& r) { return r != "lca"; });
+    const bool anyFlit = std::any_of(spec.flitLevel.begin(), spec.flitLevel.end(),
+                                     [](std::uint32_t f) { return f != 0; });
+    if ((nonLca || anyFlit) && (spec.simThreads.size() > 1 || spec.simThreads[0] != 1)) {
+      throw std::runtime_error(source +
+                               ": adaptive routing and the flit-level network require "
+                               "simThreads=1; remove the sim_threads key or those axes");
+    }
+    // Probe every routing x flit cell against the config validator so a bad
+    // combination dies at parse time with the validator's wording.
+    for (const std::string& r : spec.routing) {
+      for (const std::uint32_t fl : spec.flitLevel) {
+        SystemConfig probe;
+        probe.net.routing = r;
+        probe.net.flitLevel = fl != 0;
+        const std::vector<std::string> errs = probe.validationErrors();
+        if (!errs.empty()) {
+          std::string msg = source + ": invalid congestion configuration:";
+          for (const std::string& e : errs) msg += "\n  - " + e;
+          throw std::runtime_error(msg);
+        }
+      }
+    }
+  }
+  if (offeredAxis) {
+    // offered_load scales the congestion profiles' arrival clocks; on any
+    // other workload it would be silently ignored — reject instead.
+    for (const std::string& w : spec.workloads) {
+      if (!isCongestionProfile(w)) {
+        throw std::runtime_error(source + ": offered_load only applies to the hotspot/"
+                                          "incast congestion profiles; remove '" + w +
+                                          "' or the offered_load key");
+      }
     }
   }
 
@@ -394,6 +473,11 @@ std::vector<JobSpec> SweepSpec::expand() const {
                         for (const double b : trafficBurst) {
                           for (const std::string& mx : trafficMix) {
                             for (const std::uint32_t st : simThreads) {
+                            for (const std::string& rt : routing) {
+                            for (const double ol : offeredLoad) {
+                            // NB: must not shadow `fl` (faultSdLossRate) above —
+                            // j.fault.sdEntryLossRate reads it below.
+                            for (const std::uint32_t flit : flitLevel) {
                             for (std::uint64_t s = 1; s <= seeds; ++s) {
                               JobSpec j;
                               j.kind = isTrafficWorkload(w) ? JobKind::Traffic
@@ -421,7 +505,13 @@ std::vector<JobSpec> SweepSpec::expand() const {
                               j.trafficBurst = b;
                               j.trafficMix = mx;
                               j.simThreads = st;
+                              j.routing = rt;
+                              j.offeredLoad = ol;
+                              j.flitLevel = flit != 0;
                               jobs.push_back(std::move(j));
+                            }
+                            }
+                            }
                             }
                             }
                           }

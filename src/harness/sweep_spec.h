@@ -34,6 +34,13 @@
 //
 //   sim_threads = 1, 4                   # sim worker threads per job
 //
+// Congestion campaigns (execution-driven workloads; offered_load additionally
+// requires the hotspot/incast congestion profiles) add:
+//
+//   routing = lca, adaptive              # interconnect routing policy
+//   offered_load = 0.5, 1, 2, 4          # arrival-rate multiplier (x-axis)
+//   flit_level = 0, 1                    # message-level vs wormhole network
+//
 // expand() turns this into workload x entries x assoc x pending_buffer x
 // nodes x sd_policy x fault-rate x traffic x seed JobSpecs. Unknown keys and
 // malformed values are hard errors with the line number, so a typo'd sweep
@@ -100,6 +107,13 @@ struct SweepSpec {
   /// only). The default single cell {1} is the sequential kernel and keeps
   /// sweeps byte-identical to pre-sharding output.
   std::vector<std::uint32_t> simThreads = {1};
+  /// Congestion axes (execution-driven workloads only). Defaults are the
+  /// deterministic baseline and keep every existing sweep byte-identical:
+  /// routing "lca", offered_load sentinel 0 (profile nominal rate; only the
+  /// hotspot/incast profiles accept other values), message-level network.
+  std::vector<std::string> routing = {"lca"};
+  std::vector<double> offeredLoad = {0.0};
+  std::vector<std::uint32_t> flitLevel = {0};
 
   /// True when any fault axis can produce an injecting run.
   [[nodiscard]] bool hasFaultAxes() const;
@@ -122,7 +136,8 @@ struct SweepSpec {
            nodes.size() * sdPolicy.size() * faultDropRate.size() *
            faultDelayRate.size() * faultSdLossRate.size() * trafficTenants.size() *
            trafficSkew.size() * trafficBurst.size() * trafficMix.size() *
-           simThreads.size() * static_cast<std::size_t>(seeds);
+           simThreads.size() * routing.size() * offeredLoad.size() * flitLevel.size() *
+           static_cast<std::size_t>(seeds);
   }
 
   /// Problem-size override used by `dresar-sweep --quick` / `--paper`.

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "fault/injector.h"
+#include "interconnect/routing.h"
 
 namespace dresar {
 
@@ -12,19 +13,28 @@ namespace {
 /// Pseudo-upstream id for a switch's own injection port (the paper's extra
 /// input block that grows the crossbar to 10x4).
 constexpr std::uint32_t kInjectUpstream = 0xFFFFFFu;
+/// Same fixed routing-policy seed as the message-level Network.
+constexpr std::uint64_t kRoutingSeed = 0xC0A9E5710B15ull;
 }  // namespace
 
 FlitNetwork::FlitNetwork(const NetworkConfig& cfg, std::uint32_t numNodes,
-                         std::uint32_t lineBytes, SimKernel& kernel)
+                         std::uint32_t lineBytes, SimKernel& kernel,
+                         const NetworkHooks& hooks)
     : cfg_(cfg),
       numNodes_(numNodes),
       lineBytes_(lineBytes),
       sched_(kernel.scheduler(0)),
-      topo_(numNodes, cfg.switchRadix) {
+      topo_(numNodes, cfg.switchRadix),
+      hooks_(hooks),
+      routing_(makeRoutingPolicy(cfg.routing, kRoutingSeed)) {
   // The flit model steps a global per-cycle tick, so it cannot shard;
   // SystemConfig::validate rejects flitLevel with simThreads > 1.
   if (kernel.parallel())
     throw std::invalid_argument("FlitNetwork: flit-level model requires simThreads=1");
+  if (hooks_.fault != nullptr && hooks_.fault->linkStall().active()) {
+    const LinkStallSpec& s = hooks_.fault->linkStall();
+    faultStallFlat_ = topo_.flat(SwitchId{s.stage, s.index});
+  }
   StatRegistry& stats = kernel.registry(0);
   switches_.resize(topo_.totalSwitches());
   endpoints_.resize(2ull * numNodes_);
@@ -37,20 +47,16 @@ FlitNetwork::FlitNetwork(const NetworkConfig& cfg, std::uint32_t numNodes,
   switchInjected_ = stats.counterHandle("net.switch_injected");
   sunkCounter_ = stats.counterHandle("net.sunk");
   latency_ = stats.samplerHandle("net.latency");
+  // Telemetry geometry: occupancy tops out around radix * VCs * bufferFlits
+  // per switch; lock holds can span a long wormhole chain under saturation.
+  cong_.perSwitchCreditStalls.assign(topo_.totalSwitches(), 0);
+  cong_.stageOccupancy.assign(topo_.numStages(), Sampler{});
+  cong_.stageOccupancyHist.assign(topo_.numStages(),
+                                  Histogram(Histogram::LogSpaced{1.0, 16}));
+  cong_.lockHoldHist = Histogram(Histogram::LogSpaced{1.0, 24});
 }
 
-void FlitNetwork::setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) {
-  endpoints_.at(vertexOf(ep)).deliver = std::move(handler);
-}
-
-void FlitNetwork::setFaultInjector(FaultInjector* fault) {
-  fault_ = fault;
-  faultStallFlat_ = 0xFFFFFFFFu;
-  if (fault_ != nullptr && fault_->linkStall().active()) {
-    const LinkStallSpec& s = fault_->linkStall();
-    faultStallFlat_ = topo_.flat(SwitchId{s.stage, s.index});
-  }
-}
+FlitNetwork::~FlitNetwork() = default;
 
 FlitNetwork::Link& FlitNetwork::link(std::uint32_t from, std::uint32_t to) {
   const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
@@ -67,7 +73,7 @@ void FlitNetwork::send(Message m) {
   if (m.id == 0) m.id = nextMsgId_++;
   m.birth = sched_.now();
   auto ms = std::allocate_shared<MsgState>(SharedArenaAllocator<MsgState>(msgArena_));
-  ms->route = topo_.route(m.src, m.dst);
+  ms->route = routeOf(m);
   ms->totalFlits = flitsOf(m);
   ms->birth = sched_.now();
   const std::uint32_t srcVertex = vertexOf(m.src);
@@ -106,7 +112,10 @@ void FlitNetwork::tickSourceNi(std::uint32_t ev) {
   }();
   Link& l = link(ev, to);
   const std::uint32_t vc = vcOf(ms->msg);
-  if (l.nextFree > sched_.now() || l.credits[vc] == 0) return;
+  if (l.nextFree > sched_.now() || l.credits[vc] == 0) {
+    ++cong_.sourceCreditStalls;
+    return;
+  }
   Flit f{ms, ni.flitsSent};
   transmit(ev, to, f, /*extraDelay=*/0);
   ++ni.flitsSent;
@@ -137,9 +146,9 @@ void FlitNetwork::arrive(std::uint32_t atVertex, std::uint32_t fromVertex, Flit 
   }
   SwitchState& s = switches_[atVertex - 2 * numNodes_];
   // The head flit reaches each switch exactly once; that is the hop event.
-  if (tracer_ != nullptr && f.head() && f.ms->msg.txn != 0) {
-    tracer_->record(f.ms->msg.txn, TxnEvent::SwitchHop, txnLegOf(f.ms->msg.type),
-                    txnAtSwitch(atVertex - 2 * numNodes_), sched_.now());
+  if (hooks_.tracer != nullptr && f.head() && f.ms->msg.txn != 0) {
+    hooks_.tracer->record(f.ms->msg.txn, TxnEvent::SwitchHop, txnLegOf(f.ms->msg.type),
+                          txnAtSwitch(atVertex - 2 * numNodes_), sched_.now());
   }
   const std::uint32_t vc = vcOf(f.ms->msg);
   s.inputs[inKey(fromVertex, vc)].fifo.push_back(std::move(f));
@@ -148,12 +157,12 @@ void FlitNetwork::arrive(std::uint32_t atVertex, std::uint32_t fromVertex, Flit 
 void FlitNetwork::deliver(std::uint32_t epVertex, const Flit& f) {
   if (!f.tail()) return;  // wormhole per-VC ordering: tail implies complete
   --live_;
-  if (fault_ != nullptr && FaultInjector::eligible(f.ms->msg)) {
-    if (fault_->shouldDrop(f.ms->msg)) {
+  if (hooks_.fault != nullptr && FaultInjector::eligible(f.ms->msg)) {
+    if (hooks_.fault->shouldDrop(f.ms->msg)) {
       DRESAR_LOG_TRACE("flit: fault drop %s", f.ms->msg.describe().c_str());
       return;
     }
-    if (const Cycle d = fault_->deliveryDelay(f.ms->msg); d > 0) {
+    if (const Cycle d = hooks_.fault->deliveryDelay(f.ms->msg); d > 0) {
       sched_.scheduleIn(d, [this, epVertex, m = f.ms->msg] { deliverMsg(epVertex, m); });
       return;
     }
@@ -163,14 +172,80 @@ void FlitNetwork::deliver(std::uint32_t epVertex, const Flit& f) {
 
 void FlitNetwork::deliverMsg(std::uint32_t epVertex, const Message& m) {
   latency_.add(static_cast<double>(sched_.now() - m.birth));
-  auto& h = endpoints_.at(epVertex).deliver;
-  if (!h) throw std::logic_error("FlitNetwork: no delivery handler");
-  h(m);
+  if (hooks_.sink == nullptr)
+    throw std::logic_error("FlitNetwork: no delivery sink");
+  const Endpoint ep =
+      epVertex < numNodes_ ? procEp(epVertex) : memEp(epVertex - numNodes_);
+  hooks_.sink->deliver(ep, m);
+}
+
+Route FlitNetwork::routeOf(const Message& m) {
+  if (!routing_->adaptive()) return topo_.route(m.src, m.dst);
+  const TurnaroundChoices tc = topo_.turnaround(m.src, m.dst);
+  if (tc.width <= 1) return topo_.route(m.src, m.dst);
+  const std::uint32_t srcVertex = vertexOf(m.src);
+  const std::uint32_t vc = vcOf(m);
+  const std::uint32_t f = routing_->choose(tc.width, tc.baseline, [&](std::uint32_t d) {
+    return routeCongestion(topo_.routeChoice(m.src, m.dst, d), srcVertex, vc);
+  });
+  return topo_.routeChoice(m.src, m.dst, f);
+}
+
+Route FlitNetwork::spawnRouteOf(SwitchId from, const Message& m) {
+  if (!routing_->adaptive()) return topo_.routeFromSwitch(from, m.dst);
+  const TurnaroundChoices tc = topo_.turnaroundFromSwitch(from, m.dst);
+  if (tc.width <= 1) return topo_.routeFromSwitch(from, m.dst);
+  const std::uint32_t srcVertex = vertexOf(from);
+  const std::uint32_t vc = vcOf(m);
+  const std::uint32_t f = routing_->choose(tc.width, tc.baseline, [&](std::uint32_t d) {
+    return routeCongestion(topo_.routeFromSwitchChoice(from, m.dst, d), srcVertex, vc);
+  });
+  return topo_.routeFromSwitchChoice(from, m.dst, f);
+}
+
+std::uint64_t FlitNetwork::routeCongestion(const Route& r, std::uint32_t srcVertex,
+                                           std::uint32_t vc) {
+  // Credit debt (flits parked in the downstream buffer) plus residual link
+  // serialization along the candidate — the queueing an injected head flit
+  // would stream into right now. Reads existing link state only; probing a
+  // candidate must not materialize Link entries.
+  std::uint64_t cost = 0;
+  const Cycle now = sched_.now();
+  std::uint32_t from = srcVertex;
+  for (const Hop& h : r) {
+    const std::uint32_t to =
+        h.kind == Hop::Kind::Switch ? vertexOf(h.sw) : vertexOf(h.ep);
+    const auto it = links_.find((static_cast<std::uint64_t>(from) << 32) | to);
+    if (it != links_.end()) {
+      const Link& l = it->second;
+      if (l.nextFree > now) cost += l.nextFree - now;
+      if (isSwitchVertex(to) && !l.credits.empty())
+        cost += cfg_.bufferFlits - std::min(cfg_.bufferFlits, l.credits[vc]);
+    }
+    from = to;
+  }
+  return cost;
+}
+
+void FlitNetwork::grabLock(SwitchState& s, std::uint32_t output, std::uint64_t key) {
+  s.outputLock[output] = key;
+  s.lockSince.emplace(output, sched_.now());
+}
+
+void FlitNetwork::releaseLock(SwitchState& s, std::uint32_t output) {
+  const auto it = s.lockSince.find(output);
+  if (it != s.lockSince.end()) {
+    const auto held = static_cast<double>(sched_.now() - it->second);
+    cong_.lockHold.add(held);
+    cong_.lockHoldHist.add(held);
+    s.lockSince.erase(it);
+  }
+  s.outputLock.erase(output);
 }
 
 bool FlitNetwork::maybeSnoop(std::uint32_t sv, InputVc& in) {
   Flit& f = in.fifo.front();
-  if (!f.head() || snoop_ == nullptr) return !f.ms->sunk;
+  if (!f.head() || hooks_.snoop == nullptr) return !f.ms->sunk;
   const std::uint32_t flat = sv - 2 * numNodes_;
   // Key the mask by this switch's hop index on the route (a route never
   // revisits a switch), so 64 bits cover any geometry's switch count.
@@ -187,12 +262,13 @@ bool FlitNetwork::maybeSnoop(std::uint32_t sv, InputVc& in) {
   if (f.ms->snoopedMask & (1ull << hopIdx)) return !f.ms->sunk;
   f.ms->snoopedMask |= 1ull << hopIdx;
   std::vector<Message> spawn;
-  const SnoopOutcome out = snoop_->onMessage(switchOf(sv), sched_.now(), f.ms->msg, spawn);
+  const SnoopOutcome out =
+      hooks_.snoop->onMessage(switchOf(sv), sched_.now(), f.ms->msg, spawn);
   for (auto& m : spawn) {
     if (m.id == 0) m.id = nextMsgId_++;
     m.birth = sched_.now();
     auto ms = std::allocate_shared<MsgState>(SharedArenaAllocator<MsgState>(msgArena_));
-    ms->route = topo_.routeFromSwitch(switchOf(sv), m.dst);
+    ms->route = spawnRouteOf(switchOf(sv), m);
     ms->totalFlits = flitsOf(m);
     ms->birth = sched_.now();
     ms->msg = std::move(m);
@@ -212,11 +288,23 @@ bool FlitNetwork::maybeSnoop(std::uint32_t sv, InputVc& in) {
 }
 
 void FlitNetwork::tickSwitch(std::uint32_t sv) {
+  const std::uint32_t flat = sv - 2 * numNodes_;
+  SwitchState& s = switches_[flat];
+
+  // Occupancy sample first, even on stalled ticks: a frozen switch's filling
+  // buffers are exactly what the saturation telemetry should show.
+  {
+    std::uint64_t buffered = 0;
+    for (const auto& [key, in] : s.inputs) buffered += in.fifo.size();
+    const std::uint32_t stage = switchOf(sv).stage;
+    cong_.stageOccupancy[stage].add(static_cast<double>(buffered));
+    cong_.stageOccupancyHist[stage].add(static_cast<double>(buffered));
+  }
+
   // A stalled switch freezes entirely for the window: no snoops, no grants.
   // Input buffers fill and credit backpressure propagates upstream, exactly
   // the transient a misbehaving physical switch would cause.
-  if (sv - 2 * numNodes_ == faultStallFlat_ && fault_->stallTickSkipped(sched_.now())) return;
-  SwitchState& s = switches_[sv - 2 * numNodes_];
+  if (flat == faultStallFlat_ && hooks_.fault->stallTickSkipped(sched_.now())) return;
 
   // Pass 1: drain flits of sunk messages and run pending head snoops; then
   // collect, per requested output, the oldest eligible candidate.
@@ -289,20 +377,27 @@ void FlitNetwork::tickSwitch(std::uint32_t sv) {
     if (granted >= 4) break;
     // Link and credit availability.
     Link& l = link(sv, output);
-    if (l.nextFree > sched_.now()) continue;
+    if (l.nextFree > sched_.now()) {
+      ++cong_.linkBusySkips;
+      continue;
+    }
 
     if (cand.fromInject) {
       MsgPtr ms = s.injectQueue.front();
       const std::uint32_t vc = vcOf(ms->msg);
-      if (isSwitchVertex(output) && l.credits[vc] == 0) continue;
+      if (isSwitchVertex(output) && l.credits[vc] == 0) {
+        ++cong_.creditStallCycles;
+        ++cong_.perSwitchCreditStalls[flat];
+        continue;
+      }
       Flit f{ms, s.injectFlitsSent};
       // Lock while the message streams out.
-      if (f.head()) s.outputLock[output] = cand.inputKey;
+      if (f.head()) grabLock(s, output, cand.inputKey);
       transmit(sv, output, f, cfg_.coreDelay);
       ++s.injectFlitsSent;
       ++granted;
       if (f.tail()) {
-        s.outputLock.erase(output);
+        releaseLock(s, output);
         s.injectQueue.pop_front();
         s.injectFlitsSent = 0;
       }
@@ -313,13 +408,17 @@ void FlitNetwork::tickSwitch(std::uint32_t sv) {
     if (in.fifo.empty()) continue;
     Flit f = in.fifo.front();
     const std::uint32_t vc = vcOf(f.ms->msg);
-    if (isSwitchVertex(output) && l.credits[vc] == 0) continue;
+    if (isSwitchVertex(output) && l.credits[vc] == 0) {
+      ++cong_.creditStallCycles;
+      ++cong_.perSwitchCreditStalls[flat];
+      continue;
+    }
     in.fifo.pop_front();
     // Credit back to the upstream sender.
     const auto upstream = static_cast<std::uint32_t>(cand.inputKey >> 8);
     ++link(upstream, sv).credits[vcOf(f.ms->msg)];
     if (f.head()) {
-      s.outputLock[output] = cand.inputKey;
+      grabLock(s, output, cand.inputKey);
       in.lockedOutput = output;
     }
     const bool tail = f.tail();
@@ -327,7 +426,7 @@ void FlitNetwork::tickSwitch(std::uint32_t sv) {
     ++granted;
     ++flitGrants_;
     if (tail) {
-      s.outputLock.erase(output);
+      releaseLock(s, output);
       in.lockedOutput = InputVc::kNoOutput;
     }
   }

@@ -33,26 +33,31 @@
 
 namespace dresar {
 
+class RoutingPolicy;
+
 class FlitNetwork final : public INetwork {
  public:
+  /// `hooks` is the complete observer wiring (see NetworkHooks). The fault
+  /// injector applies request-leg drop/delay at delivery; a link stall
+  /// freezes the chosen switch's whole grant pass for the window (credits
+  /// provide the backpressure upstream).
   FlitNetwork(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t lineBytes,
-              SimKernel& kernel);
+              SimKernel& kernel, const NetworkHooks& hooks);
+
+  ~FlitNetwork() override;  // out-of-line: RoutingPolicy is forward-declared
 
   FlitNetwork(const FlitNetwork&) = delete;
   FlitNetwork& operator=(const FlitNetwork&) = delete;
 
   [[nodiscard]] const Butterfly& topology() const override { return topo_; }
   [[nodiscard]] const ShardMap& shardMap() const override { return map_; }
-  void setSnoop(ISwitchSnoop* snoop) override { snoop_ = snoop; }
-  void setTracer(TxnTracer* tracer) override { tracer_ = tracer; }
-  /// Install the fault injector: request-leg drop/delay at delivery; a link
-  /// stall freezes the chosen switch's whole grant pass for the window
-  /// (credits provide the backpressure upstream).
-  void setFaultInjector(FaultInjector* fault) override;
-  void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) override;
   void send(Message m) override;
   [[nodiscard]] std::uint64_t messagesSent() const override { return sent_; }
   [[nodiscard]] std::uint64_t messagesSunk() const override { return sunk_; }
+  /// The flit model always collects saturation telemetry: credit state and
+  /// buffer occupancy exist as first-class simulation state here, unlike
+  /// the message-level model's unbounded queues.
+  [[nodiscard]] const CongestionTelemetry* congestion() const override { return &cong_; }
 
   /// Live flits + undelivered messages; zero when the network is idle.
   [[nodiscard]] std::uint64_t inFlight() const { return live_; }
@@ -110,12 +115,13 @@ class FlitNetwork final : public INetwork {
     std::uint32_t injectFlitsSent = 0;  ///< progress within injectQueue.front()
     // Wormhole lock per output vertex: which (upstream,vc) owns it.
     std::map<std::uint32_t, std::uint64_t> outputLock;
+    // Cycle each held output lock was taken, for hold-time telemetry.
+    std::map<std::uint32_t, Cycle> lockSince;
   };
 
   struct EndpointNi {
     std::deque<MsgPtr> sendQueue;
     std::uint32_t flitsSent = 0;
-    std::function<void(const Message&)> deliver;
   };
 
   [[nodiscard]] std::uint32_t vcOf(const Message& m) const {
@@ -148,6 +154,21 @@ class FlitNetwork final : public INetwork {
   /// if it has not run there yet. Returns false if the message was sunk.
   bool maybeSnoop(std::uint32_t sv, InputVc& in);
 
+  /// Route for an endpoint-injected message: the unique LCA route, or the
+  /// policy's pick among the turnaround candidates (adaptive).
+  [[nodiscard]] Route routeOf(const Message& m);
+  /// Same for a switch-injected (snoop-spawned) message.
+  [[nodiscard]] Route spawnRouteOf(SwitchId from, const Message& m);
+  /// Credit debt + link backlog along `r` from `srcVertex`: the congestion
+  /// an injected message would stream into right now.
+  [[nodiscard]] std::uint64_t routeCongestion(const Route& r, std::uint32_t srcVertex,
+                                              std::uint32_t vc);
+
+  /// Lock bookkeeping wrappers so every grab/release feeds hold-time
+  /// telemetry exactly once.
+  void grabLock(SwitchState& s, std::uint32_t output, std::uint64_t key);
+  void releaseLock(SwitchState& s, std::uint32_t output);
+
   NetworkConfig cfg_;
   std::uint32_t numNodes_;
   std::uint32_t lineBytes_;
@@ -158,9 +179,9 @@ class FlitNetwork final : public INetwork {
   std::array<CounterHandle, kMsgTypeCount> msgCounters_;  ///< "net.msgs.<type>"
   CounterHandle flitsTransmitted_, flitGrants_, switchInjected_, sunkCounter_;
   SamplerHandle latency_;
-  ISwitchSnoop* snoop_ = nullptr;
-  TxnTracer* tracer_ = nullptr;
-  FaultInjector* fault_ = nullptr;
+  NetworkHooks hooks_;
+  std::unique_ptr<RoutingPolicy> routing_;
+  CongestionTelemetry cong_;
   /// Flat id of the switch the fault plan stalls; UINT32_MAX = none.
   std::uint32_t faultStallFlat_ = 0xFFFFFFFFu;
 

@@ -1,15 +1,27 @@
 // Abstract interconnect interface. Two implementations exist:
-//   * Network      — message-level timing (default; fast),
+//   * Network      — message-level timing (default; fast): per-hop core +
+//                    serialization delay with queueing on busy output links,
 //   * FlitNetwork  — flit-level wormhole switching with input-buffered
 //                    virtual channels, credits and age-based arbitration,
 //                    faithful to paper Section 4.1.
 // Both run over the same Butterfly topology and feed the same snoop hook,
 // so the switch-directory protocol is identical; only timing fidelity
 // differs (see bench/validation_flit_vs_message).
+//
+// Observer wiring is immutable: every observer (delivery sink, snoop,
+// tracer, fault injector) arrives in one NetworkHooks struct at
+// construction and never changes. There is no setter to call in the wrong
+// order, no window where a message can race an observer installation, and
+// a null hook simply disables that observer for the network's lifetime.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "interconnect/message.h"
 #include "interconnect/shard_map.h"
@@ -36,6 +48,72 @@ class ISwitchSnoop {
                                  std::vector<Message>& spawn) = 0;
 };
 
+/// Receives every message the network completes. One sink serves all
+/// endpoints (System dispatches on `ep` to the right controller), replacing
+/// the old per-endpoint std::function table: the sink's address is fixed at
+/// network construction, so delivery can never observe a half-wired system.
+class IMessageSink {
+ public:
+  virtual ~IMessageSink() = default;
+  virtual void deliver(Endpoint ep, const Message& m) = 0;
+};
+
+/// The complete observer wiring of a network, fixed at construction.
+/// `sink` must outlive the network and be non-null by the first send();
+/// the observers may each be null to disable that aspect (fault-free runs
+/// never even construct an injector, keeping their output byte-identical).
+struct NetworkHooks {
+  IMessageSink* sink = nullptr;
+  ISwitchSnoop* snoop = nullptr;
+  TxnTracer* tracer = nullptr;
+  FaultInjector* fault = nullptr;
+};
+
+/// Test/bench adapter: a per-endpoint std::function table behind the
+/// immutable sink pointer. Handlers are registered on the adapter (whose
+/// address never changes) rather than on the network, so fixtures keep the
+/// old register-then-send flow without reintroducing mutable network state.
+class FnSink final : public IMessageSink {
+ public:
+  void on(Endpoint ep, std::function<void(const Message&)> fn) {
+    handlers_[key(ep)] = std::move(fn);
+  }
+  void deliver(Endpoint ep, const Message& m) override {
+    auto it = handlers_.find(key(ep));
+    if (it == handlers_.end() || !it->second)
+      throw std::logic_error("FnSink: no delivery handler for " + toString(ep));
+    it->second(m);
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t key(Endpoint ep) {
+    return (static_cast<std::uint64_t>(ep.kind == EndpointKind::Mem) << 32) | ep.node;
+  }
+  std::unordered_map<std::uint64_t, std::function<void(const Message&)>> handlers_;
+};
+
+/// Saturation/congestion telemetry a network may expose (the flit model
+/// does; the message-level model's unbounded queues have no credit state to
+/// observe). All members are cumulative over the run.
+struct CongestionTelemetry {
+  /// Switch grant passes skipped because the downstream VC had no credit —
+  /// one count is one cycle a granted-ready flit sat blocked on credit.
+  std::uint64_t creditStallCycles = 0;
+  /// Grant passes skipped because the output link was still serializing.
+  std::uint64_t linkBusySkips = 0;
+  /// Source-NI cycles a head-of-queue message sat blocked on link/credit.
+  std::uint64_t sourceCreditStalls = 0;
+  /// creditStallCycles attributed per flat switch id (stall-tree shape).
+  std::vector<std::uint64_t> perSwitchCreditStalls;
+  /// Buffered flits across a switch's input VCs, sampled once per switch
+  /// tick while the network is live; indexed by stage.
+  std::vector<Sampler> stageOccupancy;
+  std::vector<Histogram> stageOccupancyHist;  ///< log2 geometry of the same samples
+  /// Wormhole output-lock hold times (lock grant -> tail departure), cycles.
+  Sampler lockHold;
+  Histogram lockHoldHist;
+};
+
 class INetwork {
  public:
   virtual ~INetwork() = default;
@@ -44,17 +122,11 @@ class INetwork {
   /// Vertex -> kernel-shard ownership map. Single-shard implementations
   /// (FlitNetwork, test doubles) return the default everything-on-0 map.
   [[nodiscard]] virtual const ShardMap& shardMap() const = 0;
-  virtual void setSnoop(ISwitchSnoop* snoop) = 0;
-  /// Install the transaction tracer (switch-hop events). May be null; the
-  /// default ignores it so test doubles need not care.
-  virtual void setTracer(TxnTracer*) {}
-  /// Install the fault injector (message drop/delay, link stalls). May be
-  /// null — fault-free runs never construct one — and the default ignores it.
-  virtual void setFaultInjector(FaultInjector*) {}
-  virtual void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) = 0;
   virtual void send(Message m) = 0;
   [[nodiscard]] virtual std::uint64_t messagesSent() const = 0;
   [[nodiscard]] virtual std::uint64_t messagesSunk() const = 0;
+  /// Congestion telemetry, or nullptr when this model does not collect any.
+  [[nodiscard]] virtual const CongestionTelemetry* congestion() const { return nullptr; }
 };
 
 }  // namespace dresar

@@ -4,17 +4,35 @@
 
 #include "common/log.h"
 #include "fault/injector.h"
+#include "interconnect/routing.h"
 
 namespace dresar {
 
+namespace {
+/// Seed for stateful routing policies' private RNG streams. Fixed (not
+/// configurable): routing decisions must replay identically for a given
+/// config, like every other internal stream.
+constexpr std::uint64_t kRoutingSeed = 0xC0A9E5710B15ull;
+}  // namespace
+
 Network::Network(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t lineBytes,
-                 SimKernel& kernel)
+                 SimKernel& kernel, const NetworkHooks& hooks)
     : cfg_(cfg),
       numNodes_(numNodes),
       lineBytes_(lineBytes),
       topo_(numNodes, cfg.switchRadix),
-      map_(numNodes, topo_.switchesPerStage(), topo_.half(), kernel.shardCount()) {
-  handlers_.resize(2ull * numNodes_ + topo_.totalSwitches());
+      map_(numNodes, topo_.switchesPerStage(), topo_.half(), kernel.shardCount()),
+      hooks_(hooks),
+      routing_(makeRoutingPolicy(cfg.routing, kRoutingSeed)) {
+  // Adaptive costs read link reservations across the whole machine; the
+  // sharded kernel keeps those per-shard (SystemConfig::validate rejects
+  // the combination — this guards direct construction in tests).
+  if (routing_->adaptive() && kernel.shardCount() > 1)
+    throw std::invalid_argument("Network: adaptive routing requires simThreads=1");
+  if (hooks_.fault != nullptr && hooks_.fault->linkStall().active()) {
+    const LinkStallSpec& s = hooks_.fault->linkStall();
+    faultStallVertex_ = vertexOf(SwitchId{s.stage, s.index});
+  }
   shards_.reserve(kernel.shardCount());
   for (ShardId s = 0; s < kernel.shardCount(); ++s) {
     auto sh = std::make_unique<Shard>();
@@ -60,7 +78,37 @@ Network::Network(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t
           topo_.routeFromSwitch(sw, dst);
     }
   }
+
+  // Adaptive policies additionally precompute every pair's candidate set
+  // (the LCA-only default skips this entirely). Only turnaround paths have
+  // freedom: proc->proc pairs and switch->proc injections.
+  if (routing_->adaptive()) {
+    for (std::uint32_t d = 0; d < numNodes_; ++d) {
+      const Endpoint dst = procEp(d);
+      for (std::uint32_t s = 0; s < numNodes_; ++s) {
+        const TurnaroundChoices tc = topo_.turnaround(procEp(s), dst);
+        if (tc.width <= 1) continue;
+        ChoiceSet& cs = choiceTable_[(static_cast<std::uint64_t>(s) << 32) | d];
+        cs.baseline = tc.baseline;
+        cs.routes.reserve(tc.width);
+        for (std::uint32_t f = 0; f < tc.width; ++f)
+          cs.routes.push_back(topo_.routeChoice(procEp(s), dst, f));
+      }
+      for (std::uint32_t f = 0; f < topo_.totalSwitches(); ++f) {
+        const SwitchId sw = topo_.unflat(f);
+        const TurnaroundChoices tc = topo_.turnaroundFromSwitch(sw, dst);
+        if (tc.width <= 1) continue;
+        ChoiceSet& cs = choiceTable_[(static_cast<std::uint64_t>(epCount + f) << 32) | d];
+        cs.baseline = tc.baseline;
+        cs.routes.reserve(tc.width);
+        for (std::uint32_t g = 0; g < tc.width; ++g)
+          cs.routes.push_back(topo_.routeFromSwitchChoice(sw, dst, g));
+      }
+    }
+  }
 }
+
+Network::~Network() = default;
 
 std::uint32_t Network::vertexOf(Endpoint ep) const {
   return ep.kind == EndpointKind::Proc ? ep.node : numNodes_ + ep.node;
@@ -68,17 +116,34 @@ std::uint32_t Network::vertexOf(Endpoint ep) const {
 
 std::uint32_t Network::vertexOf(SwitchId sw) const { return 2 * numNodes_ + topo_.flat(sw); }
 
-void Network::setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) {
-  handlers_.at(vertexOf(ep)) = std::move(handler);
+std::uint64_t Network::routeBacklog(const Route& r, std::uint32_t srcVertex, Cycle now) const {
+  const Shard& sh = *shards_[0];
+  std::uint64_t total = 0;
+  std::uint32_t from = srcVertex;
+  for (const Hop& h : r) {
+    const std::uint32_t to =
+        h.kind == Hop::Kind::Switch ? vertexOf(h.sw) : vertexOf(h.ep);
+    const auto it = sh.linkFree.find((static_cast<std::uint64_t>(from) << 32) | to);
+    if (it != sh.linkFree.end() && it->second > now) total += it->second - now;
+    from = to;
+  }
+  return total;
 }
 
-void Network::setFaultInjector(FaultInjector* fault) {
-  fault_ = fault;
-  faultStallVertex_ = UINT32_MAX;
-  if (fault_ != nullptr && fault_->linkStall().active()) {
-    const LinkStallSpec& s = fault_->linkStall();
-    faultStallVertex_ = vertexOf(SwitchId{s.stage, s.index});
+const Route* Network::pickRoute(std::uint32_t fromVertex, std::uint32_t dstVertex) {
+  if (!choiceTable_.empty()) {
+    const auto it =
+        choiceTable_.find((static_cast<std::uint64_t>(fromVertex) << 32) | dstVertex);
+    if (it != choiceTable_.end()) {
+      ChoiceSet& cs = it->second;
+      const Cycle now = shards_[0]->sched->now();
+      const std::uint32_t f = routing_->choose(
+          static_cast<std::uint32_t>(cs.routes.size()), cs.baseline,
+          [&](std::uint32_t g) { return routeBacklog(cs.routes[g], fromVertex, now); });
+      return &cs.routes[f];
+    }
   }
+  return &routeFor(fromVertex, dstVertex);
 }
 
 std::uint64_t Network::messagesSent() const {
@@ -104,7 +169,7 @@ Cycle Network::traverseLink(std::uint32_t from, std::uint32_t to, Cycle ready, c
   const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
   Cycle& free = sh.linkFree[key];
   Cycle start = std::max(ready, free);
-  if (from == faultStallVertex_) start = fault_->stallAdjustedStart(start);
+  if (from == faultStallVertex_) start = hooks_.fault->stallAdjustedStart(start);
   const Cycle ser = serializationCycles(m);
   free = start + ser;
   sh.linkBusy += ser;
@@ -122,10 +187,10 @@ void Network::send(Message m) {
   const std::uint32_t srcVertex = vertexOf(m.src);
   Shard& sh = *shards_[map_.ofVertex(srcVertex)];
   onInject(sh, m);
-  const Route& route = routeFor(srcVertex, vertexOf(m.dst));
+  const Route* route = pickRoute(srcVertex, vertexOf(m.dst));
   DRESAR_LOG_TRACE("net: @%llu inject %s", static_cast<unsigned long long>(sh.sched->now()),
                    m.describe().c_str());
-  advance(std::move(m), &route, 0, srcVertex, sh.sched->now());
+  advance(std::move(m), route, 0, srcVertex, sh.sched->now());
 }
 
 void Network::sendFromSwitch(SwitchId from, Message m) {
@@ -133,9 +198,9 @@ void Network::sendFromSwitch(SwitchId from, Message m) {
   Shard& sh = *shards_[map_.ofVertex(srcVertex)];
   onInject(sh, m);
   ++sh.switchInjected;
-  const Route& route = routeFor(srcVertex, vertexOf(m.dst));
+  const Route* route = pickRoute(srcVertex, vertexOf(m.dst));
   DRESAR_LOG_TRACE("net: switch(%u,%u) inject %s", from.stage, from.index, m.describe().c_str());
-  advance(std::move(m), &route, 0, srcVertex, sh.sched->now());
+  advance(std::move(m), route, 0, srcVertex, sh.sched->now());
 }
 
 void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::uint32_t fromVertex,
@@ -150,12 +215,12 @@ void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::ui
 
   if (hop.kind == Hop::Kind::Deliver) {
     from.post(dstShard, arrive, [this, m = std::move(m), ep = hop.ep] {
-      if (fault_ != nullptr && FaultInjector::eligible(m)) {
-        if (fault_->shouldDrop(m)) {
+      if (hooks_.fault != nullptr && FaultInjector::eligible(m)) {
+        if (hooks_.fault->shouldDrop(m)) {
           DRESAR_LOG_TRACE("net: fault drop %s", m.describe().c_str());
           return;
         }
-        if (const Cycle d = fault_->deliveryDelay(m); d > 0) {
+        if (const Cycle d = hooks_.fault->deliveryDelay(m); d > 0) {
           Shard& at = *shards_[map_.ofVertex(vertexOf(ep))];
           at.sched->scheduleIn(d, [this, m, ep] { deliverNow(m, ep); });
           return;
@@ -169,15 +234,15 @@ void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::ui
   from.post(dstShard, arrive, [this, m = std::move(m), route, hopIdx, sw = hop.sw]() mutable {
     Shard& at = *shards_[map_.ofSwitch(topo_.flat(sw))];
     ++traversals_[topo_.flat(sw)];
-    if (tracer_ != nullptr && m.txn != 0) {
-      tracer_->record(m.txn, TxnEvent::SwitchHop, txnLegOf(m.type),
-                      txnAtSwitch(topo_.flat(sw)), at.sched->now());
+    if (hooks_.tracer != nullptr && m.txn != 0) {
+      hooks_.tracer->record(m.txn, TxnEvent::SwitchHop, txnLegOf(m.type),
+                            txnAtSwitch(topo_.flat(sw)), at.sched->now());
     }
     Cycle delay = cfg_.coreDelay;
-    if (snoop_ != nullptr) {
+    if (hooks_.snoop != nullptr) {
       std::vector<Message>& spawn = at.snoopScratch;
       spawn.clear();
-      const SnoopOutcome out = snoop_->onMessage(sw, at.sched->now(), m, spawn);
+      const SnoopOutcome out = hooks_.snoop->onMessage(sw, at.sched->now(), m, spawn);
       delay += out.extraDelay;
       for (auto& s : spawn) {
         // Switch-generated messages leave after the directory decision.
@@ -200,9 +265,9 @@ void Network::advance(Message m, const Route* route, std::size_t hopIdx, std::ui
 void Network::deliverNow(const Message& m, Endpoint ep) {
   Shard& at = *shards_[map_.ofVertex(vertexOf(ep))];
   at.latency.add(static_cast<double>(at.sched->now() - m.birth));
-  auto& h = handlers_.at(vertexOf(ep));
-  if (!h) throw std::logic_error("Network: no delivery handler for " + toString(ep));
-  h(m);
+  if (hooks_.sink == nullptr)
+    throw std::logic_error("Network: no delivery sink for " + toString(ep));
+  hooks_.sink->deliver(ep, m);
 }
 
 }  // namespace dresar

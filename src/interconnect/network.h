@@ -35,29 +35,26 @@
 
 namespace dresar {
 
+class RoutingPolicy;
+
 class Network final : public INetwork {
  public:
+  /// `hooks` is the complete observer wiring (see NetworkHooks): the sink
+  /// receives every delivered message, the snoop (typically the
+  /// DresarManager) observes every switch traversal, the tracer records
+  /// SwitchHop events, and the fault injector applies request-leg drop/delay
+  /// at delivery plus the deterministic link-stall window on one switch's
+  /// outgoing links. All four pointers are captured once, here.
   Network(const NetworkConfig& cfg, std::uint32_t numNodes, std::uint32_t lineBytes,
-          SimKernel& kernel);
+          SimKernel& kernel, const NetworkHooks& hooks);
+
+  ~Network() override;  // out-of-line: RoutingPolicy is forward-declared
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   [[nodiscard]] const Butterfly& topology() const override { return topo_; }
   [[nodiscard]] const ShardMap& shardMap() const override { return map_; }
-
-  /// Install the snoop observer (typically the DresarManager). May be null.
-  void setSnoop(ISwitchSnoop* snoop) override { snoop_ = snoop; }
-
-  /// Install the transaction tracer; records a SwitchHop per traversal.
-  void setTracer(TxnTracer* tracer) override { tracer_ = tracer; }
-
-  /// Install the fault injector: request-leg drop/delay at delivery, plus the
-  /// deterministic link-stall window on one switch's outgoing links.
-  void setFaultInjector(FaultInjector* fault) override;
-
-  /// Register the receiver for messages delivered to `ep`.
-  void setDeliveryHandler(Endpoint ep, std::function<void(const Message&)> handler) override;
 
   /// Inject a message from its `src` endpoint at the current cycle. Must be
   /// called on the shard owning `src`.
@@ -113,6 +110,17 @@ class Network final : public INetwork {
     return routeTable_[static_cast<std::size_t>(fromVertex) * 2 * numNodes_ + dstVertex];
   }
 
+  /// Route selection at injection: the precomputed LCA route for "lca", or
+  /// the policy's pick among the pair's precomputed candidates (stable
+  /// storage — advance() holds the pointer for the message's lifetime).
+  [[nodiscard]] const Route* pickRoute(std::uint32_t fromVertex, std::uint32_t dstVertex);
+
+  /// Sum over `r`'s links of how far each reservation extends past `now` —
+  /// the queueing backlog an injected message would see. Adaptive routing is
+  /// single-shard (validated), so shard 0 owns every reservation.
+  [[nodiscard]] std::uint64_t routeBacklog(const Route& r, std::uint32_t srcVertex,
+                                           Cycle now) const;
+
   /// Reserve the (from,to) link starting no earlier than `ready`; returns the
   /// cycle the last flit lands at `to`. The reservation lives on `from`'s
   /// owning shard.
@@ -121,6 +129,12 @@ class Network final : public INetwork {
   /// Hand `m` to the endpoint's registered handler (post fault filtering).
   void deliverNow(const Message& m, Endpoint ep);
 
+  /// Candidate routes for one (fromVertex, dst) pair with routing freedom.
+  struct ChoiceSet {
+    std::vector<Route> routes;   ///< by free digit f; routes[baseline] == the LCA route
+    std::uint32_t baseline = 0;
+  };
+
   NetworkConfig cfg_;
   std::uint32_t numNodes_;
   std::uint32_t lineBytes_;
@@ -128,14 +142,15 @@ class Network final : public INetwork {
   ShardMap map_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<CounterHandle> traversals_;  ///< "switch.<flat>.traversals", in the owner's registry
-  ISwitchSnoop* snoop_ = nullptr;
-  TxnTracer* tracer_ = nullptr;
-  FaultInjector* fault_ = nullptr;
+  NetworkHooks hooks_;
+  std::unique_ptr<RoutingPolicy> routing_;
   /// Vertex id of the switch whose outgoing links the fault plan stalls;
   /// UINT32_MAX when no stall is configured.
   std::uint32_t faultStallVertex_ = UINT32_MAX;
   std::vector<Route> routeTable_;  ///< by fromVertex * 2N + dstVertex; see routeFor()
-  std::vector<std::function<void(const Message&)>> handlers_;  // indexed by vertex
+  /// Only populated for adaptive policies: (fromVertex<<32|dstVertex) ->
+  /// candidate routes. Element storage is stable after construction.
+  std::unordered_map<std::uint64_t, ChoiceSet> choiceTable_;
 };
 
 }  // namespace dresar

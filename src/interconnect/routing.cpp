@@ -1,0 +1,94 @@
+#include "interconnect/routing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dresar {
+
+namespace {
+
+class LcaRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "lca"; }
+  [[nodiscard]] bool adaptive() const override { return false; }
+  [[nodiscard]] std::uint32_t choose(std::uint32_t /*width*/, std::uint32_t baseline,
+                                     const RouteCostFn& /*cost*/) override {
+    return baseline;
+  }
+};
+
+/// Adaptive-minimal over the turnaround window: cheapest candidate wins,
+/// ties prefer the LCA baseline (idle network == lca byte for byte), and
+/// baseline-less ties break by a private xorshift64* stream. The stream
+/// only advances on a genuine multi-way tie, so decisions depend on the
+/// congestion the message actually saw, not on how often choose() ran.
+class AdaptiveMinimalRouting final : public RoutingPolicy {
+ public:
+  explicit AdaptiveMinimalRouting(std::uint64_t seed)
+      : state_(seed | 1ull) {}
+
+  [[nodiscard]] const char* name() const override { return "adaptive"; }
+  [[nodiscard]] bool adaptive() const override { return true; }
+
+  [[nodiscard]] std::uint32_t choose(std::uint32_t width, std::uint32_t baseline,
+                                     const RouteCostFn& cost) override {
+    if (width <= 1) return baseline;
+    std::uint64_t best = cost(0);
+    ties_.clear();
+    ties_.push_back(0);
+    for (std::uint32_t f = 1; f < width; ++f) {
+      const std::uint64_t c = cost(f);
+      if (c < best) {
+        best = c;
+        ties_.clear();
+        ties_.push_back(f);
+      } else if (c == best) {
+        ties_.push_back(f);
+      }
+    }
+    if (ties_.size() == 1) return ties_.front();
+    if (std::find(ties_.begin(), ties_.end(), baseline) != ties_.end()) return baseline;
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t draw = state_ * 0x2545F4914F6CDD1Dull;
+    return ties_[draw % ties_.size()];
+  }
+
+ private:
+  std::uint64_t state_;
+  std::vector<std::uint32_t> ties_;  ///< scratch, reused across calls
+};
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+std::unique_ptr<RoutingPolicy> makeRoutingPolicy(const std::string& name, std::uint64_t seed) {
+  if (name == "lca") return std::make_unique<LcaRouting>();
+  if (name == "adaptive") return std::make_unique<AdaptiveMinimalRouting>(seed);
+  throw std::invalid_argument("unknown routing policy '" + name +
+                              "' (valid: " + routingPolicyList() + ")");
+}
+
+const std::vector<std::string>& routingPolicyNames() {
+  static const std::vector<std::string> names = {"lca", "adaptive"};
+  return names;
+}
+
+bool isRoutingPolicy(const std::string& name) {
+  return contains(routingPolicyNames(), name);
+}
+
+std::string routingPolicyList() {
+  std::string out;
+  for (const std::string& s : routingPolicyNames()) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+}  // namespace dresar

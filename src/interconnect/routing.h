@@ -1,0 +1,71 @@
+// Pluggable turnaround routing policies (ROADMAP "congestion scenarios").
+// The butterfly gives every proc<->mem pair a unique minimal path, so the
+// only routing freedom in the machine is the turnaround free digit of
+// proc->proc (c2c data, switch-generated) traffic: each digit in the
+// window selects a different — but equally long — turnaround switch
+// (Butterfly::turnaround). A RoutingPolicy picks that digit.
+//
+// Shipped policies:
+//
+//   * "lca" — the deterministic baseline: always the symmetric
+//     (cs + cq) % width digit the paper's fixed LCA route uses. Networks
+//     skip cost evaluation entirely for this policy (adaptive() == false),
+//     so default-config output stays byte-identical.
+//
+//   * "adaptive" — adaptive-minimal: scores every candidate digit by the
+//     downstream congestion the network reports (credit debt and link
+//     backlog along the candidate route) and picks the cheapest. Ties
+//     prefer the LCA baseline when it is among the minima — an idle network
+//     routes exactly like "lca" — and otherwise break by a per-instance
+//     xorshift64* stream so runs stay deterministic and replayable.
+//
+// The factory throws std::invalid_argument on unknown names;
+// NetworkConfig::validationErrors() reports the same names earlier with the
+// full valid list so misconfigured sweeps fail before burning simulation
+// hours.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dresar {
+
+/// Scores candidate turnaround digit f in [0, width); higher = more
+/// congested. Networks supply this from their own queue/credit state.
+using RouteCostFn = std::function<std::uint64_t(std::uint32_t f)>;
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// False: choose() always returns `baseline` and the network may skip
+  /// building candidate routes and cost functions (the LCA fast path).
+  [[nodiscard]] virtual bool adaptive() const = 0;
+
+  /// Pick a digit in [0, width). `baseline` is the deterministic LCA digit;
+  /// `cost` scores a candidate. Stateful policies advance internal state
+  /// only when a decision actually requires it, so idle-network runs are
+  /// reproducible regardless of call count.
+  [[nodiscard]] virtual std::uint32_t choose(std::uint32_t width, std::uint32_t baseline,
+                                             const RouteCostFn& cost) = 0;
+};
+
+/// Factory + registry. Names are stable spec/config tokens. `seed` feeds
+/// stateful policies' private RNG streams (ignored by "lca").
+[[nodiscard]] std::unique_ptr<RoutingPolicy> makeRoutingPolicy(const std::string& name,
+                                                               std::uint64_t seed);
+
+/// Registered policy names, in deterministic registration order.
+[[nodiscard]] const std::vector<std::string>& routingPolicyNames();
+
+[[nodiscard]] bool isRoutingPolicy(const std::string& name);
+
+/// "lca, adaptive" — for validation/usage messages.
+[[nodiscard]] std::string routingPolicyList();
+
+}  // namespace dresar

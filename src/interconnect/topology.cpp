@@ -32,18 +32,27 @@ bool Butterfly::canReachMem(SwitchId from, NodeId m) const {
   return hi(from.stage, from.index) == hi(from.stage, m / half_);
 }
 
-void Butterfly::appendTurnaround(Route& r, std::uint32_t s, std::uint32_t cs,
-                                 std::uint32_t cq) const {
+Butterfly::TurnSpan Butterfly::turnSpan(std::uint32_t s, std::uint32_t cs,
+                                        std::uint32_t cq) const {
   // Lowest stage whose preserved low digits already agree: climbing from
   // stage s rewrites only positions >= k-1-t, so the pair must share
   // everything below. lo(k-1, .) == 0, so t always exists.
   std::uint32_t t = s;
   while (lo(t, cs) != lo(t, cq)) ++t;
   // Free digits between the fixed high part and the shared low part select
-  // the turnaround switch; the symmetric (cs+cq) spread keeps the choice
-  // deterministic and identical for both directions of a pair.
+  // the turnaround switch; the symmetric (cs+cq) spread keeps the default
+  // choice deterministic and identical for both directions of a pair.
   const std::uint32_t w = valuesAbove(t) / valuesAbove(s);
-  const std::uint32_t f = (cs + cq) % w;
+  return TurnSpan{t, w, (cs + cq) % w};
+}
+
+void Butterfly::appendTurnaround(Route& r, std::uint32_t s, std::uint32_t cs,
+                                 std::uint32_t cq, std::uint32_t f) const {
+  const TurnSpan span = turnSpan(s, cs, cq);
+  const std::uint32_t t = span.t;
+  if (f == kAutoDigit) f = span.baseline;
+  if (f >= span.width)
+    throw std::out_of_range("Butterfly: turnaround digit out of window");
   const std::uint32_t y =
       hi(s, cs) * pow(stages_ - 1 - s) + f * pow(stages_ - 1 - t) + lo(t, cs);
   for (std::uint32_t j = s; j <= t; ++j) {
@@ -107,6 +116,53 @@ Route Butterfly::routeFromSwitch(SwitchId from, Endpoint dst) const {
   }
   r.push_back(Hop::deliver(dst));
   return r;
+}
+
+TurnaroundChoices Butterfly::turnaround(Endpoint src, Endpoint dst) const {
+  if (src.kind == EndpointKind::Proc && dst.kind == EndpointKind::Proc &&
+      src.node < numNodes_ && dst.node < numNodes_) {
+    const TurnSpan span = turnSpan(0, src.node / half_, dst.node / half_);
+    return TurnaroundChoices{span.width, span.baseline};
+  }
+  return TurnaroundChoices{};
+}
+
+TurnaroundChoices Butterfly::turnaroundFromSwitch(SwitchId from, Endpoint dst) const {
+  if (dst.kind == EndpointKind::Proc && dst.node < numNodes_) {
+    const TurnSpan span = turnSpan(from.stage, from.index, dst.node / half_);
+    return TurnaroundChoices{span.width, span.baseline};
+  }
+  return TurnaroundChoices{};
+}
+
+Route Butterfly::routeChoice(Endpoint src, Endpoint dst, std::uint32_t f) const {
+  if (src.kind == EndpointKind::Proc && dst.kind == EndpointKind::Proc) {
+    if (src.node >= numNodes_ || dst.node >= numNodes_)
+      throw std::out_of_range("Butterfly::route: node out of range");
+    Route r;
+    appendTurnaround(r, 0, src.node / half_, dst.node / half_, f);
+    r.push_back(Hop::deliver(dst));
+    return r;
+  }
+  // Unique-route pairs: only the degenerate choice exists.
+  if (f != 0) throw std::out_of_range("Butterfly::routeChoice: route is unique");
+  return route(src, dst);
+}
+
+Route Butterfly::routeFromSwitchChoice(SwitchId from, Endpoint dst, std::uint32_t f) const {
+  if (dst.kind == EndpointKind::Proc) {
+    if (dst.node >= numNodes_)
+      throw std::out_of_range("Butterfly::routeFromSwitch: node range");
+    Route r;
+    appendTurnaround(r, from.stage, from.index, dst.node / half_, f);
+    // appendTurnaround includes `from` itself as the first hop; the message
+    // is already there.
+    r.erase(r.begin());
+    r.push_back(Hop::deliver(dst));
+    return r;
+  }
+  if (f != 0) throw std::out_of_range("Butterfly::routeFromSwitchChoice: route is unique");
+  return routeFromSwitch(from, dst);
 }
 
 std::vector<SwitchId> Butterfly::forwardPath(NodeId proc, NodeId mem) const {

@@ -46,6 +46,17 @@ struct Hop {
 
 using Route = std::vector<Hop>;
 
+/// The equal-length turnaround routes available to one message. Turnaround
+/// paths (proc->proc, switch->proc) have free digits between the fixed high
+/// part and the shared low part; each value of the free-digit window selects
+/// a different — but equally long — turnaround switch. `width == 1` means
+/// the route is unique (all proc<->mem traffic, same-cluster pairs).
+/// `baseline` is the digit the deterministic LCA default picks.
+struct TurnaroundChoices {
+  std::uint32_t width = 1;     ///< candidate digits f in [0, width)
+  std::uint32_t baseline = 0;  ///< the (cs + cq) % width default
+};
+
 /// k-stage butterfly of radix-R switches (R/2 down ports, R/2 up ports).
 /// The stage count is derived: the smallest k >= 2 whose (R/2)-ary digit
 /// ladder covers numNodes/(R/2) switches per stage. For the paper's
@@ -93,6 +104,18 @@ class Butterfly {
   /// nothing toward memory — those annotate passing messages instead).
   [[nodiscard]] Route routeFromSwitch(SwitchId from, Endpoint dst) const;
 
+  /// Free-digit window for the src->dst pair. route() always returns
+  /// routeChoice(src, dst, turnaround(src, dst).baseline).
+  [[nodiscard]] TurnaroundChoices turnaround(Endpoint src, Endpoint dst) const;
+  [[nodiscard]] TurnaroundChoices turnaroundFromSwitch(SwitchId from, Endpoint dst) const;
+
+  /// Route with an explicit free-digit choice f in [0, turnaround().width).
+  /// Pairs with a unique route accept only f == 0. All choices for a pair
+  /// have identical hop counts; only the turnaround switches differ.
+  [[nodiscard]] Route routeChoice(Endpoint src, Endpoint dst, std::uint32_t f) const;
+  [[nodiscard]] Route routeFromSwitchChoice(SwitchId from, Endpoint dst,
+                                            std::uint32_t f) const;
+
   /// The switches a proc->mem request traverses, in order. Used by the
   /// trace-driven simulator, which needs path membership but not timing.
   [[nodiscard]] std::vector<SwitchId> forwardPath(NodeId proc, NodeId mem) const;
@@ -114,12 +137,24 @@ class Butterfly {
     const std::uint32_t v = perStage_ / pow(stages_ - 1 - j);
     return v == 0 ? 1 : v;
   }
+  /// Sentinel for appendTurnaround: pick the deterministic LCA baseline.
+  static constexpr std::uint32_t kAutoDigit = 0xFFFFFFFFu;
+  /// Turnaround stage and free-digit window for a stage-`s` climb from
+  /// switch coordinate `cs` to the leaf of coordinate `cq`.
+  struct TurnSpan {
+    std::uint32_t t = 0;         ///< turnaround stage
+    std::uint32_t width = 1;     ///< free-digit window
+    std::uint32_t baseline = 0;  ///< (cs + cq) % width
+  };
+  [[nodiscard]] TurnSpan turnSpan(std::uint32_t s, std::uint32_t cs, std::uint32_t cq) const;
   /// Append the turnaround path from stage-`s` switch index `cs` up to stage
   /// `t` and back down to the leaf of coordinate `cq`. The turnaround index
-  /// keeps `cs`'s fixed high digits, spreads free digits deterministically
-  /// and symmetrically over the reachable window, and shares its low digits
-  /// with both endpoints (lo(t, cs) == lo(t, cq) is the caller's contract).
-  void appendTurnaround(Route& r, std::uint32_t s, std::uint32_t cs, std::uint32_t cq) const;
+  /// keeps `cs`'s fixed high digits, takes free digit `f` (kAutoDigit = the
+  /// deterministic symmetric (cs+cq) spread, identical for both directions
+  /// of a pair), and shares its low digits with both endpoints
+  /// (lo(t, cs) == lo(t, cq) is the caller's contract).
+  void appendTurnaround(Route& r, std::uint32_t s, std::uint32_t cs, std::uint32_t cq,
+                        std::uint32_t f = kAutoDigit) const;
 
   std::uint32_t numNodes_;
   std::uint32_t half_;

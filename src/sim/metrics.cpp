@@ -72,6 +72,12 @@ RunMetrics RunMetrics::collect(const System& sys, const std::string& workload) {
     m.faultFallbackHomeLookups = st.counterValue("fault.fallback_home_lookups");
   }
 
+  if (const CongestionTelemetry* ct = sys.net().congestion(); ct != nullptr) {
+    m.congestionEnabled = true;
+    m.congRuns = 1;
+    m.congestion = *ct;
+  }
+
   const TxnTracer& tr = sys.txnTracer();
   if (tr.enabled()) {
     const TxnTracer::Totals& rt = tr.readTotals();
@@ -125,6 +131,51 @@ void RunMetrics::merge(const RunMetrics& other) {
   faultTimeoutReissues += other.faultTimeoutReissues;
   faultRecovered += other.faultRecovered;
   faultFallbackHomeLookups += other.faultFallbackHomeLookups;
+  if (other.congestionEnabled) {
+    if (!congestionEnabled) {
+      congestionEnabled = true;
+      congOfferedRate = other.congOfferedRate;
+      congAcceptedRate = other.congAcceptedRate;
+      congRuns = other.congRuns;
+      congestion = other.congestion;
+    } else {
+      // Rates average weighted by run count; counters add. Distributions
+      // only fold when both sides carry the same geometry (message-level
+      // runs annotate rates but have no telemetry to merge).
+      const auto w1 = static_cast<double>(congRuns);
+      const auto w2 = static_cast<double>(other.congRuns);
+      if (w1 + w2 > 0) {
+        congOfferedRate = (congOfferedRate * w1 + other.congOfferedRate * w2) / (w1 + w2);
+        congAcceptedRate = (congAcceptedRate * w1 + other.congAcceptedRate * w2) / (w1 + w2);
+      }
+      congRuns += other.congRuns;
+      congestion.creditStallCycles += other.congestion.creditStallCycles;
+      congestion.linkBusySkips += other.congestion.linkBusySkips;
+      congestion.sourceCreditStalls += other.congestion.sourceCreditStalls;
+      auto sameHist = [](const Histogram& a, const Histogram& b) {
+        return a.isLogSpaced() == b.isLogSpaced() && a.buckets().size() == b.buckets().size();
+      };
+      if (congestion.perSwitchCreditStalls.size() ==
+          other.congestion.perSwitchCreditStalls.size()) {
+        for (std::size_t i = 0; i < congestion.perSwitchCreditStalls.size(); ++i) {
+          congestion.perSwitchCreditStalls[i] += other.congestion.perSwitchCreditStalls[i];
+        }
+      }
+      if (congestion.stageOccupancy.size() == other.congestion.stageOccupancy.size() &&
+          congestion.stageOccupancyHist.size() == other.congestion.stageOccupancyHist.size()) {
+        for (std::size_t s = 0; s < congestion.stageOccupancy.size(); ++s) {
+          congestion.stageOccupancy[s].merge(other.congestion.stageOccupancy[s]);
+          if (sameHist(congestion.stageOccupancyHist[s], other.congestion.stageOccupancyHist[s])) {
+            congestion.stageOccupancyHist[s].merge(other.congestion.stageOccupancyHist[s]);
+          }
+        }
+      }
+      congestion.lockHold.merge(other.congestion.lockHold);
+      if (sameHist(congestion.lockHoldHist, other.congestion.lockHoldHist)) {
+        congestion.lockHoldHist.merge(other.congestion.lockHoldHist);
+      }
+    }
+  }
   traceReadTxns += other.traceReadTxns;
   traceWriteTxns += other.traceWriteTxns;
   traceReadEndToEnd += other.traceReadEndToEnd;

@@ -8,6 +8,7 @@
 
 #include "common/txn_trace.h"
 #include "common/types.h"
+#include "interconnect/inetwork.h"
 
 namespace dresar {
 
@@ -60,6 +61,16 @@ struct RunMetrics {
   std::uint64_t faultFallbackHomeLookups = 0;
   /// Faults that strand a transaction and require recovery (drops).
   [[nodiscard]] std::uint64_t faultInjectedEffective() const { return faultInjectedDrops; }
+
+  // Congestion lab (schema v6). Telemetry is copied from the network when it
+  // collects any (flit-level runs); offered/accepted load is annotated by
+  // the hotspot/incast traffic workloads (Workload::annotate). Either source
+  // flips congestionEnabled.
+  bool congestionEnabled = false;
+  double congOfferedRate = 0.0;   ///< refs/cycle the node streams offered
+  double congAcceptedRate = 0.0;  ///< refs/cycle the machine completed
+  std::uint64_t congRuns = 0;     ///< enabled runs folded in (merge weight)
+  CongestionTelemetry congestion;
 
   // Latency attribution (filled only when the run traced transactions).
   std::uint64_t traceReadTxns = 0;

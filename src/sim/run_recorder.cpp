@@ -51,20 +51,63 @@ void writeTrafficJson(JsonWriter& w, const RunRecord& r) {
   w.endObject();
 }
 
+void writeCongestionJson(JsonWriter& w, const RunRecord& r) {
+  w.key("congestion");
+  w.beginObject();
+  w.field("offered_rate", r.congOfferedRate);
+  w.field("accepted_rate", r.congAcceptedRate);
+  w.field("runs", r.congRuns);
+  w.field("credit_stall_cycles", r.congCreditStallCycles);
+  w.field("link_busy_skips", r.congLinkBusySkips);
+  w.field("source_credit_stalls", r.congSourceCreditStalls);
+  w.key("per_switch_credit_stalls");
+  w.beginArray();
+  for (std::uint64_t v : r.congPerSwitchCreditStalls) w.value(v);
+  w.endArray();
+  w.key("stage_occupancy");
+  w.beginArray();
+  for (const RunRecord::CongestionStage& s : r.congStageOccupancy) {
+    w.beginObject();
+    w.field("mean", s.mean);
+    w.field("max", s.max);
+    w.field("samples", s.samples);
+    w.key("hist");
+    w.beginArray();
+    for (std::uint64_t v : s.hist) w.value(v);
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("lock_hold");
+  w.beginObject();
+  w.field("mean", r.congLockHoldMean);
+  w.field("max", r.congLockHoldMax);
+  w.field("count", r.congLockHoldCount);
+  w.key("hist");
+  w.beginArray();
+  for (std::uint64_t v : r.congLockHoldHist) w.value(v);
+  w.endArray();
+  w.endObject();
+  w.endObject();
+}
+
 std::string RunRecorder::toJson() const {
   std::ostringstream os;
   JsonWriter w(os);
   // Traffic-free, fault-free documents stay byte-identical to the historical
   // v2 output; only a run that actually carries the new blocks upgrades the
-  // schema (traffic > fault > v2).
+  // schema (congestion > traffic > fault > v2).
   const bool anyFault =
       std::any_of(runs_.begin(), runs_.end(), [](const RunRecord& r) { return r.hasFault; });
   const bool anyTraffic =
       std::any_of(runs_.begin(), runs_.end(), [](const RunRecord& r) { return r.hasTraffic; });
+  const bool anyCongestion = std::any_of(
+      runs_.begin(), runs_.end(), [](const RunRecord& r) { return r.hasCongestion; });
   w.beginObject();
-  w.field("schema", anyTraffic ? "dresar-bench-results/v5"
-                  : anyFault   ? "dresar-bench-results/v4"
-                               : "dresar-bench-results/v2");
+  w.field("schema", anyCongestion ? "dresar-bench-results/v6"
+                  : anyTraffic    ? "dresar-bench-results/v5"
+                  : anyFault      ? "dresar-bench-results/v4"
+                                  : "dresar-bench-results/v2");
   w.field("bench", bench_);
   w.key("options");
   w.beginObject();
@@ -113,6 +156,7 @@ std::string RunRecorder::toJson() const {
       w.endObject();
     }
     if (r.hasTraffic) writeTrafficJson(w, r);
+    if (r.hasCongestion) writeCongestionJson(w, r);
     if (r.hasTrace) {
       const auto emitClass = [&w](const char* name, std::uint64_t txns, double endToEnd,
                                   const std::array<double, kTxnStageCount>& stage) {

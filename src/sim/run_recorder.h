@@ -66,6 +66,30 @@
 // tail value is reported up to the histogram bound; the *_overflowed flags
 // record when the value was clamped instead. Traffic-free documents keep
 // their previous schema byte-for-byte; precedence is traffic > fault > v2.
+//
+// v5 -> v6: documents with at least one congestion-lab run (the "hotspot"/
+// "incast" traffic profiles, or any run on the flit-level network) carry
+// schema "dresar-bench-results/v6" and each such run an extra "congestion"
+// object:
+//   "congestion": {
+//     "offered_rate": <double>,   // refs per arrival-clock cycle, machine-wide
+//     "accepted_rate": <double>,  // refs per simulated cycle actually retired
+//     "runs": <uint>,             // merge weight (seed replicas folded in)
+//     "credit_stall_cycles": <uint>, "link_busy_skips": <uint>,
+//     "source_credit_stalls": <uint>,
+//     "per_switch_credit_stalls": [ <uint>, ... ],   // flat switch order
+//     "stage_occupancy": [                           // one row per BMIN stage
+//       { "mean": <double>, "max": <double>, "samples": <uint>,
+//         "hist": [ <uint>, ... ] },  // log2 buckets, last = overflow
+//       ...
+//     ],
+//     "lock_hold": { "mean": <double>, "max": <double>, "count": <uint>,
+//                    "hist": [ <uint>, ... ] }   // wormhole output-lock holds
+//   }
+// Message-level congestion runs carry the rates with empty telemetry arrays
+// (only the flit network samples per-switch state). Congestion-free
+// documents keep their previous schema byte-for-byte; precedence is
+// congestion > traffic > fault > v2.
 #pragma once
 
 #include <array>
@@ -123,6 +147,32 @@ struct RunRecord {
   std::uint64_t trafficSteadyCycles = 0;
   std::vector<TrafficTenant> trafficPerTenant;
 
+  /// One BMIN stage's input-buffer occupancy summary in the "congestion"
+  /// block: per-switch-tick samples of total buffered flits.
+  struct CongestionStage {
+    double mean = 0.0;
+    double max = 0.0;
+    std::uint64_t samples = 0;
+    std::vector<std::uint64_t> hist;  ///< log2 buckets, last = overflow
+  };
+
+  /// Congestion-lab saturation telemetry (only serialized when hasCongestion
+  /// is set; any such run upgrades the document schema to v6). Flattened
+  /// from interconnect CongestionTelemetry so this header stays plain data.
+  bool hasCongestion = false;
+  double congOfferedRate = 0.0;
+  double congAcceptedRate = 0.0;
+  std::uint64_t congRuns = 0;
+  std::uint64_t congCreditStallCycles = 0;
+  std::uint64_t congLinkBusySkips = 0;
+  std::uint64_t congSourceCreditStalls = 0;
+  std::vector<std::uint64_t> congPerSwitchCreditStalls;
+  std::vector<CongestionStage> congStageOccupancy;
+  double congLockHoldMean = 0.0;
+  double congLockHoldMax = 0.0;
+  std::uint64_t congLockHoldCount = 0;
+  std::vector<std::uint64_t> congLockHoldHist;
+
   /// Latency attribution (only serialized when hasTrace is set).
   bool hasTrace = false;
   std::uint64_t traceReadTxns = 0;
@@ -141,6 +191,10 @@ class JsonWriter;
 /// scope and have checked r.hasTraffic. Shared by the bench serializer and
 /// the sweep serializer (harness/aggregate.cpp) so the block cannot drift.
 void writeTrafficJson(JsonWriter& w, const RunRecord& r);
+
+/// Emit `r`'s "congestion" key + object (schema v6). Same contract and
+/// sharing discipline as writeTrafficJson.
+void writeCongestionJson(JsonWriter& w, const RunRecord& r);
 
 /// Accumulates RunRecords across a bench binary's runs and serializes them.
 ///

@@ -19,37 +19,43 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   // Components only get the tracer when tracing is on, so a disabled run
   // pays nothing but a null check and stays bit-identical.
   TxnTracer* tracer = cfg_.txnTrace.enabled ? tracer_.get() : nullptr;
-  if (cfg_.net.flitLevel) {
-    net_ = std::make_unique<FlitNetwork>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, *kernel_);
-  } else {
-    net_ = std::make_unique<Network>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, *kernel_);
-  }
-  const ShardMap& map = net_->shardMap();
-  dresar_ = std::make_unique<DresarManager>(cfg_.switchDir, net_->topology(), cfg_.lineBytes,
-                                            cfg_.numNodes, *kernel_, map);
-  scache_ = std::make_unique<SwitchCacheManager>(cfg_.switchCache, net_->topology(),
-                                                 cfg_.lineBytes, *kernel_, map);
-  if (dresar_->enabled() && scache_->enabled()) {
-    snoopChain_ = std::make_unique<SnoopChain>(dresar_.get(), scache_.get());
-    net_->setSnoop(snoopChain_.get());
-  } else if (dresar_->enabled()) {
-    net_->setSnoop(dresar_.get());
-  } else if (scache_->enabled()) {
-    net_->setSnoop(scache_.get());
-  }
-  if (tracer != nullptr) {
-    net_->setTracer(tracer);
-    dresar_->setTracer(tracer);
-  }
   // Same conditional-construction pattern as the tracer: the injector
   // registers fault.* counters, so building one only when a fault is
   // configured keeps fault-free stats output byte-identical. Fault plans
   // are single-shard (validation-gated), so registry 0 is the only one.
   if (cfg_.fault.enabled()) {
     fault_ = std::make_unique<FaultInjector>(cfg_.fault, kernel_->registry(0));
-    net_->setFaultInjector(fault_.get());
+  }
+  // Every network observer exists before the network does: the hooks struct
+  // is complete at network construction and never changes afterwards.
+  topo_ = std::make_unique<Butterfly>(cfg_.numNodes, cfg_.net.switchRadix);
+  map_ = ShardMap(cfg_.numNodes, topo_->switchesPerStage(), topo_->half(),
+                  kernel_->shardCount());
+  dresar_ = std::make_unique<DresarManager>(cfg_.switchDir, *topo_, cfg_.lineBytes,
+                                            cfg_.numNodes, *kernel_, map_);
+  scache_ = std::make_unique<SwitchCacheManager>(cfg_.switchCache, *topo_, cfg_.lineBytes,
+                                                 *kernel_, map_);
+  ISwitchSnoop* snoop = nullptr;
+  if (dresar_->enabled() && scache_->enabled()) {
+    snoopChain_ = std::make_unique<SnoopChain>(dresar_.get(), scache_.get());
+    snoop = snoopChain_.get();
+  } else if (dresar_->enabled()) {
+    snoop = dresar_.get();
+  } else if (scache_->enabled()) {
+    snoop = scache_.get();
+  }
+  if (tracer != nullptr) dresar_->setTracer(tracer);
+  if (fault_ != nullptr) {
     dresar_->setFaultInjector(fault_.get());
     scache_->setFaultInjector(fault_.get());
+  }
+  const NetworkHooks hooks{&sink_, snoop, tracer, fault_.get()};
+  if (cfg_.net.flitLevel) {
+    net_ = std::make_unique<FlitNetwork>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, *kernel_,
+                                         hooks);
+  } else {
+    net_ = std::make_unique<Network>(cfg_.net, cfg_.numNodes, cfg_.lineBytes, *kernel_,
+                                     hooks);
   }
   mem_ = std::make_unique<AddressSpace>(cfg_);
 
@@ -58,9 +64,10 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   ctxs_.reserve(cfg_.numNodes);
   for (NodeId n = 0; n < cfg_.numNodes; ++n) {
     // Everything belonging to node n — cache, directory, context, both
-    // network endpoints — schedules and counts on n's shard.
-    Scheduler& sched = kernel_->scheduler(map.ofNode(n));
-    StatRegistry& reg = kernel_->registry(map.ofNode(n));
+    // network endpoints — schedules and counts on n's shard. Deliveries
+    // reach these controllers through sink_ (no per-endpoint registration).
+    Scheduler& sched = kernel_->scheduler(map_.ofNode(n));
+    StatRegistry& reg = kernel_->registry(map_.ofNode(n));
     caches_.push_back(std::make_unique<CacheController>(n, cfg_, sched, *net_, reg));
     dirs_.push_back(std::make_unique<DirController>(n, cfg_, sched, *net_, reg));
     if (tracer != nullptr) {
@@ -69,10 +76,14 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
     }
     if (fault_ != nullptr) caches_.back()->setFaultInjector(fault_.get());
     ctxs_.push_back(std::make_unique<ThreadContext>(n, cfg_, sched, *caches_.back()));
-    net_->setDeliveryHandler(procEp(n),
-                             [c = caches_.back().get()](const Message& m) { c->onMessage(m); });
-    net_->setDeliveryHandler(memEp(n),
-                             [d = dirs_.back().get()](const Message& m) { d->onMessage(m); });
+  }
+}
+
+void System::Sink::deliver(Endpoint ep, const Message& m) {
+  if (ep.kind == EndpointKind::Proc) {
+    sys_.caches_.at(ep.node)->onMessage(m);
+  } else {
+    sys_.dirs_.at(ep.node)->onMessage(m);
   }
 }
 

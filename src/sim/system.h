@@ -7,6 +7,13 @@
 // Scheduling API: components receive a Scheduler bound to their owning
 // kernel shard (ShardMap); the raw EventQueue is a kernel implementation
 // detail and is no longer reachable from here — see the retired eq() guard.
+//
+// Network wiring: System builds its own Butterfly/ShardMap (pure arithmetic,
+// identical to the network's), constructs every observer first — snoop
+// chain, tracer, fault injector — and hands the network one immutable
+// NetworkHooks struct at construction. Deliveries dispatch through a single
+// System-owned sink to the per-node controllers; there is no mutable
+// observer state on the network to wire up in the right order.
 #pragma once
 
 #include <memory>
@@ -113,14 +120,32 @@ class System {
     NodeId owner = 0;
   };
 
+  /// The one delivery sink behind NetworkHooks: dispatches on the endpoint
+  /// kind to the owning cache or directory controller. Its address is fixed
+  /// before the network exists, so wiring can never race construction.
+  class Sink final : public IMessageSink {
+   public:
+    explicit Sink(System& sys) : sys_(sys) {}
+    void deliver(Endpoint ep, const Message& m) override;
+
+   private:
+    System& sys_;
+  };
+
   SystemConfig cfg_;
   std::unique_ptr<SimKernel> kernel_;
   std::unique_ptr<TxnTracer> tracer_;
   std::unique_ptr<FaultInjector> fault_;
-  std::unique_ptr<INetwork> net_;
+  /// System's own copy of the topology/ownership arithmetic (identical to
+  /// the network's): lets the managers construct before the network so the
+  /// snoop pointer is ready for NetworkHooks.
+  std::unique_ptr<Butterfly> topo_;
+  ShardMap map_;
   std::unique_ptr<DresarManager> dresar_;
   std::unique_ptr<SwitchCacheManager> scache_;
   std::unique_ptr<SnoopChain> snoopChain_;
+  Sink sink_{*this};
+  std::unique_ptr<INetwork> net_;
   std::unique_ptr<AddressSpace> mem_;
   std::vector<std::unique_ptr<CacheController>> caches_;
   std::vector<std::unique_ptr<DirController>> dirs_;

@@ -32,6 +32,30 @@ TrafficLayout TrafficLayout::fixed(std::uint32_t tenants) {
   return l;
 }
 
+TrafficLayout TrafficLayout::fixedFor(const TrafficConfig& cfg) {
+  TrafficLayout l = fixed(cfg.tenants);
+  // Homes are round-robin by page (addr/pageBytes mod numProcs), so the
+  // first page at/above a base whose index is congruent to the target node
+  // is homed there. Regions sit above kSharedBase; victims stride far apart.
+  const Addr page = cfg.pageBytes;
+  auto pageHomedAt = [&](Addr base, std::uint32_t node) {
+    const Addr basePage = base / page;
+    const Addr p =
+        basePage + (node + cfg.numProcs - static_cast<std::uint32_t>(basePage % cfg.numProcs)) %
+                       cfg.numProcs;
+    return p * page;
+  };
+  if (cfg.hotFrac > 0.0) l.hotBase = pageHomedAt(Addr{1} << 39, cfg.hotNode);
+  if (cfg.incastPeriodCycles > 0) {
+    l.victimBases.reserve(cfg.numProcs);
+    const Addr victimRegion = (Addr{1} << 39) + (Addr{1} << 30);
+    for (std::uint32_t v = 0; v < cfg.numProcs; ++v) {
+      l.victimBases.push_back(pageHomedAt(victimRegion + v * (Addr{1} << 20), v));
+    }
+  }
+  return l;
+}
+
 TrafficConfig TrafficConfig::oltp(std::uint64_t refs) {
   TrafficConfig c;  // the member defaults ARE the OLTP profile
   c.refs = refs;
@@ -59,10 +83,36 @@ TrafficConfig TrafficConfig::kv(std::uint64_t refs) {
   return c;
 }
 
+TrafficConfig TrafficConfig::hotspot(std::uint64_t refs) {
+  TrafficConfig c = oltp(refs);
+  c.name = "hotspot";
+  // Half the steps are migratory pairs on one hot page: the request legs all
+  // converge on hotNode's home memory and the c2c data replies concentrate
+  // in the switch column above it — where turnaround routing has freedom.
+  c.hotFrac = 0.5;
+  c.hotNode = 0;
+  c.hotBlocks = 64;
+  c.meanGapCycles = 30;  // run hotter than plain OLTP so saturation is reachable
+  return c;
+}
+
+TrafficConfig TrafficConfig::incast(std::uint64_t refs) {
+  TrafficConfig c = oltp(refs);
+  c.name = "incast";
+  // Synchronized fan-in: all nodes fire a read burst at the same victim page
+  // every period, barrier-style; the victim rotates batch to batch.
+  c.incastPeriodCycles = 2'000;
+  c.incastBatchRefs = 16;
+  return c;
+}
+
 TrafficConfig TrafficConfig::byName(const std::string& name, std::uint64_t refs) {
   if (name == "oltp") return oltp(refs);
   if (name == "kv") return kv(refs);
-  throw std::invalid_argument("traffic: unknown profile '" + name + "' (want oltp or kv)");
+  if (name == "hotspot") return hotspot(refs);
+  if (name == "incast") return incast(refs);
+  throw std::invalid_argument("traffic: unknown profile '" + name +
+                              "' (want oltp, kv, hotspot, or incast)");
 }
 
 void TrafficConfig::applyMix(const std::string& mix) {
@@ -105,6 +155,18 @@ std::vector<std::string> TrafficConfig::validationErrors() const {
   }
   if (burstMultiplier <= 0.0) errs.emplace_back("burstMultiplier must be > 0");
   if (steadyCycles == 0) errs.emplace_back("steadyCycles must be > 0");
+  frac(hotFrac, "hotFrac");
+  if (pageBytes < lineBytes) errs.emplace_back("pageBytes must be >= lineBytes");
+  if (hotFrac > 0.0) {
+    if (hotNode >= numProcs) errs.emplace_back("hotNode must be < numProcs");
+    if (hotBlocks == 0 || hotBlocks > pageBytes / std::max(lineBytes, 1u)) {
+      errs.emplace_back("hotBlocks must be in [1, pageBytes/lineBytes] (the hot set is one page)");
+    }
+  }
+  if (incastPeriodCycles > 0 && incastBatchRefs == 0) {
+    errs.emplace_back("incastBatchRefs must be > 0 when incastPeriodCycles > 0");
+  }
+  if (offeredLoad <= 0.0) errs.emplace_back("offeredLoad must be > 0");
   return errs;
 }
 
@@ -117,7 +179,7 @@ void TrafficConfig::validate() const {
 }
 
 TrafficModel::TrafficModel(const TrafficConfig& cfg)
-    : TrafficModel(cfg, TrafficLayout::fixed(cfg.tenants)) {}
+    : TrafficModel(cfg, TrafficLayout::fixedFor(cfg)) {}
 
 TrafficModel::TrafficModel(const TrafficConfig& cfg, TrafficLayout layout)
     : cfg_(cfg),
@@ -127,11 +189,21 @@ TrafficModel::TrafficModel(const TrafficConfig& cfg, TrafficLayout layout)
       keyZipf_(cfg.keysPerTenant, cfg.skew),
       sharedZipf_(std::max<std::uint32_t>(cfg.sharedBlocks, 1), cfg.sharedSkew),
       sharedOwner_(std::max<std::uint32_t>(cfg.sharedBlocks, 1), kInvalidNode),
+      hotOwner_(std::max<std::uint32_t>(cfg.hotBlocks, 1), kInvalidNode),
       recent_(cfg.numProcs),
       recentHead_(cfg.numProcs, 0) {
   cfg_.validate();
   if (layout_.tenantBases.size() < cfg_.tenants) {
     throw std::invalid_argument("traffic: layout has fewer tenant bases than tenants");
+  }
+  if (cfg_.hotFrac > 0.0 && layout_.hotBase == 0) {
+    throw std::invalid_argument("traffic: hotFrac > 0 but layout has no hot page");
+  }
+  if (cfg_.incastPeriodCycles > 0) {
+    if (layout_.victimBases.size() < cfg_.numProcs) {
+      throw std::invalid_argument("traffic: incast enabled but layout lacks victim pages");
+    }
+    incastNext_ = cfg_.incastPeriodCycles;
   }
   pending_.reserve(4);
 }
@@ -144,6 +216,14 @@ Addr TrafficModel::sharedAddr(std::uint32_t block) const {
   return layout_.sharedBase + static_cast<Addr>(block) * cfg_.lineBytes;
 }
 
+Addr TrafficModel::hotAddr(std::uint32_t block) const {
+  return layout_.hotBase + static_cast<Addr>(block) * cfg_.lineBytes;
+}
+
+Addr TrafficModel::victimAddr(std::uint32_t victim, std::uint32_t block) const {
+  return layout_.victimBases[victim] + static_cast<Addr>(block) * cfg_.lineBytes;
+}
+
 bool TrafficModel::inBurst(std::uint64_t cycle) const {
   if (cfg_.burstCycles == 0) return false;
   const std::uint64_t period = cfg_.steadyCycles + cfg_.burstCycles;
@@ -153,7 +233,8 @@ bool TrafficModel::inBurst(std::uint64_t cycle) const {
 std::uint64_t TrafficModel::advanceClock() {
   // Exponential interarrival with the phase's mean (burst windows run at
   // burstMultiplier x the steady arrival rate, i.e. 1/mult the gap).
-  double mean = cfg_.meanGapCycles;
+  // offeredLoad scales the whole process: the saturation-curve x-axis.
+  double mean = cfg_.meanGapCycles / cfg_.offeredLoad;
   if (inBurst(clock_)) mean /= cfg_.burstMultiplier;
   const std::uint64_t gap =
       static_cast<std::uint64_t>(-mean * std::log1p(-rng_.uniform())) + 1;
@@ -210,8 +291,40 @@ void TrafficModel::synthesizeStep() {
   pendingIdx_ = 0;
   const auto pid = cfg_.pinnedPid >= 0 ? static_cast<NodeId>(cfg_.pinnedPid)
                                        : static_cast<NodeId>(rng_.below(cfg_.numProcs));
+
+  // Incast batches fire on absolute deadlines of the arrival clock, so every
+  // node's stream (same period, clocks advancing at the same nominal rate)
+  // bursts at the same victim near-simultaneously — a barrier-style fan-in.
+  if (incastNext_ != 0 && clock_ >= incastNext_) {
+    const auto victim = static_cast<std::uint32_t>(incastBatch_ % cfg_.numProcs);
+    const std::uint32_t span =
+        std::max(1u, std::min(cfg_.incastBatchRefs, cfg_.pageBytes / cfg_.lineBytes));
+    const bool burst = inBurst(incastNext_);
+    const std::uint32_t tenant = pickTenant();
+    for (std::uint32_t i = 0; i < cfg_.incastBatchRefs; ++i) {
+      pending_.push_back(
+          {{pid, victimAddr(victim, i % span), false}, tenant, incastNext_, burst});
+    }
+    incastNext_ += cfg_.incastPeriodCycles;
+    ++incastBatch_;
+    return;
+  }
+
   const std::uint64_t arrival = advanceClock();
   const bool burst = inBurst(arrival);
+
+  // Hotspot steps behave like sharing-intensive steps but on the single hot
+  // page: read the block from its previous writer (c2c), then update it.
+  if (cfg_.hotFrac > 0.0 && rng_.chance(cfg_.hotFrac)) {
+    const auto block = static_cast<std::uint32_t>(rng_.below(cfg_.hotBlocks));
+    NodeId actor = pid;
+    if (cfg_.pinnedPid < 0 && hotOwner_[block] == actor) actor = (actor + 1) % cfg_.numProcs;
+    const std::uint32_t tenant = pickTenant();
+    pending_.push_back({{actor, hotAddr(block), false}, tenant, arrival, burst});
+    pending_.push_back({{actor, hotAddr(block), true}, tenant, arrival, burst});
+    hotOwner_[block] = actor;
+    return;
+  }
 
   if (rng_.chance(cfg_.sharedFrac)) {
     // Sharing-intensive step (Durbhakula): read the shared block — a c2c

@@ -41,16 +41,25 @@
 
 namespace dresar {
 
+struct TrafficConfig;
+
 /// Where the synthesized blocks live. The default places tenant arenas and
 /// the shared segment in fixed, disjoint high regions (trace-driven runs);
 /// the event-driven workload substitutes AddressSpace allocations.
 struct TrafficLayout {
   std::vector<Addr> tenantBases;  ///< one arena base per tenant
   Addr sharedBase = 0;
+  /// One page homed at cfg.hotNode (hotspot profile); 0 = absent.
+  Addr hotBase = 0;
+  /// One page homed at each node (incast victims); empty = absent.
+  std::vector<Addr> victimBases;
 
   /// Disjoint fixed regions, page-interleaved across homes like the TPC
   /// generators' arenas (tpc_gen.cpp region bases).
   static TrafficLayout fixed(std::uint32_t tenants);
+  /// fixed() plus hot/victim pages placed by cfg.pageBytes/numProcs
+  /// arithmetic so their round-robin homes land where the profile wants.
+  static TrafficLayout fixedFor(const TrafficConfig& cfg);
 };
 
 struct TrafficConfig {
@@ -79,6 +88,25 @@ struct TrafficConfig {
   std::uint64_t burstCycles = 20'000;   ///< burst window per diurnal period
   // Hot-key migration; 0 disables drift.
   std::uint64_t migrationPeriodRefs = 0;
+  // Hotspot (congestion lab): hotFrac of steps are migratory read+update
+  // pairs on a single page homed at hotNode, so every request leg converges
+  // on one home memory and the c2c replies concentrate above it — the
+  // traffic pattern adaptive turnaround routing exists for. 0 disables.
+  double hotFrac = 0.0;
+  std::uint32_t hotNode = 0;
+  std::uint32_t hotBlocks = 64;  ///< hot-set size; must fit one page
+  // Incast (congestion lab): every incastPeriodCycles of the arrival clock,
+  // each node's stream issues a synchronized batch of incastBatchRefs reads
+  // into one rotating victim's page — fan-in barrier bursts. 0 disables.
+  std::uint32_t incastPeriodCycles = 0;
+  std::uint32_t incastBatchRefs = 0;
+  /// Offered-load scale: arrival rate multiplier (interarrival gaps divide
+  /// by this), the x-axis of saturation-throughput curves. 1.0 = profile
+  /// nominal and byte-identical to pre-knob output.
+  double offeredLoad = 1.0;
+  /// Round-robin interleaving grain, used to place hot/victim pages. Must
+  /// match the run's SystemConfig::pageBytes for homing to be real.
+  std::uint32_t pageBytes = 4096;
   // Seeding (see RNG stream discipline above).
   std::uint64_t seed = 0x7ea'7a991c;
   std::uint32_t streamId = 0;  ///< 0 = global stream; p+1 = node p's stream
@@ -93,7 +121,14 @@ struct TrafficConfig {
   /// KV-cache profile: larger, colder key space, read-dominated, stronger
   /// key skew, less cross-tenant sharing.
   static TrafficConfig kv(std::uint64_t refs);
-  /// Profile by registry name ("oltp" / "kv"); throws on unknown names.
+  /// Hotspot congestion profile: OLTP base with half the steps hammering
+  /// one hot page homed at node 0 (see hotFrac above).
+  static TrafficConfig hotspot(std::uint64_t refs);
+  /// Incast congestion profile: OLTP base plus periodic synchronized
+  /// fan-in bursts at a rotating victim (see incastPeriodCycles above).
+  static TrafficConfig incast(std::uint64_t refs);
+  /// Profile by registry name ("oltp" / "kv" / "hotspot" / "incast");
+  /// throws on unknown names.
   static TrafficConfig byName(const std::string& name, std::uint64_t refs);
 
   /// Apply a mix cell: "readmostly" keeps the profile's write fraction,
@@ -139,6 +174,8 @@ class TrafficModel final : public RefStream {
   /// Address helpers (tests reason about regions through these).
   [[nodiscard]] Addr tenantAddr(std::uint32_t tenant, std::uint32_t key) const;
   [[nodiscard]] Addr sharedAddr(std::uint32_t block) const;
+  [[nodiscard]] Addr hotAddr(std::uint32_t block) const;
+  [[nodiscard]] Addr victimAddr(std::uint32_t victim, std::uint32_t block) const;
 
  private:
   void synthesizeStep();
@@ -166,10 +203,13 @@ class TrafficModel final : public RefStream {
   ZipfSampler keyZipf_;
   ZipfSampler sharedZipf_;
   std::vector<NodeId> sharedOwner_;  ///< last writer per shared block
+  std::vector<NodeId> hotOwner_;     ///< last writer per hot block
   std::vector<std::vector<RecentEntry>> recent_;  ///< per-node LRU rings
   std::vector<std::uint32_t> recentHead_;
   std::uint64_t emitted_ = 0;
   std::uint64_t clock_ = 0;
+  std::uint64_t incastNext_ = 0;   ///< next batch deadline (0 = disabled)
+  std::uint64_t incastBatch_ = 0;  ///< batches emitted so far (victim rotor)
   std::uint64_t burstElapsed_ = 0;
   std::uint64_t steadyElapsed_ = 0;
   std::vector<TrafficRef> pending_;  ///< refs queued by the current step

@@ -1,23 +1,32 @@
 #include "traffic/traffic_workload.h"
 
+#include <cctype>
 #include <sstream>
 
 #include "sim/address_space.h"
 
 namespace dresar {
 
-TrafficWorkload::TrafficWorkload(std::string profile, std::uint64_t refsPerNode)
-    : profile_(std::move(profile)), refsPerNode_(refsPerNode) {
+TrafficWorkload::TrafficWorkload(std::string profile, std::uint64_t refsPerNode,
+                                 double offeredLoad)
+    : profile_(std::move(profile)), refsPerNode_(refsPerNode), offeredLoad_(offeredLoad) {
   TrafficConfig::byName(profile_, 1);  // fail fast on unknown profiles
 }
 
-std::string TrafficWorkload::name() const { return profile_ == "kv" ? "KV" : "OLTP"; }
+std::string TrafficWorkload::name() const {
+  std::string up = profile_;
+  for (char& c : up) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return up;
+}
 
 void TrafficWorkload::setup(System& sys) {
   const SystemConfig& cfg = sys.config();
   TrafficConfig base = TrafficConfig::byName(profile_, refsPerNode_);
   base.numProcs = cfg.numNodes;
   base.lineBytes = cfg.lineBytes;
+  base.pageBytes = cfg.pageBytes;
+  base.offeredLoad = offeredLoad_;
+  if (base.hotNode >= cfg.numNodes) base.hotNode = 0;
   tenants_ = base.tenants;
 
   // Tenant arenas and the shared segment live in the run's page-interleaved
@@ -30,6 +39,17 @@ void TrafficWorkload::setup(System& sys) {
   }
   layout.sharedBase =
       sys.mem().alloc(static_cast<std::size_t>(base.sharedBlocks) * base.lineBytes);
+  // Congestion-lab segments need real homes: the hot page lives at hotNode,
+  // one victim page at each node (allocAt keeps each within one page).
+  if (base.hotFrac > 0.0) {
+    layout.hotBase = sys.mem().allocAt(base.hotNode, cfg.pageBytes);
+  }
+  if (base.incastPeriodCycles > 0) {
+    layout.victimBases.reserve(cfg.numNodes);
+    for (NodeId v = 0; v < cfg.numNodes; ++v) {
+      layout.victimBases.push_back(sys.mem().allocAt(v, cfg.pageBytes));
+    }
+  }
 
   models_.clear();
   stats_.clear();
@@ -100,9 +120,35 @@ std::uint64_t TrafficWorkload::steadyCyclesElapsed() const {
   return c;
 }
 
+void TrafficWorkload::annotate(RunMetrics& m) {
+  // Only the congestion profiles drive saturation curves; oltp/kv keep their
+  // v5 tail-latency schema byte-identical.
+  if (profile_ != "hotspot" && profile_ != "incast") return;
+  std::uint64_t refs = 0;
+  for (const auto& model : models_) refs += model->emitted();
+  // Offered rate: what the open-loop streams asked for, machine-wide —
+  // references per arrival-clock cycle, summed across node streams (the
+  // per-stream clocks advance independently, so scale by stream count).
+  const std::uint64_t clockSum = burstCyclesElapsed() + steadyCyclesElapsed();
+  if (clockSum > 0) {
+    m.congOfferedRate =
+        static_cast<double>(refs) * static_cast<double>(models_.size()) /
+        static_cast<double>(clockSum);
+  }
+  // Accepted rate: what the machine actually completed per simulated cycle.
+  // Under saturation execTime stretches past the arrival clock and this
+  // plateaus below the offered rate.
+  if (m.execTime > 0) {
+    m.congAcceptedRate = static_cast<double>(refs) / static_cast<double>(m.execTime);
+  }
+  m.congestionEnabled = true;
+  if (m.congRuns == 0) m.congRuns = 1;
+}
+
 namespace workloads {
-std::unique_ptr<Workload> makeTraffic(const std::string& profile, std::uint64_t refsPerNode) {
-  return std::make_unique<TrafficWorkload>(profile, refsPerNode);
+std::unique_ptr<Workload> makeTraffic(const std::string& profile, std::uint64_t refsPerNode,
+                                      double offeredLoad) {
+  return std::make_unique<TrafficWorkload>(profile, refsPerNode, offeredLoad);
 }
 }  // namespace workloads
 

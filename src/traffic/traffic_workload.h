@@ -20,14 +20,18 @@ namespace dresar {
 
 class TrafficWorkload final : public Workload {
  public:
-  /// `profile` is a traffic registry name ("oltp" / "kv"); each node issues
-  /// `refsPerNode` references.
-  TrafficWorkload(std::string profile, std::uint64_t refsPerNode);
+  /// `profile` is a traffic registry name ("oltp" / "kv" / "hotspot" /
+  /// "incast"); each node issues `refsPerNode` references at `offeredLoad`
+  /// times the profile's nominal arrival rate.
+  TrafficWorkload(std::string profile, std::uint64_t refsPerNode, double offeredLoad = 1.0);
 
   [[nodiscard]] std::string name() const override;
   void setup(System& sys) override;
   SimTask body(System& sys, ThreadContext& ctx) override;
   [[nodiscard]] WorkloadResult verify(System& sys) override;
+  /// Congestion-lab annotation (hotspot/incast only): machine-wide offered
+  /// vs accepted reference rate, the saturation-curve y-axes.
+  void annotate(RunMetrics& m) override;
 
   /// All node shards merged; valid after the run.
   [[nodiscard]] TrafficStats stats() const;
@@ -39,13 +43,15 @@ class TrafficWorkload final : public Workload {
  private:
   std::string profile_;
   std::uint64_t refsPerNode_;
+  double offeredLoad_ = 1.0;
   std::uint32_t tenants_ = 0;
   std::vector<std::unique_ptr<TrafficModel>> models_;  // one per node
   std::vector<TrafficStats> stats_;                    // one shard per node
 };
 
 namespace workloads {
-std::unique_ptr<Workload> makeTraffic(const std::string& profile, std::uint64_t refsPerNode);
+std::unique_ptr<Workload> makeTraffic(const std::string& profile, std::uint64_t refsPerNode,
+                                      double offeredLoad = 1.0);
 }  // namespace workloads
 
 }  // namespace dresar

@@ -11,7 +11,8 @@ std::unique_ptr<Workload> makeSor(std::size_t n, std::size_t iters);
 std::unique_ptr<Workload> makeTc(std::size_t n);
 std::unique_ptr<Workload> makeFwa(std::size_t n);
 std::unique_ptr<Workload> makeGauss(std::size_t n);
-std::unique_ptr<Workload> makeTraffic(const std::string& profile, std::uint64_t refsPerNode);
+std::unique_ptr<Workload> makeTraffic(const std::string& profile, std::uint64_t refsPerNode,
+                                      double offeredLoad);
 }  // namespace workloads
 
 std::unique_ptr<Workload> makeWorkload(const std::string& name, const WorkloadScale& scale) {
@@ -20,10 +21,11 @@ std::unique_ptr<Workload> makeWorkload(const std::string& name, const WorkloadSc
   if (name == "tc" || name == "TC") return workloads::makeTc(scale.tcN);
   if (name == "fwa" || name == "FWA") return workloads::makeFwa(scale.fwaN);
   if (name == "gauss" || name == "GAUSS") return workloads::makeGauss(scale.gaussN);
-  if (name == "oltp" || name == "OLTP" || name == "kv" || name == "KV") {
+  if (name == "oltp" || name == "OLTP" || name == "kv" || name == "KV" ||
+      name == "hotspot" || name == "HOTSPOT" || name == "incast" || name == "INCAST") {
     std::string profile = name;
     for (char& c : profile) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    return workloads::makeTraffic(profile, scale.trafficRefsPerNode);
+    return workloads::makeTraffic(profile, scale.trafficRefsPerNode, scale.offeredLoad);
   }
   throw std::invalid_argument("unknown workload: " + name);
 }

@@ -25,7 +25,9 @@ RunMetrics runWorkload(System& sys, Workload& w, bool requireVerify) {
     const WorkloadResult r = w.verify(sys);
     if (!r.ok) throw std::runtime_error(w.name() + ": verification failed: " + r.detail);
   }
-  return RunMetrics::collect(sys, w.name());
+  RunMetrics m = RunMetrics::collect(sys, w.name());
+  w.annotate(m);
+  return m;
 }
 
 }  // namespace dresar

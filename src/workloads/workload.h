@@ -27,8 +27,12 @@ struct WorkloadScale {
   std::size_t tcN = 48;             ///< paper: 128
   std::size_t fwaN = 48;            ///< paper: 128
   std::size_t gaussN = 48;          ///< paper: 128
-  /// References each node issues for the traffic workloads ("oltp", "kv").
+  /// References each node issues for the traffic workloads ("oltp", "kv",
+  /// "hotspot", "incast").
   std::size_t trafficRefsPerNode = 20000;
+  /// Arrival-rate multiplier for the traffic workloads — the offered-load
+  /// axis of saturation curves. 1.0 = each profile's nominal rate.
+  double offeredLoad = 1.0;
 
   static WorkloadScale paper() {
     WorkloadScale s;
@@ -65,6 +69,10 @@ class Workload {
   virtual SimTask body(System& sys, ThreadContext& ctx) = 0;
   /// Numeric self-check after the run.
   [[nodiscard]] virtual WorkloadResult verify(System& sys) = 0;
+  /// Post-collection hook: fold workload-private measurements into the run's
+  /// metrics (e.g. the traffic workloads' offered/accepted load). Default:
+  /// nothing, so existing workloads' metrics are byte-identical.
+  virtual void annotate(RunMetrics&) {}
 };
 
 /// Run `w` on `sys` (setup -> one body per processor -> fence -> verify).

@@ -19,14 +19,15 @@ namespace {
 class CacheCtrlTest : public ::testing::Test {
  protected:
   CacheCtrlTest()
-      : net_(cfg_.net, cfg_.numNodes, cfg_.lineBytes, kernel_),
+      : net_(cfg_.net, cfg_.numNodes, cfg_.lineBytes, kernel_,
+             NetworkHooks{&sink_, nullptr, nullptr, nullptr}),
         ctrl_(0, cfg_, kernel_.scheduler(0), net_, kernel_.registry(0)) {
-    net_.setDeliveryHandler(procEp(0), [this](const Message& m) { ctrl_.onMessage(m); });
+    sink_.on(procEp(0), [this](const Message& m) { ctrl_.onMessage(m); });
     for (NodeId n = 1; n < cfg_.numNodes; ++n) {
-      net_.setDeliveryHandler(procEp(n), [this](const Message& m) { toProcs_.push_back(m); });
+      sink_.on(procEp(n), [this](const Message& m) { toProcs_.push_back(m); });
     }
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
-      net_.setDeliveryHandler(memEp(n), [this](const Message& m) { toHome_.push_back(m); });
+      sink_.on(memEp(n), [this](const Message& m) { toHome_.push_back(m); });
     }
   }
 
@@ -54,6 +55,7 @@ class CacheCtrlTest : public ::testing::Test {
 
   SystemConfig cfg_;
   SimKernel kernel_{1};
+  FnSink sink_;
   Network net_;
   CacheController ctrl_;
   StatRegistry& stats_ = kernel_.registry(0);

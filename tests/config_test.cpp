@@ -162,6 +162,60 @@ TEST(SystemConfig, ValidationCatchesUnknownSdPolicies) {
   EXPECT_TRUE(c.validationErrors().empty());
 }
 
+TEST(SystemConfig, ValidationCatchesNetworkCongestionKnobs) {
+  // The flit model packs the VC id into 8 bits of the wormhole lock key.
+  SystemConfig c;
+  c.net.virtualChannels = 257;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.net.virtualChannels = 256;
+  EXPECT_NO_THROW(c.validate());
+
+  // Routing policy names come from the interconnect registry and the error
+  // lists the valid alternatives.
+  c = SystemConfig{};
+  c.net.routing = "valiant";
+  const std::vector<std::string> errs = c.validationErrors();
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs.front().find("'valiant'"), std::string::npos) << errs.front();
+  EXPECT_NE(errs.front().find("lca"), std::string::npos) << errs.front();
+  EXPECT_NE(errs.front().find("adaptive"), std::string::npos) << errs.front();
+  c.net.routing = "adaptive";
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(SystemConfig, ShardedKernelRejectsCongestionLabFeatures) {
+  // Adaptive routing reads switch occupancy mid-cycle and the flit model is
+  // single-kernel; both are gated to simThreads=1 rather than silently
+  // diverging under the sharded scheduler.
+  SystemConfig c;
+  c.simThreads = 2;
+  c.net.routing = "adaptive";
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = SystemConfig{};
+  c.simThreads = 2;
+  c.net.flitLevel = true;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = SystemConfig{};
+  c.simThreads = 1;
+  c.net.routing = "adaptive";
+  c.net.flitLevel = true;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(SystemConfig, DumpNamesNonDefaultRoutingOnly) {
+  SystemConfig c;
+  std::ostringstream os;
+  c.dump(os);
+  EXPECT_EQ(os.str().find("routing"), std::string::npos);  // default stays silent
+
+  c.net.routing = "adaptive";
+  std::ostringstream os2;
+  c.dump(os2);
+  EXPECT_NE(os2.str().find("routing adaptive"), std::string::npos) << os2.str();
+}
+
 TEST(SystemConfig, DumpNamesNonDefaultPoliciesOnly) {
   SystemConfig c;
   std::ostringstream os;

@@ -18,14 +18,15 @@ namespace {
 class DirCtrlTest : public ::testing::Test {
  protected:
   DirCtrlTest()
-      : net_(cfg_.net, cfg_.numNodes, cfg_.lineBytes, kernel_),
+      : net_(cfg_.net, cfg_.numNodes, cfg_.lineBytes, kernel_,
+             NetworkHooks{&sink_, nullptr, nullptr, nullptr}),
         home_(0, cfg_, kernel_.scheduler(0), net_, kernel_.registry(0)) {
-    net_.setDeliveryHandler(memEp(0), [this](const Message& m) { home_.onMessage(m); });
+    sink_.on(memEp(0), [this](const Message& m) { home_.onMessage(m); });
     for (NodeId n = 1; n < cfg_.numNodes; ++n) {
-      net_.setDeliveryHandler(memEp(n), [](const Message&) {});
+      sink_.on(memEp(n), [](const Message&) {});
     }
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
-      net_.setDeliveryHandler(procEp(n), [this, n](const Message& m) {
+      sink_.on(procEp(n), [this, n](const Message& m) {
         toProc_[n].push_back(m);
       });
     }
@@ -57,6 +58,7 @@ class DirCtrlTest : public ::testing::Test {
 
   SystemConfig cfg_;
   SimKernel kernel_{1};
+  FnSink sink_;
   Network net_;
   DirController home_;
   StatRegistry& stats_ = kernel_.registry(0);

@@ -16,13 +16,17 @@
 namespace dresar {
 namespace {
 
+// Observer wiring is immutable (NetworkHooks at construction): snoops come
+// in through the fixture constructor, delivery handlers register on FnSink.
 struct Fixture {
   SimKernel kernel{1};
   NetworkConfig cfg;
+  FnSink sink;
   FlitNetwork net;
   StatRegistry& stats = kernel.registry(0);
 
-  Fixture() : net(cfg, 16, 32, kernel) {}
+  explicit Fixture(ISwitchSnoop* snoop = nullptr)
+      : net(cfg, 16, 32, kernel, NetworkHooks{&sink, snoop, nullptr, nullptr}) {}
 
   void run() { kernel.run(); }
   [[nodiscard]] Cycle now() const { return kernel.now(); }
@@ -41,7 +45,7 @@ Message mkMsg(MsgType t, Endpoint src, Endpoint dst, Addr a = 0x100) {
 TEST(FlitNetwork, DeliversHeaderMessage) {
   Fixture f;
   Cycle arrival = kNoCycle;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message& m) {
+  f.sink.on(memEp(9), [&](const Message& m) {
     EXPECT_EQ(m.addr, 0x100u);
     arrival = f.now();
   });
@@ -57,7 +61,7 @@ TEST(FlitNetwork, DeliversHeaderMessage) {
 TEST(FlitNetwork, DataMessagePipelinesFlits) {
   Fixture f;
   Cycle headerArrival = 0, dataArrival = 0;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message& m) {
+  f.sink.on(memEp(9), [&](const Message& m) {
     (carriesData(m.type) ? dataArrival : headerArrival) = f.now();
   });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
@@ -74,7 +78,7 @@ TEST(FlitNetwork, DataMessagePipelinesFlits) {
 TEST(FlitNetwork, PerPathOrderingHolds) {
   Fixture f;
   std::vector<Addr> order;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message& m) { order.push_back(m.addr); });
+  f.sink.on(memEp(9), [&](const Message& m) { order.push_back(m.addr); });
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9), 0xA));
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9), 0xB));
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9), 0xC));
@@ -88,7 +92,7 @@ TEST(FlitNetwork, PerPathOrderingHolds) {
 TEST(FlitNetwork, ManyToOneContentionDeliversEverything) {
   Fixture f;
   int delivered = 0;
-  f.net.setDeliveryHandler(memEp(0), [&](const Message&) { ++delivered; });
+  f.sink.on(memEp(0), [&](const Message&) { ++delivered; });
   for (NodeId p = 0; p < 16; ++p) {
     f.net.send(mkMsg(MsgType::WriteBack, procEp(p), memEp(0), 0x100 + 0x40ull * p));
   }
@@ -101,9 +105,10 @@ TEST(FlitNetwork, TinyBuffersStillDrainViaCredits) {
   SimKernel kernel{1};
   NetworkConfig cfg;
   cfg.bufferFlits = 1;  // most aggressive backpressure
-  FlitNetwork net(cfg, 16, 32, kernel);
+  FnSink sink;
+  FlitNetwork net(cfg, 16, 32, kernel, NetworkHooks{&sink, nullptr, nullptr, nullptr});
   int delivered = 0;
-  net.setDeliveryHandler(memEp(3), [&](const Message&) { ++delivered; });
+  sink.on(memEp(3), [&](const Message&) { ++delivered; });
   for (int i = 0; i < 8; ++i) {
     Message m = mkMsg(MsgType::WriteBack, procEp(1), memEp(3), 0x40ull * i);
     net.send(m);
@@ -138,22 +143,20 @@ class HeadSnoop : public ISwitchSnoop {
 };
 
 TEST(FlitNetwork, SnoopRunsOncePerSwitch) {
-  Fixture f;
   HeadSnoop snoop;
-  f.net.setSnoop(&snoop);
-  f.net.setDeliveryHandler(memEp(9), [](const Message&) {});
+  Fixture f(&snoop);
+  f.sink.on(memEp(9), [](const Message&) {});
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9)));  // 5 flits
   f.run();
   EXPECT_EQ(snoop.seen, 2);  // once per switch despite 5 flits
 }
 
 TEST(FlitNetwork, SunkMessageIsDrainedCompletely) {
-  Fixture f;
   HeadSnoop snoop;
   snoop.sink = true;
-  f.net.setSnoop(&snoop);
+  Fixture f(&snoop);
   bool delivered = false;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { delivered = true; });
+  f.sink.on(memEp(9), [&](const Message&) { delivered = true; });
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9)));
   f.run();
   EXPECT_FALSE(delivered);
@@ -162,14 +165,13 @@ TEST(FlitNetwork, SunkMessageIsDrainedCompletely) {
 }
 
 TEST(FlitNetwork, SpawnedMessageUsesInjectionPort) {
-  Fixture f;
   HeadSnoop snoop;
   snoop.sink = true;
   snoop.reply = true;
-  f.net.setSnoop(&snoop);
+  Fixture f(&snoop);
   bool retryArrived = false;
-  f.net.setDeliveryHandler(memEp(9), [](const Message&) {});
-  f.net.setDeliveryHandler(procEp(5), [&](const Message& m) {
+  f.sink.on(memEp(9), [](const Message&) {});
+  f.sink.on(procEp(5), [&](const Message& m) {
     retryArrived = m.type == MsgType::Retry;
   });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));

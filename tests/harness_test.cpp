@@ -274,6 +274,70 @@ TEST(SweepSpec, SimThreadsAxisRejectsBadValuesAndIncompatibleWorkloads) {
   EXPECT_NO_THROW(parseText("sim_threads = 1\n"));
 }
 
+TEST(JobSpec, CongestionSuffixesApplyOnlyWhenNonDefault) {
+  JobSpec j;
+  j.sdEntries = 512;
+  EXPECT_EQ(j.configTag(), "sd-512");  // lca / nominal load / message-level stay silent
+  j.routing = "adaptive";
+  EXPECT_EQ(j.configTag(), "sd-512-adaptive");
+  j.offeredLoad = 2.0;
+  EXPECT_EQ(j.configTag(), "sd-512-adaptive-ol2");
+  j.offeredLoad = 0.5;
+  j.flitLevel = true;
+  EXPECT_EQ(j.configTag(), "sd-512-adaptive-ol0.5-flit");
+  j.routing = "lca";
+  EXPECT_EQ(j.configTag(), "sd-512-ol0.5-flit");
+}
+
+TEST(SweepSpec, ParsesCongestionAxes) {
+  std::istringstream in(
+      "workloads = hotspot, incast\n"
+      "entries = 512\n"
+      "routing = lca, adaptive\n"
+      "offered_load = 0.5, 2\n"
+      "flit_level = 0, 1\n");
+  const SweepSpec s = SweepSpec::parse(in, "cong.spec");
+  EXPECT_EQ(s.routing, (std::vector<std::string>{"lca", "adaptive"}));
+  EXPECT_EQ(s.offeredLoad, (std::vector<double>{0.5, 2.0}));
+  EXPECT_EQ(s.flitLevel, (std::vector<std::uint32_t>{0, 1}));
+  // 2 workloads x 2 routing x 2 load x 2 flit.
+  EXPECT_EQ(s.jobCount(), 16u);
+  const std::vector<JobSpec> jobs = s.expand();
+  ASSERT_EQ(jobs.size(), 16u);
+  EXPECT_EQ(jobs[0].app, "hotspot");
+  EXPECT_EQ(jobs[0].routing, "lca");
+  EXPECT_EQ(jobs[0].offeredLoad, 0.5);
+  EXPECT_FALSE(jobs[0].flitLevel);
+  EXPECT_EQ(jobs[0].configTag(), "sd-512-ol0.5");
+  const JobSpec& last = jobs.back();
+  EXPECT_EQ(last.app, "incast");
+  EXPECT_EQ(last.routing, "adaptive");
+  EXPECT_EQ(last.offeredLoad, 2.0);
+  EXPECT_TRUE(last.flitLevel);
+  EXPECT_EQ(last.configTag(), "sd-512-adaptive-ol2-flit");
+}
+
+TEST(SweepSpec, CongestionAxesRejectIncompatibleCombinations) {
+  const auto parseText = [](const std::string& text) {
+    std::istringstream in(text);
+    return SweepSpec::parse(in, "bad.spec");
+  };
+  EXPECT_THROW(parseText("workloads = hotspot\nrouting = valiant\n"), std::runtime_error);
+  EXPECT_THROW(parseText("workloads = hotspot\nrouting = lca, lca\n"), std::runtime_error);
+  EXPECT_THROW(parseText("workloads = hotspot\nflit_level = 2\n"), std::runtime_error);
+  EXPECT_THROW(parseText("workloads = hotspot\noffered_load = 0\n"), std::runtime_error);
+  // offered_load scales the congestion profiles' arrival clocks only.
+  EXPECT_THROW(parseText("workloads = sor\noffered_load = 2\n"), std::runtime_error);
+  // Routing/flit axes need a network: trace and traffic simulators have none.
+  EXPECT_THROW(parseText("workloads = tpcc\nrouting = adaptive\n"), std::runtime_error);
+  EXPECT_THROW(parseText("workloads = oltp\nflit_level = 1\n"), std::runtime_error);
+  // The sharded kernel gate composes with the congestion axes at parse time.
+  EXPECT_THROW(parseText("workloads = sor\nrouting = adaptive\nsim_threads = 2\n"),
+               std::runtime_error);
+  // Execution-driven non-congestion workloads may still pick a routing policy.
+  EXPECT_NO_THROW(parseText("workloads = sor\nrouting = adaptive\n"));
+}
+
 // ------------------------------------------------------- WorkStealingPool --
 
 TEST(WorkStealingPool, RunsEveryJobExactlyOnce) {

@@ -10,13 +10,18 @@
 namespace dresar {
 namespace {
 
+// Observer wiring is immutable (NetworkHooks at construction), so fixtures
+// that want a snoop pass it to the constructor; delivery handlers register
+// on the FnSink adapter, whose address is what the network captures.
 struct Fixture {
   SimKernel kernel{1};
   NetworkConfig cfg;
+  FnSink sink;
   Network net;
   StatRegistry& stats = kernel.registry(0);
 
-  Fixture() : net(cfg, 16, 32, kernel) {}
+  explicit Fixture(ISwitchSnoop* snoop = nullptr)
+      : net(cfg, 16, 32, kernel, NetworkHooks{&sink, snoop, nullptr, nullptr}) {}
 
   // Single-shard drivers the old raw-EventQueue fixture exposed.
   void run() { kernel.run(); }
@@ -36,7 +41,7 @@ Message mkMsg(MsgType t, Endpoint src, Endpoint dst, Addr a = 0x100) {
 TEST(Network, DeliversWithExpectedLatency) {
   Fixture f;
   Cycle arrival = kNoCycle;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrival = f.now(); });
+  f.sink.on(memEp(9), [&](const Message&) { arrival = f.now(); });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
   f.run();
   // Header-only message: 1 flit = 4 link cycles per hop, 3 link traversals
@@ -47,7 +52,7 @@ TEST(Network, DeliversWithExpectedLatency) {
 TEST(Network, DataMessagesSerializeLonger) {
   Fixture f;
   Cycle headerArrival = 0, dataArrival = 0;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message& m) {
+  f.sink.on(memEp(9), [&](const Message& m) {
     (carriesData(m.type) ? dataArrival : headerArrival) = f.now();
   });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
@@ -61,7 +66,7 @@ TEST(Network, DataMessagesSerializeLonger) {
 TEST(Network, ContentionQueuesOnSharedLink) {
   Fixture f;
   std::vector<Cycle> arrivals;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrivals.push_back(f.now()); });
+  f.sink.on(memEp(9), [&](const Message&) { arrivals.push_back(f.now()); });
   // Two messages from the same source serialize on the injection link.
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9), 0x100));
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9), 0x200));
@@ -73,7 +78,7 @@ TEST(Network, ContentionQueuesOnSharedLink) {
 TEST(Network, PerPathFifoOrdering) {
   Fixture f;
   std::vector<Addr> order;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message& m) { order.push_back(m.addr); });
+  f.sink.on(memEp(9), [&](const Message& m) { order.push_back(m.addr); });
   // A long data message followed by a short one on the same path must not
   // be overtaken (store-and-forward per-link reservation).
   f.net.send(mkMsg(MsgType::WriteBack, procEp(5), memEp(9), 0xA));
@@ -112,22 +117,20 @@ class SinkSnoop : public ISwitchSnoop {
 };
 
 TEST(Network, SnoopSeesEverySwitchOnPath) {
-  Fixture f;
   SinkSnoop snoop;
-  f.net.setSnoop(&snoop);
-  f.net.setDeliveryHandler(memEp(9), [](const Message&) {});
+  Fixture f(&snoop);
+  f.sink.on(memEp(9), [](const Message&) {});
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
   f.run();
   EXPECT_EQ(snoop.seen, 2);  // leaf + root
 }
 
 TEST(Network, SnoopCanSinkMessages) {
-  Fixture f;
   SinkSnoop snoop;
   snoop.sinkAtRoot = true;
-  f.net.setSnoop(&snoop);
+  Fixture f(&snoop);
   bool delivered = false;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { delivered = true; });
+  f.sink.on(memEp(9), [&](const Message&) { delivered = true; });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
   f.run();
   EXPECT_FALSE(delivered);
@@ -135,14 +138,13 @@ TEST(Network, SnoopCanSinkMessages) {
 }
 
 TEST(Network, SnoopSpawnedMessageIsRoutedFromSwitch) {
-  Fixture f;
   SinkSnoop snoop;
   snoop.sinkAtRoot = true;
   snoop.spawnReply = true;
-  f.net.setSnoop(&snoop);
+  Fixture f(&snoop);
   bool retryArrived = false;
-  f.net.setDeliveryHandler(memEp(9), [](const Message&) {});
-  f.net.setDeliveryHandler(procEp(5), [&](const Message& m) {
+  f.sink.on(memEp(9), [](const Message&) {});
+  f.sink.on(procEp(5), [&](const Message& m) {
     retryArrived = m.type == MsgType::Retry && m.marked;
   });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
@@ -151,29 +153,27 @@ TEST(Network, SnoopSpawnedMessageIsRoutedFromSwitch) {
 }
 
 TEST(Network, SnoopExtraDelaySlowsDelivery) {
-  Fixture f;
-  Cycle base = 0, delayed = 0;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message&) {
-    if (base == 0) base = f.now();
-    else delayed = f.now() - base;
-  });
+  // Identical sends through a plain network and one whose snoop charges 10
+  // extra cycles at each of the two switches on the path.
+  Fixture plain;
+  Cycle base = kNoCycle;
+  plain.sink.on(memEp(9), [&](const Message&) { base = plain.now(); });
+  plain.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
+  plain.run();
+
   SinkSnoop snoop;
-  f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
-  f.run();
-  base = f.now();
-  Cycle t0 = f.now();
   snoop.extraDelay = 10;
-  f.net.setSnoop(&snoop);
-  Cycle arrive2 = 0;
-  f.net.setDeliveryHandler(memEp(9), [&](const Message&) { arrive2 = f.now(); });
+  Fixture f(&snoop);
+  Cycle delayed = kNoCycle;
+  f.sink.on(memEp(9), [&](const Message&) { delayed = f.now(); });
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(5), memEp(9)));
   f.run();
-  EXPECT_EQ(arrive2 - t0, 3u * 4 + 2u * 4 + 2u * 10);
+  EXPECT_EQ(delayed - base, 2u * 10);
 }
 
 TEST(Network, CountsMessagesByType) {
   Fixture f;
-  f.net.setDeliveryHandler(memEp(0), [](const Message&) {});
+  f.sink.on(memEp(0), [](const Message&) {});
   f.net.send(mkMsg(MsgType::ReadRequest, procEp(1), memEp(0)));
   f.net.send(mkMsg(MsgType::WriteRequest, procEp(2), memEp(0)));
   f.run();
@@ -191,7 +191,7 @@ TEST(Network, MissingHandlerThrows) {
 TEST(Network, ProcToProcSameClusterTurnaround) {
   Fixture f;
   Cycle arrival = kNoCycle;
-  f.net.setDeliveryHandler(procEp(6), [&](const Message& m) {
+  f.sink.on(procEp(6), [&](const Message& m) {
     EXPECT_EQ(m.type, MsgType::CtoCReply);
     arrival = f.now();
   });
@@ -203,11 +203,10 @@ TEST(Network, ProcToProcSameClusterTurnaround) {
 }
 
 TEST(Network, ProcToProcCrossClusterTraversesThreeSwitches) {
-  Fixture f;
   SinkSnoop snoop;
-  f.net.setSnoop(&snoop);
+  Fixture f(&snoop);
   bool arrived = false;
-  f.net.setDeliveryHandler(procEp(14), [&](const Message&) { arrived = true; });
+  f.sink.on(procEp(14), [&](const Message&) { arrived = true; });
   f.net.send(mkMsg(MsgType::CtoCReply, procEp(1), procEp(14)));
   f.run();
   EXPECT_TRUE(arrived);
@@ -218,7 +217,7 @@ TEST(Network, AllPairsDeliver) {
   Fixture f;
   int count = 0;
   for (NodeId m = 0; m < 16; ++m) {
-    f.net.setDeliveryHandler(memEp(m), [&](const Message&) { ++count; });
+    f.sink.on(memEp(m), [&](const Message&) { ++count; });
   }
   for (NodeId p = 0; p < 16; ++p) {
     for (NodeId m = 0; m < 16; ++m) {
@@ -227,6 +226,29 @@ TEST(Network, AllPairsDeliver) {
   }
   f.run();
   EXPECT_EQ(count, 256);
+}
+
+TEST(Network, AdaptiveRoutingDeliversAllPairsIdenticallyRouted) {
+  // With zero load every candidate route costs the same, so the adaptive
+  // policy's min-cost choice falls back to the LCA baseline digit and the
+  // two policies deliver with identical latency.
+  NetworkConfig base;
+  Fixture lca;
+  Cycle lcaArrival = kNoCycle;
+  lca.sink.on(procEp(14), [&](const Message&) { lcaArrival = lca.now(); });
+  lca.net.send(mkMsg(MsgType::CtoCReply, procEp(1), procEp(14)));
+  lca.run();
+
+  SimKernel kernel{1};
+  NetworkConfig cfg;
+  cfg.routing = "adaptive";
+  FnSink sink;
+  Network net(cfg, 16, 32, kernel, NetworkHooks{&sink, nullptr, nullptr, nullptr});
+  Cycle adaptiveArrival = kNoCycle;
+  sink.on(procEp(14), [&](const Message&) { adaptiveArrival = kernel.now(); });
+  net.send(mkMsg(MsgType::CtoCReply, procEp(1), procEp(14)));
+  kernel.run();
+  EXPECT_EQ(adaptiveArrival, lcaArrival);
 }
 
 }  // namespace

@@ -1,0 +1,145 @@
+// RoutingPolicy registry and policy behaviour: the LCA baseline is a pure
+// pass-through, adaptive-minimal picks the cheapest turnaround digit with
+// baseline-preferring ties, and its tie-break RNG advances only on genuine
+// multi-way ties so idle networks replay deterministically.
+#include "interconnect/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/config.h"
+#include "interconnect/topology.h"
+
+namespace dresar {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x5EEDull;
+
+TEST(RoutingRegistry, NamesAndFactory) {
+  const std::vector<std::string>& names = routingPolicyNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "lca");
+  EXPECT_EQ(names[1], "adaptive");
+  for (const std::string& n : names) {
+    EXPECT_TRUE(isRoutingPolicy(n));
+    auto p = makeRoutingPolicy(n, kSeed);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name(), n);
+  }
+  EXPECT_FALSE(isRoutingPolicy("dimension-order"));
+  EXPECT_THROW(makeRoutingPolicy("dimension-order", kSeed), std::invalid_argument);
+  EXPECT_NE(routingPolicyList().find("lca"), std::string::npos);
+  EXPECT_NE(routingPolicyList().find("adaptive"), std::string::npos);
+}
+
+TEST(RoutingRegistry, ConfigValidatesPolicyNames) {
+  NetworkConfig cfg;
+  EXPECT_TRUE(cfg.validationErrors().empty());
+  cfg.routing = "adaptive";
+  EXPECT_TRUE(cfg.validationErrors().empty());
+  cfg.routing = "bogus";
+  const std::vector<std::string> errs = cfg.validationErrors();
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs.front().find("bogus"), std::string::npos);
+}
+
+TEST(RoutingLca, AlwaysReturnsBaselineWithoutEvaluatingCosts) {
+  auto lca = makeRoutingPolicy("lca", kSeed);
+  EXPECT_FALSE(lca->adaptive());
+  int evals = 0;
+  const RouteCostFn counting = [&](std::uint32_t) -> std::uint64_t {
+    ++evals;
+    return 0;
+  };
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(lca->choose(4, b, counting), b);
+  }
+  EXPECT_EQ(evals, 0);
+}
+
+TEST(RoutingAdaptive, PicksCheapestDigit) {
+  auto pol = makeRoutingPolicy("adaptive", kSeed);
+  EXPECT_TRUE(pol->adaptive());
+  const std::vector<std::uint64_t> costs = {7, 3, 9, 5};
+  const RouteCostFn cost = [&](std::uint32_t f) { return costs[f]; };
+  EXPECT_EQ(pol->choose(4, 0, cost), 1u);
+}
+
+TEST(RoutingAdaptive, TiePrefersBaseline) {
+  auto pol = makeRoutingPolicy("adaptive", kSeed);
+  const RouteCostFn flat = [](std::uint32_t) -> std::uint64_t { return 5; };
+  // All digits tie: the baseline must win every time (idle network routes
+  // exactly like lca).
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(pol->choose(4, b, flat), b);
+    }
+  }
+}
+
+TEST(RoutingAdaptive, BaselineLessTieIsDeterministicPerSeed) {
+  // Baseline digit is strictly more expensive than a two-way tie of others:
+  // the pick must come from the tied minima, and the same seed must replay
+  // the same sequence.
+  const RouteCostFn cost = [](std::uint32_t f) -> std::uint64_t {
+    return f == 0 ? 9 : 2;  // digits 1..3 tie below the baseline 0
+  };
+  std::vector<std::uint32_t> first, second;
+  for (int run = 0; run < 2; ++run) {
+    auto pol = makeRoutingPolicy("adaptive", kSeed);
+    std::vector<std::uint32_t>& out = run == 0 ? first : second;
+    for (int i = 0; i < 16; ++i) {
+      const std::uint32_t f = pol->choose(4, 0, cost);
+      EXPECT_NE(f, 0u);
+      out.push_back(f);
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(RoutingAdaptive, WidthOneShortCircuits) {
+  auto pol = makeRoutingPolicy("adaptive", kSeed);
+  int evals = 0;
+  const RouteCostFn counting = [&](std::uint32_t) -> std::uint64_t {
+    ++evals;
+    return 0;
+  };
+  EXPECT_EQ(pol->choose(1, 0, counting), 0u);
+  EXPECT_EQ(evals, 0);
+}
+
+bool sameHop(const Hop& a, const Hop& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == Hop::Kind::Switch) return a.sw == b.sw;
+  return a.ep.kind == b.ep.kind && a.ep.node == b.ep.node;
+}
+
+TEST(RoutingTopology, TurnaroundChoicesMatchBaselineRoute) {
+  // Every candidate digit must yield a legal route of the same length as the
+  // baseline, and routeChoice(baseline) must be byte-identical to route().
+  const Butterfly topo(16, 4);
+  for (NodeId src = 0; src < 16; ++src) {
+    for (NodeId dst = 0; dst < 16; ++dst) {
+      if (src == dst) continue;
+      const TurnaroundChoices tc = topo.turnaround(procEp(src), procEp(dst));
+      ASSERT_GE(tc.width, 1u);
+      ASSERT_LT(tc.baseline, tc.width);
+      const Route base = topo.route(procEp(src), procEp(dst));
+      const Route viaBaseline = topo.routeChoice(procEp(src), procEp(dst), tc.baseline);
+      ASSERT_EQ(base.size(), viaBaseline.size());
+      for (std::size_t h = 0; h < base.size(); ++h) {
+        EXPECT_TRUE(sameHop(base[h], viaBaseline[h]));
+      }
+      for (std::uint32_t f = 0; f < tc.width; ++f) {
+        const Route alt = topo.routeChoice(procEp(src), procEp(dst), f);
+        EXPECT_EQ(alt.size(), base.size());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dresar

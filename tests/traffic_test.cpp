@@ -268,6 +268,85 @@ TEST(TrafficModel, SharedSegmentHandsOwnershipBetweenNodes) {
   EXPECT_GT(handoffs, 100u);
 }
 
+TEST(TrafficModel, HotspotProfileConcentratesOnTheHotPage) {
+  TrafficConfig c = TrafficConfig::hotspot(20'000);
+  TrafficModel m(c);
+  const Addr pageMask = ~static_cast<Addr>(c.pageBytes - 1);
+  const Addr hotPage = m.hotAddr(0) & pageMask;
+  std::uint64_t total = 0, hotRefs = 0, hotWrites = 0;
+  TraceRecord r;
+  while (m.next(r)) {
+    ++total;
+    if ((r.addr & pageMask) != hotPage) continue;
+    ++hotRefs;
+    if (r.write) ++hotWrites;
+  }
+  EXPECT_EQ(total, 20'000u);
+  // hotFrac = 0.5 of *steps* land on the hot page; other step kinds emit
+  // one-to-two refs too, so the ref share is near but not exactly half.
+  const double frac = static_cast<double>(hotRefs) / static_cast<double>(total);
+  EXPECT_GT(frac, 0.35);
+  EXPECT_LT(frac, 0.75);
+  // Every hot step is a migratory read+update pair on one block (the refs
+  // budget may truncate the final pair after its read).
+  EXPECT_LE(hotRefs - hotWrites * 2, 1u);
+}
+
+TEST(TrafficModel, IncastBatchesFireSynchronizedRotatingFanIn) {
+  TrafficConfig c = TrafficConfig::incast(4'000);
+  TrafficModel m(c);
+  const Addr pageMask = ~static_cast<Addr>(c.pageBytes - 1);
+  std::vector<Addr> victimPages;
+  victimPages.reserve(c.numProcs);
+  for (std::uint32_t v = 0; v < c.numProcs; ++v) {
+    victimPages.push_back(m.victimAddr(v, 0) & pageMask);
+  }
+  // Batch k fires at arrival deadline (k+1) * period, entirely at victim
+  // k % numProcs, as reads.
+  std::map<std::uint64_t, std::vector<TrafficRef>> byArrival;
+  TrafficRef ref;
+  while (m.nextRef(ref)) {
+    const Addr page = ref.rec.addr & pageMask;
+    if (std::find(victimPages.begin(), victimPages.end(), page) == victimPages.end()) continue;
+    byArrival[ref.arrivalCycle].push_back(ref);
+  }
+  ASSERT_GE(byArrival.size(), 3u);
+  std::uint64_t k = 0;
+  for (const auto& [arrival, batch] : byArrival) {
+    EXPECT_EQ(arrival, (k + 1) * c.incastPeriodCycles);
+    EXPECT_EQ(batch.size(), c.incastBatchRefs);
+    const Addr wantPage = victimPages[k % c.numProcs];
+    for (const TrafficRef& b : batch) {
+      EXPECT_EQ(b.rec.addr & pageMask, wantPage);
+      EXPECT_FALSE(b.rec.write);
+    }
+    ++k;
+  }
+}
+
+TEST(TrafficModel, OfferedLoadScalesTheArrivalClock) {
+  TrafficConfig base = TrafficConfig::hotspot(10'000);
+  TrafficModel nominal(base);
+  TrafficConfig scaled = base;
+  scaled.offeredLoad = 4.0;
+  TrafficModel hot(scaled);
+  TraceRecord r;
+  while (nominal.next(r)) {
+  }
+  while (hot.next(r)) {
+  }
+  const auto elapsed = [](const TrafficModel& m) {
+    return m.burstCyclesElapsed() + m.steadyCyclesElapsed();
+  };
+  ASSERT_GT(elapsed(hot), 0u);
+  // 4x the arrival rate compresses the same reference count into about a
+  // quarter of the clock (integer gap rounding keeps it from being exact).
+  const double ratio =
+      static_cast<double>(elapsed(nominal)) / static_cast<double>(elapsed(hot));
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
 // ------------------------------------------------------------- validation --
 
 TEST(TrafficConfig, ValidationCollectsAllErrors) {
